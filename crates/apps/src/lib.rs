@@ -1,0 +1,31 @@
+//! # wishbone-apps
+//!
+//! The two applications of the Wishbone evaluation (paper §6), built on
+//! the dataflow/DSP substrates:
+//!
+//! * [`speech`] — acoustic speech detection via MFCC feature extraction:
+//!   a linear pipeline (`source → preemph → hamming → prefilt → FFT →
+//!   filtBank → logs → cepstrals`) with the paper's data-reduction
+//!   profile (400-byte frames → ~52-byte cepstra);
+//! * [`eeg`] — 22-channel EEG seizure-onset detection: per-channel
+//!   polyphase wavelet cascades, 66 band-energy features, a
+//!   patient-specific linear [`svm`], and a 3-consecutive-windows
+//!   declaration rule;
+//! * [`signal`] — deterministic synthetic audio/EEG generators standing in
+//!   for the paper's recorded corpora (see DESIGN.md substitutions).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eeg;
+pub mod signal;
+pub mod speech;
+pub mod svm;
+
+pub use eeg::{build_eeg_app, build_eeg_channel, heuristic_svm, EegApp, EegParams};
+pub use signal::{
+    eeg_trace, speech_trace, EEG_SAMPLE_RATE, EEG_WINDOW_LEN, EEG_WINDOW_RATE,
+    SPEECH_FRAME_LEN, SPEECH_FRAME_RATE, SPEECH_SAMPLE_RATE,
+};
+pub use speech::{build_speech_app, SpeechApp, SpeechParams};
+pub use svm::{flatten_features, DeclareOp, LinearSvm, SvmOp};

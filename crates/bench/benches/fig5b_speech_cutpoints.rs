@@ -1,0 +1,92 @@
+//! Figure 5(b): speech detection — maximum sustainable data rate (as a
+//! multiple of 8 kHz) at each *viable* (data-reducing) cutpoint, for the
+//! five platforms TinyOS, JavaME, iPhone, VoxNet, and Scheme. "Bars falling
+//! under the horizontal line [1.0] indicate that the platform cannot be
+//! expected to keep up with the full (8 kHz) data rate."
+
+use std::collections::HashSet;
+
+use wishbone_apps::{build_speech_app, SpeechParams};
+use wishbone_dataflow::OperatorId;
+use wishbone_profile::{profile, Platform};
+
+fn main() {
+    let mut app = build_speech_app(SpeechParams::default());
+    let trace = app.trace(120, 42);
+    let prof = profile(&mut app.graph, &[trace]).expect("profiling succeeds");
+    let platforms = Platform::fig5b_platforms();
+
+    // Viable cutpoints: strictly data-reducing relative to every earlier
+    // cut (the paper shows source/1, filtbank/7, logs/8, cepstral/9).
+    let mut viable: Vec<(usize, &str, HashSet<OperatorId>)> = Vec::new();
+    let mut best_bw = f64::INFINITY;
+    for (i, (name, set)) in app.cutpoints().into_iter().enumerate() {
+        let bw = prof.edge_bandwidth(wishbone_dataflow::EdgeId(i));
+        if bw < best_bw {
+            best_bw = bw;
+            viable.push((i + 1, name, set));
+        }
+    }
+    let names: Vec<String> =
+        viable.iter().map(|(i, n, set)| format!("{n}/{} ({} ops)", i, set.len())).collect();
+    println!("viable cutpoints: {names:?}");
+
+    let mut cols = vec!["cutpoint"];
+    let plat_names: Vec<&str> = platforms.iter().map(|p| p.name.as_str()).collect();
+    cols.extend(plat_names.iter());
+    wishbone_bench::header("Figure 5b: max rate (x 8 kHz) per cutpoint per platform", &cols);
+
+    // For a fixed cut, load scales linearly with rate, so the max rate is
+    // min(C / cpu@1x, N / net@1x).
+    let mut table: Vec<Vec<f64>> = Vec::new();
+    for (idx, name, set) in &viable {
+        let mut cells = vec![format!("{name}/{idx}")];
+        let mut row_rates = Vec::new();
+        for p in &platforms {
+            let cpu: f64 = set.iter().map(|&op| prof.cpu_fraction(op, p)).sum();
+            let net: f64 = app
+                .graph
+                .edge_ids()
+                .filter(|&e| {
+                    let ed = app.graph.edge(e);
+                    set.contains(&ed.src) && !set.contains(&ed.dst)
+                })
+                .map(|e| prof.edge_on_air_bandwidth(e, p))
+                .sum();
+            let cpu_rate = p.cpu_budget_fraction / cpu.max(1e-12);
+            let net_rate = p.radio.goodput_bytes_per_sec / net.max(1e-12);
+            let rate = cpu_rate.min(net_rate);
+            row_rates.push(rate);
+            cells.push(wishbone_bench::f(rate));
+        }
+        table.push(row_rates.clone());
+        wishbone_bench::row(&cells);
+    }
+
+    // Paper-shape assertions.
+    let tinyos = 0usize;
+    let javame = 1usize;
+    let scheme = 4usize;
+    // TMote cannot keep up with 8 kHz at any cutpoint.
+    for row in &table {
+        assert!(row[tinyos] < 1.0, "TinyOS bar must sit below the 1.0 line");
+    }
+    // Scheme/PC handles full rate everywhere.
+    for row in &table {
+        assert!(row[scheme] > 1.0, "Scheme handles the full rate at every cut");
+    }
+    // At the deepest (compute-bound) cut, the N80 is only a small multiple
+    // of the TMote despite its 55x clock.
+    let deepest = table.last().expect("has cutpoints");
+    let ratio = deepest[javame] / deepest[tinyos];
+    assert!(
+        (1.5..8.0).contains(&ratio),
+        "N80/TMote at the cepstral cut should be ~2x, got {ratio:.2}"
+    );
+    // Platform ordering at the deepest cut follows CPU power.
+    assert!(deepest[tinyos] < deepest[javame]);
+    assert!(deepest[javame] < deepest[2], "iPhone above JavaME");
+    assert!(deepest[2] < deepest[3], "VoxNet above iPhone");
+    assert!(deepest[3] < deepest[scheme], "Scheme above VoxNet");
+    println!("\nTinyOS below 1.0 everywhere; N80 ~{ratio:.1}x TMote at the cepstral cut (paper: ~2x)");
+}

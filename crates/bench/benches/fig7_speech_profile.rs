@@ -1,0 +1,62 @@
+//! Figure 7: "Data is reduced by processing, lowering bandwidth
+//! requirements, but increasing CPU requirements." Per-operator execution
+//! time on the TMote Sky (µs per frame, the paper plots this on a log
+//! scale), cumulative CPU cost, and the bandwidth of the cut at each
+//! stage (KB/s).
+
+use wishbone_apps::{build_speech_app, SpeechParams};
+use wishbone_dataflow::EdgeId;
+use wishbone_profile::{profile, Platform};
+
+fn main() {
+    let mut app = build_speech_app(SpeechParams::default());
+    let trace = app.trace(120, 42);
+    let prof = profile(&mut app.graph, &[trace]).expect("profiling succeeds");
+    let mote = Platform::tmote_sky();
+
+    wishbone_bench::header(
+        "Figure 7: speech pipeline profile on TMote Sky",
+        &["operator", "us/frame", "cum us/frame", "cut KB/s"],
+    );
+
+    let mut cumulative = 0.0f64;
+    let mut marginal = Vec::new();
+    let mut bandwidths = Vec::new();
+    for (i, &(name, id)) in app.stages.iter().enumerate() {
+        let us = prof.seconds_per_invocation(id, &mote) * 1e6;
+        cumulative += us;
+        let kbs = prof.edge_bandwidth(EdgeId(i)) / 1000.0;
+        marginal.push((name, us));
+        bandwidths.push(kbs);
+        wishbone_bench::row(&[
+            name.to_string(),
+            wishbone_bench::f(us),
+            wishbone_bench::f(cumulative),
+            wishbone_bench::f(kbs),
+        ]);
+    }
+
+    // Paper-shape assertions.
+    // 1. The raw stream is ~16 KB/s (400-byte frames at 40/s).
+    assert!((15.0..18.0).contains(&bandwidths[0]), "raw stream {} KB/s", bandwidths[0]);
+    // 2. Multiple data-reducing steps: filterbank, logs, cepstrals shrink.
+    assert!(bandwidths[5] < bandwidths[4], "filtBank reduces");
+    assert!(bandwidths[6] < bandwidths[5], "logs reduce");
+    assert!(bandwidths[7] < bandwidths[6], "cepstrals reduce");
+    // 3. The FFT and cepstral stages dominate CPU (tall log-scale bars).
+    let cost = |n: &str| marginal.iter().find(|(m, _)| *m == n).unwrap().1;
+    assert!(cost("FFT") > 10.0 * cost("hamming"));
+    assert!(cost("cepstrals") > 10.0 * cost("hamming"));
+    // 4. The frame period is 25 ms; the full pipeline takes far longer
+    //    (the paper's "no split point can fit the application on the TMote
+    //    at the full rate").
+    assert!(
+        cumulative > 25_000.0,
+        "full pipeline ({cumulative:.0} us) must exceed the 25 ms frame period"
+    );
+    println!(
+        "\nfull pipeline costs {:.1} ms per 25 ms frame: the TMote cannot keep up at 8 kHz \
+         (paper: 2 s per frame on their slower mote build)",
+        cumulative / 1000.0
+    );
+}

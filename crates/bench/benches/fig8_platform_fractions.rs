@@ -1,0 +1,96 @@
+//! Figure 8: normalized cumulative CPU usage per operator across
+//! platforms. "If the time required for each operator scaled linearly with
+//! the overall speed of the platform, all three lines would be identical.
+//! However ... on the TMote, floating point operations, which are used
+//! heavily in the cepstrals operator, are particularly slow ... a model
+//! that assumes the relative costs of operators are the same on all
+//! platforms would mis-estimate costs by over an order of magnitude."
+
+use wishbone_apps::{build_speech_app, SpeechParams};
+use wishbone_profile::{profile, Platform};
+
+fn main() {
+    let mut app = build_speech_app(SpeechParams::default());
+    let trace = app.trace(120, 42);
+    let prof = profile(&mut app.graph, &[trace]).expect("profiling succeeds");
+
+    let platforms = [Platform::tmote_sky(), Platform::nokia_n80(), Platform::server()];
+    let _labels = ["Mote", "N80", "PC"];
+
+    // Per-platform fraction of total pipeline CPU per operator.
+    let mut fractions: Vec<Vec<f64>> = Vec::new();
+    for p in &platforms {
+        let per_op: Vec<f64> = app
+            .stages
+            .iter()
+            .map(|&(_, id)| prof.seconds_per_invocation(id, p))
+            .collect();
+        let total: f64 = per_op.iter().sum();
+        fractions.push(per_op.iter().map(|&s| s / total).collect());
+    }
+
+    wishbone_bench::header(
+        "Figure 8: cumulative fraction of total CPU cost per operator",
+        &["operator", "Mote", "N80", "PC"],
+    );
+    let mut cum = [0.0f64; 3];
+    for (i, &(name, _)) in app.stages.iter().enumerate() {
+        for (k, f) in fractions.iter().enumerate() {
+            cum[k] += f[i];
+        }
+        wishbone_bench::row(&[
+            name.to_string(),
+            wishbone_bench::pct(cum[0]),
+            wishbone_bench::pct(cum[1]),
+            wishbone_bench::pct(cum[2]),
+        ]);
+    }
+    for c in cum {
+        assert!((c - 1.0).abs() < 1e-9, "fractions must sum to 1");
+    }
+
+    // The cepstral stage's share is much larger on the FPU-less platforms
+    // than on the PC.
+    let cep = app.stages.len() - 1;
+    let mote_cep = fractions[0][cep];
+    let pc_cep = fractions[2][cep];
+    assert!(
+        mote_cep > 1.5 * pc_cep,
+        "cepstrals share on mote ({:.3}) must exceed PC ({:.3})",
+        mote_cep,
+        pc_cep
+    );
+
+    // Mis-estimation factor of a "relative costs are platform-independent"
+    // model: scale the PC profile by total-pipeline ratio and compare
+    // per-operator.
+    let mote_total: f64 = app
+        .stages
+        .iter()
+        .map(|&(_, id)| prof.seconds_per_invocation(id, &platforms[0]))
+        .sum();
+    let pc_total: f64 = app
+        .stages
+        .iter()
+        .map(|&(_, id)| prof.seconds_per_invocation(id, &platforms[2]))
+        .sum();
+    let scale = mote_total / pc_total;
+    let mut worst_ratio = 1.0f64;
+    let mut worst_name = "";
+    for &(name, id) in &app.stages {
+        let actual = prof.seconds_per_invocation(id, &platforms[0]);
+        let naive = prof.seconds_per_invocation(id, &platforms[2]) * scale;
+        if actual > 0.0 && naive > 0.0 {
+            let ratio = (actual / naive).max(naive / actual);
+            if ratio > worst_ratio {
+                worst_ratio = ratio;
+                worst_name = name;
+            }
+        }
+    }
+    println!(
+        "\na platform-independent relative-cost model mis-estimates '{worst_name}' by \
+         {worst_ratio:.1}x on the mote (paper: over an order of magnitude)"
+    );
+    assert!(worst_ratio > 3.0, "platform-dependent costs must diverge, got {worst_ratio:.1}x");
+}

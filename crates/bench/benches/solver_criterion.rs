@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks for the solver and the design choices called
+//! out in DESIGN.md:
+//!
+//! * `solver_scaling`: ILP solve time vs EEG channel count (problem size);
+//! * `ablation_preprocess`: §4.1 merge on vs off;
+//! * `ablation_encoding`: restricted vs general formulation;
+//! * `ablation_branching`: most-fractional vs first-fractional branching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wishbone_apps::{build_eeg_app, EegParams};
+use wishbone_core::{
+    build_partition_graph, encode, preprocess, Encoding, Mode, ObjectiveConfig, PartitionGraph,
+};
+use wishbone_ilp::{Branching, IlpOptions};
+use wishbone_profile::{profile, Platform};
+
+fn eeg_partition_graph(channels: usize) -> PartitionGraph {
+    let mut app = build_eeg_app(EegParams { n_channels: channels, ..Default::default() });
+    let traces = app.traces(4, 1..3, 7);
+    let prof = profile(&mut app.graph, &traces).expect("profiling succeeds");
+    let mote = Platform::tmote_sky();
+    build_partition_graph(&app.graph, &prof, &mote, Mode::Permissive, 1.0).expect("pins ok")
+}
+
+fn obj() -> ObjectiveConfig {
+    ObjectiveConfig::bandwidth_only(1.0, 1e12)
+}
+
+fn solve(pg: &PartitionGraph, enc: Encoding, branching: Branching, pre: bool) -> f64 {
+    let merged;
+    let target = if pre {
+        merged = preprocess(pg).expect("merge ok").graph;
+        &merged
+    } else {
+        pg
+    };
+    let ep = encode(target, enc, &obj());
+    let opts = IlpOptions { branching, ..Default::default() };
+    ep.problem.solve_ilp(&opts).expect("solvable").objective
+}
+
+fn solver_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_scaling");
+    group.sample_size(10);
+    for channels in [1usize, 2, 4] {
+        let pg = eeg_partition_graph(channels);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{channels}ch")),
+            &pg,
+            |b, pg| {
+                b.iter(|| solve(pg, Encoding::Restricted, Branching::MostFractional, true))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn ablation_preprocess(c: &mut Criterion) {
+    let pg = eeg_partition_graph(2);
+    let mut group = c.benchmark_group("ablation_preprocess");
+    group.sample_size(10);
+    group.bench_function("with_merge", |b| {
+        b.iter(|| solve(&pg, Encoding::Restricted, Branching::MostFractional, true))
+    });
+    group.bench_function("without_merge", |b| {
+        b.iter(|| solve(&pg, Encoding::Restricted, Branching::MostFractional, false))
+    });
+    group.finish();
+    // Optimality must not change (checked once outside the timing loop).
+    let with = solve(&pg, Encoding::Restricted, Branching::MostFractional, true);
+    let without = solve(&pg, Encoding::Restricted, Branching::MostFractional, false);
+    assert!((with - without).abs() < 1e-6, "merge changed the optimum");
+}
+
+fn ablation_encoding(c: &mut Criterion) {
+    let pg = eeg_partition_graph(1);
+    let mut group = c.benchmark_group("ablation_encoding");
+    group.sample_size(10);
+    group.bench_function("restricted", |b| {
+        b.iter(|| solve(&pg, Encoding::Restricted, Branching::MostFractional, true))
+    });
+    group.bench_function("general", |b| {
+        b.iter(|| solve(&pg, Encoding::General, Branching::MostFractional, true))
+    });
+    group.finish();
+    let r = solve(&pg, Encoding::Restricted, Branching::MostFractional, true);
+    let g = solve(&pg, Encoding::General, Branching::MostFractional, true);
+    assert!(g <= r + 1e-6, "general encoding can only match or improve");
+}
+
+fn ablation_branching(c: &mut Criterion) {
+    let pg = eeg_partition_graph(2);
+    let mut group = c.benchmark_group("ablation_branching");
+    group.sample_size(10);
+    group.bench_function("most_fractional", |b| {
+        b.iter(|| solve(&pg, Encoding::Restricted, Branching::MostFractional, true))
+    });
+    group.bench_function("first_fractional", |b| {
+        b.iter(|| solve(&pg, Encoding::Restricted, Branching::FirstFractional, true))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    solver_scaling,
+    ablation_preprocess,
+    ablation_encoding,
+    ablation_branching
+);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! §7.3 validation experiments that aren't figures:
+//!
+//! 1. the network-profiler + binary-search pipeline picks the empirically
+//!    best cut (the paper's "3 input events per second ... cut point 4,
+//!    right after filterbank, as in the empirical data");
+//! 2. predicted vs measured CPU on the Gumstix (paper: 11.5% vs 15%) —
+//!    the additive model under-predicts by the OS-overhead factor;
+//! 3. baseline comparison: the ILP vs greedy / local search / exhaustive
+//!    (quantifying why Wishbone uses an exact method).
+
+use std::collections::HashSet;
+
+use wishbone_apps::{build_speech_app, SpeechParams};
+use wishbone_core::{
+    build_partition_graph, evaluate, exhaustive, greedy, local_search, max_sustainable_rate,
+    partition, Mode, ObjectiveConfig, PartitionConfig,
+};
+use wishbone_net::{profile_network, ChannelParams};
+use wishbone_profile::{profile, Platform};
+use wishbone_runtime::{simulate_deployment, DeploymentConfig, TaskModel};
+
+fn main() {
+    let mut app = build_speech_app(SpeechParams::default());
+    let trace = app.trace(120, 42);
+    let prof = profile(&mut app.graph, &[trace]).expect("profiling succeeds");
+    let mote = Platform::tmote_sky();
+    let channel = ChannelParams::mote();
+
+    // ---- 1. Rate search vs empirical ground truth -----------------------
+    let netprof = profile_network(channel, 1, 28, 0.90, 99);
+    // Budget = network profile; CPU derated by the measured OS-overhead
+    // factor (the paper's §7.3 proposal).
+    let mut cfg = PartitionConfig::for_platform(&mote).with_measured_overheads(&mote);
+    cfg.net_budget = netprof.max_aggregate_payload_rate;
+    let r = max_sustainable_rate(&app.graph, &prof, &mote, &cfg, 8.0, 0.01)
+        .expect("solver ok")
+        .expect("feasible");
+    let recommended: &str = app
+        .stages
+        .iter()
+        .rev()
+        .find(|(_, id)| r.partition.node_ops.contains(id))
+        .map(|&(n, _)| n)
+        .unwrap();
+    println!(
+        "binary search: max sustainable rate x{:.3} ({:.1} frames/s), cut after '{}'",
+        r.rate,
+        r.rate * 40.0,
+        recommended
+    );
+
+    let elems = app.trace_elements(240, 5);
+    let mut best: Option<(&str, f64)> = None;
+    let mut rec_good = 0.0;
+    for (name, node_set) in app.cutpoints() {
+        let dcfg = DeploymentConfig {
+            duration_s: 30.0,
+            rate_multiplier: r.rate,
+            ..DeploymentConfig::motes(1, 77)
+        };
+        let rep = simulate_deployment(
+            &app.graph, &node_set, app.source, &elems, 40.0, &mote, channel, &dcfg,
+        );
+        let g = rep.goodput_ratio();
+        if node_set == r.partition.node_ops {
+            rec_good = g;
+        }
+        if best.map_or(true, |(_, bg)| g > bg) {
+            best = Some((name, g));
+        }
+    }
+    let (best_cut, best_good) = best.unwrap();
+    println!(
+        "empirical: best cut '{best_cut}' at {:.1}% goodput; recommendation achieves {:.1}%",
+        best_good * 100.0,
+        rec_good * 100.0
+    );
+    // The recommendation lands among the top cuts; the residual gap is
+    // the per-packet CPU the additive model omits (§7.3's discussion).
+    assert!(
+        rec_good >= 0.7 * best_good,
+        "recommendation must be near the empirical peak: {rec_good} vs {best_good}"
+    );
+
+    // ---- 2. Predicted vs measured CPU (Gumstix) --------------------------
+    let gumstix = Platform::gumstix();
+    let gcfg = PartitionConfig::for_platform(&gumstix);
+    let gpart = partition(&app.graph, &prof, &gumstix, &gcfg).expect("gumstix fits");
+    let dcfg = DeploymentConfig {
+        duration_s: 20.0,
+        task_model: TaskModel::threaded(),
+        per_packet_cpu_s: 20e-6,
+        ..DeploymentConfig::motes(1, 3)
+    };
+    let rep = simulate_deployment(
+        &app.graph,
+        &gpart.node_ops,
+        app.source,
+        &elems,
+        40.0,
+        &gumstix,
+        ChannelParams::wifi(400_000.0),
+        &dcfg,
+    );
+    println!(
+        "\nGumstix: predicted {:.1}% CPU, measured {:.1}% (paper: 11.5% vs 15%)",
+        gpart.predicted_cpu * 100.0,
+        rep.node_cpu_utilization * 100.0
+    );
+    assert!(rep.node_cpu_utilization > gpart.predicted_cpu);
+    assert!(rep.node_cpu_utilization < gpart.predicted_cpu * 1.6);
+
+    // ---- 3. Baselines: ILP vs heuristics ---------------------------------
+    wishbone_bench::header(
+        "Baseline comparison (speech graph, objective = cut bandwidth)",
+        &["cpu budget", "ILP", "greedy", "local srch", "exhaustive"],
+    );
+    let pg = build_partition_graph(&app.graph, &prof, &mote, Mode::Permissive, 0.1).unwrap();
+    for budget in [0.2, 0.4, 0.6, 0.8, 1.0] {
+        let obj = ObjectiveConfig::bandwidth_only(budget, 1e12);
+        let ilp_set: HashSet<usize> = {
+            let ep = wishbone_core::encode(&pg, wishbone_core::Encoding::Restricted, &obj);
+            let sol = ep.problem.solve_ilp(&Default::default()).expect("solvable");
+            ep.decode(&sol.values)
+        };
+        let ilp_m = evaluate(&pg, &ilp_set, &obj);
+        let greedy_m = evaluate(&pg, &greedy(&pg, &obj), &obj);
+        let ls_m = evaluate(&pg, &local_search(&pg, &greedy(&pg, &obj), &obj, 50), &obj);
+        let (_, ex_m) = exhaustive(&pg, &obj, 20).expect("feasible");
+        wishbone_bench::row(&[
+            wishbone_bench::f(budget),
+            wishbone_bench::f(ilp_m.net),
+            wishbone_bench::f(greedy_m.net),
+            wishbone_bench::f(ls_m.net),
+            wishbone_bench::f(ex_m.net),
+        ]);
+        assert!(
+            (ilp_m.objective - ex_m.objective).abs() < 1e-6,
+            "ILP must be exact at budget {budget}"
+        );
+        assert!(ilp_m.objective <= greedy_m.objective + 1e-9);
+        assert!(ilp_m.objective <= ls_m.objective + 1e-9);
+    }
+    println!("\nILP matches exhaustive ground truth at every budget; heuristics are bounded below by it");
+}

@@ -1,0 +1,374 @@
+//! The weighted partitioning graph and the pinning analysis.
+//!
+//! The partitioner works on "a directed acyclic graph whose vertices are
+//! stream operators and whose edges are streams, with edge weights
+//! representing bandwidth and vertex weights representing CPU utilization"
+//! (§4). Vertices carry the pinning state derived from §2.1.1:
+//!
+//! * side-effecting operators are pinned to their declared partition;
+//! * stateful server operators may never move into the network;
+//! * stateful node operators may move to the server only in *permissive*
+//!   mode (their state becomes a table indexed by node id);
+//! * stateless effect-free operators are always movable.
+//!
+//! Under the single-crossing restriction (§2.1.2), pinning an operator also
+//! pins everything up- or down-stream of it — ancestors of node-pinned
+//! operators cannot sit on the server, and descendants of server-pinned
+//! operators cannot sit on the node.
+
+use std::collections::HashSet;
+
+use wishbone_dataflow::{EdgeId, Graph, Namespace, OperatorId, OperatorKind};
+use wishbone_profile::{GraphProfile, Platform};
+
+/// Relocation mode for stateful node operators (§2.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Never add lossiness upstream of stateful operators: they stay
+    /// pinned to the embedded node.
+    Conservative,
+    /// Allow relocating stateful node operators to the server (state is
+    /// duplicated per node id).
+    #[default]
+    Permissive,
+}
+
+/// Where a vertex may be placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pin {
+    /// Free to move.
+    Movable,
+    /// Must run on the embedded node.
+    Node,
+    /// Must run on the server.
+    Server,
+}
+
+/// A vertex of the partitioning graph (one operator, or several after the
+/// §4.1 merge).
+#[derive(Debug, Clone)]
+pub struct PVertex {
+    /// The underlying dataflow operators.
+    pub ops: Vec<OperatorId>,
+    /// CPU fraction consumed on the candidate node platform at the chosen
+    /// rate (`c_v` in the ILP).
+    pub cpu_cost: f64,
+    /// Placement constraint.
+    pub pin: Pin,
+}
+
+/// An edge of the partitioning graph.
+#[derive(Debug, Clone)]
+pub struct PEdge {
+    /// Source vertex index.
+    pub src: usize,
+    /// Destination vertex index.
+    pub dst: usize,
+    /// On-air bandwidth if cut, bytes/second (`r_uv` in the ILP).
+    pub bandwidth: f64,
+    /// The dataflow edges aggregated into this partition edge.
+    pub graph_edges: Vec<EdgeId>,
+}
+
+/// The weighted DAG handed to the ILP encodings.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionGraph {
+    /// Vertices.
+    pub vertices: Vec<PVertex>,
+    /// Edges.
+    pub edges: Vec<PEdge>,
+}
+
+/// Errors raised while building the partition graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PinError {
+    /// An operator is transitively required on both sides at once.
+    Conflict(OperatorId),
+}
+
+impl std::fmt::Display for PinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PinError::Conflict(id) => {
+                write!(f, "operator {id} is pinned to both node and server")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PinError {}
+
+/// Compute the per-operator pin state for `graph` under `mode`, including
+/// transitive propagation for the single-crossing model.
+pub fn pin_analysis(graph: &Graph, mode: Mode) -> Result<Vec<Pin>, PinError> {
+    let n = graph.operator_count();
+    let mut pins = vec![Pin::Movable; n];
+
+    for id in graph.operator_ids() {
+        let spec = graph.spec(id);
+        let base = match spec.kind {
+            OperatorKind::Source => Pin::Node,
+            OperatorKind::Sink => Pin::Server,
+            OperatorKind::Transform => {
+                if spec.side_effecting {
+                    match spec.namespace {
+                        Namespace::Node => Pin::Node,
+                        Namespace::Server => Pin::Server,
+                    }
+                } else if spec.stateful {
+                    match spec.namespace {
+                        // Stateful server operators have serial semantics
+                        // and a single state instance: never movable.
+                        Namespace::Server => Pin::Server,
+                        Namespace::Node => match mode {
+                            Mode::Conservative => Pin::Node,
+                            Mode::Permissive => Pin::Movable,
+                        },
+                    }
+                } else {
+                    Pin::Movable
+                }
+            }
+        };
+        pins[id.0] = base;
+    }
+
+    // Transitive propagation (§2.1.2): data flows node → server exactly
+    // once, so ancestors of node-pinned operators are node-pinned and
+    // descendants of server-pinned operators are server-pinned.
+    let node_seed: Vec<OperatorId> = graph
+        .operator_ids()
+        .filter(|id| pins[id.0] == Pin::Node)
+        .collect();
+    let server_seed: Vec<OperatorId> = graph
+        .operator_ids()
+        .filter(|id| pins[id.0] == Pin::Server)
+        .collect();
+
+    let mut node_required = vec![false; n];
+    for s in node_seed {
+        for a in graph.ancestors(s) {
+            node_required[a.0] = true;
+        }
+    }
+    let mut server_required = vec![false; n];
+    for s in server_seed {
+        for d in graph.descendants(s) {
+            server_required[d.0] = true;
+        }
+    }
+
+    for id in graph.operator_ids() {
+        match (node_required[id.0], server_required[id.0]) {
+            (true, true) => return Err(PinError::Conflict(id)),
+            (true, false) => pins[id.0] = Pin::Node,
+            (false, true) => pins[id.0] = Pin::Server,
+            (false, false) => {}
+        }
+    }
+    Ok(pins)
+}
+
+/// Build the weighted partitioning graph for one candidate platform.
+///
+/// `rate_multiplier` scales both CPU and bandwidth linearly (§4.3: "CPU and
+/// network load increase monotonically with input data rate").
+pub fn build_partition_graph(
+    graph: &Graph,
+    profile: &GraphProfile,
+    platform: &Platform,
+    mode: Mode,
+    rate_multiplier: f64,
+) -> Result<PartitionGraph, PinError> {
+    let pins = pin_analysis(graph, mode)?;
+    let vertices = graph
+        .operator_ids()
+        .map(|id| PVertex {
+            ops: vec![id],
+            cpu_cost: profile.cpu_fraction(id, platform) * rate_multiplier,
+            pin: pins[id.0],
+        })
+        .collect();
+    let edges = graph
+        .edge_ids()
+        .map(|eid| {
+            let e = graph.edge(eid);
+            PEdge {
+                src: e.src.0,
+                dst: e.dst.0,
+                bandwidth: profile.edge_on_air_bandwidth(eid, platform) * rate_multiplier,
+                graph_edges: vec![eid],
+            }
+        })
+        .collect();
+    Ok(PartitionGraph { vertices, edges })
+}
+
+impl PartitionGraph {
+    /// Sum of CPU costs of vertices in `node_set` (indices).
+    pub fn cpu_of(&self, node_set: &HashSet<usize>) -> f64 {
+        node_set.iter().map(|&v| self.vertices[v].cpu_cost).sum()
+    }
+
+    /// Total bandwidth of edges cut by `node_set` (node side → server side).
+    pub fn net_of(&self, node_set: &HashSet<usize>) -> f64 {
+        self.edges
+            .iter()
+            .filter(|e| node_set.contains(&e.src) != node_set.contains(&e.dst))
+            .map(|e| e.bandwidth)
+            .sum()
+    }
+
+    /// Does `node_set` violate the single-crossing orientation (an edge
+    /// from a server vertex back into a node vertex)?
+    pub fn crosses_back(&self, node_set: &HashSet<usize>) -> bool {
+        self.edges
+            .iter()
+            .any(|e| !node_set.contains(&e.src) && node_set.contains(&e.dst))
+    }
+
+    /// Vertex index holding a given operator.
+    pub fn vertex_of(&self, op: OperatorId) -> Option<usize> {
+        self.vertices.iter().position(|v| v.ops.contains(&op))
+    }
+
+    /// Expand a vertex-index set into the underlying operator set.
+    pub fn expand(&self, node_set: &HashSet<usize>) -> HashSet<OperatorId> {
+        node_set
+            .iter()
+            .flat_map(|&v| self.vertices[v].ops.iter().copied())
+            .collect()
+    }
+
+    /// Out-edges (indices) of vertex `v`.
+    pub fn out_edges(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.edges.iter().enumerate().filter(move |(_, e)| e.src == v).map(|(i, _)| i)
+    }
+
+    /// In-edges (indices) of vertex `v`.
+    pub fn in_edges(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.edges.iter().enumerate().filter(move |(_, e)| e.dst == v).map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wishbone_dataflow::{GraphBuilder, IdentityWork, OperatorSpec};
+
+    /// node{ src -> stateless -> stateful } -> server_stage -> sink
+    fn mixed_graph() -> (Graph, [OperatorId; 5]) {
+        let mut b = GraphBuilder::new();
+        b.enter_node_namespace();
+        let src = b.source("src");
+        let sl = b.transform("stateless", Box::new(IdentityWork), src);
+        let sf = b.stateful_transform("stateful", Box::new(IdentityWork), sl);
+        b.exit_namespace();
+        let srv = b.transform("server_stage", Box::new(IdentityWork), sf);
+        let sink = b.sink("out", srv);
+        (b.finish().unwrap(), [src.0, sl.0, sf.0, srv.0, sink])
+    }
+
+    #[test]
+    fn permissive_frees_stateful_node_ops() {
+        let (g, [src, sl, sf, srv, sink]) = mixed_graph();
+        let pins = pin_analysis(&g, Mode::Permissive).unwrap();
+        assert_eq!(pins[src.0], Pin::Node);
+        assert_eq!(pins[sl.0], Pin::Movable);
+        assert_eq!(pins[sf.0], Pin::Movable);
+        assert_eq!(pins[srv.0], Pin::Movable); // stateless server-ns op can move
+        assert_eq!(pins[sink.0], Pin::Server);
+    }
+
+    #[test]
+    fn conservative_pins_stateful_node_ops_and_their_ancestors() {
+        let (g, [src, sl, sf, _srv, _sink]) = mixed_graph();
+        let pins = pin_analysis(&g, Mode::Conservative).unwrap();
+        assert_eq!(pins[sf.0], Pin::Node);
+        // Propagation: sl is upstream of a node-pinned op.
+        assert_eq!(pins[sl.0], Pin::Node);
+        assert_eq!(pins[src.0], Pin::Node);
+    }
+
+    #[test]
+    fn stateful_server_op_pins_descendants() {
+        let mut b = GraphBuilder::new();
+        b.enter_node_namespace();
+        let src = b.source("src");
+        b.exit_namespace();
+        let agg = b.operator(
+            OperatorSpec::transform("agg").with_state(),
+            Box::new(IdentityWork),
+            &[src],
+        );
+        let post = b.transform("post", Box::new(IdentityWork), agg);
+        b.sink("out", post);
+        let g = b.finish().unwrap();
+        let pins = pin_analysis(&g, Mode::Permissive).unwrap();
+        assert_eq!(pins[(agg.0).0], Pin::Server);
+        assert_eq!(pins[(post.0).0], Pin::Server, "descendant of server-pinned op");
+    }
+
+    #[test]
+    fn side_effects_pin_to_namespace() {
+        let mut b = GraphBuilder::new();
+        b.enter_node_namespace();
+        let src = b.source("src");
+        let led = b.operator(
+            OperatorSpec::transform("led").with_side_effects(),
+            Box::new(IdentityWork),
+            &[src],
+        );
+        b.exit_namespace();
+        b.sink("out", led);
+        let g = b.finish().unwrap();
+        let pins = pin_analysis(&g, Mode::Permissive).unwrap();
+        assert_eq!(pins[(led.0).0], Pin::Node);
+    }
+
+    #[test]
+    fn conflict_detected() {
+        // server-pinned stateful op feeding a node-pinned (side-effecting)
+        // op: impossible under single crossing.
+        let mut b = GraphBuilder::new();
+        b.enter_node_namespace();
+        let src = b.source("src");
+        b.exit_namespace();
+        let agg = b.operator(
+            OperatorSpec::transform("agg").with_state(),
+            Box::new(IdentityWork),
+            &[src],
+        );
+        b.enter_node_namespace();
+        let act = b.operator(
+            OperatorSpec::transform("actuator").with_side_effects(),
+            Box::new(IdentityWork),
+            &[agg],
+        );
+        b.exit_namespace();
+        b.sink("out", act);
+        let g = b.finish().unwrap();
+        assert!(matches!(pin_analysis(&g, Mode::Permissive), Err(PinError::Conflict(_))));
+    }
+
+    #[test]
+    fn cut_metrics() {
+        let pg = PartitionGraph {
+            vertices: vec![
+                PVertex { ops: vec![OperatorId(0)], cpu_cost: 0.1, pin: Pin::Node },
+                PVertex { ops: vec![OperatorId(1)], cpu_cost: 0.2, pin: Pin::Movable },
+                PVertex { ops: vec![OperatorId(2)], cpu_cost: 0.3, pin: Pin::Server },
+            ],
+            edges: vec![
+                PEdge { src: 0, dst: 1, bandwidth: 100.0, graph_edges: vec![] },
+                PEdge { src: 1, dst: 2, bandwidth: 40.0, graph_edges: vec![] },
+            ],
+        };
+        let node: HashSet<usize> = [0, 1].into_iter().collect();
+        assert!((pg.cpu_of(&node) - 0.3).abs() < 1e-12);
+        assert!((pg.net_of(&node) - 40.0).abs() < 1e-12);
+        assert!(!pg.crosses_back(&node));
+        let bad: HashSet<usize> = [1].into_iter().collect(); // 0 on server, 1 on node
+        assert!(pg.crosses_back(&bad));
+    }
+}

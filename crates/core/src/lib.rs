@@ -1,0 +1,45 @@
+//! # wishbone-core
+//!
+//! The Wishbone partitioner (NSDI 2009): given a profiled dataflow graph
+//! and a platform model, compute the optimal split between the embedded
+//! nodes and the server.
+//!
+//! Pipeline (paper §3–§4):
+//!
+//! 1. [`cost_graph::pin_analysis`] — derive placement constraints from
+//!    operator metadata (§2.1.1) with single-crossing propagation (§2.1.2);
+//! 2. [`cost_graph::build_partition_graph`] — attach profiled CPU
+//!    fractions and on-air bandwidths as vertex/edge weights (§4);
+//! 3. [`preprocess::preprocess`] — merge data-expanding/neutral operators
+//!    downstream, shrinking the ILP without losing optimality (§4.1);
+//! 4. [`encodings::encode`] — build the restricted (single-crossing) or
+//!    general ILP (§4.2.1);
+//! 5. [`partitioner::partition`] — solve with branch-and-bound and decode;
+//! 6. [`rate_search::max_sustainable_rate`] — §4.3's binary search when
+//!    nothing fits;
+//! 7. [`baselines`] — all-node / all-server / greedy / local-search /
+//!    exhaustive comparators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod cost_graph;
+pub mod encodings;
+pub mod mixed;
+pub mod partitioner;
+pub mod preprocess;
+pub mod rate_search;
+
+pub use baselines::{
+    all_node, all_server, evaluate, exhaustive, greedy, local_search, pipeline_cutpoints,
+    CutMetrics,
+};
+pub use cost_graph::{
+    build_partition_graph, pin_analysis, Mode, PEdge, PVertex, PartitionGraph, Pin, PinError,
+};
+pub use encodings::{encode, EncodedProblem, Encoding, ObjectiveConfig};
+pub use mixed::{partition_mixed, ClassPartition, MixedPartition, NodeClass};
+pub use partitioner::{partition, Partition, PartitionConfig, PartitionError};
+pub use preprocess::{preprocess, PreprocessResult};
+pub use rate_search::{max_sustainable_rate, RateSearchResult};

@@ -1,0 +1,203 @@
+//! §9 extension: mixed networks of heterogeneous node types.
+//!
+//! "A single logical node partition can take on different physical
+//! partitions at different nodes. This is accomplished simply by running
+//! the partitioning algorithm once for each type of node. The server would
+//! need to be engineered to deal with receiving results from the network
+//! at various stages of partial processing."
+
+use std::collections::HashSet;
+
+use wishbone_dataflow::{EdgeId, Graph, OperatorId};
+use wishbone_profile::{GraphProfile, Platform};
+
+use crate::partitioner::{partition, Partition, PartitionConfig, PartitionError};
+
+/// One node type's share of a mixed deployment.
+#[derive(Debug, Clone)]
+pub struct NodeClass {
+    /// Platform model for this class.
+    pub platform: Platform,
+    /// How many physical nodes of this class exist.
+    pub count: usize,
+    /// Partitioner configuration (budgets may differ per class, e.g. the
+    /// shared channel divided among senders).
+    pub config: PartitionConfig,
+}
+
+/// The physical partition of one node class within a mixed deployment.
+#[derive(Debug, Clone)]
+pub struct ClassPartition {
+    /// Platform name (for reporting).
+    pub platform_name: String,
+    /// Node count of the class.
+    pub count: usize,
+    /// The computed partition.
+    pub partition: Partition,
+}
+
+/// Result of partitioning a mixed network.
+#[derive(Debug, Clone)]
+pub struct MixedPartition {
+    /// Per-class physical partitions.
+    pub classes: Vec<ClassPartition>,
+    /// Union of all cut edges — the server must accept elements at every
+    /// one of these "stages of partial processing".
+    pub server_entry_edges: Vec<EdgeId>,
+}
+
+impl MixedPartition {
+    /// Operators that run on the server for at least one node class (the
+    /// server-side code that must exist).
+    pub fn server_side_union(&self, graph: &Graph) -> HashSet<OperatorId> {
+        let mut union = HashSet::new();
+        for c in &self.classes {
+            for id in graph.operator_ids() {
+                if !c.partition.node_ops.contains(&id) {
+                    union.insert(id);
+                }
+            }
+        }
+        union
+    }
+
+    /// Total predicted on-air bandwidth across all classes, weighted by
+    /// class size (the shared-channel load the deployment must carry).
+    pub fn total_predicted_net(&self) -> f64 {
+        self.classes
+            .iter()
+            .map(|c| c.partition.predicted_net * c.count as f64)
+            .sum()
+    }
+}
+
+/// Partition a mixed network: one ILP per node class (§9).
+pub fn partition_mixed(
+    graph: &Graph,
+    profile: &GraphProfile,
+    classes: &[NodeClass],
+) -> Result<MixedPartition, PartitionError> {
+    assert!(!classes.is_empty());
+    let mut out = Vec::with_capacity(classes.len());
+    let mut entry: Vec<EdgeId> = Vec::new();
+    for class in classes {
+        let part = partition(graph, profile, &class.platform, &class.config)?;
+        for &e in &part.cut_edges {
+            if !entry.contains(&e) {
+                entry.push(e);
+            }
+        }
+        out.push(ClassPartition {
+            platform_name: class.platform.name.clone(),
+            count: class.count,
+            partition: part,
+        });
+    }
+    entry.sort_unstable();
+    Ok(MixedPartition { classes: out, server_entry_edges: entry })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wishbone_dataflow::{ExecCtx, FnWork, GraphBuilder, Value};
+    use wishbone_profile::{profile as run_profile, SourceTrace};
+
+    /// src -> heavy 4x reducer -> light 2x reducer -> sink
+    fn app() -> (Graph, OperatorId) {
+        let mut b = GraphBuilder::new();
+        b.enter_node_namespace();
+        let src = b.source("src");
+        let heavy = b.transform(
+            "heavy",
+            Box::new(FnWork(|_p: usize, v: &Value, cx: &mut ExecCtx| {
+                let w = v.as_i16s().unwrap();
+                cx.meter().loop_scope(w.len() as u64, |m| {
+                    m.fmul(50 * w.len() as u64);
+                    m.fadd(50 * w.len() as u64);
+                });
+                cx.emit(Value::VecI16(w.iter().step_by(4).copied().collect()));
+            })),
+            src,
+        );
+        let light = b.transform(
+            "light",
+            Box::new(FnWork(|_p: usize, v: &Value, cx: &mut ExecCtx| {
+                let w = v.as_i16s().unwrap();
+                cx.meter().loop_scope(w.len() as u64, |m| m.int(w.len() as u64));
+                cx.emit(Value::VecI16(w.iter().step_by(2).copied().collect()));
+            })),
+            heavy,
+        );
+        b.exit_namespace();
+        b.sink("out", light);
+        (b.finish().unwrap(), src.0)
+    }
+
+    #[test]
+    fn classes_get_different_physical_partitions() {
+        let (mut g, src) = app();
+        let t = SourceTrace {
+            source: src,
+            elements: (0..40).map(|i| Value::VecI16(vec![i as i16; 256])).collect(),
+            rate_hz: 20.0,
+        };
+        let prof = run_profile(&mut g, &[t]).unwrap();
+
+        let weak = Platform::tmote_sky();
+        let strong = Platform::gumstix();
+        let classes = vec![
+            NodeClass {
+                config: PartitionConfig::for_platform(&weak).at_rate(0.05),
+                platform: weak,
+                count: 10,
+            },
+            NodeClass {
+                config: PartitionConfig::for_platform(&strong),
+                platform: strong,
+                count: 2,
+            },
+        ];
+        let mixed = partition_mixed(&g, &prof, &classes).unwrap();
+        assert_eq!(mixed.classes.len(), 2);
+        // The strong class runs at 20x the rate and still fits everything;
+        // the weak class may or may not carry the heavy stage — but the
+        // strong class must carry at least as much as the weak one.
+        let weak_ops = mixed.classes[0].partition.node_op_count();
+        let strong_ops = mixed.classes[1].partition.node_op_count();
+        assert!(strong_ops >= weak_ops);
+        assert!(!mixed.server_entry_edges.is_empty());
+        // Server-side union covers everything any class leaves behind.
+        let union = mixed.server_side_union(&g);
+        for c in &mixed.classes {
+            for id in g.operator_ids() {
+                if !c.partition.node_ops.contains(&id) {
+                    assert!(union.contains(&id));
+                }
+            }
+        }
+        assert!(mixed.total_predicted_net() > 0.0);
+    }
+
+    #[test]
+    fn single_class_degenerates_to_plain_partition() {
+        let (mut g, src) = app();
+        let t = SourceTrace {
+            source: src,
+            elements: (0..20).map(|i| Value::VecI16(vec![i as i16; 128])).collect(),
+            rate_hz: 10.0,
+        };
+        let prof = run_profile(&mut g, &[t]).unwrap();
+        let p = Platform::gumstix();
+        let cfg = PartitionConfig::for_platform(&p);
+        let direct = partition(&g, &prof, &p, &cfg).unwrap();
+        let mixed = partition_mixed(
+            &g,
+            &prof,
+            &[NodeClass { platform: p, count: 1, config: cfg }],
+        )
+        .unwrap();
+        assert_eq!(mixed.classes[0].partition.node_ops, direct.node_ops);
+        assert_eq!(mixed.server_entry_edges, direct.cut_edges);
+    }
+}

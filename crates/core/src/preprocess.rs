@@ -1,0 +1,404 @@
+//! §4.1 preprocessing: merge data-expanding / data-neutral operators with
+//! their downstream operators.
+//!
+//! "Consider an operator u that feeds another operator v such that the
+//! bandwidth from v is the same or higher than the bandwidth on the output
+//! stream from u. A partition with a cut-point on v's output stream can
+//! always be improved by moving the cut-point to the stream u → v ...
+//! Thus, any operator that is data-expanding or data-neutral may be merged
+//! with its downstream operator(s), reducing the search space without
+//! eliminating optimal solutions."
+//!
+//! Merging a vertex with *all* of its successors can create cycles in the
+//! quotient graph (a path between two merged vertices through an unmerged
+//! one); the original single-crossing constraints force such intermediate
+//! vertices onto the same side anyway, so we collapse quotient-level
+//! strongly connected components until the result is a DAG.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::cost_graph::{PEdge, PVertex, PartitionGraph, Pin, PinError};
+
+/// Union-find over vertex indices.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu { parent: (0..n).collect() }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Combine two pin states; `Err` on node/server conflict.
+fn combine_pins(a: Pin, b: Pin, witness: &PVertex) -> Result<Pin, PinError> {
+    match (a, b) {
+        (Pin::Movable, p) | (p, Pin::Movable) => Ok(p),
+        (x, y) if x == y => Ok(x),
+        _ => Err(PinError::Conflict(witness.ops[0])),
+    }
+}
+
+/// Result of preprocessing, with bookkeeping for reporting.
+#[derive(Debug, Clone)]
+pub struct PreprocessResult {
+    /// The merged graph.
+    pub graph: PartitionGraph,
+    /// Vertices before / after, for ablation reporting.
+    pub vertices_before: usize,
+    /// Vertex count after merging.
+    pub vertices_after: usize,
+}
+
+/// Apply the §4.1 merge to `pg`.
+pub fn preprocess(pg: &PartitionGraph) -> Result<PreprocessResult, PinError> {
+    let n = pg.vertices.len();
+    let mut dsu = Dsu::new(n);
+
+    // Per-vertex input/output bandwidth sums.
+    let mut in_bw = vec![0.0f64; n];
+    let mut out_bw = vec![0.0f64; n];
+    for e in &pg.edges {
+        out_bw[e.src] += e.bandwidth;
+        in_bw[e.dst] += e.bandwidth;
+    }
+
+    // A movable vertex whose output bandwidth is >= its input bandwidth
+    // (data-expanding or data-neutral) merges with its downstream
+    // operator. Sources (in_bw = 0 with pinned status) are excluded by the
+    // pin check; vertices with no outputs have nothing to merge into.
+    //
+    // Soundness refinement over the paper's informal statement: the
+    // dominance argument ("moving the cut from below v to above v never
+    // increases bandwidth") only holds when *all* of v's output edges are
+    // cut together. With fan-out, an optimal partition may cut only a
+    // subset of v's outputs (e.g. v feeds both a node-side reducer and the
+    // server), and gluing v to every successor would destroy that optimum.
+    // Restricting the merge to out-degree-1 vertices keeps the rule exact;
+    // single-output chains are where virtually all of the reduction comes
+    // from in stream graphs anyway.
+    let mut out_deg = vec![0usize; n];
+    for e in &pg.edges {
+        out_deg[e.src] += 1;
+    }
+    for (v, vert) in pg.vertices.iter().enumerate() {
+        if vert.pin != Pin::Movable {
+            continue;
+        }
+        if out_deg[v] == 1 && out_bw[v] + 1e-12 >= in_bw[v] && out_bw[v] > 0.0 {
+            for e in pg.edges.iter().filter(|e| e.src == v) {
+                dsu.union(v, e.dst);
+            }
+        }
+    }
+
+    // Build the quotient, collapsing SCCs until acyclic.
+    loop {
+        let mut class_of: HashMap<usize, usize> = HashMap::new();
+        let mut classes: Vec<Vec<usize>> = Vec::new();
+        for v in 0..n {
+            let root = dsu.find(v);
+            let c = *class_of.entry(root).or_insert_with(|| {
+                classes.push(Vec::new());
+                classes.len() - 1
+            });
+            classes[c].push(v);
+        }
+
+        // Quotient adjacency.
+        let m = classes.len();
+        let mut adj: Vec<HashSet<usize>> = vec![HashSet::new(); m];
+        for e in &pg.edges {
+            let (cs, cd) = (class_of[&dsu.find(e.src)], class_of[&dsu.find(e.dst)]);
+            if cs != cd {
+                adj[cs].insert(cd);
+            }
+        }
+
+        match find_cycle_scc(m, &adj) {
+            Some(scc) => {
+                // Force the cycle onto one side: union all members.
+                let mut members = scc.iter().flat_map(|&c| classes[c].iter().copied());
+                let first = members.next().expect("SCC is non-empty");
+                for v in members {
+                    dsu.union(first, v);
+                }
+            }
+            None => {
+                // Acyclic: materialize the merged graph.
+                let mut vertices: Vec<PVertex> = Vec::with_capacity(m);
+                for members in &classes {
+                    let mut ops = Vec::new();
+                    let mut cpu = 0.0;
+                    let mut pin = Pin::Movable;
+                    for &v in members {
+                        ops.extend(pg.vertices[v].ops.iter().copied());
+                        cpu += pg.vertices[v].cpu_cost;
+                        pin = combine_pins(pin, pg.vertices[v].pin, &pg.vertices[v])?;
+                    }
+                    ops.sort_unstable();
+                    vertices.push(PVertex { ops, cpu_cost: cpu, pin });
+                }
+                // Aggregate parallel edges between classes.
+                let mut agg: HashMap<(usize, usize), PEdge> = HashMap::new();
+                for e in &pg.edges {
+                    let (cs, cd) = (class_of[&dsu.find(e.src)], class_of[&dsu.find(e.dst)]);
+                    if cs == cd {
+                        continue;
+                    }
+                    let entry = agg.entry((cs, cd)).or_insert(PEdge {
+                        src: cs,
+                        dst: cd,
+                        bandwidth: 0.0,
+                        graph_edges: Vec::new(),
+                    });
+                    entry.bandwidth += e.bandwidth;
+                    entry.graph_edges.extend(e.graph_edges.iter().copied());
+                }
+                let mut edges: Vec<PEdge> = agg.into_values().collect();
+                edges.sort_by_key(|e| (e.src, e.dst));
+                return Ok(PreprocessResult {
+                    graph: PartitionGraph { vertices, edges },
+                    vertices_before: n,
+                    vertices_after: m,
+                });
+            }
+        }
+    }
+}
+
+/// Find one non-trivial SCC in the quotient graph, if any (iterative
+/// Tarjan). Returns `None` when the graph is a DAG.
+fn find_cycle_scc(n: usize, adj: &[HashSet<usize>]) -> Option<Vec<usize>> {
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    // Iterative DFS state: (vertex, neighbour iterator position).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        let neigh: Vec<usize> = adj[start].iter().copied().collect();
+        call.push((start, neigh, 0));
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some((v, neigh, mut i)) = call.pop() {
+            let mut descended = false;
+            while i < neigh.len() {
+                let w = neigh[i];
+                i += 1;
+                if index[w] == usize::MAX {
+                    call.push((v, neigh.clone(), i));
+                    let wn: Vec<usize> = adj[w].iter().copied().collect();
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, wn, 0));
+                    descended = true;
+                    break;
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            }
+            if descended {
+                continue;
+            }
+            // v finished.
+            if low[v] == index[v] {
+                let mut scc = Vec::new();
+                loop {
+                    let w = stack.pop().expect("stack non-empty");
+                    on_stack[w] = false;
+                    scc.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                if scc.len() > 1 {
+                    return Some(scc);
+                }
+            }
+            if let Some(&mut (p, _, _)) = call.last_mut() {
+                low[p] = low[p].min(low[v]);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wishbone_dataflow::OperatorId;
+
+    fn v(cpu: f64, pin: Pin) -> PVertex {
+        PVertex { ops: vec![], cpu_cost: cpu, pin }
+    }
+
+    fn e(src: usize, dst: usize, bw: f64) -> PEdge {
+        PEdge { src, dst, bandwidth: bw, graph_edges: vec![] }
+    }
+
+    /// Give each vertex a distinct op id so conflict errors are traceable.
+    fn tag(mut pg: PartitionGraph) -> PartitionGraph {
+        for (i, vert) in pg.vertices.iter_mut().enumerate() {
+            vert.ops = vec![OperatorId(i)];
+        }
+        pg
+    }
+
+    #[test]
+    fn expanding_op_merges_downstream() {
+        // src(Node) --100--> expander --150--> reducer --10--> sink(Server)
+        // The expander (out 150 >= in 100) merges with the reducer.
+        let pg = tag(PartitionGraph {
+            vertices: vec![
+                v(0.1, Pin::Node),
+                v(0.2, Pin::Movable),
+                v(0.3, Pin::Movable),
+                v(0.0, Pin::Server),
+            ],
+            edges: vec![e(0, 1, 100.0), e(1, 2, 150.0), e(2, 3, 10.0)],
+        });
+        let r = preprocess(&pg).unwrap();
+        assert_eq!(r.vertices_after, 3);
+        let merged = r
+            .graph
+            .vertices
+            .iter()
+            .find(|vert| vert.ops.len() == 2)
+            .expect("one merged vertex");
+        assert!((merged.cpu_cost - 0.5).abs() < 1e-12);
+        // Remaining cut candidates: the 100 edge and the 10 edge.
+        let bws: Vec<f64> = r.graph.edges.iter().map(|e| e.bandwidth).collect();
+        assert!(bws.contains(&100.0) && bws.contains(&10.0));
+    }
+
+    #[test]
+    fn reducing_ops_are_not_merged() {
+        // Strictly reducing chain: no merges possible.
+        let pg = tag(PartitionGraph {
+            vertices: vec![
+                v(0.1, Pin::Node),
+                v(0.2, Pin::Movable),
+                v(0.3, Pin::Movable),
+                v(0.0, Pin::Server),
+            ],
+            edges: vec![e(0, 1, 100.0), e(1, 2, 50.0), e(2, 3, 10.0)],
+        });
+        let r = preprocess(&pg).unwrap();
+        assert_eq!(r.vertices_after, 4);
+    }
+
+    #[test]
+    fn neutral_op_merges() {
+        let pg = tag(PartitionGraph {
+            vertices: vec![v(0.1, Pin::Node), v(0.2, Pin::Movable), v(0.0, Pin::Server)],
+            edges: vec![e(0, 1, 64.0), e(1, 2, 64.0)],
+        });
+        let r = preprocess(&pg).unwrap();
+        assert_eq!(r.vertices_after, 2, "data-neutral op merges with the sink side");
+    }
+
+    #[test]
+    fn pinned_expanding_op_does_not_merge() {
+        // Node-pinned expander must not be glued into the server sink.
+        let pg = tag(PartitionGraph {
+            vertices: vec![v(0.1, Pin::Node), v(0.0, Pin::Server)],
+            edges: vec![e(0, 1, 100.0)],
+        });
+        let r = preprocess(&pg).unwrap();
+        assert_eq!(r.vertices_after, 2);
+    }
+
+    #[test]
+    fn fan_out_vertices_never_merge() {
+        // w -> a, w -> b with w "expanding" in aggregate: the optimal cut
+        // may separate a from b, so w must stay mergeable-free (this exact
+        // shape broke the naive all-successors rule; found by proptest).
+        let pg = tag(PartitionGraph {
+            vertices: vec![
+                v(0.0, Pin::Node),    // 0 = src
+                v(0.1, Pin::Movable), // 1 = w (fan-out 2, out 40 >= in 10)
+                v(0.1, Pin::Movable), // 2 = a
+                v(0.1, Pin::Movable), // 3 = b
+                v(0.0, Pin::Server),  // 4 = sink
+            ],
+            edges: vec![
+                e(0, 1, 10.0),
+                e(1, 2, 20.0), // w -> a
+                e(1, 3, 20.0), // w -> b
+                e(2, 3, 30.0), // a -> b (reconvergence)
+                e(3, 4, 1.0),  // b -> sink
+            ],
+        });
+        let r = preprocess(&pg).unwrap();
+        // w keeps its own vertex; only single-output chains merge (here: a
+        // is expanding with one out-edge, so {a, b} may merge).
+        let w_class = r
+            .graph
+            .vertices
+            .iter()
+            .find(|vert| vert.ops.contains(&OperatorId(1)))
+            .unwrap();
+        assert_eq!(w_class.ops, vec![OperatorId(1)], "fan-out vertex must stay alone");
+    }
+
+    #[test]
+    fn merge_into_pinned_consumer_inherits_pin() {
+        // Movable neutral op feeding a node-pinned actuator: the merged
+        // class is node-pinned; feeding a server-pinned sink: server.
+        let pg = tag(PartitionGraph {
+            vertices: vec![
+                v(0.0, Pin::Node),
+                v(0.1, Pin::Movable), // neutral, single out
+                v(0.0, Pin::Node),    // actuator
+            ],
+            edges: vec![e(0, 1, 10.0), e(1, 2, 10.0)],
+        });
+        let r = preprocess(&pg).unwrap();
+        let class = r
+            .graph
+            .vertices
+            .iter()
+            .find(|vert| vert.ops.contains(&OperatorId(1)))
+            .unwrap();
+        assert_eq!(class.pin, Pin::Node);
+        assert_eq!(class.ops.len(), 2);
+    }
+
+    #[test]
+    fn idempotent_on_fixed_point() {
+        let pg = tag(PartitionGraph {
+            vertices: vec![v(0.1, Pin::Node), v(0.2, Pin::Movable), v(0.0, Pin::Server)],
+            edges: vec![e(0, 1, 100.0), e(1, 2, 10.0)],
+        });
+        let once = preprocess(&pg).unwrap();
+        let twice = preprocess(&once.graph).unwrap();
+        assert_eq!(once.vertices_after, twice.vertices_after);
+    }
+}

@@ -1,0 +1,189 @@
+//! §4.3: data rate as a free variable.
+//!
+//! When no partition fits, Wishbone finds "the maximum data rates for input
+//! sources that will support a viable partitioning". Because CPU and
+//! network load increase monotonically with input rate, "Wishbone simply
+//! does a binary search over data rates to find the maximum rate at which
+//! the partitioning algorithm returns a valid partition" — valid as long as
+//! the network is not driven past the point where sending more means
+//! receiving less, which the §7.3.1 network profile guarantees by keeping
+//! the budget below saturation.
+
+use wishbone_dataflow::Graph;
+use wishbone_profile::{GraphProfile, Platform};
+
+use crate::partitioner::{partition, Partition, PartitionConfig, PartitionError};
+
+/// Result of the rate search.
+#[derive(Debug, Clone)]
+pub struct RateSearchResult {
+    /// Highest feasible rate multiplier found (relative to the profile's
+    /// reference rate).
+    pub rate: f64,
+    /// The optimal partition at that rate.
+    pub partition: Partition,
+    /// Partitioner invocations consumed.
+    pub evaluations: u32,
+}
+
+/// Binary-search the maximum sustainable rate multiplier in
+/// `(0, hi_limit]`, to relative precision `tol`.
+///
+/// Returns `None` if the program is infeasible even at vanishingly small
+/// rates (e.g. pinned operators alone exceed the CPU budget), mirroring the
+/// paper's "the programmer will have to ... switch to a more powerful node
+/// platform" case. Solver errors propagate.
+pub fn max_sustainable_rate(
+    graph: &Graph,
+    profile: &GraphProfile,
+    platform: &Platform,
+    cfg: &PartitionConfig,
+    hi_limit: f64,
+    tol: f64,
+) -> Result<Option<RateSearchResult>, PartitionError> {
+    assert!(hi_limit > 0.0 && tol > 0.0);
+    let mut evals = 0u32;
+    let mut try_rate = |rate: f64| -> Result<Option<Partition>, PartitionError> {
+        evals += 1;
+        match partition(graph, profile, platform, &cfg.clone().at_rate(rate)) {
+            Ok(p) => Ok(Some(p)),
+            Err(PartitionError::Infeasible) => Ok(None),
+            Err(e) => Err(e),
+        }
+    };
+
+    // Establish a feasible lower bound.
+    let mut lo = hi_limit * 2f64.powi(-24);
+    let mut best = match try_rate(lo)? {
+        Some(p) => p,
+        None => return Ok(None),
+    };
+
+    // Grow until infeasible or the cap is hit.
+    let mut hi = lo;
+    loop {
+        let next = (hi * 2.0).min(hi_limit);
+        match try_rate(next)? {
+            Some(p) => {
+                lo = next;
+                best = p;
+                hi = next;
+                if (next - hi_limit).abs() < f64::EPSILON * hi_limit {
+                    return Ok(Some(RateSearchResult { rate: lo, partition: best, evaluations: evals }));
+                }
+            }
+            None => {
+                hi = next;
+                break;
+            }
+        }
+    }
+
+    // Bisect (lo feasible, hi infeasible).
+    while (hi - lo) / lo > tol {
+        let mid = 0.5 * (lo + hi);
+        match try_rate(mid)? {
+            Some(p) => {
+                lo = mid;
+                best = p;
+            }
+            None => hi = mid,
+        }
+    }
+    Ok(Some(RateSearchResult { rate: lo, partition: best, evaluations: evals }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wishbone_dataflow::{ExecCtx, FnWork, GraphBuilder, OperatorId, Value};
+    use wishbone_profile::{profile as run_profile, SourceTrace};
+
+    /// src -> crunch(compute-heavy 10x reducer) -> sink.
+    fn app() -> (Graph, OperatorId) {
+        let mut b = GraphBuilder::new();
+        b.enter_node_namespace();
+        let src = b.source("src");
+        let crunch = b.transform(
+            "crunch",
+            Box::new(FnWork(|_p: usize, v: &Value, cx: &mut ExecCtx| {
+                let w = v.as_i16s().unwrap();
+                cx.meter().loop_scope(w.len() as u64, |m| {
+                    m.fmul(10 * w.len() as u64);
+                    m.fadd(10 * w.len() as u64);
+                });
+                cx.emit(Value::VecI16(w.iter().step_by(10).copied().collect()));
+            })),
+            src,
+        );
+        b.exit_namespace();
+        b.sink("out", crunch);
+        (b.finish().unwrap(), src.0)
+    }
+
+    fn profiled() -> (Graph, GraphProfile) {
+        let (mut g, src) = app();
+        let t = SourceTrace {
+            source: src,
+            elements: (0..20).map(|i| Value::VecI16(vec![i as i16; 200])).collect(),
+            rate_hz: 40.0,
+        };
+        let p = run_profile(&mut g, &[t]).unwrap();
+        (g, p)
+    }
+
+    #[test]
+    fn finds_a_boundary_rate() {
+        let (g, prof) = profiled();
+        let platform = Platform::tmote_sky();
+        let cfg = PartitionConfig::for_platform(&platform);
+        let r = max_sustainable_rate(&g, &prof, &platform, &cfg, 64.0, 0.01)
+            .unwrap()
+            .expect("feasible at low rates");
+        assert!(r.rate > 0.0 && r.rate < 64.0, "rate {}", r.rate);
+        // Just above the found rate must be infeasible.
+        let above = partition(&g, &prof, &platform, &cfg.clone().at_rate(r.rate * 1.05));
+        assert_eq!(above.unwrap_err(), PartitionError::Infeasible);
+        // At the found rate, feasible.
+        let at = partition(&g, &prof, &platform, &cfg.clone().at_rate(r.rate));
+        assert!(at.is_ok());
+    }
+
+    #[test]
+    fn powerful_platform_hits_the_cap() {
+        let (g, prof) = profiled();
+        let platform = Platform::gumstix();
+        let cfg = PartitionConfig::for_platform(&platform);
+        let r = max_sustainable_rate(&g, &prof, &platform, &cfg, 8.0, 0.01)
+            .unwrap()
+            .expect("feasible");
+        assert!((r.rate - 8.0).abs() < 1e-9, "cap should be reached, got {}", r.rate);
+    }
+
+    #[test]
+    fn hopeless_program_returns_none() {
+        let (g, prof) = profiled();
+        let platform = Platform::tmote_sky();
+        let mut cfg = PartitionConfig::for_platform(&platform);
+        cfg.cpu_budget = 0.0;
+        cfg.net_budget = 0.0;
+        assert!(max_sustainable_rate(&g, &prof, &platform, &cfg, 8.0, 0.01)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn result_rate_is_nearly_maximal() {
+        let (g, prof) = profiled();
+        let platform = Platform::nokia_n80();
+        let cfg = PartitionConfig::for_platform(&platform);
+        let r = max_sustainable_rate(&g, &prof, &platform, &cfg, 1024.0, 0.005)
+            .unwrap()
+            .expect("feasible");
+        if r.rate < 1023.0 {
+            // Tolerance respected: 1.5% above must fail.
+            let above = partition(&g, &prof, &platform, &cfg.clone().at_rate(r.rate * 1.015));
+            assert_eq!(above.unwrap_err(), PartitionError::Infeasible);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! GraphViz export with profiling heat colours.
+//!
+//! After profiling and partitioning, the Wishbone compiler "generates a
+//! visualization summarizing the results for the user ... uses colorization
+//! to represent profiling results (cool to hot) and shapes to indicate which
+//! operators were assigned to the node partition" (§3). This module
+//! reproduces that artifact.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use crate::graph::{Graph, OperatorId, OperatorKind};
+
+/// Options controlling DOT rendering.
+#[derive(Debug, Clone, Default)]
+pub struct DotOptions {
+    /// Per-operator heat in `[0, 1]` (e.g. normalised CPU cost). Missing or
+    /// out-of-range entries render grey.
+    pub heat: Vec<(OperatorId, f64)>,
+    /// Operators assigned to the embedded-node partition (rendered as
+    /// boxes; server operators are ellipses).
+    pub node_partition: Vec<OperatorId>,
+    /// Title displayed above the graph.
+    pub label: String,
+}
+
+/// Map heat in `[0,1]` to a cool-to-hot RGB hex colour (blue → red).
+fn heat_color(h: f64) -> String {
+    let h = h.clamp(0.0, 1.0);
+    // Linear blend blue (0x4575b4) -> red (0xd73027), the classic
+    // cool/warm diverging palette endpoints.
+    let lerp = |a: u8, b: u8| -> u8 { (f64::from(a) + (f64::from(b) - f64::from(a)) * h) as u8 };
+    format!("#{:02x}{:02x}{:02x}", lerp(0x45, 0xd7), lerp(0x75, 0x30), lerp(0xb4, 0x27))
+}
+
+/// Render `graph` as GraphViz DOT text.
+pub fn to_dot(graph: &Graph, opts: &DotOptions) -> String {
+    let node_set: HashSet<OperatorId> = opts.node_partition.iter().copied().collect();
+    let heat: std::collections::HashMap<OperatorId, f64> = opts.heat.iter().copied().collect();
+
+    let mut s = String::new();
+    s.push_str("digraph wishbone {\n");
+    s.push_str("  rankdir=TB;\n");
+    if !opts.label.is_empty() {
+        let _ = writeln!(s, "  label=\"{}\";", escape(&opts.label));
+    }
+    for id in graph.operator_ids() {
+        let spec = graph.spec(id);
+        let shape = if node_set.contains(&id) {
+            "box"
+        } else {
+            match spec.kind {
+                OperatorKind::Source => "invhouse",
+                OperatorKind::Sink => "doublecircle",
+                OperatorKind::Transform => "ellipse",
+            }
+        };
+        let fill = match heat.get(&id) {
+            Some(&h) if h.is_finite() => heat_color(h),
+            _ => "#cccccc".to_string(),
+        };
+        let _ = writeln!(
+            s,
+            "  {} [label=\"{}\", shape={}, style=filled, fillcolor=\"{}\"];",
+            id.0,
+            escape(&spec.name),
+            shape,
+            fill
+        );
+    }
+    for eid in graph.edge_ids() {
+        let e = graph.edge(eid);
+        let _ = writeln!(s, "  {} -> {};", e.src.0, e.dst.0);
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::graph::IdentityWork;
+
+    #[test]
+    fn dot_contains_all_operators_and_edges() {
+        let mut b = GraphBuilder::new();
+        b.enter_node_namespace();
+        let s = b.source("mic");
+        let f = b.transform("filt", Box::new(IdentityWork), s);
+        b.exit_namespace();
+        b.sink("main", f);
+        let g = b.finish().unwrap();
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                heat: vec![(f.0, 0.9)],
+                node_partition: vec![s.0, f.0],
+                label: "speech \"demo\"".into(),
+            },
+        );
+        assert!(dot.contains("digraph wishbone"));
+        assert!(dot.contains("label=\"mic\""));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("0 -> 1;"));
+        assert!(dot.contains("1 -> 2;"));
+        assert!(dot.contains("\\\"demo\\\""));
+    }
+
+    #[test]
+    fn heat_endpoints() {
+        assert_eq!(heat_color(0.0), "#4575b4");
+        assert_eq!(heat_color(1.0), "#d73027");
+        // Out-of-range clamps instead of panicking.
+        assert_eq!(heat_color(7.5), "#d73027");
+        assert_eq!(heat_color(-3.0), "#4575b4");
+    }
+}

@@ -1,0 +1,156 @@
+//! Stream element values.
+//!
+//! WaveScript streams carry typed elements (scalars, sample arrays, tuples).
+//! The simulator uses a dynamic value type instead of generics so that a
+//! single [`crate::Graph`] can mix element types, exactly as the WaveScript
+//! intermediate representation does. The wire encoding mirrors the paper's
+//! marshalling of cut edges: scalars are fixed width, arrays carry a 2-byte
+//! length header, tuples are concatenations of their fields.
+
+use std::fmt;
+
+/// A single element flowing along a stream edge.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unit / pure event (e.g. a trigger with no payload).
+    Unit,
+    /// Boolean flag (e.g. "seizure declared").
+    Bool(bool),
+    /// 16-bit sample (raw ADC output).
+    I16(i16),
+    /// 32-bit integer.
+    I32(i32),
+    /// Single-precision scalar (filter output, energy value).
+    F32(f32),
+    /// Window of raw 16-bit samples.
+    VecI16(Vec<i16>),
+    /// Window of single-precision samples (filtered data, spectra, features).
+    VecF32(Vec<f32>),
+    /// Product of several values (e.g. `zipN` output).
+    Tuple(Vec<Value>),
+}
+
+impl Value {
+    /// Number of bytes this value occupies when marshalled onto a cut edge.
+    ///
+    /// Vectors pay a 2-byte length header; tuples pay a 1-byte arity header.
+    /// These constants match small-packet sensornet encodings where framing
+    /// overhead matters (TinyOS active messages carry tens of bytes).
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Value::Unit => 0,
+            Value::Bool(_) => 1,
+            Value::I16(_) => 2,
+            Value::I32(_) => 4,
+            Value::F32(_) => 4,
+            Value::VecI16(v) => 2 + 2 * v.len(),
+            Value::VecF32(v) => 2 + 4 * v.len(),
+            Value::Tuple(vs) => 1 + vs.iter().map(Value::wire_size).sum::<usize>(),
+        }
+    }
+
+    /// Borrow as an f32 slice, if this is a `VecF32`.
+    pub fn as_f32s(&self) -> Option<&[f32]> {
+        match self {
+            Value::VecF32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an i16 slice, if this is a `VecI16`.
+    pub fn as_i16s(&self) -> Option<&[i16]> {
+        match self {
+            Value::VecI16(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Scalar f32 view (accepts `F32`, `I16`, `I32`).
+    pub fn as_scalar(&self) -> Option<f32> {
+        match self {
+            Value::F32(x) => Some(*x),
+            Value::I16(x) => Some(f32::from(*x)),
+            Value::I32(x) => Some(*x as f32),
+            _ => None,
+        }
+    }
+
+    /// Short type tag used in diagnostics and DOT labels.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Unit => "unit",
+            Value::Bool(_) => "bool",
+            Value::I16(_) => "i16",
+            Value::I32(_) => "i32",
+            Value::F32(_) => "f32",
+            Value::VecI16(_) => "i16[]",
+            Value::VecF32(_) => "f32[]",
+            Value::Tuple(_) => "tuple",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::I16(x) => write!(f, "{x}i16"),
+            Value::I32(x) => write!(f, "{x}i32"),
+            Value::F32(x) => write!(f, "{x}f32"),
+            Value::VecI16(v) => write!(f, "i16[{}]", v.len()),
+            Value::VecF32(v) => write!(f, "f32[{}]", v.len()),
+            Value::Tuple(vs) => {
+                write!(f, "(")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_wire_sizes() {
+        assert_eq!(Value::Unit.wire_size(), 0);
+        assert_eq!(Value::Bool(true).wire_size(), 1);
+        assert_eq!(Value::I16(3).wire_size(), 2);
+        assert_eq!(Value::I32(3).wire_size(), 4);
+        assert_eq!(Value::F32(1.0).wire_size(), 4);
+    }
+
+    #[test]
+    fn vector_wire_sizes_include_header() {
+        assert_eq!(Value::VecI16(vec![0; 200]).wire_size(), 2 + 400);
+        assert_eq!(Value::VecF32(vec![0.0; 13]).wire_size(), 2 + 52);
+    }
+
+    #[test]
+    fn tuple_wire_size_is_sum_plus_arity() {
+        let t = Value::Tuple(vec![Value::F32(0.0), Value::F32(1.0), Value::I16(2)]);
+        assert_eq!(t.wire_size(), 1 + 4 + 4 + 2);
+    }
+
+    #[test]
+    fn scalar_coercions() {
+        assert_eq!(Value::I16(-5).as_scalar(), Some(-5.0));
+        assert_eq!(Value::F32(2.5).as_scalar(), Some(2.5));
+        assert_eq!(Value::VecF32(vec![]).as_scalar(), None);
+        assert_eq!(Value::VecF32(vec![1.0]).as_f32s(), Some(&[1.0f32][..]));
+        assert_eq!(Value::VecI16(vec![1]).as_i16s(), Some(&[1i16][..]));
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(Value::Tuple(vec![Value::I16(1), Value::Unit]).to_string(), "(1i16, ())");
+        assert_eq!(Value::VecF32(vec![0.0; 4]).to_string(), "f32[4]");
+    }
+}

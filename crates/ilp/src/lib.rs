@@ -1,0 +1,52 @@
+//! # wishbone-ilp
+//!
+//! A self-contained linear-programming and integer-linear-programming
+//! solver: two-phase primal simplex with bounded variables, plus branch and
+//! bound. It plays the role of `lp_solve` in the Wishbone paper (§4.2.1):
+//! "an off-the-shelf integer programming solver ... uses branch-and-bound to
+//! solve integer-constrained problems ... and the Simplex algorithm to solve
+//! linear programming problems."
+//!
+//! The solver is deterministic, pure Rust, `forbid(unsafe_code)`, and
+//! instruments the branch-and-bound search with the discover-vs-prove
+//! timeline that the paper's Figure 6 reports.
+//!
+//! ```
+//! use wishbone_ilp::{Problem, Sense, IlpOptions};
+//!
+//! // A miniature Wishbone partition problem: two operators in a chain,
+//! // f=1 places an operator on the mote, f=0 on the server. The source
+//! // edge carries 10 kb/s, the edge after op0 carries 6 kb/s, after op1
+//! // 2 kb/s. Cut bandwidth = 10(1-f0) + 6(f0-f1) + 2 f1 when f0 >= f1.
+//! let mut p = Problem::new();
+//! let f0 = p.add_var(0.0, 1.0, -4.0, true); // d(net)/d(f0) = 6-10 = -4
+//! let f1 = p.add_var(0.0, 1.0, -4.0, true); // d(net)/d(f1) = 2-6  = -4
+//! p.add_constraint(&[(f0, 1.0), (f1, -1.0)], Sense::Ge, 0.0); // single cut
+//! p.add_constraint(&[(f0, 3.0), (f1, 5.0)], Sense::Le, 4.0);  // CPU budget
+//! let sol = p.solve_ilp(&IlpOptions::default()).unwrap();
+//! // Budget 4 admits only op0 on the mote: net falls from 10 to 6 kb/s.
+//! assert_eq!(sol.values, vec![1.0, 0.0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod branch_bound;
+pub mod problem;
+pub mod simplex;
+
+pub use branch_bound::{solve_ilp, Branching, IlpOptions, IlpSolution, IlpStats};
+pub use problem::{Constraint, LpSolution, Problem, Sense, SolveError, VarId};
+pub use simplex::{solve_lp, solve_lp_with_bounds};
+
+impl Problem {
+    /// Solve the LP relaxation.
+    pub fn solve_lp(&self) -> Result<LpSolution, SolveError> {
+        simplex::solve_lp(self)
+    }
+
+    /// Solve to integer optimality (or within `opts` limits).
+    pub fn solve_ilp(&self, opts: &IlpOptions) -> Result<IlpSolution, SolveError> {
+        branch_bound::solve_ilp(self, opts)
+    }
+}

@@ -1,0 +1,200 @@
+//! Problem definition: variables, bounds, linear constraints, objective.
+//!
+//! Wishbone formulates partitioning as an integer linear program
+//! (§4.2.1). lp_solve — the solver the paper uses — is branch-and-bound
+//! over Simplex; this crate implements the same architecture from scratch
+//! because the offline crate set contains no LP solver.
+
+use std::fmt;
+
+/// Index of a decision variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub usize);
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+/// One sparse linear constraint.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Sparse terms `(variable, coefficient)`.
+    pub terms: Vec<(VarId, f64)>,
+    /// Relation between the linear form and `rhs`.
+    pub sense: Sense,
+    /// Right-hand side constant.
+    pub rhs: f64,
+}
+
+/// A linear (or mixed-integer linear) minimization problem.
+///
+/// ```
+/// use wishbone_ilp::{Problem, Sense};
+/// let mut p = Problem::new();
+/// let x = p.add_var(0.0, 1.0, -1.0, true); // binary, maximize x
+/// let y = p.add_var(0.0, 1.0, -1.0, true);
+/// p.add_constraint(&[(x, 1.0), (y, 1.0)], Sense::Le, 1.0);
+/// let sol = p.solve_ilp(&Default::default()).unwrap();
+/// assert!((sol.objective - (-1.0)).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Problem {
+    pub(crate) objective: Vec<f64>,
+    pub(crate) lower: Vec<f64>,
+    pub(crate) upper: Vec<f64>,
+    pub(crate) integer: Vec<bool>,
+    pub(crate) constraints: Vec<Constraint>,
+}
+
+impl Problem {
+    /// Empty problem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a variable with bounds `[lower, upper]` (use
+    /// `f64::INFINITY` for an unbounded-above variable), objective
+    /// coefficient `obj` (minimization), and integrality flag.
+    pub fn add_var(&mut self, lower: f64, upper: f64, obj: f64, integer: bool) -> VarId {
+        assert!(lower.is_finite(), "lower bound must be finite");
+        assert!(lower <= upper, "lower bound {lower} exceeds upper {upper}");
+        let id = VarId(self.objective.len());
+        self.objective.push(obj);
+        self.lower.push(lower);
+        self.upper.push(upper);
+        self.integer.push(integer);
+        id
+    }
+
+    /// Shorthand for a `{0, 1}` decision variable.
+    pub fn add_binary(&mut self, obj: f64) -> VarId {
+        self.add_var(0.0, 1.0, obj, true)
+    }
+
+    /// Add one constraint.
+    pub fn add_constraint(&mut self, terms: &[(VarId, f64)], sense: Sense, rhs: f64) {
+        for &(v, _) in terms {
+            assert!(v.0 < self.objective.len(), "constraint references unknown variable");
+        }
+        self.constraints.push(Constraint { terms: terms.to_vec(), sense, rhs });
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Number of variables marked integer.
+    pub fn num_integer_vars(&self) -> usize {
+        self.integer.iter().filter(|&&b| b).count()
+    }
+
+    /// Objective value of a candidate assignment.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Does `x` satisfy every bound and constraint within `tol`?
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.num_vars() {
+            return false;
+        }
+        for i in 0..x.len() {
+            if x[i] < self.lower[i] - tol || x[i] > self.upper[i] + tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|&(v, a)| a * x[v.0]).sum();
+            let ok = match c.sense {
+                Sense::Le => lhs <= c.rhs + tol,
+                Sense::Ge => lhs >= c.rhs - tol,
+                Sense::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Why a solve failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// No assignment satisfies the constraints.
+    Infeasible,
+    /// The objective can be driven to `-∞`.
+    Unbounded,
+    /// The simplex iteration limit was exceeded (numerical trouble).
+    IterationLimit,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "problem is infeasible"),
+            SolveError::Unbounded => write!(f, "problem is unbounded"),
+            SolveError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Solution of an LP relaxation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Variable assignment.
+    pub values: Vec<f64>,
+    /// Simplex iterations used (both phases).
+    pub iterations: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feasibility_checks_bounds_and_constraints() {
+        let mut p = Problem::new();
+        let x = p.add_var(0.0, 2.0, 1.0, false);
+        let y = p.add_var(0.0, 2.0, 1.0, false);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Sense::Le, 3.0);
+        p.add_constraint(&[(x, 1.0)], Sense::Ge, 0.5);
+        assert!(p.is_feasible(&[1.0, 1.0], 1e-9));
+        assert!(!p.is_feasible(&[3.0, 1.0], 1e-9)); // bound violated
+        assert!(!p.is_feasible(&[2.0, 2.0], 1e-9)); // Le violated
+        assert!(!p.is_feasible(&[0.0, 1.0], 1e-9)); // Ge violated
+        assert!(!p.is_feasible(&[1.0], 1e-9)); // wrong arity
+    }
+
+    #[test]
+    fn objective_value() {
+        let mut p = Problem::new();
+        let _ = p.add_var(0.0, 1.0, 2.0, false);
+        let _ = p.add_var(0.0, 1.0, -3.0, false);
+        assert!((p.objective_value(&[1.0, 1.0]) - (-1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds upper")]
+    fn inverted_bounds_panic() {
+        let mut p = Problem::new();
+        let _ = p.add_var(1.0, 0.0, 0.0, false);
+    }
+}

@@ -1,0 +1,259 @@
+//! Shared-channel radio model with congestion collapse.
+//!
+//! The paper's testbed profile (§7.3.1): "each node has a baseline packet
+//! drop rate that stays steady over a range of sending rates, and then at
+//! some point drops off dramatically as the network becomes excessively
+//! congested." For a high-data-rate application with no in-network
+//! aggregation, "a many node network is limited by the same bottleneck as a
+//! network of only one node: the single link at the root of the routing
+//! tree" — so one shared channel models the whole star.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Packet framing used on a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketFormat {
+    /// Maximum application payload per packet, bytes.
+    pub max_payload: usize,
+    /// Header/framing overhead per packet, bytes.
+    pub per_packet_overhead: usize,
+}
+
+impl PacketFormat {
+    /// TinyOS active-message-style small packets.
+    pub fn tinyos() -> Self {
+        PacketFormat { max_payload: 28, per_packet_overhead: 17 }
+    }
+
+    /// WiFi/TCP-style large frames.
+    pub fn wifi() -> Self {
+        PacketFormat { max_payload: 1400, per_packet_overhead: 78 }
+    }
+
+    /// Packets needed to carry `bytes` of payload.
+    pub fn packets_for(&self, bytes: usize) -> usize {
+        if bytes == 0 {
+            1
+        } else {
+            bytes.div_ceil(self.max_payload)
+        }
+    }
+
+    /// Total on-air bytes for `bytes` of payload.
+    pub fn on_air_bytes(&self, bytes: usize) -> usize {
+        bytes + self.packets_for(bytes) * self.per_packet_overhead
+    }
+}
+
+/// Parameters of one shared wireless channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelParams {
+    /// Sustainable aggregate on-air throughput at the tree root, bytes/s.
+    pub capacity_bytes_per_sec: f64,
+    /// Packet loss rate on an uncongested channel.
+    pub baseline_loss: f64,
+    /// Congestion-collapse exponent: reception beyond saturation falls as
+    /// `(capacity / load)^sharpness`. Values > 1 make goodput *decrease*
+    /// past saturation (the "dramatic drop-off").
+    pub collapse_sharpness: f64,
+    /// Packet framing.
+    pub format: PacketFormat,
+}
+
+impl ChannelParams {
+    /// A CC2420-class mote channel.
+    pub fn mote() -> Self {
+        ChannelParams {
+            capacity_bytes_per_sec: 6_000.0,
+            baseline_loss: 0.05,
+            collapse_sharpness: 2.5,
+            format: PacketFormat::tinyos(),
+        }
+    }
+
+    /// A WiFi-class channel.
+    pub fn wifi(capacity_bytes_per_sec: f64) -> Self {
+        ChannelParams {
+            capacity_bytes_per_sec,
+            baseline_loss: 0.01,
+            collapse_sharpness: 2.0,
+            format: PacketFormat::wifi(),
+        }
+    }
+
+    /// Probability a packet is received when the aggregate offered on-air
+    /// load is `offered` bytes/s. Flat at `1 - baseline_loss` until
+    /// capacity, then collapsing.
+    pub fn reception_prob(&self, offered: f64) -> f64 {
+        let base = 1.0 - self.baseline_loss;
+        if offered <= self.capacity_bytes_per_sec || offered <= 0.0 {
+            base
+        } else {
+            base * (self.capacity_bytes_per_sec / offered).powf(self.collapse_sharpness)
+        }
+    }
+
+    /// Expected delivered payload bytes/s when `offered_payload` payload
+    /// bytes/s are sent (on-air load includes framing).
+    pub fn expected_goodput(&self, offered_payload: f64, mean_element_bytes: f64) -> f64 {
+        if offered_payload <= 0.0 {
+            return 0.0;
+        }
+        let blowup = if mean_element_bytes > 0.0 {
+            self.format.on_air_bytes(mean_element_bytes.round() as usize) as f64
+                / mean_element_bytes
+        } else {
+            1.0
+        };
+        offered_payload * self.reception_prob(offered_payload * blowup)
+    }
+}
+
+/// A simulated shared channel with seeded packet-level losses.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    /// Parameters.
+    pub params: ChannelParams,
+    rng: StdRng,
+    /// Current aggregate offered on-air load estimate, bytes/s.
+    offered_load: f64,
+    sent_packets: u64,
+    delivered_packets: u64,
+}
+
+impl Channel {
+    /// New channel with a deterministic seed.
+    pub fn new(params: ChannelParams, seed: u64) -> Self {
+        Channel { params, rng: StdRng::seed_from_u64(seed), offered_load: 0.0, sent_packets: 0, delivered_packets: 0 }
+    }
+
+    /// Inform the channel of the current aggregate offered on-air load
+    /// (set each simulation epoch by the deployment).
+    pub fn set_offered_load(&mut self, bytes_per_sec: f64) {
+        self.offered_load = bytes_per_sec;
+    }
+
+    /// Current aggregate offered load, bytes/s.
+    pub fn offered_load(&self) -> f64 {
+        self.offered_load
+    }
+
+    /// Attempt delivery of one *element* of `payload_bytes`; the element is
+    /// delivered only if every one of its packets survives.
+    pub fn try_deliver(&mut self, payload_bytes: usize) -> bool {
+        let packets = self.params.format.packets_for(payload_bytes);
+        let p = self.params.reception_prob(self.offered_load);
+        let mut ok = true;
+        for _ in 0..packets {
+            self.sent_packets += 1;
+            if self.rng.gen::<f64>() < p {
+                self.delivered_packets += 1;
+            } else {
+                ok = false;
+            }
+        }
+        ok
+    }
+
+    /// Fraction of packets delivered so far.
+    pub fn packet_delivery_ratio(&self) -> f64 {
+        if self.sent_packets == 0 {
+            1.0
+        } else {
+            self.delivered_packets as f64 / self.sent_packets as f64
+        }
+    }
+
+    /// Packets sent so far.
+    pub fn sent_packets(&self) -> u64 {
+        self.sent_packets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reception_flat_until_capacity_then_collapses() {
+        let p = ChannelParams::mote();
+        let base = 1.0 - p.baseline_loss;
+        assert!((p.reception_prob(0.0) - base).abs() < 1e-12);
+        assert!((p.reception_prob(5_999.0) - base).abs() < 1e-12);
+        let at_2x = p.reception_prob(12_000.0);
+        let at_4x = p.reception_prob(24_000.0);
+        assert!(at_2x < base * 0.25, "2x load should collapse, got {at_2x}");
+        assert!(at_4x < at_2x / 2.0);
+    }
+
+    #[test]
+    fn goodput_peaks_near_capacity() {
+        let p = ChannelParams::mote();
+        // With ~40-byte elements the framing blowup is moderate.
+        let g_half = p.expected_goodput(2_000.0, 40.0);
+        let g_cap = p.expected_goodput(3_500.0, 40.0);
+        let g_over = p.expected_goodput(20_000.0, 40.0);
+        assert!(g_cap > g_half);
+        assert!(g_over < g_cap, "goodput must fall past saturation: {g_over} vs {g_cap}");
+    }
+
+    #[test]
+    fn packetization() {
+        let f = PacketFormat::tinyos();
+        assert_eq!(f.packets_for(0), 1);
+        assert_eq!(f.packets_for(28), 1);
+        assert_eq!(f.packets_for(29), 2);
+        assert_eq!(f.packets_for(402), 15);
+        assert_eq!(f.on_air_bytes(402), 402 + 15 * 17);
+    }
+
+    #[test]
+    fn channel_losses_match_probability() {
+        let mut ch = Channel::new(ChannelParams::mote(), 42);
+        ch.set_offered_load(3_000.0); // uncongested
+        let mut delivered = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            if ch.try_deliver(20) {
+                delivered += 1;
+            }
+        }
+        let ratio = delivered as f64 / n as f64;
+        assert!((ratio - 0.95).abs() < 0.01, "delivery ratio {ratio}");
+    }
+
+    #[test]
+    fn multi_packet_elements_lose_more() {
+        let params = ChannelParams::mote();
+        let mut small = Channel::new(params, 1);
+        let mut large = Channel::new(params, 1);
+        small.set_offered_load(3_000.0);
+        large.set_offered_load(3_000.0);
+        let n = 5_000;
+        let mut s_ok = 0;
+        let mut l_ok = 0;
+        for _ in 0..n {
+            if small.try_deliver(20) {
+                s_ok += 1;
+            }
+            if large.try_deliver(400) {
+                l_ok += 1;
+            }
+        }
+        // 400 bytes = 15 packets: element survival ~ 0.95^15 ≈ 0.46.
+        assert!(l_ok < s_ok, "large elements must fail more often");
+        let l_ratio = l_ok as f64 / n as f64;
+        assert!((l_ratio - 0.95f64.powi(15)).abs() < 0.05, "{l_ratio}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mk = || {
+            let mut ch = Channel::new(ChannelParams::mote(), 7);
+            ch.set_offered_load(10_000.0);
+            (0..100).map(|_| ch.try_deliver(28)).collect::<Vec<bool>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,21 @@
+//! # wishbone-net
+//!
+//! Star-topology wireless network simulator for Wishbone deployments: a
+//! shared channel with baseline loss and congestion collapse
+//! ([`ChannelParams`], [`Channel`]), packet framing ([`PacketFormat`]),
+//! and the network goodput profiling tool of paper §7.3.1
+//! ([`profile_network`]).
+//!
+//! The model is deliberately minimal (smoltcp-style: simple and auditable):
+//! Figures 9/10 only require (a) a single bottleneck link at the root of
+//! the collection tree shared by every node, and (b) flat loss until
+//! saturation followed by a sharp collapse. Both are explicit knobs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod profiler;
+
+pub use channel::{Channel, ChannelParams, PacketFormat};
+pub use profiler::{profile_network, NetworkProfile};

@@ -1,0 +1,99 @@
+//! Property tests on the channel model: conservation, monotonicity, and
+//! packetization invariants.
+
+use proptest::prelude::*;
+use wishbone_net::{Channel, ChannelParams, PacketFormat};
+
+fn params_strategy() -> impl Strategy<Value = ChannelParams> {
+    (
+        1_000.0f64..1_000_000.0,
+        0.0f64..0.3,
+        1.0f64..4.0,
+        prop_oneof![Just(PacketFormat::tinyos()), Just(PacketFormat::wifi())],
+    )
+        .prop_map(|(cap, loss, sharp, format)| ChannelParams {
+            capacity_bytes_per_sec: cap,
+            baseline_loss: loss,
+            collapse_sharpness: sharp,
+            format,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn reception_probability_is_valid_and_monotone(
+        p in params_strategy(),
+        loads in prop::collection::vec(0.0f64..10_000_000.0, 2..20),
+    ) {
+        let mut sorted = loads.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let probs: Vec<f64> = sorted.iter().map(|&l| p.reception_prob(l)).collect();
+        for pr in &probs {
+            prop_assert!((0.0..=1.0).contains(pr), "probability {pr} out of range");
+        }
+        for w in probs.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-12, "reception must not improve with load");
+        }
+    }
+
+    #[test]
+    fn goodput_never_exceeds_offered(
+        p in params_strategy(),
+        offered in 0.0f64..5_000_000.0,
+        elem in 1.0f64..2_000.0,
+    ) {
+        let g = p.expected_goodput(offered, elem);
+        prop_assert!(g >= 0.0);
+        prop_assert!(g <= offered + 1e-9, "goodput {g} exceeds offered {offered}");
+    }
+
+    #[test]
+    fn packetization_covers_payload(format in prop_oneof![
+        Just(PacketFormat::tinyos()), Just(PacketFormat::wifi())
+    ], bytes in 0usize..100_000) {
+        let packets = format.packets_for(bytes);
+        prop_assert!(packets >= 1);
+        prop_assert!(packets * format.max_payload >= bytes, "packets must cover the payload");
+        if bytes > 0 {
+            prop_assert!((packets - 1) * format.max_payload < bytes, "no excess packets");
+        }
+        let on_air = format.on_air_bytes(bytes);
+        prop_assert_eq!(on_air, bytes + packets * format.per_packet_overhead);
+    }
+
+    #[test]
+    fn delivery_ratio_tracks_reception_probability(
+        p in params_strategy(),
+        load_factor in 0.1f64..3.0,
+        seed in any::<u64>(),
+    ) {
+        let mut ch = Channel::new(p, seed);
+        let load = p.capacity_bytes_per_sec * load_factor;
+        ch.set_offered_load(load);
+        let n = 4_000;
+        for _ in 0..n {
+            let _ = ch.try_deliver(p.format.max_payload); // single packet each
+        }
+        let expect = p.reception_prob(load);
+        let got = ch.packet_delivery_ratio();
+        // Binomial tolerance: 5 sigma plus an absolute floor (proptest
+        // runs hundreds of cases, so rare tails must not flake).
+        let sigma = (expect * (1.0 - expect) / n as f64).sqrt();
+        prop_assert!(
+            (got - expect).abs() <= 5.0 * sigma + 0.01,
+            "delivery {got} vs expected {expect} (sigma {sigma})"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_outcome(p in params_strategy(), seed in any::<u64>()) {
+        let run = || {
+            let mut ch = Channel::new(p, seed);
+            ch.set_offered_load(p.capacity_bytes_per_sec * 1.5);
+            (0..64).map(|i| ch.try_deliver(1 + (i * 37) % 500)).collect::<Vec<bool>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

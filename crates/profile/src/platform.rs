@@ -1,0 +1,439 @@
+//! Per-platform cost models.
+//!
+//! The paper profiles operators by running them on real hardware (TMote
+//! Sky) or cycle-accurate simulators (MSPsim), and on phones/PCs with
+//! timestamping (§3). We substitute a calibrated cost model: abstract
+//! operation counts (from metered execution of the *real* computation) are
+//! mapped to cycles using per-platform cycle tables. The calibration
+//! targets the relative behaviours the paper reports:
+//!
+//! * the TMote's missing FPU makes float-heavy operators (cepstrals)
+//!   disproportionately expensive (Fig 8);
+//! * the Nokia N80 runs only ~2× faster than a TMote despite a 55× clock,
+//!   because of JVM interpretation overhead (§7.2);
+//! * the iPhone performs ~3× worse than the same-clock Gumstix because of
+//!   frequency scaling (§7.2);
+//! * the Meraki Mini has ~15× the TMote's CPU but ≥10× the radio
+//!   bandwidth, flipping its optimal cut to "ship raw data" (§7.3).
+
+use wishbone_dataflow::{OpClass, OpCounts, ScaledOpCounts};
+
+/// Cycles per abstract operation class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleCosts {
+    /// Integer ALU op.
+    pub int_alu: f64,
+    /// Integer multiply.
+    pub int_mul: f64,
+    /// Float add/sub/compare.
+    pub float_add: f64,
+    /// Float multiply.
+    pub float_mul: f64,
+    /// Float divide.
+    pub float_div: f64,
+    /// Square root.
+    pub sqrt: f64,
+    /// log/exp/sin/cos.
+    pub transcendental: f64,
+    /// Word of memory traffic.
+    pub mem: f64,
+    /// Branch.
+    pub branch: f64,
+    /// Helper call.
+    pub call: f64,
+}
+
+impl CycleCosts {
+    /// Cycle cost of one op class.
+    pub fn cost(&self, c: OpClass) -> f64 {
+        match c {
+            OpClass::IntAlu => self.int_alu,
+            OpClass::IntMul => self.int_mul,
+            OpClass::FloatAdd => self.float_add,
+            OpClass::FloatMul => self.float_mul,
+            OpClass::FloatDiv => self.float_div,
+            OpClass::Sqrt => self.sqrt,
+            OpClass::Transcendental => self.transcendental,
+            OpClass::Mem => self.mem,
+            OpClass::Branch => self.branch,
+            OpClass::Call => self.call,
+        }
+    }
+
+    /// Hardware-FPU profile (single-cycle-ish floats).
+    pub fn hard_float() -> Self {
+        CycleCosts {
+            int_alu: 1.0,
+            int_mul: 3.0,
+            float_add: 2.0,
+            float_mul: 2.0,
+            float_div: 12.0,
+            sqrt: 15.0,
+            transcendental: 40.0,
+            mem: 1.5,
+            branch: 1.5,
+            call: 4.0,
+        }
+    }
+
+    /// Software-emulated floats (no FPU): float classes become library
+    /// calls costing tens to hundreds of cycles; transcendentals (ln, cos)
+    /// become multi-term series evaluations costing thousands — this is
+    /// what makes the cepstral stage "particularly slow" on motes (Fig 8).
+    pub fn soft_float(penalty: f64) -> Self {
+        let base = Self::hard_float();
+        CycleCosts {
+            float_add: 25.0 * penalty,
+            float_mul: 35.0 * penalty,
+            float_div: 120.0 * penalty,
+            sqrt: 250.0 * penalty,
+            transcendental: 2200.0 * penalty,
+            ..base
+        }
+    }
+}
+
+/// Radio / uplink model used for the network budget and the deployment
+/// simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadioModel {
+    /// Sustainable application-level goodput at the collection-tree root,
+    /// bytes/second (shared by all nodes: the bottleneck link, §7.3).
+    pub goodput_bytes_per_sec: f64,
+    /// Maximum application payload per packet, bytes.
+    pub max_payload: usize,
+    /// Header + framing overhead per packet, bytes.
+    pub per_packet_overhead: usize,
+    /// Baseline packet loss rate on an uncongested link.
+    pub baseline_loss: f64,
+}
+
+impl RadioModel {
+    /// Number of packets needed for a `bytes`-byte element.
+    pub fn packets_for(&self, bytes: usize) -> usize {
+        if bytes == 0 {
+            1
+        } else {
+            bytes.div_ceil(self.max_payload)
+        }
+    }
+
+    /// On-air bytes (payload + headers) for a `bytes`-byte element.
+    pub fn on_air_bytes(&self, bytes: usize) -> usize {
+        bytes + self.packets_for(bytes) * self.per_packet_overhead
+    }
+}
+
+/// A target platform: clock, cost table, slowdowns, radio.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    /// Display name ("TMoteSky", "NokiaN80", ...).
+    pub name: String,
+    /// Nominal clock, Hz.
+    pub clock_hz: f64,
+    /// Cycle cost table.
+    pub cycle_costs: CycleCosts,
+    /// Multiplicative slowdown from interpretation (JVM = tens, native = 1).
+    pub interp_penalty: f64,
+    /// Effective clock fraction under DVFS (iPhone ≈ 1/3, others 1).
+    pub dvfs_derate: f64,
+    /// Extra measured-vs-predicted CPU factor from OS overheads; applied by
+    /// the *runtime simulator*, never by the profiler's prediction — this
+    /// is what creates the paper's 11.5% predicted vs 15% measured gap.
+    pub os_overhead: f64,
+    /// Fraction of CPU the application may use (1.0 = paper's "allow the
+    /// CPU to be fully utilized but not over-utilized").
+    pub cpu_budget_fraction: f64,
+    /// Radio model.
+    pub radio: RadioModel,
+}
+
+impl Platform {
+    /// Effective instruction throughput base, Hz.
+    pub fn effective_hz(&self) -> f64 {
+        self.clock_hz * self.dvfs_derate / self.interp_penalty
+    }
+
+    /// Predicted seconds of CPU for a bag of op counts.
+    pub fn seconds_for(&self, counts: &OpCounts) -> f64 {
+        self.seconds_for_scaled(&counts.scaled(1.0))
+    }
+
+    /// Predicted seconds for fractional (per-element mean) counts.
+    pub fn seconds_for_scaled(&self, counts: &ScaledOpCounts) -> f64 {
+        counts.weighted_sum(|c| self.cycle_costs.cost(c)) / self.effective_hz()
+    }
+
+    /// TMote Sky: 4 MHz-class MSP430, no FPU, hardware multiplier, CC2420
+    /// low-power radio. (The N80's clock is 55× this, §7.2.)
+    pub fn tmote_sky() -> Self {
+        Platform {
+            name: "TMoteSky".into(),
+            clock_hz: 4.0e6,
+            cycle_costs: CycleCosts {
+                int_alu: 1.0,
+                int_mul: 8.0,
+                mem: 2.0,
+                branch: 2.0,
+                call: 6.0,
+                ..CycleCosts::soft_float(1.0)
+            },
+            interp_penalty: 1.0,
+            dvfs_derate: 1.0,
+            os_overhead: 1.15,
+            cpu_budget_fraction: 1.0,
+            radio: RadioModel {
+                // CC2420 is 250 kb/s PHY; achievable application goodput is
+                // far lower, and the partitioner budgets the network
+                // profiler's 90%-reception rate (§7.3.1), which sits well
+                // below channel saturation. This is the balance that makes
+                // intermediate cuts optimal on motes (Fig 9).
+                goodput_bytes_per_sec: 3_000.0,
+                max_payload: 28,
+                per_packet_overhead: 17,
+                baseline_loss: 0.05,
+            },
+        }
+    }
+
+    /// Nokia N80 running JavaME: 220 MHz ARM9, interpreted JVM with
+    /// software floats — "surprisingly poor performance given that the N80
+    /// has a 32-bit processor running at 55X the clock rate of the TMote".
+    pub fn nokia_n80() -> Self {
+        Platform {
+            name: "NokiaN80".into(),
+            clock_hz: 220.0e6,
+            cycle_costs: CycleCosts::soft_float(1.2),
+            interp_penalty: 20.0,
+            dvfs_derate: 1.0,
+            os_overhead: 1.2,
+            cpu_budget_fraction: 1.0,
+            radio: RadioModel {
+                // WiFi (or cellular) via TCP: orders of magnitude more
+                // bandwidth than the CC2420.
+                goodput_bytes_per_sec: 250_000.0,
+                max_payload: 1_400,
+                per_packet_overhead: 78,
+                baseline_loss: 0.01,
+            },
+        }
+    }
+
+    /// iPhone (original, 412 MHz ARM11) with GCC: "3X worse than the
+    /// 400 MHz Gumstix ... due to the frequency scaling of the processor
+    /// kicking in to conserve power".
+    pub fn iphone() -> Self {
+        Platform {
+            name: "iPhone".into(),
+            clock_hz: 412.0e6,
+            cycle_costs: CycleCosts::soft_float(0.8),
+            interp_penalty: 1.0,
+            dvfs_derate: 1.0 / 3.0,
+            os_overhead: 1.2,
+            cpu_budget_fraction: 1.0,
+            radio: RadioModel {
+                goodput_bytes_per_sec: 400_000.0,
+                max_payload: 1_400,
+                per_packet_overhead: 78,
+                baseline_loss: 0.01,
+            },
+        }
+    }
+
+    /// Gumstix: 400 MHz XScale ARM-Linux (no FPU, native soft-float).
+    pub fn gumstix() -> Self {
+        Platform {
+            name: "Gumstix".into(),
+            clock_hz: 400.0e6,
+            cycle_costs: CycleCosts::soft_float(0.8),
+            interp_penalty: 1.0,
+            dvfs_derate: 1.0,
+            // §7.3: predicted 11.5% CPU, measured 15% — a ~1.3× OS factor.
+            os_overhead: 1.3,
+            cpu_budget_fraction: 1.0,
+            radio: RadioModel {
+                goodput_bytes_per_sec: 400_000.0,
+                max_payload: 1_400,
+                per_packet_overhead: 78,
+                baseline_loss: 0.01,
+            },
+        }
+    }
+
+    /// Meraki Mini: low-end MIPS (~15× the TMote's CPU) with a WiFi radio
+    /// of ≥10× the bandwidth — its optimal partition ships raw data.
+    pub fn meraki_mini() -> Self {
+        Platform {
+            name: "MerakiMini".into(),
+            clock_hz: 180.0e6,
+            // Slow soft-float libraries on the low-end MIPS: float-heavy
+            // signal processing sees only a single-digit multiple of the
+            // TMote, which is why the Meraki ships raw data over its WiFi
+            // instead of processing in-network (§7.3).
+            cycle_costs: CycleCosts::soft_float(8.0),
+            interp_penalty: 1.0,
+            dvfs_derate: 1.0,
+            os_overhead: 1.25,
+            cpu_budget_fraction: 1.0,
+            radio: RadioModel {
+                goodput_bytes_per_sec: 300_000.0,
+                max_payload: 1_400,
+                per_packet_overhead: 78,
+                baseline_loss: 0.02,
+            },
+        }
+    }
+
+    /// VoxNet: 400 MHz XScale acoustic-sensing node (embedded Linux).
+    pub fn voxnet() -> Self {
+        Platform {
+            name: "VoxNet".into(),
+            clock_hz: 400.0e6,
+            cycle_costs: CycleCosts::soft_float(0.8),
+            interp_penalty: 1.0,
+            dvfs_derate: 1.0,
+            os_overhead: 1.2,
+            cpu_budget_fraction: 1.0,
+            radio: RadioModel {
+                goodput_bytes_per_sec: 500_000.0,
+                max_payload: 1_400,
+                per_packet_overhead: 78,
+                baseline_loss: 0.01,
+            },
+        }
+    }
+
+    /// The WaveScript compiler executing graphs directly in Scheme on a
+    /// 3.2 GHz Xeon (the "Scheme" series of Fig 5b): fast clock, hardware
+    /// floats, interpreter overhead.
+    pub fn scheme_server() -> Self {
+        Platform {
+            name: "Scheme".into(),
+            clock_hz: 3.2e9,
+            cycle_costs: CycleCosts::hard_float(),
+            interp_penalty: 12.0,
+            dvfs_derate: 1.0,
+            os_overhead: 1.05,
+            cpu_budget_fraction: 1.0,
+            radio: RadioModel {
+                goodput_bytes_per_sec: 10.0e6,
+                max_payload: 1_400,
+                per_packet_overhead: 78,
+                baseline_loss: 0.0,
+            },
+        }
+    }
+
+    /// The backend server itself (assumed to have "infinite computational
+    /// power compared to the embedded nodes", §4) — used by the runtime
+    /// simulator for the server-side partition.
+    pub fn server() -> Self {
+        Platform {
+            name: "Server".into(),
+            clock_hz: 3.2e9,
+            cycle_costs: CycleCosts::hard_float(),
+            interp_penalty: 1.0,
+            dvfs_derate: 1.0,
+            os_overhead: 1.0,
+            cpu_budget_fraction: 1.0,
+            radio: RadioModel {
+                goodput_bytes_per_sec: 100.0e6,
+                max_payload: 1_400,
+                per_packet_overhead: 78,
+                baseline_loss: 0.0,
+            },
+        }
+    }
+
+    /// The five node platforms of Fig 5(b), in the paper's order.
+    pub fn fig5b_platforms() -> Vec<Platform> {
+        vec![
+            Self::tmote_sky(),
+            Self::nokia_n80(),
+            Self::iphone(),
+            Self::voxnet(),
+            Self::scheme_server(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wishbone_dataflow::OpClass;
+
+    fn float_heavy() -> OpCounts {
+        let mut c = OpCounts::new();
+        c.record(OpClass::FloatMul, 1000);
+        c.record(OpClass::Transcendental, 100);
+        c
+    }
+
+    fn int_heavy() -> OpCounts {
+        let mut c = OpCounts::new();
+        c.record(OpClass::IntAlu, 1000);
+        c.record(OpClass::Mem, 500);
+        c
+    }
+
+    #[test]
+    fn tmote_penalises_floats_relative_to_server() {
+        let tmote = Platform::tmote_sky();
+        let server = Platform::server();
+        let ratio_float = tmote.seconds_for(&float_heavy()) / server.seconds_for(&float_heavy());
+        let ratio_int = tmote.seconds_for(&int_heavy()) / server.seconds_for(&int_heavy());
+        // Fig 8: relative cost of float-heavy operators grows much faster
+        // on the FPU-less mote than int-heavy ones.
+        assert!(
+            ratio_float > 5.0 * ratio_int,
+            "float ratio {ratio_float:.0} vs int ratio {ratio_int:.0}"
+        );
+    }
+
+    #[test]
+    fn n80_is_much_slower_than_its_clock_suggests() {
+        let tmote = Platform::tmote_sky();
+        let n80 = Platform::nokia_n80();
+        assert!((n80.clock_hz / tmote.clock_hz - 55.0).abs() < 1.0, "55x clock ratio");
+        let speedup = tmote.seconds_for(&float_heavy()) / n80.seconds_for(&float_heavy());
+        // Paper: "performing only about twice as fast" — allow 1.5..8x.
+        assert!((1.5..8.0).contains(&speedup), "N80 float speedup over TMote: {speedup:.1}");
+    }
+
+    #[test]
+    fn iphone_three_times_worse_than_gumstix() {
+        let iphone = Platform::iphone();
+        let gumstix = Platform::gumstix();
+        let ratio = iphone.seconds_for(&float_heavy()) / gumstix.seconds_for(&float_heavy());
+        assert!((2.5..3.5).contains(&ratio), "iPhone/Gumstix = {ratio:.2}");
+    }
+
+    #[test]
+    fn meraki_cpu_and_radio_shape() {
+        let tmote = Platform::tmote_sky();
+        let meraki = Platform::meraki_mini();
+        let cpu_ratio = tmote.seconds_for(&int_heavy()) / meraki.seconds_for(&int_heavy());
+        assert!((8.0..60.0).contains(&cpu_ratio), "Meraki ~15x TMote CPU, got {cpu_ratio:.0}");
+        let bw_ratio =
+            meraki.radio.goodput_bytes_per_sec / tmote.radio.goodput_bytes_per_sec;
+        assert!(bw_ratio >= 10.0, "Meraki needs >=10x bandwidth, got {bw_ratio:.0}");
+    }
+
+    #[test]
+    fn packetization_math() {
+        let r = Platform::tmote_sky().radio;
+        assert_eq!(r.packets_for(0), 1);
+        assert_eq!(r.packets_for(28), 1);
+        assert_eq!(r.packets_for(29), 2);
+        assert_eq!(r.on_air_bytes(28), 28 + 17);
+        assert_eq!(r.on_air_bytes(56), 56 + 34);
+    }
+
+    #[test]
+    fn effective_hz_combines_derate_and_interp() {
+        let p = Platform::iphone();
+        assert!((p.effective_hz() - 412.0e6 / 3.0).abs() < 1.0);
+        let n = Platform::nokia_n80();
+        assert!((n.effective_hz() - 220.0e6 / 20.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,454 @@
+//! End-to-end deployment simulation: N nodes + shared channel + server.
+//!
+//! Reproduces the paper's testbed methodology (§7.3): run the partitioned
+//! application, count *missed input events* (CPU overrun at the node) and
+//! *dropped network messages* (channel congestion), and report goodput —
+//! "the percentage of sample data that was fully processed to produce
+//! output ... roughly the product of the fraction of data processed at
+//! sensor inputs, and the fraction of network messages that were
+//! successfully received."
+
+use std::collections::HashSet;
+
+use wishbone_dataflow::{Graph, OperatorId, Value};
+use wishbone_net::{Channel, ChannelParams};
+use wishbone_profile::Platform;
+
+use crate::exec::{NodeExecutor, ServerExecutor};
+use crate::task::TaskModel;
+
+/// Configuration of one simulated deployment run.
+#[derive(Debug, Clone)]
+pub struct DeploymentConfig {
+    /// Number of embedded nodes (the paper deploys 1 and 20).
+    pub n_nodes: usize,
+    /// Simulated wall-clock duration, seconds.
+    pub duration_s: f64,
+    /// Source-rate multiplier relative to the trace's reference rate.
+    pub rate_multiplier: f64,
+    /// Deterministic seed for channel losses.
+    pub seed: u64,
+    /// Task-granularity model of the node OS.
+    pub task_model: TaskModel,
+    /// CPU cost of transmitting one packet, seconds (processor involvement
+    /// in communication — one of the overheads the paper notes its additive
+    /// model omits, §7.3).
+    pub per_packet_cpu_s: f64,
+    /// Source buffer depth in events (TinyOS `ReadStream` double
+    /// buffering = 2, §6.2.3). Arrivals beyond this while busy are missed.
+    pub source_buffer: usize,
+}
+
+impl DeploymentConfig {
+    /// A mote-class deployment at the reference rate.
+    pub fn motes(n_nodes: usize, seed: u64) -> Self {
+        DeploymentConfig {
+            n_nodes,
+            duration_s: 30.0,
+            rate_multiplier: 1.0,
+            seed,
+            task_model: TaskModel::tinyos(),
+            per_packet_cpu_s: 0.8e-3,
+            source_buffer: 2,
+        }
+    }
+}
+
+/// Outcome of a deployment simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentReport {
+    /// Source events offered across all nodes.
+    pub events_offered: u64,
+    /// Source events actually processed (not missed while CPU-busy).
+    pub events_processed: u64,
+    /// Elements submitted to the radio.
+    pub elements_sent: u64,
+    /// Elements fully delivered (all packets survived).
+    pub elements_delivered: u64,
+    /// Packets sent / delivered (channel-level view).
+    pub packets_sent: u64,
+    /// Fraction of packets delivered.
+    pub packet_delivery_ratio: f64,
+    /// Elements that reached a sink on the server.
+    pub sink_arrivals: u64,
+    /// Mean node CPU utilization (busy time / duration).
+    pub node_cpu_utilization: f64,
+    /// Aggregate on-air offered load, bytes/s.
+    pub offered_load_bytes_per_sec: f64,
+}
+
+impl DeploymentReport {
+    /// Fraction of input events processed at the nodes.
+    pub fn input_processed_ratio(&self) -> f64 {
+        if self.events_offered == 0 {
+            1.0
+        } else {
+            self.events_processed as f64 / self.events_offered as f64
+        }
+    }
+
+    /// Fraction of radio elements delivered end-to-end.
+    pub fn element_delivery_ratio(&self) -> f64 {
+        if self.elements_sent == 0 {
+            1.0
+        } else {
+            self.elements_delivered as f64 / self.elements_sent as f64
+        }
+    }
+
+    /// The paper's goodput metric: fraction of offered sample data fully
+    /// processed to output (product of input processing and delivery).
+    pub fn goodput_ratio(&self) -> f64 {
+        self.input_processed_ratio() * self.element_delivery_ratio()
+    }
+}
+
+/// Input feed for one source operator on every node.
+#[derive(Debug, Clone)]
+pub struct SourceFeed {
+    /// The source operator this feed drives.
+    pub source: OperatorId,
+    /// Elements, replayed cyclically.
+    pub trace: Vec<Value>,
+    /// Reference element rate, elements/second (scaled by the config's
+    /// rate multiplier).
+    pub rate_hz: f64,
+}
+
+/// Simulate a deployment of `graph` partitioned at `node_ops`.
+///
+/// `trace` supplies the per-node source input (every node samples its own
+/// copy, offset-free: nodes are homogeneous); `trace_rate_hz` is the
+/// reference element rate scaled by `cfg.rate_multiplier`.
+pub fn simulate_deployment(
+    graph: &Graph,
+    node_ops: &HashSet<OperatorId>,
+    source: OperatorId,
+    trace: &[Value],
+    trace_rate_hz: f64,
+    node_platform: &Platform,
+    channel: ChannelParams,
+    cfg: &DeploymentConfig,
+) -> DeploymentReport {
+    simulate_deployment_multi(
+        graph,
+        node_ops,
+        &[SourceFeed { source, trace: trace.to_vec(), rate_hz: trace_rate_hz }],
+        node_platform,
+        channel,
+        cfg,
+    )
+}
+
+/// Multi-source deployment simulation: each node hosts every feed (e.g.
+/// the 22 channels of an EEG cap), with arrivals merged in time order.
+pub fn simulate_deployment_multi(
+    graph: &Graph,
+    node_ops: &HashSet<OperatorId>,
+    feeds: &[SourceFeed],
+    node_platform: &Platform,
+    channel: ChannelParams,
+    cfg: &DeploymentConfig,
+) -> DeploymentReport {
+    assert!(!feeds.is_empty(), "deployment needs at least one source feed");
+    for f in feeds {
+        assert!(!f.trace.is_empty(), "deployment needs non-empty traces");
+        assert!(f.rate_hz > 0.0);
+    }
+    assert!(cfg.n_nodes >= 1);
+
+    // Merged per-node arrival schedule: (time, feed index, element index).
+    let mut schedule: Vec<(f64, usize, usize)> = Vec::new();
+    for (fi, f) in feeds.iter().enumerate() {
+        let rate = f.rate_hz * cfg.rate_multiplier;
+        let n = (cfg.duration_s * rate).floor() as u64;
+        for k in 0..n {
+            schedule.push((k as f64 / rate, fi, k as usize));
+        }
+    }
+    schedule.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+
+    // ---- Pass 1: node-side simulation (CPU + queueing) ------------------
+    // Nodes are independent except for the shared channel; simulate each
+    // node's arrival queue to find which events are processed and what
+    // traffic it offers.
+    let mut executors: Vec<NodeExecutor> = (0..cfg.n_nodes)
+        .map(|_| NodeExecutor::new(graph, node_ops, node_platform.clone(), cfg.task_model))
+        .collect();
+
+    let mut events_offered = 0u64;
+    let mut events_processed = 0u64;
+    let mut busy_total = 0.0f64;
+    // (node, element) transmissions in send order.
+    let mut sends: Vec<(usize, wishbone_dataflow::EdgeId, Value)> = Vec::new();
+    let mut on_air_total = 0.0f64;
+
+    for (node, ne) in executors.iter_mut().enumerate() {
+        let mut free_at = 0.0f64; // when the CPU finishes its queue
+        // Each source has its own buffer (TinyOS ReadStream double
+        // buffering is per interface), so simultaneous multi-channel
+        // arrivals do not evict each other.
+        let mut queued = vec![0usize; feeds.len()];
+        for &(t, fi, k) in &schedule {
+            events_offered += 1;
+            // Drain the queues virtually: everything queued completes
+            // before `free_at`; arrivals when a source's backlog exceeds
+            // its buffer are missed (the ReadStream has nowhere to put
+            // them).
+            if t >= free_at {
+                queued.iter_mut().for_each(|q| *q = 0);
+            }
+            if queued[fi] >= cfg.source_buffer {
+                continue; // missed input event
+            }
+            let feed = &feeds[fi];
+            let elem = &feed.trace[k % feed.trace.len()];
+            let cascade = ne.process_event(graph, feed.source, elem);
+            let tx_cpu =
+                cascade.transmissions.iter().map(|(_, v)| {
+                    channel.format.packets_for(v.wire_size()) as f64 * cfg.per_packet_cpu_s
+                }).sum::<f64>();
+            let service = cascade.cpu_seconds + tx_cpu;
+            busy_total += service;
+            free_at = free_at.max(t) + service;
+            queued[fi] += 1;
+            events_processed += 1;
+            for (eid, v) in cascade.transmissions {
+                on_air_total += channel.format.on_air_bytes(v.wire_size()) as f64;
+                sends.push((node, eid, v));
+            }
+        }
+    }
+
+    // ---- Pass 2: channel + server --------------------------------------
+    let offered_load = on_air_total / cfg.duration_s;
+    let mut ch = Channel::new(channel, cfg.seed);
+    ch.set_offered_load(offered_load);
+    let mut server = ServerExecutor::new(graph, node_ops, cfg.n_nodes);
+
+    let mut elements_delivered = 0u64;
+    for (node, eid, v) in &sends {
+        if ch.try_deliver(v.wire_size()) {
+            elements_delivered += 1;
+            server.deliver(graph, *node, *eid, v);
+        }
+    }
+
+    DeploymentReport {
+        events_offered,
+        events_processed,
+        elements_sent: sends.len() as u64,
+        elements_delivered,
+        packets_sent: ch.sent_packets(),
+        packet_delivery_ratio: ch.packet_delivery_ratio(),
+        sink_arrivals: server.sink_arrivals,
+        node_cpu_utilization: (busy_total / (cfg.n_nodes as f64 * cfg.duration_s)).min(1.0),
+        offered_load_bytes_per_sec: offered_load,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wishbone_dataflow::{ExecCtx, FnWork, GraphBuilder};
+
+    /// src -> burn (costs `cost` int ops, reduces 10x) -> sink
+    fn pipeline(cost: u64) -> (Graph, OperatorId, OperatorId) {
+        pipeline_with_payload(cost, 10)
+    }
+
+    /// Like `pipeline` but with a configurable emitted-window length.
+    fn pipeline_with_payload(cost: u64, payload: usize) -> (Graph, OperatorId, OperatorId) {
+        let mut b = GraphBuilder::new();
+        b.enter_node_namespace();
+        let src = b.source("src");
+        let burn = b.stateful_transform(
+            "burn",
+            Box::new(FnWork({
+                let mut i = 0u64;
+                move |_p: usize, _v: &Value, cx: &mut ExecCtx| {
+                    i += 1;
+                    cx.meter().loop_scope(cost, |m| m.int(cost));
+                    if i % 10 == 0 {
+                        cx.emit(Value::VecI16(vec![0; payload]));
+                    }
+                }
+            })),
+            src,
+        );
+        b.exit_namespace();
+        b.sink("out", burn);
+        let g = b.finish().unwrap();
+        (g, src.0, burn.0)
+    }
+
+    fn trace(n: usize) -> Vec<Value> {
+        (0..n).map(|i| Value::VecI16(vec![i as i16; 100])).collect()
+    }
+
+    #[test]
+    fn light_load_processes_everything() {
+        let (g, src, burn) = pipeline(100);
+        let node_ops: HashSet<_> = [src, burn].into_iter().collect();
+        let cfg = DeploymentConfig { duration_s: 10.0, ..DeploymentConfig::motes(1, 1) };
+        let r = simulate_deployment(
+            &g, &node_ops, src, &trace(100), 10.0,
+            &Platform::tmote_sky(), ChannelParams::mote(), &cfg,
+        );
+        assert_eq!(r.events_offered, 100);
+        assert_eq!(r.events_processed, 100);
+        // 10 single-packet elements at 5% baseline loss: expect ~9.5
+        // delivered; allow binomial noise.
+        assert!(r.goodput_ratio() > 0.7, "goodput {}", r.goodput_ratio());
+        assert!(r.node_cpu_utilization < 0.2);
+        // 10x reduction: 10 elements sent, and they're small.
+        assert_eq!(r.elements_sent, 10);
+    }
+
+    #[test]
+    fn cpu_overload_misses_input_events() {
+        // Each event costs ~2.5M int ops = ~0.8s on a 4 MHz mote with
+        // os_overhead; at 10 events/s the node can keep up with only ~1/8.
+        let (g, src, burn) = pipeline(2_500_000);
+        let node_ops: HashSet<_> = [src, burn].into_iter().collect();
+        let cfg = DeploymentConfig { duration_s: 10.0, ..DeploymentConfig::motes(1, 2) };
+        let r = simulate_deployment(
+            &g, &node_ops, src, &trace(100), 10.0,
+            &Platform::tmote_sky(), ChannelParams::mote(), &cfg,
+        );
+        assert!(r.input_processed_ratio() < 0.5, "ratio {}", r.input_processed_ratio());
+        assert!(r.node_cpu_utilization > 0.9);
+    }
+
+    #[test]
+    fn network_overload_drops_messages() {
+        // All-on-server cut: raw 202-byte elements at 40/s = ~8 on-air KB/s
+        // + per-packet headers over a 6 KB/s channel.
+        let (g, src, _burn) = pipeline(100);
+        let node_ops: HashSet<_> = [src].into_iter().collect();
+        let cfg = DeploymentConfig { duration_s: 10.0, ..DeploymentConfig::motes(1, 3) };
+        let r = simulate_deployment(
+            &g, &node_ops, src, &trace(100), 40.0,
+            &Platform::tmote_sky(), ChannelParams::mote(), &cfg,
+        );
+        assert!(r.offered_load_bytes_per_sec > ChannelParams::mote().capacity_bytes_per_sec);
+        assert!(r.element_delivery_ratio() < 0.5, "delivery {}", r.element_delivery_ratio());
+        assert!(r.input_processed_ratio() > 0.9, "cheap source shouldn't miss inputs");
+    }
+
+    #[test]
+    fn twenty_nodes_share_the_bottleneck() {
+        // 202-byte elements: 20 nodes push the shared channel well past
+        // saturation while a single node stays under it.
+        let (g, src, burn) = pipeline_with_payload(1000, 100);
+        let node_ops: HashSet<_> = [src, burn].into_iter().collect();
+        let one = simulate_deployment(
+            &g, &node_ops, src, &trace(100), 20.0, &Platform::tmote_sky(),
+            ChannelParams::mote(),
+            &DeploymentConfig { duration_s: 10.0, ..DeploymentConfig::motes(1, 4) },
+        );
+        let twenty = simulate_deployment(
+            &g, &node_ops, src, &trace(100), 20.0, &Platform::tmote_sky(),
+            ChannelParams::mote(),
+            &DeploymentConfig { duration_s: 10.0, ..DeploymentConfig::motes(20, 4) },
+        );
+        assert!(twenty.offered_load_bytes_per_sec > 10.0 * one.offered_load_bytes_per_sec);
+        assert!(twenty.element_delivery_ratio() <= one.element_delivery_ratio());
+    }
+
+    #[test]
+    fn sink_arrivals_track_deliveries() {
+        let (g, src, burn) = pipeline(10);
+        let node_ops: HashSet<_> = [src, burn].into_iter().collect();
+        let cfg = DeploymentConfig { duration_s: 10.0, ..DeploymentConfig::motes(1, 5) };
+        let r = simulate_deployment(
+            &g, &node_ops, src, &trace(100), 10.0,
+            &Platform::tmote_sky(), ChannelParams::mote(), &cfg,
+        );
+        assert_eq!(r.sink_arrivals, r.elements_delivered);
+    }
+
+    #[test]
+    fn multi_source_merges_arrivals() {
+        // Two sources on one node: a fast cheap one and a slow heavy one.
+        let mut b = GraphBuilder::new();
+        b.enter_node_namespace();
+        let s1 = b.source("fast");
+        let s2 = b.source("slow");
+        let t1 = b.transform(
+            "t1",
+            Box::new(FnWork(|_p: usize, v: &Value, cx: &mut ExecCtx| {
+                cx.meter().int(10);
+                cx.emit(v.clone());
+            })),
+            s1,
+        );
+        let t2 = b.transform(
+            "t2",
+            Box::new(FnWork(|_p: usize, v: &Value, cx: &mut ExecCtx| {
+                cx.meter().loop_scope(1000, |m| m.int(1000));
+                cx.emit(v.clone());
+            })),
+            s2,
+        );
+        b.exit_namespace();
+        b.sink("o1", t1);
+        b.sink("o2", t2);
+        let g = b.finish().unwrap();
+        let node_ops: HashSet<_> = [s1.0, s2.0, t1.0, t2.0].into_iter().collect();
+        let feeds = vec![
+            SourceFeed {
+                source: s1.0,
+                trace: vec![Value::I16(1)],
+                rate_hz: 20.0,
+            },
+            SourceFeed {
+                source: s2.0,
+                trace: vec![Value::VecI16(vec![0; 50])],
+                rate_hz: 5.0,
+            },
+        ];
+        let cfg = DeploymentConfig { duration_s: 10.0, ..DeploymentConfig::motes(1, 8) };
+        let r = simulate_deployment_multi(
+            &g, &node_ops, &feeds, &Platform::tmote_sky(), ChannelParams::mote(), &cfg,
+        );
+        // 20/s + 5/s over 10s = 250 events offered.
+        assert_eq!(r.events_offered, 250);
+        assert!(r.input_processed_ratio() > 0.95, "light load processes everything");
+        assert_eq!(r.elements_sent, r.events_processed, "both pipelines transmit");
+    }
+
+    #[test]
+    fn single_source_wrapper_equals_multi() {
+        let (g, src, burn) = pipeline(500);
+        let node_ops: HashSet<_> = [src, burn].into_iter().collect();
+        let cfg = DeploymentConfig { duration_s: 5.0, ..DeploymentConfig::motes(2, 9) };
+        let tr = trace(50);
+        let a = simulate_deployment(
+            &g, &node_ops, src, &tr, 20.0, &Platform::tmote_sky(), ChannelParams::mote(), &cfg,
+        );
+        let b = simulate_deployment_multi(
+            &g,
+            &node_ops,
+            &[SourceFeed { source: src, trace: tr, rate_hz: 20.0 }],
+            &Platform::tmote_sky(),
+            ChannelParams::mote(),
+            &cfg,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (g, src, burn) = pipeline(500);
+        let node_ops: HashSet<_> = [src, burn].into_iter().collect();
+        let cfg = DeploymentConfig { duration_s: 5.0, ..DeploymentConfig::motes(3, 9) };
+        let run = || {
+            simulate_deployment(
+                &g, &node_ops, src, &trace(50), 20.0,
+                &Platform::tmote_sky(), ChannelParams::mote(), &cfg,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,288 @@
+//! Node- and server-side executors for a partitioned graph.
+//!
+//! The node executor runs the embedded partition with per-node operator
+//! instances and TinyOS task-model timing; elements crossing a cut edge are
+//! handed to the radio. The server executor "emulates many instances
+//! running within the network" for relocated stateful node operators by
+//! keeping one state instance per node id (§2.1.1), while operators
+//! declared in the server namespace keep a single serial instance.
+
+use std::collections::HashSet;
+
+use wishbone_dataflow::{EdgeId, Graph, Namespace, OperatorId, OperatorKind, Value, WorkFn};
+use wishbone_profile::Platform;
+
+use crate::task::TaskModel;
+
+/// Result of pushing one source event through the node partition.
+#[derive(Debug, Default)]
+pub struct NodeCascade {
+    /// CPU-seconds consumed (including OS overhead and task overheads).
+    pub cpu_seconds: f64,
+    /// Longest unbroken task in the cascade, seconds.
+    pub longest_task_s: f64,
+    /// Number of tasks posted.
+    pub tasks: u64,
+    /// Elements that must cross the network: `(cut edge, element)`.
+    pub transmissions: Vec<(EdgeId, Value)>,
+}
+
+/// Executes the node partition of a graph on one simulated embedded node.
+pub struct NodeExecutor {
+    work: Vec<Option<Box<dyn WorkFn>>>,
+    in_partition: Vec<bool>,
+    platform: Platform,
+    task_model: TaskModel,
+}
+
+impl NodeExecutor {
+    /// Fresh per-node operator instances for every operator in `node_ops`.
+    pub fn new(
+        graph: &Graph,
+        node_ops: &HashSet<OperatorId>,
+        platform: Platform,
+        task_model: TaskModel,
+    ) -> Self {
+        let work = graph.instantiate_work();
+        let in_partition = graph
+            .operator_ids()
+            .map(|id| node_ops.contains(&id))
+            .collect();
+        NodeExecutor { work, in_partition, platform, task_model }
+    }
+
+    /// Is `op` assigned to this node?
+    pub fn hosts(&self, op: OperatorId) -> bool {
+        self.in_partition[op.0]
+    }
+
+    /// Process one arrival at `source`, running the depth-first cascade
+    /// through the node partition.
+    pub fn process_event(&mut self, graph: &Graph, source: OperatorId, input: &Value) -> NodeCascade {
+        let mut cascade = NodeCascade::default();
+        self.run(graph, source, 0, input, &mut cascade);
+        cascade
+    }
+
+    fn run(
+        &mut self,
+        graph: &Graph,
+        op: OperatorId,
+        port: usize,
+        input: &Value,
+        cascade: &mut NodeCascade,
+    ) {
+        debug_assert!(self.in_partition[op.0], "cascade entered a non-node operator");
+        let mut cx = wishbone_dataflow::ExecCtx::new();
+        self.work[op.0]
+            .as_mut()
+            .unwrap_or_else(|| panic!("operator {op} has no work function"))
+            .process(port, input, &mut cx);
+        let (outputs, counts) = cx.finish();
+
+        let busy = self.platform.seconds_for(&counts) * self.platform.os_overhead;
+        let lf = counts.loop_fraction();
+        cascade.cpu_seconds += self.task_model.total_time(busy, lf);
+        cascade.longest_task_s = cascade.longest_task_s.max(self.task_model.longest_task(busy, lf));
+        cascade.tasks += u64::from(self.task_model.tasks_for(busy, lf));
+
+        let out_edges: Vec<EdgeId> = graph.out_edges(op).to_vec();
+        for v in &outputs {
+            for &eid in &out_edges {
+                let e = graph.edge(eid);
+                if self.in_partition[e.dst.0] {
+                    self.run(graph, e.dst, e.dst_port, v, cascade);
+                } else {
+                    cascade.transmissions.push((eid, v.clone()));
+                }
+            }
+        }
+    }
+}
+
+/// Executes the server partition for a whole network of nodes.
+///
+/// Node-namespace operators relocated to the server keep one work-function
+/// instance (and therefore one copy of private state) *per node*; operators
+/// in the server namespace keep a single instance with serial semantics.
+pub struct ServerExecutor {
+    /// `per_node[node][op]`: instances for Node-namespace operators.
+    per_node: Vec<Vec<Option<Box<dyn WorkFn>>>>,
+    /// Shared instances for Server-namespace operators.
+    shared: Vec<Option<Box<dyn WorkFn>>>,
+    is_node_ns: Vec<bool>,
+    on_server: Vec<bool>,
+    /// Elements that reached sinks.
+    pub sink_arrivals: u64,
+}
+
+impl ServerExecutor {
+    /// Build server-side state for `n_nodes` nodes; `node_ops` is the set
+    /// assigned to the embedded nodes (everything else runs here).
+    pub fn new(graph: &Graph, node_ops: &HashSet<OperatorId>, n_nodes: usize) -> Self {
+        let per_node = (0..n_nodes).map(|_| graph.instantiate_work()).collect();
+        let shared = graph.instantiate_work();
+        let is_node_ns = graph
+            .operator_ids()
+            .map(|id| graph.spec(id).namespace == Namespace::Node)
+            .collect();
+        let on_server = graph
+            .operator_ids()
+            .map(|id| !node_ops.contains(&id))
+            .collect();
+        ServerExecutor { per_node, shared, is_node_ns, on_server, sink_arrivals: 0 }
+    }
+
+    /// Deliver an element that arrived from `node` over cut edge `edge`.
+    /// Returns the number of sink arrivals this delivery produced.
+    pub fn deliver(&mut self, graph: &Graph, node: usize, edge: EdgeId, value: &Value) -> u64 {
+        let before = self.sink_arrivals;
+        let e = graph.edge(edge);
+        debug_assert!(self.on_server[e.dst.0], "cut edge must target a server operator");
+        self.run(graph, node, e.dst, e.dst_port, value);
+        self.sink_arrivals - before
+    }
+
+    fn run(&mut self, graph: &Graph, node: usize, op: OperatorId, port: usize, input: &Value) {
+        if graph.spec(op).kind == OperatorKind::Sink {
+            self.sink_arrivals += 1;
+            return;
+        }
+        let mut cx = wishbone_dataflow::ExecCtx::new();
+        let slot = if self.is_node_ns[op.0] {
+            &mut self.per_node[node][op.0]
+        } else {
+            &mut self.shared[op.0]
+        };
+        slot.as_mut()
+            .unwrap_or_else(|| panic!("operator {op} has no work function"))
+            .process(port, input, &mut cx);
+        let (outputs, _counts) = cx.finish();
+        let out_edges: Vec<EdgeId> = graph.out_edges(op).to_vec();
+        for v in &outputs {
+            for &eid in &out_edges {
+                let e = graph.edge(eid);
+                debug_assert!(
+                    self.on_server[e.dst.0],
+                    "data may not flow back into the network (single-crossing restriction)"
+                );
+                self.run(graph, node, e.dst, e.dst_port, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wishbone_dataflow::{ExecCtx, FnWork, GraphBuilder, OperatorSpec};
+
+    /// src -> counter (stateful: emits running count) -> sink
+    fn counting_graph() -> (Graph, OperatorId, OperatorId, OperatorId) {
+        let mut b = GraphBuilder::new();
+        b.enter_node_namespace();
+        let src = b.source("src");
+        let counter = b.operator(
+            OperatorSpec::transform("counter").with_state(),
+            Box::new(FnWork({
+                let mut n = 0i32;
+                move |_p: usize, _v: &Value, cx: &mut ExecCtx| {
+                    n += 1;
+                    cx.meter().int(1);
+                    cx.emit(Value::I32(n));
+                }
+            })),
+            &[src],
+        );
+        b.exit_namespace();
+        let sink = b.sink("out", counter);
+        (b.finish().unwrap(), src.0, counter.0, sink)
+    }
+
+    #[test]
+    fn node_executor_cuts_at_partition_boundary() {
+        let (g, src, _counter, _) = counting_graph();
+        // Node partition = {src}: counter runs on the server.
+        let node_ops: HashSet<_> = [src].into_iter().collect();
+        let mut ne = NodeExecutor::new(&g, &node_ops, Platform::tmote_sky(), TaskModel::tinyos());
+        let c = ne.process_event(&g, src, &Value::I16(1));
+        assert_eq!(c.transmissions.len(), 1);
+        assert!(c.cpu_seconds > 0.0);
+    }
+
+    #[test]
+    fn node_executor_runs_whole_node_partition() {
+        let (g, src, counter, _) = counting_graph();
+        let node_ops: HashSet<_> = [src, counter].into_iter().collect();
+        let mut ne = NodeExecutor::new(&g, &node_ops, Platform::tmote_sky(), TaskModel::tinyos());
+        let c1 = ne.process_event(&g, src, &Value::I16(1));
+        let c2 = ne.process_event(&g, src, &Value::I16(1));
+        // Counter state advances on the node: transmitted values 1 then 2.
+        assert_eq!(c1.transmissions[0].1, Value::I32(1));
+        assert_eq!(c2.transmissions[0].1, Value::I32(2));
+    }
+
+    #[test]
+    fn server_keeps_per_node_state_for_relocated_ops() {
+        let (g, src, _counter, _) = counting_graph();
+        let node_ops: HashSet<_> = [src].into_iter().collect();
+        let mut se = ServerExecutor::new(&g, &node_ops, 2);
+        let cut = g.out_edges(src)[0];
+        // Two deliveries from node 0, one from node 1: the counter state is
+        // per node (the paper's table indexed by node ID).
+        assert_eq!(se.deliver(&g, 0, cut, &Value::I16(1)), 1);
+        assert_eq!(se.deliver(&g, 0, cut, &Value::I16(1)), 1);
+        assert_eq!(se.deliver(&g, 1, cut, &Value::I16(1)), 1);
+        assert_eq!(se.sink_arrivals, 3);
+    }
+
+    #[test]
+    fn server_namespace_ops_share_one_instance() {
+        let mut b = GraphBuilder::new();
+        b.enter_node_namespace();
+        let src = b.source("src");
+        b.exit_namespace();
+        // Server-side stateful aggregator (single serial instance).
+        let agg = b.operator(
+            OperatorSpec::transform("agg").with_state().in_namespace(Namespace::Server),
+            Box::new(FnWork({
+                let mut n = 0i32;
+                move |_p: usize, _v: &Value, cx: &mut ExecCtx| {
+                    n += 1;
+                    cx.meter().int(1);
+                    cx.emit(Value::I32(n));
+                }
+            })),
+            &[src],
+        );
+        b.sink("out", agg);
+        let g = b.finish_unchecked();
+        g.validate().unwrap();
+
+        let node_ops: HashSet<_> = [src.0].into_iter().collect();
+        let mut se = ServerExecutor::new(&g, &node_ops, 2);
+        let cut = g.out_edges(src.0)[0];
+        se.deliver(&g, 0, cut, &Value::I16(1));
+        se.deliver(&g, 1, cut, &Value::I16(1));
+        // Both nodes fed the same instance; if state were per node the
+        // counter would have emitted 1 twice. We can't observe emissions
+        // directly here, but sink arrivals confirm flow; state sharing is
+        // observable through graph semantics in the deployment tests.
+        assert_eq!(se.sink_arrivals, 2);
+    }
+
+    #[test]
+    fn task_overheads_show_up_in_cascade_time() {
+        let (g, src, counter, _) = counting_graph();
+        let node_ops: HashSet<_> = [src, counter].into_iter().collect();
+        let heavy_overhead = TaskModel { max_task_s: 0.005, task_overhead_s: 0.010 };
+        let light_overhead = TaskModel { max_task_s: 0.005, task_overhead_s: 0.0 };
+        let mut ne_h =
+            NodeExecutor::new(&g, &node_ops, Platform::tmote_sky(), heavy_overhead);
+        let mut ne_l =
+            NodeExecutor::new(&g, &node_ops, Platform::tmote_sky(), light_overhead);
+        let ch = ne_h.process_event(&g, src, &Value::I16(1));
+        let cl = ne_l.process_event(&g, src, &Value::I16(1));
+        assert!(ch.cpu_seconds > cl.cpu_seconds + 0.015, "2 ops x 10ms overhead");
+    }
+}

@@ -1,0 +1,26 @@
+//! # wishbone-runtime
+//!
+//! Execution substrate for partitioned Wishbone programs:
+//!
+//! * [`TaskModel`] — the TinyOS cooperative task model with loop-boundary
+//!   task splitting (paper §5.2);
+//! * [`NodeExecutor`] / [`ServerExecutor`] — run the embedded and server
+//!   partitions with the paper's state semantics (per-node instances for
+//!   relocated stateful operators, §2.1.1);
+//! * [`simulate_deployment`] — the end-to-end testbed simulation behind
+//!   Figures 9 and 10: N nodes feeding one congested channel, counting
+//!   missed input events, dropped messages, and goodput.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deployment;
+pub mod exec;
+pub mod task;
+
+pub use deployment::{
+    simulate_deployment, simulate_deployment_multi, DeploymentConfig, DeploymentReport,
+    SourceFeed,
+};
+pub use exec::{NodeCascade, NodeExecutor, ServerExecutor};
+pub use task::TaskModel;

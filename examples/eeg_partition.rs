@@ -1,0 +1,61 @@
+//! Partition the full 22-channel EEG application (the paper's
+//! 1412-operator stress case, §7.1): show how preprocessing shrinks the
+//! ILP, how long the solver takes, and how the node partition shrinks as
+//! the input rate grows.
+//!
+//! Run with: `cargo run --release --example eeg_partition`
+
+use wishbone::prelude::*;
+
+fn main() {
+    let mut app = build_eeg_app(EegParams::default());
+    println!(
+        "EEG app: {} channels, {} operators, {} edges (paper: 1412 operators)",
+        app.n_channels,
+        app.graph.operator_count(),
+        app.graph.edge_count()
+    );
+
+    let traces = app.traces(8, 3..6, 5);
+    let prof = profile(&mut app.graph, &traces).expect("profiling succeeds");
+
+    let mote = Platform::tmote_sky();
+
+    // One partition at a moderate rate, with solver statistics.
+    let cfg = PartitionConfig::for_platform(&mote).at_rate(0.5);
+    match partition(&app.graph, &prof, &mote, &cfg) {
+        Ok(part) => {
+            println!(
+                "\nrate x0.5: {} of {} operators on the node, cpu {:.1}%, net {:.0} B/s",
+                part.node_op_count(),
+                app.graph.operator_count(),
+                part.predicted_cpu * 100.0,
+                part.predicted_net
+            );
+            println!(
+                "preprocessing merged {} vertices down to {}; ILP had {} vars / {} constraints",
+                part.merge_stats.0, part.merge_stats.1, part.problem_size.0, part.problem_size.1
+            );
+            println!(
+                "solver: optimum discovered at {:?}, proven at {:?} ({} nodes)",
+                part.ilp_stats.time_to_best, part.ilp_stats.total_time, part.ilp_stats.nodes
+            );
+        }
+        Err(e) => println!("rate x0.5: {e}"),
+    }
+
+    // Fig 5a in miniature: node-partition size vs rate for two platforms.
+    println!("\noperators in optimal node partition vs input rate:");
+    println!("{:>8} {:>10} {:>10}", "rate", "TMoteSky", "NokiaN80");
+    let n80 = Platform::nokia_n80();
+    for mult in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        let count = |p: &Platform| -> String {
+            let cfg = PartitionConfig::for_platform(p).at_rate(mult);
+            match partition(&app.graph, &prof, p, &cfg) {
+                Ok(part) => part.node_op_count().to_string(),
+                Err(_) => "-".into(),
+            }
+        };
+        println!("{:>8.2} {:>10} {:>10}", mult, count(&mote), count(&n80));
+    }
+}

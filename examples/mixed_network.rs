@@ -1,0 +1,68 @@
+//! §9 extension: mixed networks. "A single logical node partition can take
+//! on different physical partitions at different nodes ... by running the
+//! partitioning algorithm once for each type of node."
+//!
+//! Scenario: a deployment with 16 TMote Sky motes and 4 Gumstix
+//! microservers all running the same speech-detection program.
+//!
+//! Run with: `cargo run --release --example mixed_network`
+
+use wishbone::core::{partition_mixed, NodeClass};
+use wishbone::prelude::*;
+
+fn main() {
+    let mut app = build_speech_app(SpeechParams::default());
+    let trace = app.trace(120, 7);
+    let prof = profile(&mut app.graph, &[trace]).expect("profiling succeeds");
+
+    let mote = Platform::tmote_sky();
+    let gumstix = Platform::gumstix();
+    let classes = vec![
+        NodeClass {
+            // Motes run at a reduced rate (their radio share of the channel).
+            config: PartitionConfig::for_platform(&mote)
+                .with_measured_overheads(&mote)
+                .at_rate(0.1),
+            platform: mote,
+            count: 16,
+        },
+        NodeClass {
+            config: PartitionConfig::for_platform(&gumstix),
+            platform: gumstix,
+            count: 4,
+        },
+    ];
+
+    let mixed = partition_mixed(&app.graph, &prof, &classes).expect("both classes partition");
+    println!("mixed deployment: one logical program, two physical partitions\n");
+    for c in &mixed.classes {
+        let last = app
+            .stages
+            .iter()
+            .rev()
+            .find(|(_, id)| c.partition.node_ops.contains(id))
+            .map(|&(n, _)| n)
+            .unwrap_or("nothing");
+        println!(
+            "{:>9} x{:<3} -> {} ops on-node (cut after '{}'), cpu {:.1}%, net {:.0} B/s",
+            c.platform_name,
+            c.count,
+            c.partition.node_op_count(),
+            last,
+            c.partition.predicted_cpu * 100.0,
+            c.partition.predicted_net
+        );
+    }
+    println!(
+        "\nserver must accept partial results at {} distinct cut edges; \
+         aggregate offered load {:.0} B/s",
+        mixed.server_entry_edges.len(),
+        mixed.total_predicted_net()
+    );
+    let union = mixed.server_side_union(&app.graph);
+    println!(
+        "server-side code covers {} of {} operators (union across classes)",
+        union.len(),
+        app.graph.operator_count()
+    );
+}

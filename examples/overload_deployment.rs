@@ -1,0 +1,83 @@
+//! The overload story of §7.3: profile the network, binary-search the
+//! maximum sustainable rate, then *validate* the recommended cut against
+//! ground truth by simulating the deployment at every cutpoint — the
+//! methodology behind Figures 9 and 10.
+//!
+//! Run with: `cargo run --release --example overload_deployment`
+
+use wishbone::prelude::*;
+
+fn main() {
+    let mut app = build_speech_app(SpeechParams::default());
+    let trace = app.trace(120, 3);
+    let prof = profile(&mut app.graph, &[trace]).expect("profiling succeeds");
+    let mote = Platform::tmote_sky();
+
+    // 1. Network profiling (§7.3.1): max send rate for 90% reception.
+    let channel = ChannelParams::mote();
+    let netprof = profile_network(channel, 1, 28, 0.90, 99);
+    println!(
+        "network profile: {:.0} B/s aggregate payload at >=90% reception",
+        netprof.max_aggregate_payload_rate
+    );
+
+    // 2. Binary search over data rates (§4.3).
+    let mut cfg = PartitionConfig::for_platform(&mote);
+    cfg.net_budget = netprof.max_aggregate_payload_rate;
+    let result = max_sustainable_rate(&app.graph, &prof, &mote, &cfg, 8.0, 0.01)
+        .expect("solver ok")
+        .expect("feasible at low rate");
+    let recommended = app
+        .stages
+        .iter()
+        .rev()
+        .find(|(_, id)| result.partition.node_ops.contains(id))
+        .map(|&(n, _)| n)
+        .unwrap();
+    println!(
+        "binary search: max rate x{:.3} of 8 kHz; recommended cut after '{}'\n",
+        result.rate, recommended
+    );
+
+    // 3. Ground truth: simulate every cutpoint on a 1-mote deployment.
+    println!("deployment simulation at the recommended rate (1 TMote + basestation):");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "cut after", "input %", "msgs %", "goodput %"
+    );
+    let elems = app.trace_elements(200, 11);
+    let mut best: Option<(&str, f64)> = None;
+    for (name, node_set) in app.cutpoints() {
+        let dcfg = DeploymentConfig {
+            duration_s: 20.0,
+            rate_multiplier: result.rate,
+            ..DeploymentConfig::motes(1, 17)
+        };
+        let report = simulate_deployment(
+            &app.graph,
+            &node_set,
+            app.source,
+            &elems,
+            40.0,
+            &mote,
+            channel,
+            &dcfg,
+        );
+        let good = report.goodput_ratio() * 100.0;
+        println!(
+            "{:<12} {:>9.1}% {:>9.1}% {:>9.1}%",
+            name,
+            report.input_processed_ratio() * 100.0,
+            report.element_delivery_ratio() * 100.0,
+            good
+        );
+        if best.map_or(true, |(_, g)| good > g) {
+            best = Some((name, good));
+        }
+    }
+    let (best_cut, best_good) = best.unwrap();
+    println!(
+        "\nempirical best cut: '{best_cut}' ({best_good:.1}% goodput); \
+         Wishbone recommended '{recommended}'"
+    );
+}

@@ -1,0 +1,60 @@
+//! Speech detection across the paper's platform zoo (§7.2): for each
+//! platform, find the maximum sustainable data rate and the optimal
+//! cutpoint via the §4.3 binary search.
+//!
+//! Run with: `cargo run --release --example speech_detection`
+
+use wishbone::prelude::*;
+
+fn main() {
+    let mut app = build_speech_app(SpeechParams::default());
+    let trace = app.trace(120, 7);
+    let prof = profile(&mut app.graph, &[trace]).expect("profiling succeeds");
+
+    println!("platform survey: max sustainable rate (x 8 kHz) and optimal cut\n");
+    println!(
+        "{:<10} {:>12} {:>10} {:>10}  {}",
+        "platform", "max rate", "node ops", "cpu %", "cut after"
+    );
+
+    for platform in Platform::fig5b_platforms() {
+        let cfg = PartitionConfig::for_platform(&platform);
+        match max_sustainable_rate(&app.graph, &prof, &platform, &cfg, 32.0, 0.01) {
+            Ok(Some(r)) => {
+                let last_stage = app
+                    .stages
+                    .iter()
+                    .rev()
+                    .find(|(_, id)| r.partition.node_ops.contains(id))
+                    .map(|&(n, _)| n)
+                    .unwrap_or("nothing");
+                println!(
+                    "{:<10} {:>12.3} {:>10} {:>9.1}%  {}",
+                    platform.name,
+                    r.rate,
+                    r.partition.node_op_count(),
+                    r.partition.predicted_cpu * 100.0,
+                    last_stage
+                );
+            }
+            Ok(None) => println!("{:<10} {:>12}", platform.name, "infeasible"),
+            Err(e) => println!("{:<10} error: {e}", platform.name),
+        }
+    }
+
+    // The Meraki story (§7.3): plenty of radio, modest CPU — optimal cut
+    // is to ship raw data.
+    let meraki = Platform::meraki_mini();
+    let cfg = PartitionConfig::for_platform(&meraki);
+    let part = partition(&app.graph, &prof, &meraki, &cfg).expect("meraki fits at full rate");
+    let node_stage_count = part.node_op_count();
+    println!(
+        "\nMeraki Mini at full rate: {} node op(s) -> {}",
+        node_stage_count,
+        if node_stage_count == 1 {
+            "cut point 1: send the raw data directly back to the server (matches §7.3)"
+        } else {
+            "in-network processing selected"
+        }
+    );
+}

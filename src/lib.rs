@@ -1,0 +1,78 @@
+//! # Wishbone
+//!
+//! A from-scratch Rust reproduction of **"Wishbone: Profile-based
+//! Partitioning for Sensornet Applications"** (Newton, Toledo, Girod,
+//! Balakrishnan, Madden — NSDI 2009).
+//!
+//! Wishbone takes a dataflow graph of stream operators, profiles every
+//! operator on sample data for each target platform, and solves an integer
+//! linear program to split the graph between resource-limited embedded
+//! nodes and a backend server — minimizing `α·CPU + β·NET` under hard CPU
+//! and radio budgets, and binary-searching the input data rate when
+//! nothing fits.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`dataflow`] | `wishbone-dataflow` | operator graphs, metered work functions |
+//! | [`dsp`] | `wishbone-dsp` | FFT / FIR / mel / DCT kernels + operators |
+//! | [`ilp`] | `wishbone-ilp` | simplex + branch-and-bound solver |
+//! | [`profile`] | `wishbone-profile` | platform cost models, graph profiler |
+//! | [`net`] | `wishbone-net` | shared-channel radio simulator |
+//! | [`runtime`] | `wishbone-runtime` | TinyOS-style executors, deployment sim |
+//! | [`core`] | `wishbone-core` | the partitioner itself |
+//! | [`apps`] | `wishbone-apps` | speech-MFCC and EEG applications |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wishbone::prelude::*;
+//!
+//! // Build the paper's speech-detection pipeline and profile it.
+//! let mut app = build_speech_app(SpeechParams::default());
+//! let trace = app.trace(40, 1);
+//! let prof = profile(&mut app.graph, &[trace]).unwrap();
+//!
+//! // Partition it for a TMote Sky at 1/8 of the full 8 kHz rate.
+//! let mote = Platform::tmote_sky();
+//! let cfg = PartitionConfig::for_platform(&mote).at_rate(0.125);
+//! let part = partition(&app.graph, &prof, &mote, &cfg).unwrap();
+//! assert!(part.node_ops.contains(&app.source));
+//! assert!(part.predicted_cpu <= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use wishbone_apps as apps;
+pub use wishbone_core as core;
+pub use wishbone_dataflow as dataflow;
+pub use wishbone_dsp as dsp;
+pub use wishbone_ilp as ilp;
+pub use wishbone_net as net;
+pub use wishbone_profile as profile;
+pub use wishbone_runtime as runtime;
+
+/// The names most programs need, re-exported flat.
+pub mod prelude {
+    pub use wishbone_apps::{
+        build_eeg_app, build_eeg_channel, build_speech_app, heuristic_svm, EegApp, EegParams,
+        LinearSvm, SpeechApp, SpeechParams,
+    };
+    pub use wishbone_core::{
+        all_node, all_server, build_partition_graph, evaluate, greedy, max_sustainable_rate,
+        partition, pin_analysis, preprocess, Encoding, Mode, ObjectiveConfig, Partition,
+        PartitionConfig, PartitionError, PartitionGraph, Pin, RateSearchResult,
+    };
+    pub use wishbone_dataflow::{
+        Graph, GraphBuilder, Namespace, OperatorId, OperatorKind, OperatorSpec, Value, WorkFn,
+    };
+    pub use wishbone_ilp::{IlpOptions, Problem, Sense};
+    pub use wishbone_net::{profile_network, Channel, ChannelParams, PacketFormat};
+    pub use wishbone_profile::{profile, GraphProfile, Platform, SourceTrace};
+    pub use wishbone_runtime::{
+        simulate_deployment, simulate_deployment_multi, DeploymentConfig, DeploymentReport,
+        SourceFeed, TaskModel,
+    };
+}

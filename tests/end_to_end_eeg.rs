@@ -1,0 +1,154 @@
+//! End-to-end integration for the EEG application: the paper's large-graph
+//! stress case (§7.1) plus functional seizure detection through the
+//! deployment simulator.
+
+use wishbone::prelude::*;
+
+#[test]
+fn full_eeg_app_partitions_in_reasonable_time() {
+    // §7.1: "partitioning all 22-channels (1412 operators)"; our build is
+    // the same order of magnitude. §1: "our implementation can partition
+    // dataflow graphs containing over a thousand operators in a few
+    // seconds".
+    let mut app = build_eeg_app(EegParams::default());
+    assert!(app.graph.operator_count() > 1000);
+    let traces = app.traces(6, 2..4, 3);
+    let prof = profile(&mut app.graph, &traces).unwrap();
+
+    let mote = Platform::tmote_sky();
+    let cfg = PartitionConfig::for_platform(&mote).at_rate(1.0);
+    let start = std::time::Instant::now();
+    let part = partition(&app.graph, &prof, &mote, &cfg).expect("feasible at reference rate");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed.as_secs_f64() < 60.0,
+        "kilooperator graph should partition in seconds, took {elapsed:?}"
+    );
+    // Preprocessing must shrink the ILP substantially (§4.1). With the
+    // sound single-out-edge merge rule the reduction is ~35% on this graph
+    // (the FIR chains collapse; fan-out splitters cannot).
+    assert!(
+        part.merge_stats.1 * 4 < part.merge_stats.0 * 3,
+        "merge: {} -> {}",
+        part.merge_stats.0,
+        part.merge_stats.1
+    );
+    // Sources always stay on the node.
+    for s in &app.sources {
+        assert!(part.node_ops.contains(s));
+    }
+}
+
+#[test]
+fn node_partition_shrinks_with_rate() {
+    // Fig 5a: "As we increased the data rate, fewer operators can fit
+    // within the CPU bounds on the node."
+    let mut app = build_eeg_channel();
+    let traces = app.traces(6, 2..4, 7);
+    let prof = profile(&mut app.graph, &traces).unwrap();
+    let mote = Platform::tmote_sky();
+    let mut counts = Vec::new();
+    for mult in [0.5, 2.0, 8.0, 32.0] {
+        let cfg = PartitionConfig::for_platform(&mote).at_rate(mult);
+        let n = match partition(&app.graph, &prof, &mote, &cfg) {
+            Ok(p) => p.node_op_count(),
+            Err(PartitionError::Infeasible) => 0,
+            Err(e) => panic!("{e}"),
+        };
+        counts.push(n);
+    }
+    for w in counts.windows(2) {
+        assert!(w[1] <= w[0], "node ops must not grow with rate: {counts:?}");
+    }
+    assert!(counts[0] > counts[3], "sweep must show real movement: {counts:?}");
+}
+
+#[test]
+fn conservative_mode_keeps_stateful_ops_on_the_node() {
+    let mut app = build_eeg_channel();
+    let traces = app.traces(6, 2..4, 11);
+    let prof = profile(&mut app.graph, &traces).unwrap();
+    let mote = Platform::tmote_sky();
+
+    // Permissive at a high rate: the FIRs (stateful) may move server-side.
+    let mut cfg = PartitionConfig::for_platform(&mote).at_rate(16.0);
+    cfg.mode = Mode::Permissive;
+    let permissive = partition(&app.graph, &prof, &mote, &cfg);
+
+    let mut ccfg = PartitionConfig::for_platform(&mote).at_rate(16.0);
+    ccfg.mode = Mode::Conservative;
+    let conservative = partition(&app.graph, &prof, &mote, &ccfg);
+
+    match (permissive, conservative) {
+        (Ok(p), Ok(c)) => {
+            // Conservative can never place fewer ops on the node than the
+            // pinning forces; permissive has strictly more freedom.
+            assert!(c.node_op_count() >= p.node_op_count());
+        }
+        (Ok(_), Err(PartitionError::Infeasible)) => {
+            // Also a valid outcome: pinning everything stateful on-node
+            // blows the CPU budget at 16x rate.
+        }
+        (p, c) => panic!("unexpected outcomes: {p:?} / {c:?}"),
+    }
+}
+
+#[test]
+fn seizure_detected_through_partitioned_deployment() {
+    // Functional check end-to-end *through the simulated deployment*: all
+    // channels feed one node; features cross the cut; SVM + declare run
+    // wherever the partitioner put them.
+    let mut app = build_eeg_app(EegParams { n_channels: 4, ..Default::default() });
+    let traces = app.traces(16, 8..14, 13);
+    let prof = profile(&mut app.graph, &traces).unwrap();
+
+    let mote = Platform::tmote_sky();
+    let cfg = PartitionConfig::for_platform(&mote).at_rate(1.0);
+    let part = partition(&app.graph, &prof, &mote, &cfg).expect("EEG fits at 0.5 windows/s");
+
+    // Rebuild a fresh app (the profiler consumed operator state) and drive
+    // all four channel sources through the multi-source deployment.
+    let app2 = build_eeg_app(EegParams { n_channels: 4, ..Default::default() });
+    let feeds: Vec<SourceFeed> = app2
+        .traces(16, 8..14, 13)
+        .into_iter()
+        .map(|t| SourceFeed { source: t.source, trace: t.elements, rate_hz: t.rate_hz })
+        .collect();
+    let dcfg = DeploymentConfig {
+        duration_s: 32.0, // 16 windows at 0.5 windows/s
+        ..DeploymentConfig::motes(1, 3)
+    };
+    let rep = simulate_deployment_multi(
+        &app2.graph,
+        &part.node_ops,
+        &feeds,
+        &mote,
+        ChannelParams::mote(),
+        &dcfg,
+    );
+    assert!(rep.input_processed_ratio() > 0.9, "EEG at reference rate flows: {rep:?}");
+    assert!(rep.goodput_ratio() > 0.5, "features cross the network: {rep:?}");
+    assert!(rep.sink_arrivals >= 8, "declare verdicts reach the sink");
+}
+
+#[test]
+fn eeg_features_fit_even_where_raw_eeg_would_not() {
+    // The whole point of in-network processing: 22 channels of raw EEG
+    // (22 x 512 B / 2 s ≈ 5.6 KB/s + headers) saturate a mote radio, but
+    // the 66-feature vector is tiny.
+    let mut app = build_eeg_app(EegParams::default());
+    let traces = app.traces(6, 2..4, 17);
+    let prof = profile(&mut app.graph, &traces).unwrap();
+    let mote = Platform::tmote_sky();
+
+    let pg = build_partition_graph(&app.graph, &prof, &mote, Mode::Permissive, 1.0).unwrap();
+    let obj = ObjectiveConfig::bandwidth_only(1.0, mote.radio.goodput_bytes_per_sec);
+    let raw = evaluate(&pg, &all_server(&pg), &obj);
+    let processed = evaluate(&pg, &all_node(&pg), &obj);
+    assert!(
+        raw.net > 3.0 * processed.net,
+        "feature extraction reduces bandwidth: raw {} vs features {}",
+        raw.net,
+        processed.net
+    );
+}
