@@ -24,8 +24,8 @@ pub mod svm;
 
 pub use eeg::{build_eeg_app, build_eeg_channel, heuristic_svm, EegApp, EegParams};
 pub use signal::{
-    eeg_trace, speech_trace, EEG_SAMPLE_RATE, EEG_WINDOW_LEN, EEG_WINDOW_RATE,
-    SPEECH_FRAME_LEN, SPEECH_FRAME_RATE, SPEECH_SAMPLE_RATE,
+    eeg_trace, speech_trace, EEG_SAMPLE_RATE, EEG_WINDOW_LEN, EEG_WINDOW_RATE, SPEECH_FRAME_LEN,
+    SPEECH_FRAME_RATE, SPEECH_SAMPLE_RATE,
 };
 pub use speech::{build_speech_app, SpeechApp, SpeechParams};
 pub use svm::{flatten_features, DeclareOp, LinearSvm, SvmOp};

@@ -109,7 +109,7 @@ pub fn eeg_trace(
 ) -> Vec<Value> {
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(channel as u64 * 7919));
     let phase = rng.gen_range(0.0..std::f64::consts::TAU);
-    let seiz_freq = rng.gen_range(3.0..8.0); // well below 20 Hz
+    let seiz_freq: f64 = rng.gen_range(3.0..8.0); // well below 20 Hz
     let mut windows = Vec::with_capacity(n_windows);
     let mut t = 0usize;
     for w in 0..n_windows {
@@ -118,7 +118,7 @@ pub fn eeg_trace(
         for _ in 0..EEG_WINDOW_LEN {
             let time = t as f64 / EEG_SAMPLE_RATE;
             let alpha = 30.0 * (2.0 * std::f64::consts::PI * 10.0 * time + phase).sin();
-            let noise = rng.gen_range(-12.0..12.0);
+            let noise: f64 = rng.gen_range(-12.0..12.0);
             let s = if in_seizure {
                 // Large-amplitude slow oscillation + sharpened wave shape.
                 let osc = (2.0 * std::f64::consts::PI * seiz_freq * time + phase).sin();
@@ -173,19 +173,30 @@ mod tests {
         let energies: Vec<f64> = frames
             .iter()
             .map(|f| {
-                f.as_i16s().unwrap().iter().map(|&s| f64::from(s).powi(2)).sum::<f64>()
+                f.as_i16s()
+                    .unwrap()
+                    .iter()
+                    .map(|&s| f64::from(s).powi(2))
+                    .sum::<f64>()
             })
             .collect();
         let max = energies.iter().cloned().fold(0.0, f64::max);
         let min = energies.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(max > 1e4 * min.max(1.0), "dynamic range: max {max}, min {min}");
+        assert!(
+            max > 1e4 * min.max(1.0),
+            "dynamic range: max {max}, min {min}"
+        );
     }
 
     #[test]
     fn eeg_seizure_windows_are_slow_and_large() {
         let wins = eeg_trace(10, 4..7, 0, 3);
         let energy = |w: &Value| -> f64 {
-            w.as_i16s().unwrap().iter().map(|&s| f64::from(s).powi(2)).sum()
+            w.as_i16s()
+                .unwrap()
+                .iter()
+                .map(|&s| f64::from(s).powi(2))
+                .sum()
         };
         let bg = energy(&wins[0]);
         let sz = energy(&wins[5]);

@@ -7,7 +7,9 @@
 //! bytes of cepstra.
 
 use wishbone_dataflow::{Graph, GraphBuilder, OperatorId, Value};
-use wishbone_dsp::{CepstralOp, FftMagOp, FilterBankOp, HammingOp, LogQuantOp, PreEmphOp, PreFiltOp};
+use wishbone_dsp::{
+    CepstralOp, FftMagOp, FilterBankOp, HammingOp, LogQuantOp, PreEmphOp, PreFiltOp,
+};
 use wishbone_profile::SourceTrace;
 
 use crate::signal::{speech_trace, SPEECH_FRAME_LEN, SPEECH_FRAME_RATE, SPEECH_SAMPLE_RATE};
@@ -88,8 +90,16 @@ pub fn build_speech_app(params: SpeechParams) -> SpeechApp {
     let source = b.source("source");
     // Pre-emphasis keeps the previous frame's last sample: stateful.
     let preemph = b.stateful_transform("preemph", Box::new(PreEmphOp::new(0.97)), source);
-    let hamming = b.transform("hamming", Box::new(HammingOp::new(params.frame_len)), preemph);
-    let prefilt = b.transform("prefilt", Box::new(PreFiltOp::new(params.fft_size)), hamming);
+    let hamming = b.transform(
+        "hamming",
+        Box::new(HammingOp::new(params.frame_len)),
+        preemph,
+    );
+    let prefilt = b.transform(
+        "prefilt",
+        Box::new(PreFiltOp::new(params.fft_size)),
+        hamming,
+    );
     let fft = b.transform("FFT", Box::new(FftMagOp), prefilt);
     let filtbank = b.transform(
         "filtBank",
@@ -100,7 +110,11 @@ pub fn build_speech_app(params: SpeechParams) -> SpeechApp {
         )),
         fft,
     );
-    let logs = b.transform("logs", Box::new(LogQuantOp::new(params.log_scale)), filtbank);
+    let logs = b.transform(
+        "logs",
+        Box::new(LogQuantOp::new(params.log_scale)),
+        filtbank,
+    );
     let cepstrals = b.transform(
         "cepstrals",
         Box::new(CepstralOp::new(params.n_cepstra, 1.0 / params.log_scale)),
@@ -149,8 +163,11 @@ mod tests {
         let prof = profile(&mut app.graph, &[trace]).unwrap();
 
         // Edge i connects stage i to stage i+1 (last edge feeds the sink).
-        let bw: Vec<f64> =
-            app.graph.edge_ids().map(|e| prof.edge_bandwidth(e)).collect();
+        let bw: Vec<f64> = app
+            .graph
+            .edge_ids()
+            .map(|e| prof.edge_bandwidth(e))
+            .collect();
         let raw = bw[0]; // source output: 402 B * 40/s
         assert!((raw - 402.0 * 40.0).abs() < 1.0, "raw bandwidth {raw}");
         let filtbank = bw[5];
@@ -158,7 +175,10 @@ mod tests {
         let cepstra = bw[7];
         // Paper: 400 B -> 128 B -> 52 B per frame (plus our small headers).
         // Paper: 400-byte frames fall to ~128 bytes after the filter bank.
-        assert!(filtbank < raw / 2.5, "filterbank reduces ~3x: {filtbank} vs {raw}");
+        assert!(
+            filtbank < raw / 2.5,
+            "filterbank reduces ~3x: {filtbank} vs {raw}"
+        );
         assert!(logs < filtbank, "log quantization reduces further");
         assert!(cepstra < logs, "cepstra are the smallest");
 
@@ -190,7 +210,10 @@ mod tests {
             .iter()
             .map(|&(_, id)| prof.cpu_fraction(id, &mote))
             .sum();
-        assert!(total_cpu > 1.0, "full pipeline needs {total_cpu:.1}x the mote CPU");
+        assert!(
+            total_cpu > 1.0,
+            "full pipeline needs {total_cpu:.1}x the mote CPU"
+        );
         let raw_bw = prof.edge_on_air_bandwidth(wishbone_dataflow::EdgeId(0), &mote);
         assert!(
             raw_bw > mote.radio.goodput_bytes_per_sec,

@@ -62,7 +62,10 @@ impl LinearSvm {
                 t += 1;
             }
         }
-        LinearSvm { weights: w, bias: b }
+        LinearSvm {
+            weights: w,
+            bias: b,
+        }
     }
 
     /// Classification accuracy on a labelled set.
@@ -169,7 +172,9 @@ mod tests {
         for _ in 0..n {
             let label = rng.gen_bool(0.5);
             let center = if label { 2.0f32 } else { -2.0 };
-            let x: Vec<f32> = (0..dim).map(|_| center + rng.gen_range(-1.0..1.0)).collect();
+            let x: Vec<f32> = (0..dim)
+                .map(|_| center + rng.gen_range(-1.0f32..1.0))
+                .collect();
             xs.push(x);
             ys.push(label);
         }
@@ -180,7 +185,11 @@ mod tests {
     fn trains_on_separable_data() {
         let (xs, ys) = separable_data(200, 6, 1);
         let svm = LinearSvm::train(&xs, &ys, 60, 0.01);
-        assert!(svm.accuracy(&xs, &ys) > 0.95, "accuracy {}", svm.accuracy(&xs, &ys));
+        assert!(
+            svm.accuracy(&xs, &ys) > 0.95,
+            "accuracy {}",
+            svm.accuracy(&xs, &ys)
+        );
     }
 
     #[test]

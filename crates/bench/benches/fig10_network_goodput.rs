@@ -54,7 +54,9 @@ fn main() {
     }
 
     fn argmax<'a>(s: &[(&'a str, f64)]) -> (&'a str, f64) {
-        s.iter().copied().fold(("", f64::MIN), |acc, x| if x.1 > acc.1 { x } else { acc })
+        s.iter()
+            .copied()
+            .fold(("", f64::MIN), |acc, x| if x.1 > acc.1 { x } else { acc })
     }
     let (one_best, one_g) = argmax(&one_series);
     let (twenty_best, twenty_g) = argmax(&twenty_series);
@@ -73,7 +75,10 @@ fn main() {
     // Per-node goodput collapses in the 20-node network at shallow cuts.
     let one_src = one_series[0].1;
     let twenty_src = twenty_series[0].1;
-    assert!(twenty_src <= one_src + 1e-9, "sharing the root link can't help raw streaming");
+    assert!(
+        twenty_src <= one_src + 1e-9,
+        "sharing the root link can't help raw streaming"
+    );
 
     // Meraki Mini: WiFi-class radio, modest CPU -> optimal partition is
     // cut point 1 (ship raw data). The paper sets α and β per platform;

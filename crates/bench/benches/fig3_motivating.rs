@@ -10,16 +10,27 @@
 
 use std::collections::HashSet;
 
-use wishbone_core::{encode, evaluate, exhaustive, Encoding, ObjectiveConfig, PEdge, PVertex, PartitionGraph, Pin};
+use wishbone_core::{
+    encode, evaluate, exhaustive, Encoding, ObjectiveConfig, PEdge, PVertex, PartitionGraph, Pin,
+};
 use wishbone_dataflow::OperatorId;
 use wishbone_ilp::IlpOptions;
 
 fn example() -> PartitionGraph {
-    let v = |cpu: f64, pin: Pin, i: usize| PVertex { ops: vec![OperatorId(i)], cpu_cost: cpu, pin };
-    let e = |src: usize, dst: usize, bw: f64| PEdge { src, dst, bandwidth: bw, graph_edges: vec![] };
+    let v = |cpu: f64, pin: Pin, i: usize| PVertex {
+        ops: vec![OperatorId(i)],
+        cpu_cost: cpu,
+        pin,
+    };
+    let e = |src: usize, dst: usize, bw: f64| PEdge {
+        src,
+        dst,
+        bandwidth: bw,
+        graph_edges: vec![],
+    };
     PartitionGraph {
         vertices: vec![
-            v(1.0, Pin::Node, 0),   // source
+            v(1.0, Pin::Node, 0),    // source
             v(2.0, Pin::Movable, 1), // a
             v(3.0, Pin::Movable, 2), // b
             v(0.0, Pin::Server, 3),  // sink
@@ -46,11 +57,17 @@ fn main() {
     for (i, budget) in [2.0, 3.0, 4.0].into_iter().enumerate() {
         let obj = ObjectiveConfig::bandwidth_only(budget, 1e9);
         let ep = encode(&pg, Encoding::Restricted, &obj);
-        let sol = ep.problem.solve_ilp(&IlpOptions::default()).expect("solvable");
+        let sol = ep
+            .problem
+            .solve_ilp(&IlpOptions::default())
+            .expect("solvable");
         let set = ep.decode(&sol.values);
         let m = evaluate(&pg, &set, &obj);
         let (bset, bm) = exhaustive(&pg, &obj, 8).expect("feasible");
-        assert!((m.objective - bm.objective).abs() < 1e-9, "ILP must match brute force");
+        assert!(
+            (m.objective - bm.objective).abs() < 1e-9,
+            "ILP must match brute force"
+        );
         assert_eq!(set, bset);
         assert!(
             (m.net - expected_bw[i]).abs() < 1e-9,
@@ -73,6 +90,9 @@ fn main() {
         ]);
         last_set = Some(set);
     }
-    assert!(flipped, "budget 3 -> 4 must flip the partition shape (a -> b)");
+    assert!(
+        flipped,
+        "budget 3 -> 4 must flip the partition shape (a -> b)"
+    );
     println!("\npartition flips shape between budget 3 and 4, as in the paper's example");
 }

@@ -27,14 +27,19 @@ fn main() {
             viable.push((i + 1, name, set));
         }
     }
-    let names: Vec<String> =
-        viable.iter().map(|(i, n, set)| format!("{n}/{} ({} ops)", i, set.len())).collect();
+    let names: Vec<String> = viable
+        .iter()
+        .map(|(i, n, set)| format!("{n}/{} ({} ops)", i, set.len()))
+        .collect();
     println!("viable cutpoints: {names:?}");
 
     let mut cols = vec!["cutpoint"];
     let plat_names: Vec<&str> = platforms.iter().map(|p| p.name.as_str()).collect();
     cols.extend(plat_names.iter());
-    wishbone_bench::header("Figure 5b: max rate (x 8 kHz) per cutpoint per platform", &cols);
+    wishbone_bench::header(
+        "Figure 5b: max rate (x 8 kHz) per cutpoint per platform",
+        &cols,
+    );
 
     // For a fixed cut, load scales linearly with rate, so the max rate is
     // min(C / cpu@1x, N / net@1x).
@@ -73,7 +78,10 @@ fn main() {
     }
     // Scheme/PC handles full rate everywhere.
     for row in &table {
-        assert!(row[scheme] > 1.0, "Scheme handles the full rate at every cut");
+        assert!(
+            row[scheme] > 1.0,
+            "Scheme handles the full rate at every cut"
+        );
     }
     // At the deepest (compute-bound) cut, the N80 is only a small multiple
     // of the TMote despite its 55x clock.
@@ -88,5 +96,7 @@ fn main() {
     assert!(deepest[javame] < deepest[2], "iPhone above JavaME");
     assert!(deepest[2] < deepest[3], "VoxNet above iPhone");
     assert!(deepest[3] < deepest[scheme], "Scheme above VoxNet");
-    println!("\nTinyOS below 1.0 everywhere; N80 ~{ratio:.1}x TMote at the cepstral cut (paper: ~2x)");
+    println!(
+        "\nTinyOS below 1.0 everywhere; N80 ~{ratio:.1}x TMote at the cepstral cut (paper: ~2x)"
+    );
 }

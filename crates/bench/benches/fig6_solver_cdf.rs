@@ -94,7 +94,10 @@ fn main() {
         "95th-percentile discovery {d95:.1}s must stay in the paper's fast regime"
     );
     let worst = prove.last().copied().unwrap_or(0.0);
-    assert!(worst < 720.0, "worst-case proof {worst:.1}s exceeds the paper regime");
+    assert!(
+        worst < 720.0,
+        "worst-case proof {worst:.1}s exceeds the paper regime"
+    );
     println!(
         "\n95% of runs discovered the optimum within {d95:.2}s (paper: 95% < 10 s); \
          proving runs into minutes on symmetric budget-bound instances, as in the paper"

@@ -38,7 +38,11 @@ fn main() {
 
     // Paper-shape assertions.
     // 1. The raw stream is ~16 KB/s (400-byte frames at 40/s).
-    assert!((15.0..18.0).contains(&bandwidths[0]), "raw stream {} KB/s", bandwidths[0]);
+    assert!(
+        (15.0..18.0).contains(&bandwidths[0]),
+        "raw stream {} KB/s",
+        bandwidths[0]
+    );
     // 2. Multiple data-reducing steps: filterbank, logs, cepstrals shrink.
     assert!(bandwidths[5] < bandwidths[4], "filtBank reduces");
     assert!(bandwidths[6] < bandwidths[5], "logs reduce");

@@ -14,7 +14,11 @@ fn main() {
     let trace = app.trace(120, 42);
     let prof = profile(&mut app.graph, &[trace]).expect("profiling succeeds");
 
-    let platforms = [Platform::tmote_sky(), Platform::nokia_n80(), Platform::server()];
+    let platforms = [
+        Platform::tmote_sky(),
+        Platform::nokia_n80(),
+        Platform::server(),
+    ];
     let _labels = ["Mote", "N80", "PC"];
 
     // Per-platform fraction of total pipeline CPU per operator.
@@ -92,5 +96,8 @@ fn main() {
         "\na platform-independent relative-cost model mis-estimates '{worst_name}' by \
          {worst_ratio:.1}x on the mote (paper: over an order of magnitude)"
     );
-    assert!(worst_ratio > 3.0, "platform-dependent costs must diverge, got {worst_ratio:.1}x");
+    assert!(
+        worst_ratio > 3.0,
+        "platform-dependent costs must diverge, got {worst_ratio:.1}x"
+    );
 }

@@ -64,7 +64,10 @@ fn main() {
     let (_, cep_in, _, _) = by_name("cepstrals");
     assert!(cep_in < 0.5, "all-node misses inputs: {cep_in}");
     // Middle cuts win, with double-digit goodput.
-    assert!(fb_good > src_good && fb_good > 0.05, "filtBank cut delivers: {fb_good}");
+    assert!(
+        fb_good > src_good && fb_good > 0.05,
+        "filtBank cut delivers: {fb_good}"
+    );
     assert!(best >= fb_good * 0.999);
     assert!(
         best > 10.0 * src_good.max(0.001) && best > 1.05 * cep_good.max(0.001) / 1.05,
@@ -73,7 +76,10 @@ fn main() {
     // The expanding early stages (preemph/hamming/prefilt) are the *worst*
     // network offenders — worse than shipping raw data.
     let (_, _, pre_msg, _) = by_name("preemph");
-    assert!(pre_msg <= src_msg + 0.01, "expanded data can't beat raw data");
+    assert!(
+        pre_msg <= src_msg + 0.01,
+        "expanded data can't beat raw data"
+    );
     println!(
         "\nmiddle cut ({:.1}% goodput) vs all-server ({:.1}%) and all-node ({:.1}%): \
          the paper's 'picking the right partition matters' (their best/worst gap was 20x)",

@@ -16,7 +16,10 @@ use wishbone_ilp::{Branching, IlpOptions};
 use wishbone_profile::{profile, Platform};
 
 fn eeg_partition_graph(channels: usize) -> PartitionGraph {
-    let mut app = build_eeg_app(EegParams { n_channels: channels, ..Default::default() });
+    let mut app = build_eeg_app(EegParams {
+        n_channels: channels,
+        ..Default::default()
+    });
     let traces = app.traces(4, 1..3, 7);
     let prof = profile(&mut app.graph, &traces).expect("profiling succeeds");
     let mote = Platform::tmote_sky();
@@ -36,7 +39,10 @@ fn solve(pg: &PartitionGraph, enc: Encoding, branching: Branching, pre: bool) ->
         pg
     };
     let ep = encode(target, enc, &obj());
-    let opts = IlpOptions { branching, ..Default::default() };
+    let opts = IlpOptions {
+        branching,
+        ..Default::default()
+    };
     ep.problem.solve_ilp(&opts).expect("solvable").objective
 }
 
@@ -48,9 +54,7 @@ fn solver_scaling(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{channels}ch")),
             &pg,
-            |b, pg| {
-                b.iter(|| solve(pg, Encoding::Restricted, Branching::MostFractional, true))
-            },
+            |b, pg| b.iter(|| solve(pg, Encoding::Restricted, Branching::MostFractional, true)),
         );
     }
     group.finish();

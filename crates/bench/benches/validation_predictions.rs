@@ -65,7 +65,7 @@ fn main() {
         if node_set == r.partition.node_ops {
             rec_good = g;
         }
-        if best.map_or(true, |(_, bg)| g > bg) {
+        if best.is_none_or(|(_, bg)| g > bg) {
             best = Some((name, g));
         }
     }
@@ -141,5 +141,7 @@ fn main() {
         assert!(ilp_m.objective <= greedy_m.objective + 1e-9);
         assert!(ilp_m.objective <= ls_m.objective + 1e-9);
     }
-    println!("\nILP matches exhaustive ground truth at every budget; heuristics are bounded below by it");
+    println!(
+        "\nILP matches exhaustive ground truth at every budget; heuristics are bounded below by it"
+    );
 }

@@ -12,14 +12,22 @@ use std::time::Duration;
 /// Print a table header.
 pub fn header(title: &str, cols: &[&str]) {
     println!("\n=== {title} ===");
-    let row = cols.iter().map(|c| format!("{c:>14}")).collect::<Vec<_>>().join(" ");
+    let row = cols
+        .iter()
+        .map(|c| format!("{c:>14}"))
+        .collect::<Vec<_>>()
+        .join(" ");
     println!("{row}");
     println!("{}", "-".repeat(15 * cols.len()));
 }
 
 /// Print one row of mixed string/number cells.
 pub fn row(cells: &[String]) {
-    let line = cells.iter().map(|c| format!("{c:>14}")).collect::<Vec<_>>().join(" ");
+    let line = cells
+        .iter()
+        .map(|c| format!("{c:>14}"))
+        .collect::<Vec<_>>()
+        .join(" ");
     println!("{line}");
 }
 
@@ -48,7 +56,7 @@ pub fn secs(d: Duration) -> String {
 
 /// Empirical CDF: returns `(value, percentile)` pairs for the given
 /// percentile grid, matching the paper's Fig 6 presentation.
-pub fn cdf(samples: &mut Vec<f64>, percentiles: &[f64]) -> Vec<(f64, f64)> {
+pub fn cdf(samples: &mut [f64], percentiles: &[f64]) -> Vec<(f64, f64)> {
     assert!(!samples.is_empty());
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
     percentiles
@@ -63,7 +71,10 @@ pub fn cdf(samples: &mut Vec<f64>, percentiles: &[f64]) -> Vec<(f64, f64)> {
 /// Environment-variable override for experiment sizes, so CI-scale runs
 /// stay fast while full-scale runs match the paper.
 pub fn env_size(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Geometric series of `n` rate multipliers between `lo` and `hi`.
@@ -77,7 +88,9 @@ pub fn geometric_rates(lo: f64, hi: f64, n: usize) -> Vec<f64> {
 /// "linearly varying the data rate" for Fig 6).
 pub fn linear_rates(lo: f64, hi: f64, n: usize) -> Vec<f64> {
     assert!(n >= 2);
-    (0..n).map(|i| lo + (hi - lo) * i as f64 / (n as f64 - 1.0)).collect()
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n as f64 - 1.0))
+        .collect()
 }
 
 #[cfg(test)]

@@ -26,14 +26,22 @@ pub struct CutMetrics {
 }
 
 /// Evaluate a node-side vertex set against `obj`.
-pub fn evaluate(pg: &PartitionGraph, node_set: &HashSet<usize>, obj: &ObjectiveConfig) -> CutMetrics {
+pub fn evaluate(
+    pg: &PartitionGraph,
+    node_set: &HashSet<usize>,
+    obj: &ObjectiveConfig,
+) -> CutMetrics {
     let cpu = pg.cpu_of(node_set);
     let net = pg.net_of(node_set);
-    let pins_ok = pg.vertices.iter().enumerate().all(|(v, vert)| match vert.pin {
-        Pin::Node => node_set.contains(&v),
-        Pin::Server => !node_set.contains(&v),
-        Pin::Movable => true,
-    });
+    let pins_ok = pg
+        .vertices
+        .iter()
+        .enumerate()
+        .all(|(v, vert)| match vert.pin {
+            Pin::Node => node_set.contains(&v),
+            Pin::Server => !node_set.contains(&v),
+            Pin::Movable => true,
+        });
     CutMetrics {
         cpu,
         net,
@@ -48,13 +56,17 @@ pub fn evaluate(pg: &PartitionGraph, node_set: &HashSet<usize>, obj: &ObjectiveC
 /// Everything that *can* sit on the node does (only server-pinned vertices
 /// stay behind).
 pub fn all_node(pg: &PartitionGraph) -> HashSet<usize> {
-    (0..pg.vertices.len()).filter(|&v| pg.vertices[v].pin != Pin::Server).collect()
+    (0..pg.vertices.len())
+        .filter(|&v| pg.vertices[v].pin != Pin::Server)
+        .collect()
 }
 
 /// Only node-pinned vertices stay on the node; all movable work ships raw
 /// data to the server.
 pub fn all_server(pg: &PartitionGraph) -> HashSet<usize> {
-    (0..pg.vertices.len()).filter(|&v| pg.vertices[v].pin == Pin::Node).collect()
+    (0..pg.vertices.len())
+        .filter(|&v| pg.vertices[v].pin == Pin::Node)
+        .collect()
 }
 
 /// Greedy frontier heuristic: starting from [`all_server`], repeatedly
@@ -79,7 +91,7 @@ pub fn greedy(pg: &PartitionGraph, obj: &ObjectiveConfig) -> HashSet<usize> {
             let m = evaluate(pg, &cand, obj);
             if m.cpu <= obj.cpu_budget && m.objective < cur.objective - 1e-12 {
                 let gain = cur.objective - m.objective;
-                if best.map_or(true, |(_, g)| gain > g) {
+                if best.is_none_or(|(_, g)| gain > g) {
                     best = Some((v, gain));
                 }
             }
@@ -138,9 +150,13 @@ pub fn exhaustive(
     obj: &ObjectiveConfig,
     max_movable: usize,
 ) -> Option<(HashSet<usize>, CutMetrics)> {
-    let movable: Vec<usize> =
-        (0..pg.vertices.len()).filter(|&v| pg.vertices[v].pin == Pin::Movable).collect();
-    assert!(movable.len() <= max_movable, "too many movable vertices for brute force");
+    let movable: Vec<usize> = (0..pg.vertices.len())
+        .filter(|&v| pg.vertices[v].pin == Pin::Movable)
+        .collect();
+    assert!(
+        movable.len() <= max_movable,
+        "too many movable vertices for brute force"
+    );
     assert!(movable.len() < 26);
     let base = all_server(pg);
     let mut best: Option<(HashSet<usize>, CutMetrics)> = None;
@@ -152,7 +168,7 @@ pub fn exhaustive(
             }
         }
         let m = evaluate(pg, &cand, obj);
-        if m.feasible && best.as_ref().map_or(true, |(_, b)| m.objective < b.objective) {
+        if m.feasible && best.as_ref().is_none_or(|(_, b)| m.objective < b.objective) {
             best = Some((cand, m));
         }
     }
@@ -218,7 +234,12 @@ mod tests {
             })
             .collect();
         let edges = (0..n - 1)
-            .map(|i| PEdge { src: i, dst: i + 1, bandwidth: bws[i], graph_edges: vec![] })
+            .map(|i| PEdge {
+                src: i,
+                dst: i + 1,
+                bandwidth: bws[i],
+                graph_edges: vec![],
+            })
             .collect();
         PartitionGraph { vertices, edges }
     }

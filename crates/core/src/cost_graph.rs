@@ -242,12 +242,20 @@ impl PartitionGraph {
 
     /// Out-edges (indices) of vertex `v`.
     pub fn out_edges(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
-        self.edges.iter().enumerate().filter(move |(_, e)| e.src == v).map(|(i, _)| i)
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(move |(_, e)| e.src == v)
+            .map(|(i, _)| i)
     }
 
     /// In-edges (indices) of vertex `v`.
     pub fn in_edges(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
-        self.edges.iter().enumerate().filter(move |(_, e)| e.dst == v).map(|(i, _)| i)
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(move |(_, e)| e.dst == v)
+            .map(|(i, _)| i)
     }
 }
 
@@ -306,7 +314,11 @@ mod tests {
         let g = b.finish().unwrap();
         let pins = pin_analysis(&g, Mode::Permissive).unwrap();
         assert_eq!(pins[(agg.0).0], Pin::Server);
-        assert_eq!(pins[(post.0).0], Pin::Server, "descendant of server-pinned op");
+        assert_eq!(
+            pins[(post.0).0],
+            Pin::Server,
+            "descendant of server-pinned op"
+        );
     }
 
     #[test]
@@ -348,20 +360,45 @@ mod tests {
         b.exit_namespace();
         b.sink("out", act);
         let g = b.finish().unwrap();
-        assert!(matches!(pin_analysis(&g, Mode::Permissive), Err(PinError::Conflict(_))));
+        assert!(matches!(
+            pin_analysis(&g, Mode::Permissive),
+            Err(PinError::Conflict(_))
+        ));
     }
 
     #[test]
     fn cut_metrics() {
         let pg = PartitionGraph {
             vertices: vec![
-                PVertex { ops: vec![OperatorId(0)], cpu_cost: 0.1, pin: Pin::Node },
-                PVertex { ops: vec![OperatorId(1)], cpu_cost: 0.2, pin: Pin::Movable },
-                PVertex { ops: vec![OperatorId(2)], cpu_cost: 0.3, pin: Pin::Server },
+                PVertex {
+                    ops: vec![OperatorId(0)],
+                    cpu_cost: 0.1,
+                    pin: Pin::Node,
+                },
+                PVertex {
+                    ops: vec![OperatorId(1)],
+                    cpu_cost: 0.2,
+                    pin: Pin::Movable,
+                },
+                PVertex {
+                    ops: vec![OperatorId(2)],
+                    cpu_cost: 0.3,
+                    pin: Pin::Server,
+                },
             ],
             edges: vec![
-                PEdge { src: 0, dst: 1, bandwidth: 100.0, graph_edges: vec![] },
-                PEdge { src: 1, dst: 2, bandwidth: 40.0, graph_edges: vec![] },
+                PEdge {
+                    src: 0,
+                    dst: 1,
+                    bandwidth: 100.0,
+                    graph_edges: vec![],
+                },
+                PEdge {
+                    src: 1,
+                    dst: 2,
+                    bandwidth: 40.0,
+                    graph_edges: vec![],
+                },
             ],
         };
         let node: HashSet<usize> = [0, 1].into_iter().collect();

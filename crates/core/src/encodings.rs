@@ -46,7 +46,12 @@ impl ObjectiveConfig {
     /// The paper's evaluation setting: "minimize network bandwidth subject
     /// to not exceeding CPU capacity (α = 0, β = 1)".
     pub fn bandwidth_only(cpu_budget: f64, net_budget: f64) -> Self {
-        ObjectiveConfig { alpha: 0.0, beta: 1.0, cpu_budget, net_budget }
+        ObjectiveConfig {
+            alpha: 0.0,
+            beta: 1.0,
+            cpu_budget,
+            net_budget,
+        }
     }
 }
 
@@ -114,7 +119,11 @@ fn encode_restricted(pg: &PartitionGraph, obj: &ObjectiveConfig) -> EncodedProbl
 
     // (6): f_u − f_v ≥ 0 per edge.
     for e in &pg.edges {
-        p.add_constraint(&[(f_vars[e.src], 1.0), (f_vars[e.dst], -1.0)], Sense::Ge, 0.0);
+        p.add_constraint(
+            &[(f_vars[e.src], 1.0), (f_vars[e.dst], -1.0)],
+            Sense::Ge,
+            0.0,
+        );
     }
     // (2): cpu ≤ C.
     let cpu_row: Vec<(VarId, f64)> = pg
@@ -138,7 +147,11 @@ fn encode_restricted(pg: &PartitionGraph, obj: &ObjectiveConfig) -> EncodedProbl
         p.add_constraint(&net_row, Sense::Le, obj.net_budget);
     }
 
-    EncodedProblem { problem: p, f_vars, encoding: Encoding::Restricted }
+    EncodedProblem {
+        problem: p,
+        f_vars,
+        encoding: Encoding::Restricted,
+    }
 }
 
 fn encode_general(pg: &PartitionGraph, obj: &ObjectiveConfig) -> EncodedProblem {
@@ -190,7 +203,11 @@ fn encode_general(pg: &PartitionGraph, obj: &ObjectiveConfig) -> EncodedProblem 
         p.add_constraint(&net_row, Sense::Le, obj.net_budget);
     }
 
-    EncodedProblem { problem: p, f_vars, encoding: Encoding::General }
+    EncodedProblem {
+        problem: p,
+        f_vars,
+        encoding: Encoding::General,
+    }
 }
 
 #[cfg(test)]
@@ -218,14 +235,22 @@ mod tests {
             })
             .collect();
         let edges = (0..n - 1)
-            .map(|i| PEdge { src: i, dst: i + 1, bandwidth: bws[i], graph_edges: vec![] })
+            .map(|i| PEdge {
+                src: i,
+                dst: i + 1,
+                bandwidth: bws[i],
+                graph_edges: vec![],
+            })
             .collect();
         PartitionGraph { vertices, edges }
     }
 
     fn solve(pg: &PartitionGraph, enc: Encoding, obj: &ObjectiveConfig) -> HashSet<usize> {
         let ep = encode(pg, enc, obj);
-        let sol = ep.problem.solve_ilp(&IlpOptions::default()).expect("solvable");
+        let sol = ep
+            .problem
+            .solve_ilp(&IlpOptions::default())
+            .expect("solvable");
         ep.decode(&sol.values)
     }
 
@@ -262,10 +287,18 @@ mod tests {
     fn encoding_sizes_match_paper_formulas() {
         let pg = chain(&[100.0, 40.0, 5.0], &[0.1, 0.1, 0.1, 0.0]);
         let (v, e) = (4usize, 3usize);
-        let r = encode(&pg, Encoding::Restricted, &ObjectiveConfig::bandwidth_only(1.0, 1e9));
+        let r = encode(
+            &pg,
+            Encoding::Restricted,
+            &ObjectiveConfig::bandwidth_only(1.0, 1e9),
+        );
         assert_eq!(r.problem.num_vars(), v);
         assert!(r.problem.num_constraints() <= e + 2); // |E| + cpu + net
-        let g = encode(&pg, Encoding::General, &ObjectiveConfig::bandwidth_only(1.0, 1e9));
+        let g = encode(
+            &pg,
+            Encoding::General,
+            &ObjectiveConfig::bandwidth_only(1.0, 1e9),
+        );
         assert_eq!(g.problem.num_vars(), v + 2 * e); // |V| + 2|E|
         assert!(g.problem.num_constraints() <= 2 * e + 2);
         // Only |V| variables are integer in both encodings.
@@ -287,9 +320,18 @@ mod tests {
         // Cutting at the cheap edge needs cpu 0.2; net budget below 100
         // forbids the all-server cut even though cpu would prefer it.
         let pg = chain(&[100.0, 5.0], &[0.1, 0.1, 0.0]);
-        let obj = ObjectiveConfig { alpha: 1.0, beta: 0.0, cpu_budget: 1.0, net_budget: 50.0 };
+        let obj = ObjectiveConfig {
+            alpha: 1.0,
+            beta: 0.0,
+            cpu_budget: 1.0,
+            net_budget: 50.0,
+        };
         let node = solve(&pg, Encoding::Restricted, &obj);
-        assert_eq!(node, [0, 1].into_iter().collect(), "forced past the 100-byte edge");
+        assert_eq!(
+            node,
+            [0, 1].into_iter().collect(),
+            "forced past the 100-byte edge"
+        );
     }
 
     #[test]
@@ -297,10 +339,19 @@ mod tests {
         // Moving v1 to the node costs cpu 0.5 and saves bandwidth 60.
         let pg = chain(&[100.0, 40.0], &[0.1, 0.5, 0.0]);
         // Pure bandwidth: take it.
-        let node = solve(&pg, Encoding::Restricted, &ObjectiveConfig::bandwidth_only(1.0, 1e9));
+        let node = solve(
+            &pg,
+            Encoding::Restricted,
+            &ObjectiveConfig::bandwidth_only(1.0, 1e9),
+        );
         assert!(node.contains(&1));
         // Heavy CPU weight: leave it on the server.
-        let obj = ObjectiveConfig { alpha: 1000.0, beta: 1.0, cpu_budget: 1.0, net_budget: 1e9 };
+        let obj = ObjectiveConfig {
+            alpha: 1000.0,
+            beta: 1.0,
+            cpu_budget: 1.0,
+            net_budget: 1e9,
+        };
         let node = solve(&pg, Encoding::Restricted, &obj);
         assert!(!node.contains(&1));
     }

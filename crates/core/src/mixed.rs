@@ -94,7 +94,10 @@ pub fn partition_mixed(
         });
     }
     entry.sort_unstable();
-    Ok(MixedPartition { classes: out, server_entry_edges: entry })
+    Ok(MixedPartition {
+        classes: out,
+        server_entry_edges: entry,
+    })
 }
 
 #[cfg(test)]
@@ -124,7 +127,8 @@ mod tests {
             "light",
             Box::new(FnWork(|_p: usize, v: &Value, cx: &mut ExecCtx| {
                 let w = v.as_i16s().unwrap();
-                cx.meter().loop_scope(w.len() as u64, |m| m.int(w.len() as u64));
+                cx.meter()
+                    .loop_scope(w.len() as u64, |m| m.int(w.len() as u64));
                 cx.emit(Value::VecI16(w.iter().step_by(2).copied().collect()));
             })),
             heavy,
@@ -139,7 +143,9 @@ mod tests {
         let (mut g, src) = app();
         let t = SourceTrace {
             source: src,
-            elements: (0..40).map(|i| Value::VecI16(vec![i as i16; 256])).collect(),
+            elements: (0..40)
+                .map(|i| Value::VecI16(vec![i as i16; 256]))
+                .collect(),
             rate_hz: 20.0,
         };
         let prof = run_profile(&mut g, &[t]).unwrap();
@@ -184,7 +190,9 @@ mod tests {
         let (mut g, src) = app();
         let t = SourceTrace {
             source: src,
-            elements: (0..20).map(|i| Value::VecI16(vec![i as i16; 128])).collect(),
+            elements: (0..20)
+                .map(|i| Value::VecI16(vec![i as i16; 128]))
+                .collect(),
             rate_hz: 10.0,
         };
         let prof = run_profile(&mut g, &[t]).unwrap();
@@ -194,7 +202,11 @@ mod tests {
         let mixed = partition_mixed(
             &g,
             &prof,
-            &[NodeClass { platform: p, count: 1, config: cfg }],
+            &[NodeClass {
+                platform: p,
+                count: 1,
+                config: cfg,
+            }],
         )
         .unwrap();
         assert_eq!(mixed.classes[0].partition.node_ops, direct.node_ops);

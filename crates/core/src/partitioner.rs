@@ -115,7 +115,10 @@ impl std::fmt::Display for PartitionError {
         match self {
             PartitionError::Pin(e) => write!(f, "pinning: {e}"),
             PartitionError::Infeasible => {
-                write!(f, "no feasible partition within the CPU and network budgets")
+                write!(
+                    f,
+                    "no feasible partition within the CPU and network budgets"
+                )
             }
             PartitionError::Solver(e) => write!(f, "solver: {e}"),
         }
@@ -163,8 +166,10 @@ pub fn partition(
 
     let node_vertices = ep.decode(&sol.values);
     let node_ops = pg.expand(&node_vertices);
-    let server_ops: HashSet<OperatorId> =
-        graph.operator_ids().filter(|id| !node_ops.contains(id)).collect();
+    let server_ops: HashSet<OperatorId> = graph
+        .operator_ids()
+        .filter(|id| !node_ops.contains(id))
+        .collect();
 
     let cut_edges: Vec<EdgeId> = graph
         .edge_ids()
@@ -213,7 +218,8 @@ mod tests {
             "cheap_reduce",
             Box::new(FnWork(|_p: usize, v: &Value, cx: &mut ExecCtx| {
                 let w = v.as_i16s().unwrap();
-                cx.meter().loop_scope(w.len() as u64, |m| m.int(w.len() as u64));
+                cx.meter()
+                    .loop_scope(w.len() as u64, |m| m.int(w.len() as u64));
                 cx.emit(Value::VecI16(w.iter().step_by(4).copied().collect()));
             })),
             src,
@@ -241,7 +247,9 @@ mod tests {
         let (mut g, src, ops) = reducing_app();
         let trace = SourceTrace {
             source: src,
-            elements: (0..40).map(|i| Value::VecI16(vec![i as i16; 200])).collect(),
+            elements: (0..40)
+                .map(|i| Value::VecI16(vec![i as i16; 200]))
+                .collect(),
             rate_hz: 10.0,
         };
         let p = run_profile(&mut g, &[trace]).unwrap();
@@ -274,7 +282,10 @@ mod tests {
         cfg.net_budget = 1e9;
         let part = partition(&g, &prof, &platform, &cfg).unwrap();
         assert!(part.node_ops.contains(&ops[1]), "cheap stage stays");
-        assert!(!part.node_ops.contains(&ops[2]), "pricey stage moves to server");
+        assert!(
+            !part.node_ops.contains(&ops[2]),
+            "pricey stage moves to server"
+        );
         assert!(part.predicted_cpu <= cfg.cpu_budget + 1e-9);
     }
 

@@ -26,7 +26,9 @@ struct Dsu {
 
 impl Dsu {
     fn new(n: usize) -> Self {
-        Dsu { parent: (0..n).collect() }
+        Dsu {
+            parent: (0..n).collect(),
+        }
     }
 
     fn find(&mut self, x: usize) -> usize {
@@ -152,7 +154,11 @@ pub fn preprocess(pg: &PartitionGraph) -> Result<PreprocessResult, PinError> {
                         pin = combine_pins(pin, pg.vertices[v].pin, &pg.vertices[v])?;
                     }
                     ops.sort_unstable();
-                    vertices.push(PVertex { ops, cpu_cost: cpu, pin });
+                    vertices.push(PVertex {
+                        ops,
+                        cpu_cost: cpu,
+                        pin,
+                    });
                 }
                 // Aggregate parallel edges between classes.
                 let mut agg: HashMap<(usize, usize), PEdge> = HashMap::new();
@@ -256,11 +262,20 @@ mod tests {
     use wishbone_dataflow::OperatorId;
 
     fn v(cpu: f64, pin: Pin) -> PVertex {
-        PVertex { ops: vec![], cpu_cost: cpu, pin }
+        PVertex {
+            ops: vec![],
+            cpu_cost: cpu,
+            pin,
+        }
     }
 
     fn e(src: usize, dst: usize, bw: f64) -> PEdge {
-        PEdge { src, dst, bandwidth: bw, graph_edges: vec![] }
+        PEdge {
+            src,
+            dst,
+            bandwidth: bw,
+            graph_edges: vec![],
+        }
     }
 
     /// Give each vertex a distinct op id so conflict errors are traceable.
@@ -321,7 +336,10 @@ mod tests {
             edges: vec![e(0, 1, 64.0), e(1, 2, 64.0)],
         });
         let r = preprocess(&pg).unwrap();
-        assert_eq!(r.vertices_after, 2, "data-neutral op merges with the sink side");
+        assert_eq!(
+            r.vertices_after, 2,
+            "data-neutral op merges with the sink side"
+        );
     }
 
     #[test]
@@ -365,7 +383,11 @@ mod tests {
             .iter()
             .find(|vert| vert.ops.contains(&OperatorId(1)))
             .unwrap();
-        assert_eq!(w_class.ops, vec![OperatorId(1)], "fan-out vertex must stay alone");
+        assert_eq!(
+            w_class.ops,
+            vec![OperatorId(1)],
+            "fan-out vertex must stay alone"
+        );
     }
 
     #[test]

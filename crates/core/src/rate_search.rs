@@ -69,7 +69,11 @@ pub fn max_sustainable_rate(
                 best = p;
                 hi = next;
                 if (next - hi_limit).abs() < f64::EPSILON * hi_limit {
-                    return Ok(Some(RateSearchResult { rate: lo, partition: best, evaluations: evals }));
+                    return Ok(Some(RateSearchResult {
+                        rate: lo,
+                        partition: best,
+                        evaluations: evals,
+                    }));
                 }
             }
             None => {
@@ -90,7 +94,11 @@ pub fn max_sustainable_rate(
             None => hi = mid,
         }
     }
-    Ok(Some(RateSearchResult { rate: lo, partition: best, evaluations: evals }))
+    Ok(Some(RateSearchResult {
+        rate: lo,
+        partition: best,
+        evaluations: evals,
+    }))
 }
 
 #[cfg(test)]
@@ -125,7 +133,9 @@ mod tests {
         let (mut g, src) = app();
         let t = SourceTrace {
             source: src,
-            elements: (0..20).map(|i| Value::VecI16(vec![i as i16; 200])).collect(),
+            elements: (0..20)
+                .map(|i| Value::VecI16(vec![i as i16; 200]))
+                .collect(),
             rate_hz: 40.0,
         };
         let p = run_profile(&mut g, &[t]).unwrap();
@@ -157,7 +167,11 @@ mod tests {
         let r = max_sustainable_rate(&g, &prof, &platform, &cfg, 8.0, 0.01)
             .unwrap()
             .expect("feasible");
-        assert!((r.rate - 8.0).abs() < 1e-9, "cap should be reached, got {}", r.rate);
+        assert!(
+            (r.rate - 8.0).abs() < 1e-9,
+            "cap should be reached, got {}",
+            r.rate
+        );
     }
 
     #[test]

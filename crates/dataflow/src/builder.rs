@@ -49,7 +49,9 @@ pub struct ZipWork {
 impl ZipWork {
     /// Zip over `ports` input streams.
     pub fn new(ports: usize) -> Self {
-        ZipWork { buffers: vec![Vec::new(); ports] }
+        ZipWork {
+            buffers: vec![Vec::new(); ports],
+        }
     }
 }
 
@@ -87,7 +89,10 @@ impl GraphBuilder {
     }
 
     fn current_namespace(&self) -> crate::graph::Namespace {
-        *self.namespace_stack.last().expect("namespace stack never empty")
+        *self
+            .namespace_stack
+            .last()
+            .expect("namespace stack never empty")
     }
 
     /// Begin a `Node{}` block; operators added until the matching
@@ -121,7 +126,11 @@ impl GraphBuilder {
         work: Box<dyn WorkFn>,
         input: StreamRef,
     ) -> StreamRef {
-        self.add(OperatorSpec::transform(name).in_namespace(self.current_namespace()), work, &[input])
+        self.add(
+            OperatorSpec::transform(name).in_namespace(self.current_namespace()),
+            work,
+            &[input],
+        )
     }
 
     /// Add a stateful transform consuming `input`.

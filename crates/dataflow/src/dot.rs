@@ -30,7 +30,12 @@ fn heat_color(h: f64) -> String {
     // Linear blend blue (0x4575b4) -> red (0xd73027), the classic
     // cool/warm diverging palette endpoints.
     let lerp = |a: u8, b: u8| -> u8 { (f64::from(a) + (f64::from(b) - f64::from(a)) * h) as u8 };
-    format!("#{:02x}{:02x}{:02x}", lerp(0x45, 0xd7), lerp(0x75, 0x30), lerp(0xb4, 0x27))
+    format!(
+        "#{:02x}{:02x}{:02x}",
+        lerp(0x45, 0xd7),
+        lerp(0x75, 0x30),
+        lerp(0xb4, 0x27)
+    )
 }
 
 /// Render `graph` as GraphViz DOT text.

@@ -141,7 +141,10 @@ pub struct ExecCtx {
 impl ExecCtx {
     /// Fresh context (one per work-function invocation).
     pub fn new() -> Self {
-        ExecCtx { meter: Meter::new(), emitted: Vec::new() }
+        ExecCtx {
+            meter: Meter::new(),
+            emitted: Vec::new(),
+        }
     }
 
     /// Metering handle.
@@ -358,7 +361,12 @@ impl Graph {
     }
 
     /// Run one operator's work function on an element; panics if absent.
-    pub fn run_operator(&mut self, id: OperatorId, port: usize, input: &Value) -> (Vec<Value>, OpCounts) {
+    pub fn run_operator(
+        &mut self,
+        id: OperatorId,
+        port: usize,
+        input: &Value,
+    ) -> (Vec<Value>, OpCounts) {
         let mut cx = ExecCtx::new();
         self.work[id.0]
             .as_mut()
@@ -385,8 +393,7 @@ impl Graph {
     pub fn topo_order(&self) -> Result<Vec<OperatorId>, GraphError> {
         let n = self.specs.len();
         let mut indeg: Vec<usize> = (0..n).map(|i| self.in_edges[i].len()).collect();
-        let mut queue: VecDeque<usize> =
-            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(i) = queue.pop_front() {
             order.push(OperatorId(i));
@@ -425,8 +432,10 @@ impl Graph {
             if spec.kind != OperatorKind::Sink && self.work[i].is_none() {
                 return Err(GraphError::MissingWork(id));
             }
-            let mut ports: Vec<usize> =
-                self.in_edges[i].iter().map(|&e| self.edges[e.0].dst_port).collect();
+            let mut ports: Vec<usize> = self.in_edges[i]
+                .iter()
+                .map(|&e| self.edges[e.0].dst_port)
+                .collect();
             ports.sort_unstable();
             for w in ports.windows(2) {
                 if w[0] == w[1] {
@@ -530,7 +539,10 @@ mod tests {
         let s = g.add_operator(OperatorSpec::source("src"), Some(Box::new(IdentityWork)));
         let a = g.add_operator(OperatorSpec::transform("a"), Some(Box::new(IdentityWork)));
         g.connect(a, s, 0);
-        assert!(matches!(g.validate(), Err(GraphError::SourceHasInput(_)) | Err(GraphError::Cyclic)));
+        assert!(matches!(
+            g.validate(),
+            Err(GraphError::SourceHasInput(_)) | Err(GraphError::Cyclic)
+        ));
     }
 
     #[test]

@@ -150,7 +150,10 @@ mod tests {
 
     #[test]
     fn display_is_stable() {
-        assert_eq!(Value::Tuple(vec![Value::I16(1), Value::Unit]).to_string(), "(1i16, ())");
+        assert_eq!(
+            Value::Tuple(vec![Value::I16(1), Value::Unit]).to_string(),
+            "(1i16, ())"
+        );
         assert_eq!(Value::VecF32(vec![0.0; 4]).to_string(), "f32[4]");
     }
 }

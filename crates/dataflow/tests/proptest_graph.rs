@@ -2,9 +2,7 @@
 //! duality, and wire-size consistency over random DAGs and values.
 
 use proptest::prelude::*;
-use wishbone_dataflow::{
-    Graph, GraphError, IdentityWork, OperatorId, OperatorSpec, Value,
-};
+use wishbone_dataflow::{Graph, GraphError, IdentityWork, OperatorId, OperatorSpec, Value};
 
 /// Random DAG: `n` operators, forward edges only (guaranteed acyclic),
 /// vertex 0 a source, last vertex a sink, a guaranteed chain for

@@ -138,7 +138,10 @@ pub fn fft_q15_in_place(re: &mut [i32], im: &mut [i32], meter: &mut Meter) -> u3
     let twiddles: Vec<(i32, i32)> = (0..half)
         .map(|k| {
             let ang = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
-            (((ang.cos() * 32767.0).round()) as i32, ((ang.sin() * 32767.0).round()) as i32)
+            (
+                ((ang.cos() * 32767.0).round()) as i32,
+                ((ang.sin() * 32767.0).round()) as i32,
+            )
         })
         .collect();
 
@@ -226,8 +229,8 @@ pub fn real_fft_magnitude_q15(signal: &[i16], meter: &mut Meter) -> Vec<f32> {
         meter.int(34 * half as u64); // isqrt ~32 iterations of shifts/adds
         meter.mem(2 * half as u64);
         for k in 0..half {
-            let e = (i64::from(re[k]) * i64::from(re[k])
-                + i64::from(im[k]) * i64::from(im[k])) as u64;
+            let e =
+                (i64::from(re[k]) * i64::from(re[k]) + i64::from(im[k]) * i64::from(im[k])) as u64;
             mags.push(isqrt_u64(e) as f32 * scale);
         }
     });
@@ -367,7 +370,11 @@ mod tests {
         }
         // The spectral peaks land on the same bins.
         let argmax = |m: &[f32]| {
-            m.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
+            m.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0
         };
         assert_eq!(argmax(&fm), argmax(&qm));
     }

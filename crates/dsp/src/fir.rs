@@ -24,7 +24,10 @@ impl FirFilter {
     /// paper's `for i = 1 to N-1 { FIFO:enqueue(fifo, 0) }`).
     pub fn new(coeffs: &[f32]) -> Self {
         assert!(!coeffs.is_empty());
-        FirFilter { coeffs: coeffs.to_vec(), hist: vec![0.0; coeffs.len()] }
+        FirFilter {
+            coeffs: coeffs.to_vec(),
+            hist: vec![0.0; coeffs.len()],
+        }
     }
 
     /// Taps.
@@ -150,7 +153,10 @@ mod tests {
     #[test]
     fn add_windows_truncates() {
         let mut m = Meter::new();
-        assert_eq!(add_windows(&[1.0, 2.0, 9.0], &[3.0, 4.0], &mut m), vec![4.0, 6.0]);
+        assert_eq!(
+            add_windows(&[1.0, 2.0, 9.0], &[3.0, 4.0], &mut m),
+            vec![4.0, 6.0]
+        );
     }
 
     #[test]
@@ -170,10 +176,15 @@ mod tests {
             mag_with_scale(&sum, 1.0, &mut m)
         };
         let dc = vec![1.0f32; 64];
-        let nyquist: Vec<f32> = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let nyquist: Vec<f32> = (0..64)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let e_dc = run(&dc);
         let e_ny = run(&nyquist);
-        assert!(e_dc > 10.0 * e_ny, "low-pass: dc energy {e_dc}, nyquist energy {e_ny}");
+        assert!(
+            e_dc > 10.0 * e_ny,
+            "low-pass: dc energy {e_dc}, nyquist energy {e_ny}"
+        );
     }
 
     #[test]
@@ -190,7 +201,9 @@ mod tests {
             mag_with_scale(&sum, 1.0, &mut m)
         };
         let dc = vec![1.0f32; 64];
-        let nyquist: Vec<f32> = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let nyquist: Vec<f32> = (0..64)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(run(&nyquist) > 10.0 * run(&dc));
     }
 

@@ -48,7 +48,11 @@ pub fn mel_filterbank(num_filters: usize, num_bins: usize, sample_rate: f32) -> 
         for b in first..=last {
             let x = b as f32;
             let w = if x <= mid {
-                if mid > lo { (x - lo) / (mid - lo) } else { 1.0 }
+                if mid > lo {
+                    (x - lo) / (mid - lo)
+                } else {
+                    1.0
+                }
             } else if hi > mid {
                 (hi - x) / (hi - mid)
             } else {
@@ -60,7 +64,10 @@ pub fn mel_filterbank(num_filters: usize, num_bins: usize, sample_rate: f32) -> 
             // Degenerate (very narrow) triangle: take the nearest bin.
             weights.push(1.0);
         }
-        bank.push(MelFilter { first_bin: first.min(num_bins - 1), weights });
+        bank.push(MelFilter {
+            first_bin: first.min(num_bins - 1),
+            weights,
+        });
     }
     bank
 }
@@ -118,8 +125,7 @@ pub fn dct_ii(input: &[f32], k: usize, meter: &mut Meter) -> Vec<f32> {
         for j in 0..k {
             let mut acc = 0.0f32;
             for (i, &x) in input.iter().enumerate() {
-                acc += x
-                    * (std::f32::consts::PI / n as f32 * (i as f32 + 0.5) * j as f32).cos();
+                acc += x * (std::f32::consts::PI / n as f32 * (i as f32 + 0.5) * j as f32).cos();
             }
             let norm = if j == 0 {
                 (1.0 / n as f32).sqrt()

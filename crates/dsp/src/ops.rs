@@ -13,11 +13,13 @@ use crate::mel::{apply_filterbank, dct_ii, log_quantize, mel_filterbank, MelFilt
 use crate::window::{apply_window_q15, dc_remove_and_pad_i16, hamming_coeffs_q15, preemphasis_q15};
 
 fn expect_f32s<'v>(name: &str, v: &'v Value) -> &'v [f32] {
-    v.as_f32s().unwrap_or_else(|| panic!("{name}: expected f32 window, got {}", v.type_name()))
+    v.as_f32s()
+        .unwrap_or_else(|| panic!("{name}: expected f32 window, got {}", v.type_name()))
 }
 
 fn expect_i16s<'v>(name: &str, v: &'v Value) -> &'v [i16] {
-    v.as_i16s().unwrap_or_else(|| panic!("{name}: expected i16 window, got {}", v.type_name()))
+    v.as_i16s()
+        .unwrap_or_else(|| panic!("{name}: expected i16 window, got {}", v.type_name()))
 }
 
 /// Pre-emphasis in Q15 fixed point: `i16` window → `i16` window, state =
@@ -33,7 +35,10 @@ pub struct PreEmphOp {
 impl PreEmphOp {
     /// Standard speech pre-emphasis (`alpha` ≈ 0.97).
     pub fn new(alpha: f32) -> Self {
-        PreEmphOp { alpha_q15: (alpha * 32768.0).round().min(32767.0) as i16, prev: 0 }
+        PreEmphOp {
+            alpha_q15: (alpha * 32768.0).round().min(32767.0) as i16,
+            prev: 0,
+        }
     }
 }
 
@@ -45,7 +50,10 @@ impl WorkFn for PreEmphOp {
     }
 
     fn clone_fresh(&self) -> Box<dyn WorkFn> {
-        Box::new(PreEmphOp { alpha_q15: self.alpha_q15, prev: 0 })
+        Box::new(PreEmphOp {
+            alpha_q15: self.alpha_q15,
+            prev: 0,
+        })
     }
 }
 
@@ -58,7 +66,9 @@ pub struct HammingOp {
 impl HammingOp {
     /// Window of length `n` (must match the frame length).
     pub fn new(n: usize) -> Self {
-        HammingOp { window_q15: hamming_coeffs_q15(n) }
+        HammingOp {
+            window_q15: hamming_coeffs_q15(n),
+        }
     }
 }
 
@@ -127,7 +137,9 @@ pub struct FilterBankOp {
 impl FilterBankOp {
     /// Bank of `num_filters` filters over `num_bins` magnitude bins.
     pub fn new(num_filters: usize, num_bins: usize, sample_rate: f32) -> Self {
-        FilterBankOp { bank: mel_filterbank(num_filters, num_bins, sample_rate) }
+        FilterBankOp {
+            bank: mel_filterbank(num_filters, num_bins, sample_rate),
+        }
     }
 }
 
@@ -241,7 +253,9 @@ pub struct FirWindowOp {
 impl FirWindowOp {
     /// Filter with the given taps.
     pub fn new(coeffs: &[f32]) -> Self {
-        FirWindowOp { filter: FirFilter::new(coeffs) }
+        FirWindowOp {
+            filter: FirFilter::new(coeffs),
+        }
     }
 }
 
@@ -325,7 +339,11 @@ mod tests {
         let mut pre = PreEmphOp::new(0.97);
         let out = run(&mut pre, 0, Value::VecI16(frame));
         let v1 = out.into_iter().next().unwrap();
-        assert_eq!(v1.as_i16s().unwrap().len(), 200, "fixed-point front end stays i16");
+        assert_eq!(
+            v1.as_i16s().unwrap().len(),
+            200,
+            "fixed-point front end stays i16"
+        );
 
         let mut ham = HammingOp::new(200);
         let v2 = run(&mut ham, 0, v1).remove(0);
@@ -376,7 +394,10 @@ mod tests {
         let v = run(&mut cep, 0, v).remove(0);
         let cep_bytes = v.wire_size();
 
-        assert!(filtbank_bytes < source_bytes / 2, "{filtbank_bytes} vs {source_bytes}");
+        assert!(
+            filtbank_bytes < source_bytes / 2,
+            "{filtbank_bytes} vs {source_bytes}"
+        );
         assert!(logs_bytes < filtbank_bytes);
         assert!(cep_bytes < logs_bytes);
     }
@@ -395,7 +416,11 @@ mod tests {
         let _ = run(&mut f, 0, Value::VecF32(vec![5.0]));
         let mut fresh = f.clone_fresh();
         let out = run(fresh.as_mut(), 0, Value::VecF32(vec![0.0]));
-        assert_eq!(out, vec![Value::VecF32(vec![0.0])], "history must be cleared");
+        assert_eq!(
+            out,
+            vec![Value::VecF32(vec![0.0])],
+            "history must be cleared"
+        );
     }
 
     #[test]
@@ -412,10 +437,16 @@ mod tests {
         let mut e = GetEvenOp;
         let mut o = GetOddOp;
         let w = Value::VecF32(vec![1.0, 2.0, 3.0, 4.0]);
-        assert_eq!(run(&mut e, 0, w.clone()), vec![Value::VecF32(vec![1.0, 3.0])]);
+        assert_eq!(
+            run(&mut e, 0, w.clone()),
+            vec![Value::VecF32(vec![1.0, 3.0])]
+        );
         assert_eq!(run(&mut o, 0, w), vec![Value::VecF32(vec![2.0, 4.0])]);
         let mut m = MagScaleOp::new(0.5);
-        assert_eq!(run(&mut m, 0, Value::VecF32(vec![2.0, 2.0])), vec![Value::F32(4.0)]);
+        assert_eq!(
+            run(&mut m, 0, Value::VecF32(vec![2.0, 2.0])),
+            vec![Value::F32(4.0)]
+        );
     }
 
     #[test]

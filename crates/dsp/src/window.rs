@@ -7,9 +7,7 @@ use wishbone_dataflow::Meter;
 pub fn hamming_coeffs(n: usize) -> Vec<f32> {
     assert!(n >= 2);
     (0..n)
-        .map(|i| {
-            0.54 - 0.46 * (2.0 * std::f32::consts::PI * i as f32 / (n as f32 - 1.0)).cos()
-        })
+        .map(|i| 0.54 - 0.46 * (2.0 * std::f32::consts::PI * i as f32 / (n as f32 - 1.0)).cos())
         .collect()
 }
 
@@ -93,7 +91,12 @@ pub fn apply_window_q15(frame: &[i16], window_q15: &[i16], meter: &mut Meter) ->
 
 /// Fixed-point pre-emphasis `y[i] = x[i] - (α_q15·x[i-1]) >> 15`, state in
 /// `prev` (metered as integer ops).
-pub fn preemphasis_q15(frame: &[i16], alpha_q15: i16, prev: &mut i16, meter: &mut Meter) -> Vec<i16> {
+pub fn preemphasis_q15(
+    frame: &[i16],
+    alpha_q15: i16,
+    prev: &mut i16,
+    meter: &mut Meter,
+) -> Vec<i16> {
     let mut out = Vec::with_capacity(frame.len());
     meter.loop_scope(frame.len() as u64, |meter| {
         meter.imul(frame.len() as u64);
@@ -199,8 +202,11 @@ mod tests {
         let yq = apply_window_q15(&frame, &wq, &mut m);
         for i in 0..n {
             let yf = f32::from(frame[i]) * w[i];
-            assert!((f32::from(yq[i]) - yf).abs() <= 2.0 + yf.abs() * 0.001,
-                "bin {i}: {yq:?} vs {yf}", yq = yq[i]);
+            assert!(
+                (f32::from(yq[i]) - yf).abs() <= 2.0 + yf.abs() * 0.001,
+                "bin {i}: {yq:?} vs {yf}",
+                yq = yq[i]
+            );
         }
         // Metered as integer work only.
         use wishbone_dataflow::OpClass;

@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 use wishbone_dataflow::Meter;
-use wishbone_dsp::{
-    dct_ii, fft_in_place, real_fft_magnitude, real_fft_magnitude_q15, FirFilter,
-};
+use wishbone_dsp::{dct_ii, fft_in_place, real_fft_magnitude, real_fft_magnitude_q15, FirFilter};
 
 /// Naive O(n²) DFT magnitude for reference.
 fn dft_magnitude(signal: &[f32]) -> Vec<f32> {
@@ -91,7 +89,7 @@ proptest! {
         }
         // Time invariance: prepending zeros delays the output.
         let mut f3 = FirFilter::new(&taps);
-        let delayed_in: Vec<f32> = std::iter::repeat(0.0).take(3).chain(x.iter().copied()).collect();
+        let delayed_in: Vec<f32> = std::iter::repeat_n(0.0, 3).chain(x.iter().copied()).collect();
         let y3 = f3.filter_window(&delayed_in, &mut Meter::new());
         for (i, a) in y1.iter().take(20).enumerate() {
             prop_assert!((a - y3[i + 3]).abs() <= 1e-3 * scale + 1e-3);

@@ -154,7 +154,9 @@ pub fn solve_ilp(problem: &Problem, opts: &IlpOptions) -> Result<IlpSolution, So
                     }
                 }
                 let obj = problem.objective_value(&vals);
-                let improves = incumbent.as_ref().map_or(true, |(best, _)| obj < best - 1e-12);
+                let improves = incumbent
+                    .as_ref()
+                    .is_none_or(|(best, _)| obj < best - 1e-12);
                 if improves {
                     stats.incumbents.push((start.elapsed(), obj));
                     incumbent = Some((obj, vals));
@@ -170,13 +172,16 @@ pub fn solve_ilp(problem: &Problem, opts: &IlpOptions) -> Result<IlpSolution, So
                 let mut rounded = lp.values.clone();
                 for (k, v) in rounded.iter_mut().enumerate() {
                     if problem.integer[k] {
-                        *v = v.floor().clamp(problem.lower[k].ceil(), problem.upper[k].floor());
+                        *v = v
+                            .floor()
+                            .clamp(problem.lower[k].ceil(), problem.upper[k].floor());
                     }
                 }
                 if problem.is_feasible(&rounded, 1e-6) {
                     let obj = problem.objective_value(&rounded);
-                    let improves =
-                        incumbent.as_ref().map_or(true, |(best, _)| obj < best - 1e-12);
+                    let improves = incumbent
+                        .as_ref()
+                        .is_none_or(|(best, _)| obj < best - 1e-12);
                     if improves {
                         stats.incumbents.push((start.elapsed(), obj));
                         incumbent = Some((obj, rounded));
@@ -229,7 +234,11 @@ pub fn solve_ilp(problem: &Problem, opts: &IlpOptions) -> Result<IlpSolution, So
             } else {
                 0.0
             };
-            Ok(IlpSolution { objective: obj, values, stats })
+            Ok(IlpSolution {
+                objective: obj,
+                values,
+                stats,
+            })
         }
         None => {
             if hit_limit {
@@ -260,7 +269,7 @@ fn pick_branch_var(problem: &Problem, x: &[f64], rule: Branching) -> Option<usiz
             Branching::FirstFractional => return Some(j),
             Branching::MostFractional => {
                 let dist = (v - v.floor() - 0.5).abs(); // 0 = most fractional
-                if best.map_or(true, |(_, d)| dist < d) {
+                if best.is_none_or(|(_, d)| dist < d) {
                     best = Some((j, dist));
                 }
             }
@@ -311,7 +320,10 @@ mod tests {
         let x = p.add_binary(1.0);
         let y = p.add_binary(1.0);
         p.add_constraint(&[(x, 1.0), (y, 1.0)], Sense::Ge, 3.0);
-        assert_eq!(solve_ilp(&p, &IlpOptions::default()), Err(SolveError::Infeasible));
+        assert_eq!(
+            solve_ilp(&p, &IlpOptions::default()),
+            Err(SolveError::Infeasible)
+        );
     }
 
     #[test]
@@ -357,7 +369,10 @@ mod tests {
             .map(|(i, &v)| (v, (i % 3 + 1) as f64))
             .collect();
         p.add_constraint(&row, Sense::Le, 6.5);
-        let opts = IlpOptions { max_nodes: 2, ..Default::default() };
+        let opts = IlpOptions {
+            max_nodes: 2,
+            ..Default::default()
+        };
         match solve_ilp(&p, &opts) {
             Ok(s) => assert!(!s.stats.proved),
             Err(SolveError::IterationLimit) => {}
@@ -368,7 +383,9 @@ mod tests {
     #[test]
     fn incumbent_timeline_is_monotone() {
         let mut p = Problem::new();
-        let vars: Vec<_> = (0..10).map(|i| p.add_binary(-(1.0 + (i as f64) * 0.3))).collect();
+        let vars: Vec<_> = (0..10)
+            .map(|i| p.add_binary(-(1.0 + (i as f64) * 0.3)))
+            .collect();
         let row: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
         p.add_constraint(&row, Sense::Le, 4.0);
         let s = solve_ilp(&p, &IlpOptions::default()).unwrap();
@@ -382,13 +399,22 @@ mod tests {
     #[test]
     fn branching_rules_agree_on_optimum() {
         let mut p = Problem::new();
-        let vars: Vec<_> = (0..8).map(|i| p.add_binary(-((i * 7 % 5) as f64 + 1.5))).collect();
-        let row: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, (i % 4 + 1) as f64)).collect();
+        let vars: Vec<_> = (0..8)
+            .map(|i| p.add_binary(-((i * 7 % 5) as f64 + 1.5)))
+            .collect();
+        let row: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i % 4 + 1) as f64))
+            .collect();
         p.add_constraint(&row, Sense::Le, 9.0);
         let a = solve_ilp(&p, &IlpOptions::default()).unwrap();
         let b = solve_ilp(
             &p,
-            &IlpOptions { branching: Branching::FirstFractional, ..Default::default() },
+            &IlpOptions {
+                branching: Branching::FirstFractional,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_close(a.objective, b.objective);

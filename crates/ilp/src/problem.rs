@@ -81,9 +81,16 @@ impl Problem {
     /// Add one constraint.
     pub fn add_constraint(&mut self, terms: &[(VarId, f64)], sense: Sense, rhs: f64) {
         for &(v, _) in terms {
-            assert!(v.0 < self.objective.len(), "constraint references unknown variable");
+            assert!(
+                v.0 < self.objective.len(),
+                "constraint references unknown variable"
+            );
         }
-        self.constraints.push(Constraint { terms: terms.to_vec(), sense, rhs });
+        self.constraints.push(Constraint {
+            terms: terms.to_vec(),
+            sense,
+            rhs,
+        });
     }
 
     /// Number of variables.
@@ -111,8 +118,8 @@ impl Problem {
         if x.len() != self.num_vars() {
             return false;
         }
-        for i in 0..x.len() {
-            if x[i] < self.lower[i] - tol || x[i] > self.upper[i] + tol {
+        for ((&xi, &lo), &up) in x.iter().zip(&self.lower).zip(&self.upper) {
+            if xi < lo - tol || xi > up + tol {
                 return false;
             }
         }

@@ -55,7 +55,12 @@ pub(crate) struct Simplex {
 impl Simplex {
     /// Build the tableau for `problem` with per-solve bound overrides
     /// (branch-and-bound tightens bounds without copying the problem).
-    pub(crate) fn new(problem: &Problem, lower: &[f64], upper: &[f64], iteration_limit: u64) -> Self {
+    pub(crate) fn new(
+        problem: &Problem,
+        lower: &[f64],
+        upper: &[f64],
+        iteration_limit: u64,
+    ) -> Self {
         let n_structural = problem.num_vars();
         let m = problem.num_constraints();
         let n_slack: usize = problem
@@ -75,9 +80,7 @@ impl Simplex {
 
         // Nonbasic structural variables start at their (finite) lower bound.
         let mut x = vec![0.0; n];
-        for j in 0..n_structural {
-            x[j] = lo[j];
-        }
+        x[..n_structural].copy_from_slice(&lo[..n_structural]);
 
         let mut status = vec![VarStatus::AtLower; n];
         let mut basis = Vec::with_capacity(m);
@@ -190,7 +193,7 @@ impl Simplex {
             if bland {
                 return Some((j, dir));
             }
-            if best.map_or(true, |(_, _, s)| score > s) {
+            if best.is_none_or(|(_, _, s)| score > s) {
                 best = Some((j, dir, score));
             }
         }
@@ -267,7 +270,11 @@ impl Simplex {
                 VarStatus::AtUpper => self.upper[e],
                 _ => self.lower[e],
             };
-            self.degenerate_run = if flip <= EPS { self.degenerate_run + 1 } else { 0 };
+            self.degenerate_run = if flip <= EPS {
+                self.degenerate_run + 1
+            } else {
+                0
+            };
             return Ok(true);
         }
 
@@ -288,7 +295,11 @@ impl Simplex {
         self.status[e] = VarStatus::Basic;
         self.basis[r] = e;
         self.pivot(r, e);
-        self.degenerate_run = if t_star <= EPS { self.degenerate_run + 1 } else { 0 };
+        self.degenerate_run = if t_star <= EPS {
+            self.degenerate_run + 1
+        } else {
+            0
+        };
         Ok(true)
     }
 
@@ -357,7 +368,7 @@ impl Simplex {
                 return Err(SolveError::IterationLimit);
             }
             self.iterations += 1;
-            if self.iterations % REFRESH_PERIOD == 0 {
+            if self.iterations.is_multiple_of(REFRESH_PERIOD) {
                 self.recompute_obj_row();
             }
             if !self.step()? {
@@ -391,20 +402,33 @@ impl Simplex {
 
         // Phase 2: the real objective.
         for j in 0..self.n {
-            self.cost[j] = if j < self.n_structural { problem.objective[j] } else { 0.0 };
+            self.cost[j] = if j < self.n_structural {
+                problem.objective[j]
+            } else {
+                0.0
+            };
         }
         self.degenerate_run = 0;
         self.recompute_obj_row();
         self.run_phase()?;
 
         let values = self.x[..self.n_structural].to_vec();
-        Ok(LpSolution { objective: self.objective(), values, iterations: self.iterations })
+        Ok(LpSolution {
+            objective: self.objective(),
+            values,
+            iterations: self.iterations,
+        })
     }
 }
 
 /// Solve the LP relaxation of `problem` (integrality ignored).
 pub fn solve_lp(problem: &Problem) -> Result<LpSolution, SolveError> {
-    solve_lp_with_bounds(problem, &problem.lower, &problem.upper, default_iteration_limit(problem))
+    solve_lp_with_bounds(
+        problem,
+        &problem.lower,
+        &problem.upper,
+        default_iteration_limit(problem),
+    )
 }
 
 /// Solve the LP relaxation with per-call bound overrides (used by
@@ -537,8 +561,16 @@ mod tests {
         let x2 = p.add_var(0.0, f64::INFINITY, 150.0, false);
         let x3 = p.add_var(0.0, f64::INFINITY, -0.02, false);
         let x4 = p.add_var(0.0, f64::INFINITY, 6.0, false);
-        p.add_constraint(&[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)], Sense::Le, 0.0);
-        p.add_constraint(&[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)], Sense::Le, 0.0);
+        p.add_constraint(
+            &[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Sense::Le,
+            0.0,
+        );
+        p.add_constraint(
+            &[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Sense::Le,
+            0.0,
+        );
         p.add_constraint(&[(x3, 1.0)], Sense::Le, 1.0);
         let s = solve_lp(&p).unwrap();
         assert_close(s.objective, -0.05);

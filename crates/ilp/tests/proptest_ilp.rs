@@ -14,7 +14,7 @@ fn brute_force(p: &Problem) -> Option<f64> {
         let x: Vec<f64> = (0..n).map(|j| f64::from((mask >> j) & 1)).collect();
         if p.is_feasible(&x, 1e-9) {
             let obj = p.objective_value(&x);
-            if best.map_or(true, |b| obj < b) {
+            if best.is_none_or(|b| obj < b) {
                 best = Some(obj);
             }
         }

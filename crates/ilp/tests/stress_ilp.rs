@@ -16,7 +16,9 @@ fn chain_ilp(n: usize, budget: f64) -> Problem {
         state ^= state << 17;
         (state >> 11) as f64 / (1u64 << 53) as f64
     };
-    let bw: Vec<f64> = (0..n).map(|i| 1000.0 * 0.9f64.powi(i as i32) + next() * 10.0).collect();
+    let bw: Vec<f64> = (0..n)
+        .map(|i| 1000.0 * 0.9f64.powi(i as i32) + next() * 10.0)
+        .collect();
     let cpu: Vec<f64> = (0..n).map(|_| 0.002 + 0.01 * next()).collect();
 
     let vars: Vec<_> = (0..n)
@@ -41,7 +43,11 @@ fn chain_of_500_solves_quickly_and_correctly() {
     let p = chain_ilp(500, 1.5);
     let start = std::time::Instant::now();
     let sol = p.solve_ilp(&IlpOptions::default()).expect("solvable");
-    assert!(start.elapsed().as_secs_f64() < 30.0, "took {:?}", start.elapsed());
+    assert!(
+        start.elapsed().as_secs_f64() < 30.0,
+        "took {:?}",
+        start.elapsed()
+    );
     assert!(p.is_feasible(&sol.values, 1e-6));
     // Prefix structure: values must be monotone non-increasing.
     for w in sol.values.windows(2) {
@@ -54,7 +60,10 @@ fn tight_budget_forces_short_prefix() {
     let p = chain_ilp(100, 0.02);
     let sol = p.solve_ilp(&IlpOptions::default()).expect("solvable");
     let on_node = sol.values.iter().filter(|&&v| v > 0.5).count();
-    assert!(on_node <= 5, "tiny budget admits only a short prefix, got {on_node}");
+    assert!(
+        on_node <= 5,
+        "tiny budget admits only a short prefix, got {on_node}"
+    );
 }
 
 #[test]
@@ -70,7 +79,11 @@ fn duplicated_and_redundant_constraints_are_harmless() {
     p.add_constraint(&[(x, 1.0), (y, -1.0)], Sense::Eq, 2.0);
     p.add_constraint(&[(x, 1.0), (y, -1.0)], Sense::Eq, 2.0);
     let sol = p.solve_lp().expect("solvable");
-    assert!((sol.objective - (-6.0)).abs() < 1e-6, "x=4,y=2: {}", sol.objective);
+    assert!(
+        (sol.objective - (-6.0)).abs() < 1e-6,
+        "x=4,y=2: {}",
+        sol.objective
+    );
 }
 
 #[test]
@@ -125,7 +138,10 @@ fn infeasible_large_chain_detected() {
     // Make the budget too small for the full chain.
     let mut q = chain_ilp(200, 0.0001);
     q.add_constraint(&[(wishbone_ilp::VarId(199), 1.0)], Sense::Ge, 1.0);
-    assert_eq!(q.solve_ilp(&IlpOptions::default()), Err(SolveError::Infeasible));
+    assert_eq!(
+        q.solve_ilp(&IlpOptions::default()),
+        Err(SolveError::Infeasible)
+    );
 }
 
 #[test]

@@ -23,12 +23,18 @@ pub struct PacketFormat {
 impl PacketFormat {
     /// TinyOS active-message-style small packets.
     pub fn tinyos() -> Self {
-        PacketFormat { max_payload: 28, per_packet_overhead: 17 }
+        PacketFormat {
+            max_payload: 28,
+            per_packet_overhead: 17,
+        }
     }
 
     /// WiFi/TCP-style large frames.
     pub fn wifi() -> Self {
-        PacketFormat { max_payload: 1400, per_packet_overhead: 78 }
+        PacketFormat {
+            max_payload: 1400,
+            per_packet_overhead: 78,
+        }
     }
 
     /// Packets needed to carry `bytes` of payload.
@@ -101,7 +107,8 @@ impl ChannelParams {
             return 0.0;
         }
         let blowup = if mean_element_bytes > 0.0 {
-            self.format.on_air_bytes(mean_element_bytes.round() as usize) as f64
+            self.format
+                .on_air_bytes(mean_element_bytes.round() as usize) as f64
                 / mean_element_bytes
         } else {
             1.0
@@ -125,7 +132,13 @@ pub struct Channel {
 impl Channel {
     /// New channel with a deterministic seed.
     pub fn new(params: ChannelParams, seed: u64) -> Self {
-        Channel { params, rng: StdRng::seed_from_u64(seed), offered_load: 0.0, sent_packets: 0, delivered_packets: 0 }
+        Channel {
+            params,
+            rng: StdRng::seed_from_u64(seed),
+            offered_load: 0.0,
+            sent_packets: 0,
+            delivered_packets: 0,
+        }
     }
 
     /// Inform the channel of the current aggregate offered on-air load
@@ -195,7 +208,10 @@ mod tests {
         let g_cap = p.expected_goodput(3_500.0, 40.0);
         let g_over = p.expected_goodput(20_000.0, 40.0);
         assert!(g_cap > g_half);
-        assert!(g_over < g_cap, "goodput must fall past saturation: {g_over} vs {g_cap}");
+        assert!(
+            g_over < g_cap,
+            "goodput must fall past saturation: {g_over} vs {g_cap}"
+        );
     }
 
     #[test]

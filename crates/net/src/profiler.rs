@@ -54,7 +54,12 @@ pub fn profile_network(
     let steps = 64;
     for s in 1..=steps {
         let aggregate_msg_rate = capacity_msgs * 2.0 * s as f64 / steps as f64;
-        let measured = measure_reception(params, aggregate_msg_rate, probe_payload_bytes, seed ^ s as u64);
+        let measured = measure_reception(
+            params,
+            aggregate_msg_rate,
+            probe_payload_bytes,
+            seed ^ s as u64,
+        );
         if measured >= target_reception {
             best = Some((aggregate_msg_rate, measured));
         }
@@ -116,7 +121,10 @@ mod tests {
         let twenty = profile_network(params, 20, 28, 0.90, 7);
         // Same bottleneck: aggregate nearly unchanged, per-node ~1/20.
         let agg_ratio = twenty.max_aggregate_payload_rate / one.max_aggregate_payload_rate;
-        assert!((0.7..1.3).contains(&agg_ratio), "aggregate ratio {agg_ratio}");
+        assert!(
+            (0.7..1.3).contains(&agg_ratio),
+            "aggregate ratio {agg_ratio}"
+        );
         let per_node_ratio = twenty.max_per_node_payload_rate / one.max_per_node_payload_rate;
         assert!(per_node_ratio < 0.1, "per-node ratio {per_node_ratio}");
     }

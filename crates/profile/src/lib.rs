@@ -20,4 +20,6 @@ pub mod platform;
 pub mod profiler;
 
 pub use platform::{CycleCosts, Platform, RadioModel};
-pub use profiler::{profile, EdgeProfile, GraphProfile, OperatorProfile, ProfileError, SourceTrace};
+pub use profiler::{
+    profile, EdgeProfile, GraphProfile, OperatorProfile, ProfileError, SourceTrace,
+};

@@ -394,10 +394,16 @@ mod tests {
     fn n80_is_much_slower_than_its_clock_suggests() {
         let tmote = Platform::tmote_sky();
         let n80 = Platform::nokia_n80();
-        assert!((n80.clock_hz / tmote.clock_hz - 55.0).abs() < 1.0, "55x clock ratio");
+        assert!(
+            (n80.clock_hz / tmote.clock_hz - 55.0).abs() < 1.0,
+            "55x clock ratio"
+        );
         let speedup = tmote.seconds_for(&float_heavy()) / n80.seconds_for(&float_heavy());
         // Paper: "performing only about twice as fast" — allow 1.5..8x.
-        assert!((1.5..8.0).contains(&speedup), "N80 float speedup over TMote: {speedup:.1}");
+        assert!(
+            (1.5..8.0).contains(&speedup),
+            "N80 float speedup over TMote: {speedup:.1}"
+        );
     }
 
     #[test]
@@ -413,10 +419,15 @@ mod tests {
         let tmote = Platform::tmote_sky();
         let meraki = Platform::meraki_mini();
         let cpu_ratio = tmote.seconds_for(&int_heavy()) / meraki.seconds_for(&int_heavy());
-        assert!((8.0..60.0).contains(&cpu_ratio), "Meraki ~15x TMote CPU, got {cpu_ratio:.0}");
-        let bw_ratio =
-            meraki.radio.goodput_bytes_per_sec / tmote.radio.goodput_bytes_per_sec;
-        assert!(bw_ratio >= 10.0, "Meraki needs >=10x bandwidth, got {bw_ratio:.0}");
+        assert!(
+            (8.0..60.0).contains(&cpu_ratio),
+            "Meraki ~15x TMote CPU, got {cpu_ratio:.0}"
+        );
+        let bw_ratio = meraki.radio.goodput_bytes_per_sec / tmote.radio.goodput_bytes_per_sec;
+        assert!(
+            bw_ratio >= 10.0,
+            "Meraki needs >=10x bandwidth, got {bw_ratio:.0}"
+        );
     }
 
     #[test]

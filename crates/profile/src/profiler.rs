@@ -163,7 +163,9 @@ impl GraphProfile {
 /// sinks, mirroring the single-threaded traversal of the generated C code
 /// (§5.1).
 pub fn profile(graph: &mut Graph, traces: &[SourceTrace]) -> Result<GraphProfile, ProfileError> {
-    graph.validate().map_err(|e| ProfileError::InvalidGraph(e.to_string()))?;
+    graph
+        .validate()
+        .map_err(|e| ProfileError::InvalidGraph(e.to_string()))?;
 
     let mut trace_of: HashMap<OperatorId, &SourceTrace> = HashMap::new();
     for t in traces {
@@ -201,7 +203,11 @@ pub fn profile(graph: &mut Graph, traces: &[SourceTrace]) -> Result<GraphProfile
         run_cascade(graph, src, 0, v, &mut per_op, &mut per_edge);
     }
 
-    Ok(GraphProfile { per_op, per_edge, duration_s })
+    Ok(GraphProfile {
+        per_op,
+        per_edge,
+        duration_s,
+    })
 }
 
 /// Run one operator on one element and recursively deliver its emissions
@@ -314,21 +320,34 @@ mod tests {
     #[test]
     fn missing_trace_is_an_error() {
         let (mut g, _src, _h, _) = halving_graph();
-        assert!(matches!(profile(&mut g, &[]), Err(ProfileError::MissingTrace(_))));
+        assert!(matches!(
+            profile(&mut g, &[]),
+            Err(ProfileError::MissingTrace(_))
+        ));
     }
 
     #[test]
     fn non_source_trace_rejected() {
         let (mut g, _src, halver, _) = halving_graph();
         let bad = trace(halver, 2, 1.0);
-        assert_eq!(profile(&mut g, &[bad]).unwrap_err(), ProfileError::NotASource(halver));
+        assert_eq!(
+            profile(&mut g, &[bad]).unwrap_err(),
+            ProfileError::NotASource(halver)
+        );
     }
 
     #[test]
     fn empty_trace_rejected() {
         let (mut g, src, _h, _) = halving_graph();
-        let t = SourceTrace { source: src, elements: vec![], rate_hz: 1.0 };
-        assert_eq!(profile(&mut g, &[t]).unwrap_err(), ProfileError::EmptyTrace(src));
+        let t = SourceTrace {
+            source: src,
+            elements: vec![],
+            rate_hz: 1.0,
+        };
+        assert_eq!(
+            profile(&mut g, &[t]).unwrap_err(),
+            ProfileError::EmptyTrace(src)
+        );
     }
 
     #[test]
@@ -341,7 +360,7 @@ mod tests {
             Box::new(FnWork(|_p: usize, v: &Value, cx: &mut ExecCtx| {
                 // Cost depends on the element content: every 10th is big.
                 let n = v.as_scalar().unwrap() as u64;
-                cx.meter().int(if n % 10 == 0 { 1000 } else { 1 });
+                cx.meter().int(if n.is_multiple_of(10) { 1000 } else { 1 });
                 cx.emit(v.clone());
             })),
             src,
@@ -351,7 +370,7 @@ mod tests {
         let mut g = b.finish().unwrap();
         let t = SourceTrace {
             source: src.0,
-            elements: (0..20).map(|i| Value::I32(i)).collect(),
+            elements: (0..20).map(Value::I32).collect(),
             rate_hz: 1.0,
         };
         let p = profile(&mut g, &[t]).unwrap();

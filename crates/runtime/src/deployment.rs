@@ -120,6 +120,7 @@ pub struct SourceFeed {
 /// `trace` supplies the per-node source input (every node samples its own
 /// copy, offset-free: nodes are homogeneous); `trace_rate_hz` is the
 /// reference element rate scaled by `cfg.rate_multiplier`.
+#[allow(clippy::too_many_arguments)]
 pub fn simulate_deployment(
     graph: &Graph,
     node_ops: &HashSet<OperatorId>,
@@ -133,7 +134,11 @@ pub fn simulate_deployment(
     simulate_deployment_multi(
         graph,
         node_ops,
-        &[SourceFeed { source, trace: trace.to_vec(), rate_hz: trace_rate_hz }],
+        &[SourceFeed {
+            source,
+            trace: trace.to_vec(),
+            rate_hz: trace_rate_hz,
+        }],
         node_platform,
         channel,
         cfg,
@@ -150,7 +155,10 @@ pub fn simulate_deployment_multi(
     channel: ChannelParams,
     cfg: &DeploymentConfig,
 ) -> DeploymentReport {
-    assert!(!feeds.is_empty(), "deployment needs at least one source feed");
+    assert!(
+        !feeds.is_empty(),
+        "deployment needs at least one source feed"
+    );
     for f in feeds {
         assert!(!f.trace.is_empty(), "deployment needs non-empty traces");
         assert!(f.rate_hz > 0.0);
@@ -184,7 +192,8 @@ pub fn simulate_deployment_multi(
     let mut on_air_total = 0.0f64;
 
     for (node, ne) in executors.iter_mut().enumerate() {
-        let mut free_at = 0.0f64; // when the CPU finishes its queue
+        // When the CPU finishes its current queue.
+        let mut free_at = 0.0f64;
         // Each source has its own buffer (TinyOS ReadStream double
         // buffering is per interface), so simultaneous multi-channel
         // arrivals do not evict each other.
@@ -204,10 +213,13 @@ pub fn simulate_deployment_multi(
             let feed = &feeds[fi];
             let elem = &feed.trace[k % feed.trace.len()];
             let cascade = ne.process_event(graph, feed.source, elem);
-            let tx_cpu =
-                cascade.transmissions.iter().map(|(_, v)| {
+            let tx_cpu = cascade
+                .transmissions
+                .iter()
+                .map(|(_, v)| {
                     channel.format.packets_for(v.wire_size()) as f64 * cfg.per_packet_cpu_s
-                }).sum::<f64>();
+                })
+                .sum::<f64>();
             let service = cascade.cpu_seconds + tx_cpu;
             busy_total += service;
             free_at = free_at.max(t) + service;
@@ -269,7 +281,7 @@ mod tests {
                 move |_p: usize, _v: &Value, cx: &mut ExecCtx| {
                     i += 1;
                     cx.meter().loop_scope(cost, |m| m.int(cost));
-                    if i % 10 == 0 {
+                    if i.is_multiple_of(10) {
                         cx.emit(Value::VecI16(vec![0; payload]));
                     }
                 }
@@ -290,10 +302,19 @@ mod tests {
     fn light_load_processes_everything() {
         let (g, src, burn) = pipeline(100);
         let node_ops: HashSet<_> = [src, burn].into_iter().collect();
-        let cfg = DeploymentConfig { duration_s: 10.0, ..DeploymentConfig::motes(1, 1) };
+        let cfg = DeploymentConfig {
+            duration_s: 10.0,
+            ..DeploymentConfig::motes(1, 1)
+        };
         let r = simulate_deployment(
-            &g, &node_ops, src, &trace(100), 10.0,
-            &Platform::tmote_sky(), ChannelParams::mote(), &cfg,
+            &g,
+            &node_ops,
+            src,
+            &trace(100),
+            10.0,
+            &Platform::tmote_sky(),
+            ChannelParams::mote(),
+            &cfg,
         );
         assert_eq!(r.events_offered, 100);
         assert_eq!(r.events_processed, 100);
@@ -311,12 +332,25 @@ mod tests {
         // os_overhead; at 10 events/s the node can keep up with only ~1/8.
         let (g, src, burn) = pipeline(2_500_000);
         let node_ops: HashSet<_> = [src, burn].into_iter().collect();
-        let cfg = DeploymentConfig { duration_s: 10.0, ..DeploymentConfig::motes(1, 2) };
+        let cfg = DeploymentConfig {
+            duration_s: 10.0,
+            ..DeploymentConfig::motes(1, 2)
+        };
         let r = simulate_deployment(
-            &g, &node_ops, src, &trace(100), 10.0,
-            &Platform::tmote_sky(), ChannelParams::mote(), &cfg,
+            &g,
+            &node_ops,
+            src,
+            &trace(100),
+            10.0,
+            &Platform::tmote_sky(),
+            ChannelParams::mote(),
+            &cfg,
         );
-        assert!(r.input_processed_ratio() < 0.5, "ratio {}", r.input_processed_ratio());
+        assert!(
+            r.input_processed_ratio() < 0.5,
+            "ratio {}",
+            r.input_processed_ratio()
+        );
         assert!(r.node_cpu_utilization > 0.9);
     }
 
@@ -326,14 +360,30 @@ mod tests {
         // + per-packet headers over a 6 KB/s channel.
         let (g, src, _burn) = pipeline(100);
         let node_ops: HashSet<_> = [src].into_iter().collect();
-        let cfg = DeploymentConfig { duration_s: 10.0, ..DeploymentConfig::motes(1, 3) };
+        let cfg = DeploymentConfig {
+            duration_s: 10.0,
+            ..DeploymentConfig::motes(1, 3)
+        };
         let r = simulate_deployment(
-            &g, &node_ops, src, &trace(100), 40.0,
-            &Platform::tmote_sky(), ChannelParams::mote(), &cfg,
+            &g,
+            &node_ops,
+            src,
+            &trace(100),
+            40.0,
+            &Platform::tmote_sky(),
+            ChannelParams::mote(),
+            &cfg,
         );
         assert!(r.offered_load_bytes_per_sec > ChannelParams::mote().capacity_bytes_per_sec);
-        assert!(r.element_delivery_ratio() < 0.5, "delivery {}", r.element_delivery_ratio());
-        assert!(r.input_processed_ratio() > 0.9, "cheap source shouldn't miss inputs");
+        assert!(
+            r.element_delivery_ratio() < 0.5,
+            "delivery {}",
+            r.element_delivery_ratio()
+        );
+        assert!(
+            r.input_processed_ratio() > 0.9,
+            "cheap source shouldn't miss inputs"
+        );
     }
 
     #[test]
@@ -343,14 +393,30 @@ mod tests {
         let (g, src, burn) = pipeline_with_payload(1000, 100);
         let node_ops: HashSet<_> = [src, burn].into_iter().collect();
         let one = simulate_deployment(
-            &g, &node_ops, src, &trace(100), 20.0, &Platform::tmote_sky(),
+            &g,
+            &node_ops,
+            src,
+            &trace(100),
+            20.0,
+            &Platform::tmote_sky(),
             ChannelParams::mote(),
-            &DeploymentConfig { duration_s: 10.0, ..DeploymentConfig::motes(1, 4) },
+            &DeploymentConfig {
+                duration_s: 10.0,
+                ..DeploymentConfig::motes(1, 4)
+            },
         );
         let twenty = simulate_deployment(
-            &g, &node_ops, src, &trace(100), 20.0, &Platform::tmote_sky(),
+            &g,
+            &node_ops,
+            src,
+            &trace(100),
+            20.0,
+            &Platform::tmote_sky(),
             ChannelParams::mote(),
-            &DeploymentConfig { duration_s: 10.0, ..DeploymentConfig::motes(20, 4) },
+            &DeploymentConfig {
+                duration_s: 10.0,
+                ..DeploymentConfig::motes(20, 4)
+            },
         );
         assert!(twenty.offered_load_bytes_per_sec > 10.0 * one.offered_load_bytes_per_sec);
         assert!(twenty.element_delivery_ratio() <= one.element_delivery_ratio());
@@ -360,10 +426,19 @@ mod tests {
     fn sink_arrivals_track_deliveries() {
         let (g, src, burn) = pipeline(10);
         let node_ops: HashSet<_> = [src, burn].into_iter().collect();
-        let cfg = DeploymentConfig { duration_s: 10.0, ..DeploymentConfig::motes(1, 5) };
+        let cfg = DeploymentConfig {
+            duration_s: 10.0,
+            ..DeploymentConfig::motes(1, 5)
+        };
         let r = simulate_deployment(
-            &g, &node_ops, src, &trace(100), 10.0,
-            &Platform::tmote_sky(), ChannelParams::mote(), &cfg,
+            &g,
+            &node_ops,
+            src,
+            &trace(100),
+            10.0,
+            &Platform::tmote_sky(),
+            ChannelParams::mote(),
+            &cfg,
         );
         assert_eq!(r.sink_arrivals, r.elements_delivered);
     }
@@ -408,29 +483,57 @@ mod tests {
                 rate_hz: 5.0,
             },
         ];
-        let cfg = DeploymentConfig { duration_s: 10.0, ..DeploymentConfig::motes(1, 8) };
+        let cfg = DeploymentConfig {
+            duration_s: 10.0,
+            ..DeploymentConfig::motes(1, 8)
+        };
         let r = simulate_deployment_multi(
-            &g, &node_ops, &feeds, &Platform::tmote_sky(), ChannelParams::mote(), &cfg,
+            &g,
+            &node_ops,
+            &feeds,
+            &Platform::tmote_sky(),
+            ChannelParams::mote(),
+            &cfg,
         );
         // 20/s + 5/s over 10s = 250 events offered.
         assert_eq!(r.events_offered, 250);
-        assert!(r.input_processed_ratio() > 0.95, "light load processes everything");
-        assert_eq!(r.elements_sent, r.events_processed, "both pipelines transmit");
+        assert!(
+            r.input_processed_ratio() > 0.95,
+            "light load processes everything"
+        );
+        assert_eq!(
+            r.elements_sent, r.events_processed,
+            "both pipelines transmit"
+        );
     }
 
     #[test]
     fn single_source_wrapper_equals_multi() {
         let (g, src, burn) = pipeline(500);
         let node_ops: HashSet<_> = [src, burn].into_iter().collect();
-        let cfg = DeploymentConfig { duration_s: 5.0, ..DeploymentConfig::motes(2, 9) };
+        let cfg = DeploymentConfig {
+            duration_s: 5.0,
+            ..DeploymentConfig::motes(2, 9)
+        };
         let tr = trace(50);
         let a = simulate_deployment(
-            &g, &node_ops, src, &tr, 20.0, &Platform::tmote_sky(), ChannelParams::mote(), &cfg,
+            &g,
+            &node_ops,
+            src,
+            &tr,
+            20.0,
+            &Platform::tmote_sky(),
+            ChannelParams::mote(),
+            &cfg,
         );
         let b = simulate_deployment_multi(
             &g,
             &node_ops,
-            &[SourceFeed { source: src, trace: tr, rate_hz: 20.0 }],
+            &[SourceFeed {
+                source: src,
+                trace: tr,
+                rate_hz: 20.0,
+            }],
             &Platform::tmote_sky(),
             ChannelParams::mote(),
             &cfg,
@@ -442,11 +545,20 @@ mod tests {
     fn deterministic_given_seed() {
         let (g, src, burn) = pipeline(500);
         let node_ops: HashSet<_> = [src, burn].into_iter().collect();
-        let cfg = DeploymentConfig { duration_s: 5.0, ..DeploymentConfig::motes(3, 9) };
+        let cfg = DeploymentConfig {
+            duration_s: 5.0,
+            ..DeploymentConfig::motes(3, 9)
+        };
         let run = || {
             simulate_deployment(
-                &g, &node_ops, src, &trace(50), 20.0,
-                &Platform::tmote_sky(), ChannelParams::mote(), &cfg,
+                &g,
+                &node_ops,
+                src,
+                &trace(50),
+                20.0,
+                &Platform::tmote_sky(),
+                ChannelParams::mote(),
+                &cfg,
             )
         };
         assert_eq!(run(), run());

@@ -48,7 +48,12 @@ impl NodeExecutor {
             .operator_ids()
             .map(|id| node_ops.contains(&id))
             .collect();
-        NodeExecutor { work, in_partition, platform, task_model }
+        NodeExecutor {
+            work,
+            in_partition,
+            platform,
+            task_model,
+        }
     }
 
     /// Is `op` assigned to this node?
@@ -58,7 +63,12 @@ impl NodeExecutor {
 
     /// Process one arrival at `source`, running the depth-first cascade
     /// through the node partition.
-    pub fn process_event(&mut self, graph: &Graph, source: OperatorId, input: &Value) -> NodeCascade {
+    pub fn process_event(
+        &mut self,
+        graph: &Graph,
+        source: OperatorId,
+        input: &Value,
+    ) -> NodeCascade {
         let mut cascade = NodeCascade::default();
         self.run(graph, source, 0, input, &mut cascade);
         cascade
@@ -72,7 +82,10 @@ impl NodeExecutor {
         input: &Value,
         cascade: &mut NodeCascade,
     ) {
-        debug_assert!(self.in_partition[op.0], "cascade entered a non-node operator");
+        debug_assert!(
+            self.in_partition[op.0],
+            "cascade entered a non-node operator"
+        );
         let mut cx = wishbone_dataflow::ExecCtx::new();
         self.work[op.0]
             .as_mut()
@@ -83,7 +96,9 @@ impl NodeExecutor {
         let busy = self.platform.seconds_for(&counts) * self.platform.os_overhead;
         let lf = counts.loop_fraction();
         cascade.cpu_seconds += self.task_model.total_time(busy, lf);
-        cascade.longest_task_s = cascade.longest_task_s.max(self.task_model.longest_task(busy, lf));
+        cascade.longest_task_s = cascade
+            .longest_task_s
+            .max(self.task_model.longest_task(busy, lf));
         cascade.tasks += u64::from(self.task_model.tasks_for(busy, lf));
 
         let out_edges: Vec<EdgeId> = graph.out_edges(op).to_vec();
@@ -130,7 +145,13 @@ impl ServerExecutor {
             .operator_ids()
             .map(|id| !node_ops.contains(&id))
             .collect();
-        ServerExecutor { per_node, shared, is_node_ns, on_server, sink_arrivals: 0 }
+        ServerExecutor {
+            per_node,
+            shared,
+            is_node_ns,
+            on_server,
+            sink_arrivals: 0,
+        }
     }
 
     /// Deliver an element that arrived from `node` over cut edge `edge`.
@@ -138,7 +159,10 @@ impl ServerExecutor {
     pub fn deliver(&mut self, graph: &Graph, node: usize, edge: EdgeId, value: &Value) -> u64 {
         let before = self.sink_arrivals;
         let e = graph.edge(edge);
-        debug_assert!(self.on_server[e.dst.0], "cut edge must target a server operator");
+        debug_assert!(
+            self.on_server[e.dst.0],
+            "cut edge must target a server operator"
+        );
         self.run(graph, node, e.dst, e.dst_port, value);
         self.sink_arrivals - before
     }
@@ -244,7 +268,9 @@ mod tests {
         b.exit_namespace();
         // Server-side stateful aggregator (single serial instance).
         let agg = b.operator(
-            OperatorSpec::transform("agg").with_state().in_namespace(Namespace::Server),
+            OperatorSpec::transform("agg")
+                .with_state()
+                .in_namespace(Namespace::Server),
             Box::new(FnWork({
                 let mut n = 0i32;
                 move |_p: usize, _v: &Value, cx: &mut ExecCtx| {
@@ -275,14 +301,21 @@ mod tests {
     fn task_overheads_show_up_in_cascade_time() {
         let (g, src, counter, _) = counting_graph();
         let node_ops: HashSet<_> = [src, counter].into_iter().collect();
-        let heavy_overhead = TaskModel { max_task_s: 0.005, task_overhead_s: 0.010 };
-        let light_overhead = TaskModel { max_task_s: 0.005, task_overhead_s: 0.0 };
-        let mut ne_h =
-            NodeExecutor::new(&g, &node_ops, Platform::tmote_sky(), heavy_overhead);
-        let mut ne_l =
-            NodeExecutor::new(&g, &node_ops, Platform::tmote_sky(), light_overhead);
+        let heavy_overhead = TaskModel {
+            max_task_s: 0.005,
+            task_overhead_s: 0.010,
+        };
+        let light_overhead = TaskModel {
+            max_task_s: 0.005,
+            task_overhead_s: 0.0,
+        };
+        let mut ne_h = NodeExecutor::new(&g, &node_ops, Platform::tmote_sky(), heavy_overhead);
+        let mut ne_l = NodeExecutor::new(&g, &node_ops, Platform::tmote_sky(), light_overhead);
         let ch = ne_h.process_event(&g, src, &Value::I16(1));
         let cl = ne_l.process_event(&g, src, &Value::I16(1));
-        assert!(ch.cpu_seconds > cl.cpu_seconds + 0.015, "2 ops x 10ms overhead");
+        assert!(
+            ch.cpu_seconds > cl.cpu_seconds + 0.015,
+            "2 ops x 10ms overhead"
+        );
     }
 }

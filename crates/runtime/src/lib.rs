@@ -19,8 +19,7 @@ pub mod exec;
 pub mod task;
 
 pub use deployment::{
-    simulate_deployment, simulate_deployment_multi, DeploymentConfig, DeploymentReport,
-    SourceFeed,
+    simulate_deployment, simulate_deployment_multi, DeploymentConfig, DeploymentReport, SourceFeed,
 };
 pub use exec::{NodeCascade, NodeExecutor, ServerExecutor};
 pub use task::TaskModel;

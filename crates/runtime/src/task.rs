@@ -22,13 +22,19 @@ impl TaskModel {
     /// Defaults appropriate for a TinyOS-class mote: tasks should stay in
     /// the low-millisecond range; posting costs tens of microseconds.
     pub fn tinyos() -> Self {
-        TaskModel { max_task_s: 0.005, task_overhead_s: 30e-6 }
+        TaskModel {
+            max_task_s: 0.005,
+            task_overhead_s: 30e-6,
+        }
     }
 
     /// A model with no splitting and negligible overhead (threaded OSes:
     /// the C backend "requires virtually no runtime", §5.1).
     pub fn threaded() -> Self {
-        TaskModel { max_task_s: f64::INFINITY, task_overhead_s: 1e-6 }
+        TaskModel {
+            max_task_s: f64::INFINITY,
+            task_overhead_s: 1e-6,
+        }
     }
 
     /// How many tasks one operator invocation of `busy_s` seconds becomes.
@@ -88,7 +94,10 @@ mod tests {
     fn long_loopy_tasks_split() {
         let m = TaskModel::tinyos();
         let t = m.tasks_for(0.050, 0.95);
-        assert!(t >= 10, "50ms of loop work should split into >=10 slices, got {t}");
+        assert!(
+            t >= 10,
+            "50ms of loop work should split into >=10 slices, got {t}"
+        );
     }
 
     #[test]
@@ -107,7 +116,10 @@ mod tests {
 
     #[test]
     fn total_time_includes_overheads() {
-        let m = TaskModel { max_task_s: 0.01, task_overhead_s: 0.001 };
+        let m = TaskModel {
+            max_task_s: 0.01,
+            task_overhead_s: 0.001,
+        };
         let t = m.total_time(0.05, 1.0);
         assert!(t > 0.05 + 0.004, "five-way split adds >=5 overheads: {t}");
         // Overhead is proportionally small for sane parameters.

@@ -50,7 +50,11 @@ fn main() {
     let n80 = Platform::nokia_n80();
     for mult in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
         let count = |p: &Platform| -> String {
-            let cfg = PartitionConfig::for_platform(p).at_rate(mult);
+            let mut cfg = PartitionConfig::for_platform(p).at_rate(mult);
+            // Overloaded rates can force the solver to prove infeasibility,
+            // which branch-and-bound does slowly on kilooperator graphs;
+            // bound each sweep cell so the example stays interactive.
+            cfg.ilp.time_limit = Some(std::time::Duration::from_secs(20));
             match partition(&app.graph, &prof, p, &cfg) {
                 Ok(part) => part.node_op_count().to_string(),
                 Err(_) => "-".into(),

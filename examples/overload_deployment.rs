@@ -54,14 +54,7 @@ fn main() {
             ..DeploymentConfig::motes(1, 17)
         };
         let report = simulate_deployment(
-            &app.graph,
-            &node_set,
-            app.source,
-            &elems,
-            40.0,
-            &mote,
-            channel,
-            &dcfg,
+            &app.graph, &node_set, app.source, &elems, 40.0, &mote, channel, &dcfg,
         );
         let good = report.goodput_ratio() * 100.0;
         println!(
@@ -71,7 +64,7 @@ fn main() {
             report.element_delivery_ratio() * 100.0,
             good
         );
-        if best.map_or(true, |(_, g)| good > g) {
+        if best.is_none_or(|(_, g)| good > g) {
             best = Some((name, good));
         }
     }

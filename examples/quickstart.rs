@@ -22,7 +22,10 @@ fn main() {
 
     let mote = Platform::tmote_sky();
     println!("\nper-operator profile on {}:", mote.name);
-    println!("{:<12} {:>14} {:>16}", "operator", "us/frame", "out bytes/s");
+    println!(
+        "{:<12} {:>14} {:>16}",
+        "operator", "us/frame", "out bytes/s"
+    );
     for (i, &(name, id)) in app.stages.iter().enumerate() {
         let us = prof.seconds_per_invocation(id, &mote) * 1e6;
         let bw = prof.edge_bandwidth(wishbone::dataflow::EdgeId(i));

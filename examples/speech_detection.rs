@@ -13,8 +13,8 @@ fn main() {
 
     println!("platform survey: max sustainable rate (x 8 kHz) and optimal cut\n");
     println!(
-        "{:<10} {:>12} {:>10} {:>10}  {}",
-        "platform", "max rate", "node ops", "cpu %", "cut after"
+        "{:<10} {:>12} {:>10} {:>10}  cut after",
+        "platform", "max rate", "node ops", "cpu %"
     );
 
     for platform in Platform::fig5b_platforms() {

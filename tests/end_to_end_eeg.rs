@@ -60,7 +60,10 @@ fn node_partition_shrinks_with_rate() {
     for w in counts.windows(2) {
         assert!(w[1] <= w[0], "node ops must not grow with rate: {counts:?}");
     }
-    assert!(counts[0] > counts[3], "sweep must show real movement: {counts:?}");
+    assert!(
+        counts[0] > counts[3],
+        "sweep must show real movement: {counts:?}"
+    );
 }
 
 #[test]
@@ -98,7 +101,10 @@ fn seizure_detected_through_partitioned_deployment() {
     // Functional check end-to-end *through the simulated deployment*: all
     // channels feed one node; features cross the cut; SVM + declare run
     // wherever the partitioner put them.
-    let mut app = build_eeg_app(EegParams { n_channels: 4, ..Default::default() });
+    let mut app = build_eeg_app(EegParams {
+        n_channels: 4,
+        ..Default::default()
+    });
     let traces = app.traces(16, 8..14, 13);
     let prof = profile(&mut app.graph, &traces).unwrap();
 
@@ -108,11 +114,18 @@ fn seizure_detected_through_partitioned_deployment() {
 
     // Rebuild a fresh app (the profiler consumed operator state) and drive
     // all four channel sources through the multi-source deployment.
-    let app2 = build_eeg_app(EegParams { n_channels: 4, ..Default::default() });
+    let app2 = build_eeg_app(EegParams {
+        n_channels: 4,
+        ..Default::default()
+    });
     let feeds: Vec<SourceFeed> = app2
         .traces(16, 8..14, 13)
         .into_iter()
-        .map(|t| SourceFeed { source: t.source, trace: t.elements, rate_hz: t.rate_hz })
+        .map(|t| SourceFeed {
+            source: t.source,
+            trace: t.elements,
+            rate_hz: t.rate_hz,
+        })
         .collect();
     let dcfg = DeploymentConfig {
         duration_s: 32.0, // 16 windows at 0.5 windows/s
@@ -126,8 +139,14 @@ fn seizure_detected_through_partitioned_deployment() {
         ChannelParams::mote(),
         &dcfg,
     );
-    assert!(rep.input_processed_ratio() > 0.9, "EEG at reference rate flows: {rep:?}");
-    assert!(rep.goodput_ratio() > 0.5, "features cross the network: {rep:?}");
+    assert!(
+        rep.input_processed_ratio() > 0.9,
+        "EEG at reference rate flows: {rep:?}"
+    );
+    assert!(
+        rep.goodput_ratio() > 0.5,
+        "features cross the network: {rep:?}"
+    );
     assert!(rep.sink_arrivals >= 8, "declare verdicts reach the sink");
 }
 

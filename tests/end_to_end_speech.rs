@@ -52,8 +52,10 @@ fn optimal_cut_beats_endpoint_partitions_in_deployment() {
             rate_multiplier: 1.0, // full rate: the overload case
             ..DeploymentConfig::motes(1, 33)
         };
-        simulate_deployment(&app.graph, node_set, app.source, &elems, 40.0, &mote, channel, &dcfg)
-            .goodput_ratio()
+        simulate_deployment(
+            &app.graph, node_set, app.source, &elems, 40.0, &mote, channel, &dcfg,
+        )
+        .goodput_ratio()
     };
 
     let cuts = app.cutpoints();
@@ -74,7 +76,10 @@ fn optimal_cut_beats_endpoint_partitions_in_deployment() {
         recommended > all_node_good,
         "recommended {recommended} vs all-node {all_node_good}"
     );
-    assert!(recommended > 0.02, "recommended cut must actually deliver data");
+    assert!(
+        recommended > 0.02,
+        "recommended cut must actually deliver data"
+    );
 }
 
 #[test]
@@ -108,7 +113,7 @@ fn recommended_cut_matches_empirical_peak() {
         if node_set == r.partition.node_ops {
             recommended_good = Some(g);
         }
-        if best.map_or(true, |(_, bg)| g > bg) {
+        if best.is_none_or(|(_, bg)| g > bg) {
             best = Some((i, g));
         }
     }
@@ -136,7 +141,10 @@ fn recommended_cut_matches_empirical_peak() {
         all_goods.push(rep.goodput_ratio());
     }
     all_goods.sort_by(|a, b| b.partial_cmp(a).unwrap());
-    assert!(rec >= all_goods[1] - 1e-9, "recommendation must be a top-2 cut");
+    assert!(
+        rec >= all_goods[1] - 1e-9,
+        "recommendation must be a top-2 cut"
+    );
 }
 
 #[test]
@@ -185,7 +193,11 @@ fn faster_platforms_sustain_higher_rates() {
     // is only a small multiple of the TMote despite a 55x clock.
     let (app, prof) = profiled_app();
     let cpu_rate = |p: &Platform| -> f64 {
-        let total: f64 = app.stages.iter().map(|&(_, id)| prof.cpu_fraction(id, p)).sum();
+        let total: f64 = app
+            .stages
+            .iter()
+            .map(|&(_, id)| prof.cpu_fraction(id, p))
+            .sum();
         1.0 / total
     };
     let mote = cpu_rate(&Platform::tmote_sky());
@@ -193,11 +205,15 @@ fn faster_platforms_sustain_higher_rates() {
     let iphone = cpu_rate(&Platform::iphone());
     let voxnet = cpu_rate(&Platform::voxnet());
     let scheme = cpu_rate(&Platform::scheme_server());
-    assert!(mote < n80 && n80 < iphone && iphone < voxnet && voxnet < scheme,
-        "ordering: {mote:.3} {n80:.3} {iphone:.3} {voxnet:.3} {scheme:.3}");
+    assert!(
+        mote < n80 && n80 < iphone && iphone < voxnet && voxnet < scheme,
+        "ordering: {mote:.3} {n80:.3} {iphone:.3} {voxnet:.3} {scheme:.3}"
+    );
     let speedup = n80 / mote;
-    assert!((1.5..8.0).contains(&speedup),
-        "N80 only ~2x the mote despite 55x clock, got {speedup:.1}");
+    assert!(
+        (1.5..8.0).contains(&speedup),
+        "N80 only ~2x the mote despite 55x clock, got {speedup:.1}"
+    );
 }
 
 #[test]
@@ -236,5 +252,8 @@ fn meraki_ships_raw_data() {
         ChannelParams::wifi(meraki.radio.goodput_bytes_per_sec),
         &dcfg,
     );
-    assert!(rep.goodput_ratio() > 0.9, "WiFi swallows the raw stream: {rep:?}");
+    assert!(
+        rep.goodput_ratio() > 0.9,
+        "WiFi swallows the raw stream: {rep:?}"
+    );
 }

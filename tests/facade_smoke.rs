@@ -1,0 +1,51 @@
+//! Facade smoke test: both paper applications build, profile, and
+//! partition for a TMote Sky purely through `wishbone::prelude`, and the
+//! resulting partitions satisfy the invariants every deployment relies on:
+//! the CPU budget is respected and sources stay on the node side.
+
+use wishbone::prelude::*;
+
+#[test]
+fn speech_app_partitions_on_tmote_sky() {
+    let mut app = build_speech_app(SpeechParams::default());
+    let trace = app.trace(60, 17);
+    let prof = profile(&mut app.graph, &[trace]).expect("profiling succeeds");
+
+    let mote = Platform::tmote_sky();
+    // Full 8 kHz exceeds a TMote (§7.2); an eighth of the rate fits.
+    let cfg = PartitionConfig::for_platform(&mote).at_rate(0.125);
+    let part = partition(&app.graph, &prof, &mote, &cfg).expect("feasible at 1/8 rate");
+
+    assert!(
+        part.predicted_cpu <= 1.0,
+        "predicted CPU {} exceeds the whole-processor budget",
+        part.predicted_cpu
+    );
+    assert!(
+        part.node_ops.contains(&app.source),
+        "speech source must be pinned to the node partition"
+    );
+}
+
+#[test]
+fn eeg_app_partitions_on_tmote_sky() {
+    let mut app = build_eeg_app(EegParams::default());
+    let traces = app.traces(4, 1..3, 23);
+    let prof = profile(&mut app.graph, &traces).expect("profiling succeeds");
+
+    let mote = Platform::tmote_sky();
+    let cfg = PartitionConfig::for_platform(&mote).at_rate(1.0);
+    let part = partition(&app.graph, &prof, &mote, &cfg).expect("feasible at reference rate");
+
+    assert!(
+        part.predicted_cpu <= 1.0,
+        "predicted CPU {} exceeds the whole-processor budget",
+        part.predicted_cpu
+    );
+    for src in &app.sources {
+        assert!(
+            part.node_ops.contains(src),
+            "EEG source {src} must be pinned to the node partition"
+        );
+    }
+}
