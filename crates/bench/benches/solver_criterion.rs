@@ -4,16 +4,32 @@
 //! * `solver_scaling`: ILP solve time vs EEG channel count (problem size);
 //! * `ablation_preprocess`: §4.1 merge on vs off;
 //! * `ablation_encoding`: restricted vs general formulation;
-//! * `ablation_branching`: most-fractional vs first-fractional branching.
+//! * `ablation_branching`: most-fractional vs first-fractional branching;
+//! * `ablation_warm_start`: workspace warm starts vs all-cold node LPs;
+//! * `rate_search`: §4.3 end-to-end, prepared (one encode, rescale per
+//!   probe) vs rebuild-per-probe (the pre-workspace behaviour).
+//!
+//! Modes (custom harness, so extra flags pass straight through):
+//!
+//! * `cargo bench --bench solver_criterion` — the criterion groups;
+//! * `... -- --smoke` (or `WISHBONE_BENCH_SMOKE=1`) — a seconds-scale CI
+//!   run that also asserts warm/cold agreement and `warm_starts > 0`;
+//! * `... -- --json` (or `WISHBONE_BENCH_JSON=1`) — additionally writes
+//!   `BENCH_solver.json` at the repo root: an array of
+//!   `{"bench", "median_ns", "nodes", "warm_starts"}` records (see the
+//!   README "Solver" section) so future PRs can track solver perf.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
 
 use wishbone_apps::{build_eeg_app, EegParams};
 use wishbone_core::{
-    build_partition_graph, encode, preprocess, Encoding, Mode, ObjectiveConfig, PartitionGraph,
+    build_partition_graph, encode, partition, preprocess, Encoding, Mode, ObjectiveConfig,
+    PartitionConfig, PartitionError, PartitionGraph,
 };
-use wishbone_ilp::{Branching, IlpOptions};
-use wishbone_profile::{profile, Platform};
+use wishbone_ilp::{Branching, IlpOptions, IlpStats};
+use wishbone_profile::{profile, GraphProfile, Platform};
 
 fn eeg_partition_graph(channels: usize) -> PartitionGraph {
     let mut app = build_eeg_app(EegParams {
@@ -31,6 +47,19 @@ fn obj() -> ObjectiveConfig {
 }
 
 fn solve(pg: &PartitionGraph, enc: Encoding, branching: Branching, pre: bool) -> f64 {
+    solve_opts(
+        pg,
+        enc,
+        pre,
+        &IlpOptions {
+            branching,
+            ..Default::default()
+        },
+    )
+    .0
+}
+
+fn solve_opts(pg: &PartitionGraph, enc: Encoding, pre: bool, opts: &IlpOptions) -> (f64, IlpStats) {
     let merged;
     let target = if pre {
         merged = preprocess(pg).expect("merge ok").graph;
@@ -39,11 +68,8 @@ fn solve(pg: &PartitionGraph, enc: Encoding, branching: Branching, pre: bool) ->
         pg
     };
     let ep = encode(target, enc, &obj());
-    let opts = IlpOptions {
-        branching,
-        ..Default::default()
-    };
-    ep.problem.solve_ilp(&opts).expect("solvable").objective
+    let sol = ep.problem.solve_ilp(opts).expect("solvable");
+    (sol.objective, sol.stats)
 }
 
 fn solver_scaling(c: &mut Criterion) {
@@ -106,11 +132,261 @@ fn ablation_branching(c: &mut Criterion) {
     group.finish();
 }
 
+fn ablation_warm_start(c: &mut Criterion) {
+    let pg = eeg_partition_graph(2);
+    let warm = IlpOptions::default();
+    let cold = IlpOptions {
+        warm_lp: false,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("ablation_warm_start");
+    group.sample_size(10);
+    group.bench_function("warm", |b| {
+        b.iter(|| solve_opts(&pg, Encoding::Restricted, true, &warm))
+    });
+    group.bench_function("cold", |b| {
+        b.iter(|| solve_opts(&pg, Encoding::Restricted, true, &cold))
+    });
+    group.finish();
+    let (w, _) = solve_opts(&pg, Encoding::Restricted, true, &warm);
+    let (cd, _) = solve_opts(&pg, Encoding::Restricted, true, &cold);
+    assert!((w - cd).abs() < 1e-6, "warm start changed the optimum");
+}
+
+/// Profiled EEG app reused by the end-to-end rate-search benches.
+fn eeg_app(channels: usize) -> (wishbone_dataflow::Graph, GraphProfile) {
+    let mut app = build_eeg_app(EegParams {
+        n_channels: channels,
+        ..Default::default()
+    });
+    let traces = app.traces(4, 1..3, 7);
+    let prof = profile(&mut app.graph, &traces).expect("profiling succeeds");
+    (app.graph, prof)
+}
+
+/// §4.3 rate search the pre-workspace way: rebuild the partition graph,
+/// preprocessing, and encoding at every probe (what `partition()` per
+/// probe used to do). Kept as the comparison baseline for the prepared
+/// path; mirrors `max_sustainable_rate`'s search schedule.
+fn rate_search_rebuild(
+    graph: &wishbone_dataflow::Graph,
+    prof: &GraphProfile,
+    platform: &Platform,
+    cfg: &PartitionConfig,
+    hi_limit: f64,
+    tol: f64,
+) -> f64 {
+    let try_rate = |rate: f64| -> Option<()> {
+        match partition(graph, prof, platform, &cfg.clone().at_rate(rate)) {
+            Ok(_) => Some(()),
+            Err(PartitionError::Infeasible) => None,
+            Err(e) => panic!("solver error: {e}"),
+        }
+    };
+    let mut lo = hi_limit * 2f64.powi(-24);
+    try_rate(lo).expect("feasible at tiny rates");
+    let mut hi = lo;
+    loop {
+        let next = (hi * 2.0).min(hi_limit);
+        match try_rate(next) {
+            Some(()) => {
+                lo = next;
+                hi = next;
+                if (next - hi_limit).abs() < f64::EPSILON * hi_limit {
+                    return lo;
+                }
+            }
+            None => {
+                hi = next;
+                break;
+            }
+        }
+    }
+    while (hi - lo) / lo > tol {
+        let mid = 0.5 * (lo + hi);
+        match try_rate(mid) {
+            Some(()) => lo = mid,
+            None => hi = mid,
+        }
+    }
+    lo
+}
+
+fn rate_search(c: &mut Criterion) {
+    let (graph, prof) = eeg_app(2);
+    let mote = Platform::tmote_sky();
+    let cfg = PartitionConfig::for_platform(&mote);
+    let mut group = c.benchmark_group("rate_search");
+    group.sample_size(10);
+    group.bench_function("prepared", |b| {
+        b.iter(|| {
+            wishbone_core::max_sustainable_rate(&graph, &prof, &mote, &cfg, 64.0, 0.01)
+                .expect("no solver error")
+                .expect("feasible")
+                .rate
+        })
+    });
+    group.bench_function("rebuild_per_probe", |b| {
+        b.iter(|| rate_search_rebuild(&graph, &prof, &mote, &cfg, 64.0, 0.01))
+    });
+    group.finish();
+    // Both searches must land on the same rate.
+    let a = wishbone_core::max_sustainable_rate(&graph, &prof, &mote, &cfg, 64.0, 0.01)
+        .unwrap()
+        .unwrap()
+        .rate;
+    let b = rate_search_rebuild(&graph, &prof, &mote, &cfg, 64.0, 0.01);
+    assert!(
+        (a - b).abs() <= 0.02 * a,
+        "prepared rate {a} vs rebuild rate {b}"
+    );
+}
+
 criterion_group!(
     benches,
     solver_scaling,
     ablation_preprocess,
     ablation_encoding,
-    ablation_branching
+    ablation_branching,
+    ablation_warm_start,
+    rate_search,
 );
-criterion_main!(benches);
+
+/// One `BENCH_solver.json` record.
+struct JsonRecord {
+    bench: String,
+    median_ns: u128,
+    nodes: u64,
+    warm_starts: u64,
+}
+
+/// Median wall-clock of `reps` runs of `f`, which also reports the solver
+/// work it did (B&B nodes, warm starts).
+fn measure(reps: usize, mut f: impl FnMut() -> (u64, u64)) -> (u128, u64, u64) {
+    let mut times: Vec<u128> = Vec::with_capacity(reps);
+    let mut work = (0u64, 0u64);
+    for _ in 0..reps {
+        let start = Instant::now();
+        work = f();
+        times.push(start.elapsed().as_nanos());
+    }
+    times.sort_unstable();
+    (times[times.len() / 2], work.0, work.1)
+}
+
+/// Run the fixed instance set behind `BENCH_solver.json` and write it to
+/// the repo root (two directories above this crate).
+fn emit_json(reps: usize) {
+    let mut records: Vec<JsonRecord> = Vec::new();
+
+    for channels in [1usize, 2, 4] {
+        let pg = eeg_partition_graph(channels);
+        let (median_ns, nodes, warm_starts) = measure(reps, || {
+            let (_, stats) = solve_opts(&pg, Encoding::Restricted, true, &IlpOptions::default());
+            (stats.nodes, stats.warm_starts)
+        });
+        records.push(JsonRecord {
+            bench: format!("solver_scaling_{channels}ch"),
+            median_ns,
+            nodes,
+            warm_starts,
+        });
+    }
+
+    let (graph, prof) = eeg_app(2);
+    let mote = Platform::tmote_sky();
+    let cfg = PartitionConfig::for_platform(&mote);
+    let (median_ns, nodes, warm_starts) = measure(reps, || {
+        let r = wishbone_core::max_sustainable_rate(&graph, &prof, &mote, &cfg, 64.0, 0.01)
+            .expect("no solver error")
+            .expect("feasible");
+        let stats = &r.partition.ilp_stats;
+        (stats.nodes, stats.warm_starts)
+    });
+    records.push(JsonRecord {
+        bench: "rate_search_eeg2_prepared".into(),
+        median_ns,
+        nodes,
+        warm_starts,
+    });
+    let (median_ns, _, _) = measure(reps, || {
+        rate_search_rebuild(&graph, &prof, &mote, &cfg, 64.0, 0.01);
+        (0, 0)
+    });
+    records.push(JsonRecord {
+        bench: "rate_search_eeg2_rebuild".into(),
+        median_ns,
+        nodes: 0,
+        warm_starts: 0,
+    });
+
+    let body: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"bench\": \"{}\", \"median_ns\": {}, \"nodes\": {}, \"warm_starts\": {}}}",
+                r.bench, r.median_ns, r.nodes, r.warm_starts
+            )
+        })
+        .collect();
+    let json = format!("[\n{}\n]\n", body.join(",\n"));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
+    std::fs::write(path, json).expect("write BENCH_solver.json");
+    println!("wrote {path}");
+}
+
+/// Seconds-scale smoke run for CI: the perf-critical paths must compile,
+/// run, agree warm-vs-cold, and actually exercise warm starts.
+fn smoke() {
+    let pg = eeg_partition_graph(1);
+    let (warm_obj, warm_stats) =
+        solve_opts(&pg, Encoding::Restricted, true, &IlpOptions::default());
+    let (cold_obj, cold_stats) = solve_opts(
+        &pg,
+        Encoding::Restricted,
+        true,
+        &IlpOptions {
+            warm_lp: false,
+            ..Default::default()
+        },
+    );
+    assert!(
+        (warm_obj - cold_obj).abs() < 1e-6,
+        "warm {warm_obj} vs cold {cold_obj}"
+    );
+    assert_eq!(cold_stats.warm_starts, 0);
+    if warm_stats.nodes > 1 {
+        assert!(
+            warm_stats.warm_starts > 0,
+            "a branching solve must warm-start its children"
+        );
+    }
+    let (graph, prof) = eeg_app(1);
+    let mote = Platform::tmote_sky();
+    let cfg = PartitionConfig::for_platform(&mote);
+    let r = wishbone_core::max_sustainable_rate(&graph, &prof, &mote, &cfg, 16.0, 0.05)
+        .expect("no solver error")
+        .expect("feasible");
+    assert_eq!(r.encodes, 1, "rate search must encode exactly once");
+    println!(
+        "smoke OK: {} nodes ({} warm) on 1ch EEG; rate search found x{:.3} \
+         in {} probes / {} encode",
+        warm_stats.nodes, warm_stats.warm_starts, r.rate, r.evaluations, r.encodes
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke_mode =
+        args.iter().any(|a| a == "--smoke") || std::env::var_os("WISHBONE_BENCH_SMOKE").is_some();
+    let json_mode =
+        args.iter().any(|a| a == "--json") || std::env::var_os("WISHBONE_BENCH_JSON").is_some();
+    if smoke_mode {
+        smoke();
+    } else {
+        benches();
+    }
+    if json_mode {
+        emit_json(if smoke_mode { 3 } else { 5 });
+    }
+}

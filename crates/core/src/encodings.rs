@@ -64,6 +64,12 @@ pub struct EncodedProblem {
     pub f_vars: Vec<VarId>,
     /// Which encoding produced it.
     pub encoding: Encoding,
+    /// Constraint index of the CPU-budget row (`Σ c·f ≤ C`), if emitted.
+    /// Recorded so a prepared problem can be re-targeted at a new input
+    /// rate by rewriting one right-hand side instead of re-encoding.
+    pub cpu_row: Option<usize>,
+    /// Constraint index of the network-budget row (`net ≤ N`), if emitted.
+    pub net_row: Option<usize>,
 }
 
 impl EncodedProblem {
@@ -133,7 +139,9 @@ fn encode_restricted(pg: &PartitionGraph, obj: &ObjectiveConfig) -> EncodedProbl
         .filter(|(_, vert)| vert.cpu_cost != 0.0)
         .map(|(v, vert)| (f_vars[v], vert.cpu_cost))
         .collect();
+    let mut cpu_row_idx = None;
     if !cpu_row.is_empty() {
+        cpu_row_idx = Some(p.num_constraints());
         p.add_constraint(&cpu_row, Sense::Le, obj.cpu_budget);
     }
     // (4) with (7): net ≤ N.
@@ -143,7 +151,9 @@ fn encode_restricted(pg: &PartitionGraph, obj: &ObjectiveConfig) -> EncodedProbl
         .filter(|(_, &c)| c != 0.0)
         .map(|(v, &c)| (f_vars[v], c))
         .collect();
+    let mut net_row_idx = None;
     if !net_row.is_empty() {
+        net_row_idx = Some(p.num_constraints());
         p.add_constraint(&net_row, Sense::Le, obj.net_budget);
     }
 
@@ -151,6 +161,8 @@ fn encode_restricted(pg: &PartitionGraph, obj: &ObjectiveConfig) -> EncodedProbl
         problem: p,
         f_vars,
         encoding: Encoding::Restricted,
+        cpu_row: cpu_row_idx,
+        net_row: net_row_idx,
     }
 }
 
@@ -195,11 +207,15 @@ fn encode_general(pg: &PartitionGraph, obj: &ObjectiveConfig) -> EncodedProblem 
         .filter(|(_, vert)| vert.cpu_cost != 0.0)
         .map(|(v, vert)| (f_vars[v], vert.cpu_cost))
         .collect();
+    let mut cpu_row_idx = None;
     if !cpu_row.is_empty() {
+        cpu_row_idx = Some(p.num_constraints());
         p.add_constraint(&cpu_row, Sense::Le, obj.cpu_budget);
     }
     // (4): net ≤ N.
+    let mut net_row_idx = None;
     if !net_row.is_empty() {
+        net_row_idx = Some(p.num_constraints());
         p.add_constraint(&net_row, Sense::Le, obj.net_budget);
     }
 
@@ -207,6 +223,8 @@ fn encode_general(pg: &PartitionGraph, obj: &ObjectiveConfig) -> EncodedProblem 
         problem: p,
         f_vars,
         encoding: Encoding::General,
+        cpu_row: cpu_row_idx,
+        net_row: net_row_idx,
     }
 }
 

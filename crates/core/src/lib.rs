@@ -40,6 +40,6 @@ pub use cost_graph::{
 };
 pub use encodings::{encode, EncodedProblem, Encoding, ObjectiveConfig};
 pub use mixed::{partition_mixed, ClassPartition, MixedPartition, NodeClass};
-pub use partitioner::{partition, Partition, PartitionConfig, PartitionError};
+pub use partitioner::{partition, Partition, PartitionConfig, PartitionError, PreparedPartition};
 pub use preprocess::{preprocess, PreprocessResult};
 pub use rate_search::{max_sustainable_rate, RateSearchResult};

@@ -1,13 +1,23 @@
 //! The Wishbone partitioner: profile → preprocess → ILP → partition.
+//!
+//! [`partition`] answers one (rate, platform) question. The paper's
+//! evaluation asks thousands of them on the *same* application (2100
+//! lp_solve runs for Fig 6; a binary search per platform for §4.3), and
+//! only the input-rate multiplier — a uniform scale on every profiled
+//! cost — changes between questions. [`PreparedPartition`] exploits that:
+//! the partition graph, §4.1 preprocessing, and ILP encoding are built
+//! once, and each probe rescales the prepared problem's coefficients in
+//! place (objective × rate, budget right-hand sides ÷ rate), reusing one
+//! simplex workspace and seeding each solve with the previous incumbent.
 
 use std::collections::HashSet;
 
 use wishbone_dataflow::{EdgeId, Graph, OperatorId};
-use wishbone_ilp::{IlpOptions, IlpStats, SolveError};
+use wishbone_ilp::{solve_ilp_in, IlpOptions, IlpStats, SimplexWorkspace, SolveError, VarId};
 use wishbone_profile::{GraphProfile, Platform};
 
-use crate::cost_graph::{build_partition_graph, Mode, PinError};
-use crate::encodings::{encode, Encoding, ObjectiveConfig};
+use crate::cost_graph::{build_partition_graph, Mode, PartitionGraph, PinError};
+use crate::encodings::{encode, EncodedProblem, Encoding, ObjectiveConfig};
 use crate::preprocess::preprocess;
 
 /// Full partitioner configuration.
@@ -134,72 +144,180 @@ impl From<PinError> for PartitionError {
 }
 
 /// Compute the optimal partition of `graph` for `platform`.
+///
+/// One-shot convenience over [`PreparedPartition`]; callers solving the
+/// same application at many rates (rate searches, figure sweeps) should
+/// prepare once and call [`PreparedPartition::solve_at`] per rate.
 pub fn partition(
     graph: &Graph,
     profile: &GraphProfile,
     platform: &Platform,
     cfg: &PartitionConfig,
 ) -> Result<Partition, PartitionError> {
-    let pg0 = build_partition_graph(graph, profile, platform, cfg.mode, cfg.rate_multiplier)?;
-    let vertices_before = pg0.vertices.len();
-    let (pg, vertices_after) = if cfg.preprocess {
-        let r = preprocess(&pg0)?;
-        let after = r.vertices_after;
-        (r.graph, after)
-    } else {
-        (pg0.clone(), vertices_before)
-    };
+    let mut prep = PreparedPartition::new(graph, profile, platform, cfg)?;
+    prep.solve_at(cfg.rate_multiplier)
+}
 
-    let obj = ObjectiveConfig {
-        alpha: cfg.alpha,
-        beta: cfg.beta,
-        cpu_budget: cfg.cpu_budget,
-        net_budget: cfg.net_budget,
-    };
-    let ep = encode(&pg, cfg.encoding, &obj);
-    let size = (ep.problem.num_vars(), ep.problem.num_constraints());
-    let sol = match ep.problem.solve_ilp(&cfg.ilp) {
-        Ok(s) => s,
-        Err(SolveError::Infeasible) => return Err(PartitionError::Infeasible),
-        Err(e) => return Err(PartitionError::Solver(e)),
-    };
+/// A partitioning instance prepared for repeated solves at varying input
+/// rates.
+///
+/// Construction performs the whole front half of the pipeline exactly once
+/// — pin analysis, partition-graph build, §4.1 merge preprocessing, ILP
+/// encoding (all at unit rate) — and allocates one [`SimplexWorkspace`].
+/// Every [`solve_at`](PreparedPartition::solve_at) then only rescales the
+/// prepared ILP in place: CPU and network load are linear in the input
+/// rate (§4.3), so a probe at rate `r` is the unit-rate problem with its
+/// objective coefficients multiplied by `r` and its budget right-hand
+/// sides divided by `r`. Successive probes also seed the branch-and-bound
+/// with the previous incumbent, which (rates only shrink the load) is
+/// usually still feasible and prunes the new tree from node one.
+pub struct PreparedPartition<'a> {
+    graph: &'a Graph,
+    profile: &'a GraphProfile,
+    platform: &'a Platform,
+    cfg: PartitionConfig,
+    pg: PartitionGraph,
+    vertices_before: usize,
+    vertices_after: usize,
+    ep: EncodedProblem,
+    /// Objective coefficients of the unit-rate encoding.
+    base_objective: Vec<f64>,
+    workspace: SimplexWorkspace,
+    encodes: u32,
+    solves: u32,
+    last_values: Option<Vec<f64>>,
+}
 
-    let node_vertices = ep.decode(&sol.values);
-    let node_ops = pg.expand(&node_vertices);
-    let server_ops: HashSet<OperatorId> = graph
-        .operator_ids()
-        .filter(|id| !node_ops.contains(id))
-        .collect();
+impl<'a> PreparedPartition<'a> {
+    /// Build the partition graph, preprocess, and encode — once.
+    /// `cfg.rate_multiplier` is ignored here; pass the rate to
+    /// [`solve_at`](PreparedPartition::solve_at).
+    pub fn new(
+        graph: &'a Graph,
+        profile: &'a GraphProfile,
+        platform: &'a Platform,
+        cfg: &PartitionConfig,
+    ) -> Result<Self, PartitionError> {
+        let pg0 = build_partition_graph(graph, profile, platform, cfg.mode, 1.0)?;
+        let vertices_before = pg0.vertices.len();
+        let (pg, vertices_after) = if cfg.preprocess {
+            let r = preprocess(&pg0)?;
+            let after = r.vertices_after;
+            (r.graph, after)
+        } else {
+            (pg0, vertices_before)
+        };
 
-    let cut_edges: Vec<EdgeId> = graph
-        .edge_ids()
-        .filter(|&eid| {
-            let e = graph.edge(eid);
-            node_ops.contains(&e.src) && !node_ops.contains(&e.dst)
+        let obj = ObjectiveConfig {
+            alpha: cfg.alpha,
+            beta: cfg.beta,
+            cpu_budget: cfg.cpu_budget,
+            net_budget: cfg.net_budget,
+        };
+        let ep = encode(&pg, cfg.encoding, &obj);
+        let base_objective: Vec<f64> = (0..ep.problem.num_vars())
+            .map(|j| ep.problem.objective_coeff(VarId(j)))
+            .collect();
+        Ok(PreparedPartition {
+            graph,
+            profile,
+            platform,
+            cfg: cfg.clone(),
+            pg,
+            vertices_before,
+            vertices_after,
+            ep,
+            base_objective,
+            workspace: SimplexWorkspace::new(),
+            encodes: 1,
+            solves: 0,
+            last_values: None,
         })
-        .collect();
+    }
 
-    // Report predictions against the *original* (unmerged) weights.
-    let predicted_cpu: f64 = node_ops
-        .iter()
-        .map(|&op| profile.cpu_fraction(op, platform) * cfg.rate_multiplier)
-        .sum();
-    let predicted_net: f64 = cut_edges
-        .iter()
-        .map(|&e| profile.edge_on_air_bandwidth(e, platform) * cfg.rate_multiplier)
-        .sum();
+    /// How many times the ILP has been encoded (always 1: that is the
+    /// point — rate probes rescale, they do not re-encode).
+    pub fn encodes(&self) -> u32 {
+        self.encodes
+    }
 
-    Ok(Partition {
-        node_ops,
-        server_ops,
-        cut_edges,
-        predicted_cpu,
-        predicted_net,
-        objective: sol.objective,
-        ilp_stats: sol.stats,
-        problem_size: size,
-        merge_stats: (vertices_before, vertices_after),
-    })
+    /// How many rate probes this instance has solved.
+    pub fn solves(&self) -> u32 {
+        self.solves
+    }
+
+    /// Solve the prepared instance at `rate` (a multiplier on the
+    /// profile's reference input rate).
+    pub fn solve_at(&mut self, rate: f64) -> Result<Partition, PartitionError> {
+        assert!(rate > 0.0, "rate multiplier must be positive");
+        self.solves += 1;
+
+        // Rescale in place: minimizing `r·cᵀf` matches the fresh encoding
+        // at rate `r`, and `Σ r·c·f ≤ B  ⇔  Σ c·f ≤ B/r`.
+        for (j, &base) in self.base_objective.iter().enumerate() {
+            self.ep.problem.set_objective_coeff(VarId(j), base * rate);
+        }
+        if let Some(row) = self.ep.cpu_row {
+            self.ep.problem.set_rhs(row, self.cfg.cpu_budget / rate);
+        }
+        if let Some(row) = self.ep.net_row {
+            self.ep.problem.set_rhs(row, self.cfg.net_budget / rate);
+        }
+
+        let mut opts = self.cfg.ilp.clone();
+        if opts.warm_solution.is_none() {
+            opts.warm_solution = self.last_values.clone();
+        }
+        let (result, _stats) = solve_ilp_in(&self.ep.problem, &opts, &mut self.workspace);
+        let sol = match result {
+            Ok(s) => s,
+            Err(SolveError::Infeasible) => return Err(PartitionError::Infeasible),
+            Err(e) => return Err(PartitionError::Solver(e)),
+        };
+        self.last_values = Some(sol.values.clone());
+
+        let node_vertices = self.ep.decode(&sol.values);
+        let node_ops = self.pg.expand(&node_vertices);
+        let server_ops: HashSet<OperatorId> = self
+            .graph
+            .operator_ids()
+            .filter(|id| !node_ops.contains(id))
+            .collect();
+
+        let cut_edges: Vec<EdgeId> = self
+            .graph
+            .edge_ids()
+            .filter(|&eid| {
+                let e = self.graph.edge(eid);
+                node_ops.contains(&e.src) && !node_ops.contains(&e.dst)
+            })
+            .collect();
+
+        // Report predictions against the *original* (unmerged) weights.
+        let predicted_cpu: f64 = node_ops
+            .iter()
+            .map(|&op| self.profile.cpu_fraction(op, self.platform) * rate)
+            .sum();
+        let predicted_net: f64 = cut_edges
+            .iter()
+            .map(|&e| self.profile.edge_on_air_bandwidth(e, self.platform) * rate)
+            .sum();
+
+        Ok(Partition {
+            node_ops,
+            server_ops,
+            cut_edges,
+            predicted_cpu,
+            predicted_net,
+            objective: sol.objective,
+            ilp_stats: sol.stats,
+            problem_size: (
+                self.ep.problem.num_vars(),
+                self.ep.problem.num_constraints(),
+            ),
+            merge_stats: (self.vertices_before, self.vertices_after),
+        })
+    }
 }
 
 #[cfg(test)]

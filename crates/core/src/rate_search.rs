@@ -12,7 +12,7 @@
 use wishbone_dataflow::Graph;
 use wishbone_profile::{GraphProfile, Platform};
 
-use crate::partitioner::{partition, Partition, PartitionConfig, PartitionError};
+use crate::partitioner::{Partition, PartitionConfig, PartitionError, PreparedPartition};
 
 /// Result of the rate search.
 #[derive(Debug, Clone)]
@@ -22,12 +22,35 @@ pub struct RateSearchResult {
     pub rate: f64,
     /// The optimal partition at that rate.
     pub partition: Partition,
-    /// Partitioner invocations consumed.
+    /// Partitioner invocations (ILP solves) consumed.
     pub evaluations: u32,
+    /// Partition-graph builds + preprocesses + ILP encodings performed:
+    /// always 1 — every probe re-solves the same [`PreparedPartition`]
+    /// with rescaled coefficients.
+    pub encodes: u32,
+}
+
+fn probe(
+    prep: &mut PreparedPartition<'_>,
+    rate: f64,
+    evals: &mut u32,
+) -> Result<Option<Partition>, PartitionError> {
+    *evals += 1;
+    match prep.solve_at(rate) {
+        Ok(p) => Ok(Some(p)),
+        Err(PartitionError::Infeasible) => Ok(None),
+        Err(e) => Err(e),
+    }
 }
 
 /// Binary-search the maximum sustainable rate multiplier in
 /// `(0, hi_limit]`, to relative precision `tol`.
+///
+/// The partition graph is built, preprocessed, and encoded **once** (a
+/// [`PreparedPartition`]); each probe rescales the prepared ILP in place,
+/// reuses the same simplex workspace, and seeds branch-and-bound with the
+/// previous probe's incumbent. Infeasible probes at overload rates are
+/// typically refused by presolve without a single simplex iteration.
 ///
 /// Returns `None` if the program is infeasible even at vanishingly small
 /// rates (e.g. pinned operators alone exceed the CPU budget), mirroring the
@@ -42,19 +65,12 @@ pub fn max_sustainable_rate(
     tol: f64,
 ) -> Result<Option<RateSearchResult>, PartitionError> {
     assert!(hi_limit > 0.0 && tol > 0.0);
+    let mut prep = PreparedPartition::new(graph, profile, platform, cfg)?;
     let mut evals = 0u32;
-    let mut try_rate = |rate: f64| -> Result<Option<Partition>, PartitionError> {
-        evals += 1;
-        match partition(graph, profile, platform, &cfg.clone().at_rate(rate)) {
-            Ok(p) => Ok(Some(p)),
-            Err(PartitionError::Infeasible) => Ok(None),
-            Err(e) => Err(e),
-        }
-    };
 
     // Establish a feasible lower bound.
     let mut lo = hi_limit * 2f64.powi(-24);
-    let mut best = match try_rate(lo)? {
+    let mut best = match probe(&mut prep, lo, &mut evals)? {
         Some(p) => p,
         None => return Ok(None),
     };
@@ -63,7 +79,7 @@ pub fn max_sustainable_rate(
     let mut hi = lo;
     loop {
         let next = (hi * 2.0).min(hi_limit);
-        match try_rate(next)? {
+        match probe(&mut prep, next, &mut evals)? {
             Some(p) => {
                 lo = next;
                 best = p;
@@ -73,6 +89,7 @@ pub fn max_sustainable_rate(
                         rate: lo,
                         partition: best,
                         evaluations: evals,
+                        encodes: prep.encodes(),
                     }));
                 }
             }
@@ -86,7 +103,7 @@ pub fn max_sustainable_rate(
     // Bisect (lo feasible, hi infeasible).
     while (hi - lo) / lo > tol {
         let mid = 0.5 * (lo + hi);
-        match try_rate(mid)? {
+        match probe(&mut prep, mid, &mut evals)? {
             Some(p) => {
                 lo = mid;
                 best = p;
@@ -98,12 +115,14 @@ pub fn max_sustainable_rate(
         rate: lo,
         partition: best,
         evaluations: evals,
+        encodes: prep.encodes(),
     }))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::partitioner::partition;
     use wishbone_dataflow::{ExecCtx, FnWork, GraphBuilder, OperatorId, Value};
     use wishbone_profile::{profile as run_profile, SourceTrace};
 
@@ -172,6 +191,52 @@ mod tests {
             "cap should be reached, got {}",
             r.rate
         );
+    }
+
+    #[test]
+    fn whole_search_encodes_exactly_once() {
+        let (g, prof) = profiled();
+        let platform = Platform::tmote_sky();
+        let cfg = PartitionConfig::for_platform(&platform);
+        let r = max_sustainable_rate(&g, &prof, &platform, &cfg, 64.0, 0.01)
+            .unwrap()
+            .expect("feasible at low rates");
+        assert_eq!(
+            r.encodes, 1,
+            "one graph build + preprocess + encode for the whole search"
+        );
+        assert!(
+            r.evaluations > r.encodes,
+            "many probes ({}) must reuse the single prepared encoding",
+            r.evaluations
+        );
+    }
+
+    #[test]
+    fn prepared_partition_matches_one_shot() {
+        let (g, prof) = profiled();
+        let platform = Platform::tmote_sky();
+        let cfg = PartitionConfig::for_platform(&platform);
+        let mut prep = PreparedPartition::new(&g, &prof, &platform, &cfg).unwrap();
+        for rate in [0.02, 0.05, 0.25, 1.0] {
+            let a = prep.solve_at(rate);
+            let b = partition(&g, &prof, &platform, &cfg.clone().at_rate(rate));
+            match (a, b) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.node_ops, b.node_ops, "rate {rate}");
+                    assert!(
+                        (a.objective - b.objective).abs() < 1e-6 * (1.0 + b.objective.abs()),
+                        "rate {rate}: {} vs {}",
+                        a.objective,
+                        b.objective
+                    );
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "rate {rate}"),
+                (a, b) => panic!("rate {rate}: prepared {a:?} vs one-shot {b:?}"),
+            }
+        }
+        assert_eq!(prep.encodes(), 1);
+        assert_eq!(prep.solves(), 4);
     }
 
     #[test]

@@ -7,11 +7,29 @@
 //! terminating early using "an approximate lower bound ... based on
 //! estimating how close we are to the optimal solution" — that is the
 //! [`IlpOptions::rel_gap`] knob.
+//!
+//! Three things make the search fast (cf. lp_solve's own architecture):
+//!
+//! * every node's LP reuses one [`SimplexWorkspace`] — after the root, the
+//!   child re-enters **warm** from the last optimal basis and a short
+//!   dual-simplex pass repairs (or refutes) feasibility, instead of paying
+//!   a full tableau build + phase 1 from the artificial basis;
+//! * [`presolve`](crate::presolve) runs before the root LP (bailing
+//!   `Infeasible` with zero simplex iterations when bound propagation
+//!   proves it) and a single-pass activity check discards hopeless
+//!   children before they reach the simplex;
+//! * open nodes live in a **best-first** [`BinaryHeap`] keyed by the
+//!   parent's LP bound, so the global lower bound tightens monotonically
+//!   and a limit-hit return carries a meaningful [`IlpStats::final_gap`].
 
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
-use crate::problem::{Problem, SolveError};
-use crate::simplex::{default_iteration_limit, solve_lp_with_bounds};
+use crate::presolve::{presolve, quick_infeasible, PresolveOutcome};
+use crate::problem::{Problem, Sense, SolveError};
+use crate::simplex::{default_iteration_limit, solve_lp_in};
+use crate::workspace::SimplexWorkspace;
 
 /// Tolerance for deciding a relaxation value is integral.
 const INT_TOL: f64 = 1e-6;
@@ -31,6 +49,17 @@ pub struct IlpOptions {
     pub simplex_iteration_limit: Option<u64>,
     /// Branching rule.
     pub branching: Branching,
+    /// Re-enter child LPs from the workspace's retained basis (dual-simplex
+    /// warm start). Disable to force a cold start at every node — useful
+    /// only for testing that both paths agree.
+    pub warm_lp: bool,
+    /// Run bound propagation before the root LP and the cheap activity
+    /// fast-fail at every node.
+    pub presolve: bool,
+    /// A known integer-feasible assignment (e.g. the previous probe of a
+    /// rate search) adopted as the initial incumbent/cutoff when it checks
+    /// out feasible, so the tree is pruned from the first node.
+    pub warm_solution: Option<Vec<f64>>,
 }
 
 impl Default for IlpOptions {
@@ -41,6 +70,9 @@ impl Default for IlpOptions {
             time_limit: None,
             simplex_iteration_limit: None,
             branching: Branching::MostFractional,
+            warm_lp: true,
+            presolve: true,
+            warm_solution: None,
         }
     }
 }
@@ -61,10 +93,20 @@ pub struct IlpStats {
     pub nodes: u64,
     /// Total simplex iterations across all nodes.
     pub simplex_iterations: u64,
+    /// Simplex iterations of each node's LP, in solve order (warm-started
+    /// children should sit far below the cold root).
+    pub node_iterations: Vec<u64>,
+    /// Node LPs re-entered from the retained basis of the shared workspace.
+    pub warm_starts: u64,
+    /// Node LPs built from scratch (the root, plus any warm fallback).
+    pub cold_starts: u64,
     /// Elapsed time at which each improving incumbent was found, with its
     /// objective value.
     pub incumbents: Vec<(Duration, f64)>,
-    /// Elapsed time when the final (best) incumbent was discovered.
+    /// Elapsed time when the search first held an incumbent within
+    /// floating-point noise (1e-6 relative) of the final best — the
+    /// "discover" curve of Fig 6. Later epsilon-scale refinements between
+    /// alternative optima do not move this.
     pub time_to_best: Duration,
     /// Total solve time (for a proven run, the time to *prove* optimality).
     pub total_time: Duration,
@@ -88,31 +130,111 @@ pub struct IlpSolution {
 struct Node {
     lower: Vec<f64>,
     upper: Vec<f64>,
-    /// LP bound inherited from the parent (pruning key).
+    /// LP bound inherited from the parent (pruning and ordering key).
     parent_bound: f64,
+    depth: u32,
 }
 
-/// Solve `problem` to integer optimality (or within `opts` limits).
+// Best-first ordering: `BinaryHeap` pops its *greatest* element, so
+// "greater" means "explore sooner" — the smaller parent bound, breaking
+// ties towards the deeper node (a dive-flavoured tie-break that reaches
+// integer-feasible leaves, and thus the first incumbent, sooner).
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .parent_bound
+            .total_cmp(&self.parent_bound)
+            .then(self.depth.cmp(&other.depth))
+    }
+}
+
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Node {}
+
+/// Solve `problem` to integer optimality (or within `opts` limits) using a
+/// throwaway workspace. Repeated solves of same-shaped problems should use
+/// [`solve_ilp_in`] with a caller-owned [`SimplexWorkspace`].
 pub fn solve_ilp(problem: &Problem, opts: &IlpOptions) -> Result<IlpSolution, SolveError> {
+    let mut ws = SimplexWorkspace::new();
+    solve_ilp_in(problem, opts, &mut ws).0
+}
+
+/// Solve `problem` inside a reusable workspace, returning the statistics
+/// alongside the result so failed runs (notably presolve-proven
+/// infeasibility, where `stats.nodes == 0`) are observable too. For a
+/// successful run the returned stats equal `solution.stats`.
+pub fn solve_ilp_in(
+    problem: &Problem,
+    opts: &IlpOptions,
+    ws: &mut SimplexWorkspace,
+) -> (Result<IlpSolution, SolveError>, IlpStats) {
     let start = Instant::now();
+    // The caller may have mutated the problem since the workspace last saw
+    // it (rate rescaling does); the root must always enter cold.
+    ws.invalidate();
+    ws.reset_counters();
+
+    let mut stats = IlpStats::default();
+    let mut root_lower = problem.lower.clone();
+    let mut root_upper = problem.upper.clone();
+    if opts.presolve {
+        if let PresolveOutcome::Infeasible = presolve(problem, &mut root_lower, &mut root_upper) {
+            stats.proved = true;
+            stats.total_time = start.elapsed();
+            return (Err(SolveError::Infeasible), stats);
+        }
+    }
+
     let iter_limit = opts
         .simplex_iteration_limit
         .unwrap_or_else(|| default_iteration_limit(problem));
 
-    let mut stats = IlpStats::default();
     let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    if let Some(seed) = &opts.warm_solution {
+        if seed.len() == problem.num_vars() {
+            let mut vals = seed.clone();
+            for (j, v) in vals.iter_mut().enumerate() {
+                if problem.integer[j] {
+                    *v = v.round();
+                }
+            }
+            if problem.is_feasible(&vals, 1e-6) {
+                let obj = problem.objective_value(&vals);
+                stats.incumbents.push((start.elapsed(), obj));
+                incumbent = Some((obj, vals));
+            }
+        }
+    }
 
-    let mut stack: Vec<Node> = vec![Node {
-        lower: problem.lower.clone(),
-        upper: problem.upper.clone(),
+    let mut heap: BinaryHeap<Node> = BinaryHeap::new();
+    // One child of the just-solved node is explored immediately
+    // (depth-first "plunge"), the sibling parked in the best-first heap.
+    // Plunging is what finds integer-feasible incumbents fast (the Fig 6
+    // discover-time curve) and what keeps consecutive LPs one bound change
+    // apart, so the warm-started dual repair needs only a pivot or two;
+    // the heap drives the *proof*, popping the globally weakest bound so
+    // the residual gap tightens monotonically.
+    let mut plunge: Option<Node> = Some(Node {
+        lower: root_lower,
+        upper: root_upper,
         parent_bound: f64::NEG_INFINITY,
-    }];
-    // Lower bound on the optimum over the *open* part of the tree: the
-    // minimum parent bound on the stack (valid because bounds only tighten
-    // down a branch). Recomputed lazily.
+        depth: 0,
+    });
     let mut hit_limit = false;
+    let mut fatal: Option<SolveError> = None;
 
-    while let Some(node) = stack.pop() {
+    loop {
         if stats.nodes >= opts.max_nodes {
             hit_limit = true;
             break;
@@ -123,20 +245,58 @@ pub fn solve_ilp(problem: &Problem, opts: &IlpOptions) -> Result<IlpSolution, So
                 break;
             }
         }
-        // Prune against the incumbent before paying for an LP solve.
-        if let Some((inc_obj, _)) = &incumbent {
-            if node.parent_bound >= inc_obj - gap_slack(*inc_obj, opts.rel_gap) {
-                continue;
+        let node = match plunge.take() {
+            Some(n) => {
+                // The plunge child is pruned like any node; on prune, fall
+                // back to the heap on the next pass.
+                if let Some((inc_obj, _)) = &incumbent {
+                    if n.parent_bound >= inc_obj - gap_slack(*inc_obj, opts.rel_gap) {
+                        continue;
+                    }
+                }
+                n
             }
+            None => {
+                // Best-first makes the heap top the global lower bound
+                // over the open tree: once it crosses the incumbent's
+                // gap-adjusted cutoff, every open node is pruned at once
+                // and optimality (within rel_gap) is proved.
+                let Some(top_bound) = heap.peek().map(|n| n.parent_bound) else {
+                    break;
+                };
+                if let Some((inc_obj, _)) = &incumbent {
+                    if top_bound >= inc_obj - gap_slack(*inc_obj, opts.rel_gap) {
+                        break;
+                    }
+                }
+                heap.pop().expect("peek succeeded")
+            }
+        };
+
+        // Activity fast-fail: hopeless children never reach the simplex.
+        if opts.presolve && quick_infeasible(problem, &node.lower, &node.upper) {
+            continue;
         }
 
         stats.nodes += 1;
-        let lp = match solve_lp_with_bounds(problem, &node.lower, &node.upper, iter_limit) {
+        let incumbents_before = stats.incumbents.len();
+        let lp = match solve_lp_in(
+            problem,
+            &node.lower,
+            &node.upper,
+            iter_limit,
+            ws,
+            opts.warm_lp,
+        ) {
             Ok(lp) => lp,
             Err(SolveError::Infeasible) => continue,
-            Err(e) => return Err(e),
+            Err(e) => {
+                fatal = Some(e);
+                break;
+            }
         };
         stats.simplex_iterations += lp.iterations;
+        stats.node_iterations.push(lp.iterations);
 
         if let Some((inc_obj, _)) = &incumbent {
             if lp.objective >= inc_obj - gap_slack(*inc_obj, opts.rel_gap) {
@@ -178,6 +338,7 @@ pub fn solve_ilp(problem: &Problem, opts: &IlpOptions) -> Result<IlpSolution, So
                     }
                 }
                 if problem.is_feasible(&rounded, 1e-6) {
+                    greedy_lift(problem, &mut rounded);
                     let obj = problem.objective_value(&rounded);
                     let improves = incumbent
                         .as_ref()
@@ -196,40 +357,71 @@ pub fn solve_ilp(problem: &Problem, opts: &IlpOptions) -> Result<IlpSolution, So
                     lower: node.lower.clone(),
                     upper: node.upper.clone(),
                     parent_bound: lp.objective,
+                    depth: node.depth + 1,
                 };
                 down.upper[j] = floor.min(down.upper[j]);
                 let mut up = Node {
                     lower: node.lower,
                     upper: node.upper,
                     parent_bound: lp.objective,
+                    depth: node.depth + 1,
                 };
                 up.lower[j] = ceil.max(up.lower[j]);
-                // Dive towards the nearer integer first (depth-first with a
-                // rounding heuristic finds incumbents early, which is what
-                // makes the Fig 6 discover-time curve sit far left of the
-                // prove-time curve).
+                // Dive towards the nearer integer (the same rule the LIFO
+                // search used); the sibling waits in the heap.
                 if x - floor <= 0.5 {
-                    stack.push(up);
-                    stack.push(down);
+                    heap.push(up);
+                    plunge = Some(down);
                 } else {
-                    stack.push(down);
-                    stack.push(up);
+                    heap.push(down);
+                    plunge = Some(up);
                 }
+            }
+        }
+
+        // A better incumbent retires every open node above the new cutoff;
+        // dropping them eagerly keeps the best-first heap's memory
+        // proportional to the nodes that can still matter.
+        if stats.incumbents.len() > incumbents_before {
+            if let Some((inc_obj, _)) = &incumbent {
+                let cutoff = inc_obj - gap_slack(*inc_obj, opts.rel_gap);
+                heap.retain(|n| n.parent_bound < cutoff);
             }
         }
     }
 
+    stats.warm_starts = ws.warm_starts();
+    stats.cold_starts = ws.cold_starts();
     stats.total_time = start.elapsed();
-    match incumbent {
+
+    if let Some(e) = fatal {
+        return (Err(e), stats);
+    }
+
+    let result = match incumbent {
         Some((obj, values)) => {
             stats.proved = !hit_limit;
-            stats.time_to_best = stats.incumbents.last().map(|&(t, _)| t).unwrap_or_default();
-            // Remaining open nodes give the residual gap when limits hit.
-            let open_bound = stack
+            let discover_tol = 1e-6 * obj.abs().max(1.0);
+            stats.time_to_best = stats
+                .incumbents
                 .iter()
+                .find(|&&(_, o)| o <= obj + discover_tol)
+                .map(|&(t, _)| t)
+                .unwrap_or_default();
+            // The heap top is the residual lower bound over the open tree
+            // (best-first keeps it the minimum); an interrupted plunge
+            // child is open too.
+            let open_bound = heap
+                .peek()
                 .map(|n| n.parent_bound)
-                .fold(f64::INFINITY, f64::min);
-            stats.final_gap = if hit_limit && open_bound < obj {
+                .unwrap_or(f64::INFINITY)
+                .min(
+                    plunge
+                        .as_ref()
+                        .map(|n| n.parent_bound)
+                        .unwrap_or(f64::INFINITY),
+                );
+            stats.final_gap = if open_bound < obj {
                 (obj - open_bound) / obj.abs().max(1.0)
             } else {
                 0.0
@@ -237,22 +429,157 @@ pub fn solve_ilp(problem: &Problem, opts: &IlpOptions) -> Result<IlpSolution, So
             Ok(IlpSolution {
                 objective: obj,
                 values,
-                stats,
+                stats: stats.clone(),
             })
         }
         None => {
             if hit_limit {
                 Err(SolveError::IterationLimit)
             } else {
+                stats.proved = true;
                 Err(SolveError::Infeasible)
             }
         }
-    }
+    };
+    (result, stats)
 }
 
 /// Absolute slack implied by the relative-gap termination rule.
 fn gap_slack(incumbent: f64, rel_gap: f64) -> f64 {
     1e-9 + rel_gap * incumbent.abs().max(1.0)
+}
+
+/// Greedy repair of a rounded-down feasible point: raise integer variables
+/// while every constraint keeps its slack. Flooring the LP relaxation is
+/// feasible but weak on tight knapsack rows — it strands most of the
+/// budget — and a mediocre first incumbent is what forces branch-and-bound
+/// to wander for a replacement; the lift typically lands within the
+/// integrality gap of the optimum at the root.
+///
+/// A lift may need company: in Wishbone's restricted encoding the
+/// precedence rows `f_u − f_v ≥ 0` mean placing a high-reduction operator
+/// on the node requires its (possibly cost-*increasing*) upstream chain
+/// too. So for each beneficial candidate the lift plans the prerequisite
+/// closure through violated precedence-shaped rows and applies the whole
+/// set when its joint objective delta is negative and every row survives —
+/// the "move the cutpoint deeper along the pipeline" move, done generically.
+fn greedy_lift(problem: &Problem, vals: &mut [f64]) {
+    const MAX_WAVES: usize = 4;
+    const MAX_SET: usize = 48;
+
+    let n = problem.num_vars();
+    // Column view and current row activities.
+    let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    let mut act: Vec<f64> = Vec::with_capacity(problem.num_constraints());
+    for (i, c) in problem.constraints.iter().enumerate() {
+        let mut a = 0.0;
+        for &(v, coef) in &c.terms {
+            a += coef * vals[v.0];
+            cols[v.0].push((i, coef));
+        }
+        act.push(a);
+    }
+    let liftable = |vals: &[f64], j: usize| -> bool {
+        problem.integer[j] && vals[j] + 1.0 <= problem.upper[j] + 1e-9
+    };
+    let row_tol = |i: usize| 1e-6 * (1.0 + problem.constraints[i].rhs.abs());
+
+    let mut cand: Vec<usize> = (0..n)
+        .filter(|&j| problem.integer[j] && problem.objective[j] < -1e-12)
+        .collect();
+    cand.sort_by(|&a, &b| problem.objective[a].total_cmp(&problem.objective[b]));
+
+    // Scratch for the closure planner.
+    let mut set: Vec<usize> = Vec::new();
+    let mut in_set = vec![false; n];
+    // BTreeMap: the growth order of the plan must be deterministic.
+    let mut row_delta: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+
+    for _ in 0..MAX_WAVES {
+        let mut lifted = false;
+        for &j in &cand {
+            if !liftable(vals, j) {
+                continue;
+            }
+            // Grow the prerequisite closure of {j} until no touched row is
+            // violated (or the plan is abandoned).
+            set.clear();
+            set.push(j);
+            in_set[j] = true;
+            let feasible = loop {
+                row_delta.clear();
+                for &k in &set {
+                    for &(i, coef) in &cols[k] {
+                        *row_delta.entry(i).or_insert(0.0) += coef;
+                    }
+                }
+                let mut grew = false;
+                let mut abandon = false;
+                for (&i, &delta) in &row_delta {
+                    let c = &problem.constraints[i];
+                    let next = act[i] + delta;
+                    let violated = match c.sense {
+                        Sense::Le => next > c.rhs + row_tol(i),
+                        Sense::Ge => next < c.rhs - row_tol(i),
+                        Sense::Eq => (next - c.rhs).abs() > row_tol(i),
+                    };
+                    if !violated {
+                        continue;
+                    }
+                    // Repairable only through a precedence-shaped `≥` row:
+                    // lift the positive-coefficient member not yet in the
+                    // plan.
+                    let repair = if c.sense == Sense::Ge {
+                        c.terms
+                            .iter()
+                            .find(|&&(v, coef)| coef > 0.0 && !in_set[v.0] && liftable(vals, v.0))
+                            .map(|&(v, _)| v.0)
+                    } else {
+                        None
+                    };
+                    match repair {
+                        Some(u) if set.len() < MAX_SET => {
+                            set.push(u);
+                            in_set[u] = true;
+                            grew = true;
+                        }
+                        _ => {
+                            abandon = true;
+                            break;
+                        }
+                    }
+                }
+                if abandon {
+                    break false;
+                }
+                if !grew {
+                    break true;
+                }
+            };
+            let delta_obj: f64 = set.iter().map(|&k| problem.objective[k]).sum();
+            if feasible && delta_obj < -1e-12 {
+                for &k in &set {
+                    vals[k] += 1.0;
+                }
+                row_delta.clear();
+                for &k in &set {
+                    for &(i, coef) in &cols[k] {
+                        *row_delta.entry(i).or_insert(0.0) += coef;
+                    }
+                }
+                for (&i, &delta) in &row_delta {
+                    act[i] += delta;
+                }
+                lifted = true;
+            }
+            for &k in &set {
+                in_set[k] = false;
+            }
+        }
+        if !lifted {
+            break;
+        }
+    }
 }
 
 fn pick_branch_var(problem: &Problem, x: &[f64], rule: Branching) -> Option<usize> {
@@ -324,6 +651,13 @@ mod tests {
             solve_ilp(&p, &IlpOptions::default()),
             Err(SolveError::Infeasible)
         );
+        // Presolve proves this one before any LP is built.
+        let mut ws = SimplexWorkspace::new();
+        let (r, stats) = solve_ilp_in(&p, &IlpOptions::default(), &mut ws);
+        assert_eq!(r, Err(SolveError::Infeasible));
+        assert_eq!(stats.nodes, 0);
+        assert_eq!(stats.simplex_iterations, 0);
+        assert!(stats.proved);
     }
 
     #[test]
@@ -418,5 +752,77 @@ mod tests {
         )
         .unwrap();
         assert_close(a.objective, b.objective);
+    }
+
+    #[test]
+    fn warm_starts_are_recorded_and_agree_with_cold() {
+        // A knapsack that needs branching: the default (warm) search must
+        // report warm starts and match the all-cold search exactly.
+        let mut p = Problem::new();
+        let vars: Vec<_> = (0..10)
+            .map(|i| p.add_binary(-((i * 3 % 7) as f64 + 1.21)))
+            .collect();
+        let row: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i % 4 + 1) as f64 + 0.5))
+            .collect();
+        p.add_constraint(&row, Sense::Le, 9.7);
+        let warm = solve_ilp(&p, &IlpOptions::default()).unwrap();
+        let cold = solve_ilp(
+            &p,
+            &IlpOptions {
+                warm_lp: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_close(warm.objective, cold.objective);
+        assert!(warm.stats.nodes > 1, "instance must branch");
+        assert!(warm.stats.warm_starts > 0, "children must re-enter warm");
+        assert_eq!(cold.stats.warm_starts, 0);
+        assert_eq!(cold.stats.cold_starts, cold.stats.nodes);
+        assert_eq!(
+            warm.stats.node_iterations.len() as u64,
+            warm.stats.nodes,
+            "one iteration count per solved node"
+        );
+    }
+
+    #[test]
+    fn warm_incumbent_seed_prunes_from_the_start() {
+        // Seed the known optimum of a small knapsack: the search must
+        // accept it and still prove optimality.
+        let mut p = Problem::new();
+        let vals = [10.0, 13.0, 4.0, 8.0];
+        let wts = [3.0, 4.0, 2.0, 3.0];
+        let vars: Vec<_> = vals.iter().map(|&v| p.add_binary(-v)).collect();
+        let row: Vec<_> = vars.iter().zip(wts).map(|(&v, w)| (v, w)).collect();
+        p.add_constraint(&row, Sense::Le, 7.0);
+        let opts = IlpOptions {
+            warm_solution: Some(vec![1.0, 1.0, 0.0, 0.0]),
+            ..Default::default()
+        };
+        let s = solve_ilp(&p, &opts).unwrap();
+        assert_close(s.objective, -23.0);
+        assert!(s.stats.proved);
+        assert_eq!(
+            s.stats.incumbents.first().map(|&(_, o)| o),
+            Some(-23.0),
+            "seed adopted as the first incumbent"
+        );
+    }
+
+    #[test]
+    fn infeasible_warm_seed_is_ignored() {
+        let mut p = Problem::new();
+        let x = p.add_binary(-1.0);
+        p.add_constraint(&[(x, 1.0)], Sense::Le, 0.0);
+        let opts = IlpOptions {
+            warm_solution: Some(vec![1.0]), // violates the constraint
+            ..Default::default()
+        };
+        let s = solve_ilp(&p, &opts).unwrap();
+        assert_close(s.objective, 0.0);
     }
 }

@@ -93,6 +93,25 @@ impl Problem {
         });
     }
 
+    /// Objective coefficient of `v` (minimization).
+    pub fn objective_coeff(&self, v: VarId) -> f64 {
+        self.objective[v.0]
+    }
+
+    /// Overwrite the objective coefficient of `v` (minimization). Used to
+    /// rescale a prepared problem in place — e.g. Wishbone's rate search
+    /// multiplying every profiled cost by a new rate — without re-encoding.
+    pub fn set_objective_coeff(&mut self, v: VarId, obj: f64) {
+        self.objective[v.0] = obj;
+    }
+
+    /// Overwrite the right-hand side of constraint `row` (the companion of
+    /// [`set_objective_coeff`](Problem::set_objective_coeff) for budget
+    /// rows: `Σ c·f ≤ C/rate` is the rate-scaled `Σ rc·f ≤ C`).
+    pub fn set_rhs(&mut self, row: usize, rhs: f64) {
+        self.constraints[row].rhs = rhs;
+    }
+
     /// Number of variables.
     pub fn num_vars(&self) -> usize {
         self.objective.len()

@@ -1,4 +1,5 @@
-//! Two-phase primal simplex with bounded variables.
+//! Two-phase primal simplex with bounded variables, plus a dual-simplex
+//! warm-start path.
 //!
 //! Dense-tableau implementation: the partitioning LPs are small-to-medium
 //! (hundreds to a few thousand variables after Wishbone's §4.1 merge
@@ -11,8 +12,19 @@
 //! tableau at `m × (n + m_slack + m_art)` instead of adding a row per bound.
 //! Anti-cycling: Dantzig pricing with a Bland's-rule fallback after a run of
 //! degenerate pivots.
+//!
+//! All dense state lives in a [`SimplexWorkspace`] so branch-and-bound
+//! reuses one allocation across every node. A solve can enter either
+//! **cold** (all-artificial basis, two phases) or **warm**
+//! ([`solve_lp_in`] with `allow_warm`): the workspace's retained
+//! phase-2-optimal basis is dual feasible, only bounds have changed, so a
+//! bounded dual-simplex pass repairs primal feasibility — or proves the
+//! child infeasible — in a handful of pivots, then a primal phase-2 pass
+//! certifies optimality. Any numerical doubt falls back to a cold start,
+//! so warm and cold solves always agree on the answer.
 
-use crate::problem::{LpSolution, Problem, Sense, SolveError};
+use crate::problem::{LpSolution, Problem, SolveError};
+use crate::workspace::{SimplexWorkspace, VarStatus};
 
 const EPS: f64 = 1e-9;
 /// Pivot elements smaller than this are considered numerically unusable.
@@ -21,140 +33,32 @@ const PIVOT_TOL: f64 = 1e-7;
 const DEGENERATE_LIMIT: u64 = 64;
 /// Recompute reduced costs from scratch this often to bound drift.
 const REFRESH_PERIOD: u64 = 512;
+/// Bound violations below this are treated as feasible by the dual repair.
+const DUAL_FEAS_TOL: f64 = 1e-7;
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum VarStatus {
-    Basic,
-    AtLower,
-    AtUpper,
+/// How a warm-started solve ended.
+pub(crate) enum WarmOutcome {
+    /// Optimal solution reached from the retained basis.
+    Solved(LpSolution),
+    /// The dual-simplex pass proved the (re-bounded) LP infeasible.
+    Infeasible,
+    /// Numerical doubt or budget exhausted: redo this solve cold.
+    Retry,
 }
 
-/// Dense simplex state for one solve.
-pub(crate) struct Simplex {
-    m: usize,
-    /// Total columns: structural + slack + artificial.
-    n: usize,
-    n_structural: usize,
-    first_artificial: usize,
-    /// Row-major `m × n` tableau, kept equal to `B⁻¹·A`.
-    t: Vec<f64>,
-    /// Transformed right-hand side (`B⁻¹·b`-style invariant).
-    rhs: Vec<f64>,
-    basis: Vec<usize>,
-    status: Vec<VarStatus>,
-    x: Vec<f64>,
-    lower: Vec<f64>,
-    upper: Vec<f64>,
-    cost: Vec<f64>,
-    obj_row: Vec<f64>,
-    iterations: u64,
-    iteration_limit: u64,
-    degenerate_run: u64,
-}
-
-impl Simplex {
-    /// Build the tableau for `problem` with per-solve bound overrides
-    /// (branch-and-bound tightens bounds without copying the problem).
-    pub(crate) fn new(
-        problem: &Problem,
-        lower: &[f64],
-        upper: &[f64],
-        iteration_limit: u64,
-    ) -> Self {
-        let n_structural = problem.num_vars();
-        let m = problem.num_constraints();
-        let n_slack: usize = problem
-            .constraints
-            .iter()
-            .filter(|c| c.sense != Sense::Eq)
-            .count();
-        let n = n_structural + n_slack + m; // one artificial per row
-        let first_artificial = n_structural + n_slack;
-
-        let mut t = vec![0.0; m * n];
-        let mut rhs = vec![0.0; m];
-        let mut lo = vec![0.0; n];
-        let mut up = vec![f64::INFINITY; n];
-        lo[..n_structural].copy_from_slice(lower);
-        up[..n_structural].copy_from_slice(upper);
-
-        // Nonbasic structural variables start at their (finite) lower bound.
-        let mut x = vec![0.0; n];
-        x[..n_structural].copy_from_slice(&lo[..n_structural]);
-
-        let mut status = vec![VarStatus::AtLower; n];
-        let mut basis = Vec::with_capacity(m);
-
-        let mut slack_col = n_structural;
-        for (i, c) in problem.constraints.iter().enumerate() {
-            let row = &mut t[i * n..(i + 1) * n];
-            for &(v, a) in &c.terms {
-                row[v.0] += a;
-            }
-            match c.sense {
-                Sense::Le => {
-                    row[slack_col] = 1.0;
-                    slack_col += 1;
-                }
-                Sense::Ge => {
-                    row[slack_col] = -1.0;
-                    slack_col += 1;
-                }
-                Sense::Eq => {}
-            }
-            rhs[i] = c.rhs;
-            // Residual with all nonbasic vars at their initial values
-            // (slacks start at 0, structural at lower bound).
-            let lhs: f64 = c.terms.iter().map(|&(v, a)| a * x[v.0]).sum();
-            let residual = c.rhs - lhs;
-            let art = first_artificial + i;
-            if residual >= 0.0 {
-                row[art] = 1.0;
-            } else {
-                // Scale the row so the artificial's column is +1 and its
-                // value |residual| is nonnegative.
-                for v in row.iter_mut() {
-                    *v = -*v;
-                }
-                row[art] = 1.0;
-                rhs[i] = -rhs[i];
-            }
-            x[art] = residual.abs();
-            status[art] = VarStatus::Basic;
-            basis.push(art);
-        }
-        debug_assert_eq!(slack_col, first_artificial);
-
-        Simplex {
-            m,
-            n,
-            n_structural,
-            first_artificial,
-            t,
-            rhs,
-            basis,
-            status,
-            x,
-            lower: lo,
-            upper: up,
-            cost: vec![0.0; n],
-            obj_row: vec![0.0; n],
-            iterations: 0,
-            iteration_limit,
-            degenerate_run: 0,
-        }
-    }
-
-    /// `obj_row[j] = cost[j] - Σᵢ cost[basis[i]] · T[i][j]`
-    fn recompute_obj_row(&mut self) {
+impl SimplexWorkspace {
+    /// `obj_row[j] = cost[j] - Σᵢ cost[basis[i]] · T[i][j]`, over the live
+    /// (priceable) columns only.
+    pub(crate) fn recompute_obj_row(&mut self) {
+        let live = self.scan_limit;
         self.obj_row.copy_from_slice(&self.cost);
         for i in 0..self.m {
             let cb = self.cost[self.basis[i]];
             if cb == 0.0 {
                 continue;
             }
-            let row = &self.t[i * self.n..(i + 1) * self.n];
-            for (o, &a) in self.obj_row.iter_mut().zip(row) {
+            let row = &self.t[i * self.n..i * self.n + live];
+            for (o, &a) in self.obj_row[..live].iter_mut().zip(row) {
                 *o -= cb * a;
             }
         }
@@ -168,9 +72,14 @@ impl Simplex {
     }
 
     /// Choose the entering column, or `None` at optimality.
+    ///
+    /// The scan stops at `scan_limit`: during phase 2 the artificial
+    /// columns are locked at `[0, 0]` and can never improve the objective,
+    /// so pricing them (as a naive full scan does every iteration) is pure
+    /// waste on wide problems.
     fn choose_entering(&self, bland: bool) -> Option<(usize, f64)> {
         let mut best: Option<(usize, f64, f64)> = None; // (col, dir, score)
-        for j in 0..self.n {
+        for j in 0..self.scan_limit {
             let (dir, score) = match self.status[j] {
                 VarStatus::Basic => continue,
                 VarStatus::AtLower => {
@@ -320,18 +229,26 @@ impl Simplex {
     }
 
     /// Gauss–Jordan pivot on `(r, e)`, also updating `rhs` and `obj_row`.
+    ///
+    /// Row operations stop at `scan_limit`: once phase 1 locks the
+    /// artificial columns at `[0, 0]` nothing ever reads them again (they
+    /// cannot enter, and a basic-at-zero artificial leaves via the live
+    /// part of its row), so eliminating through them every pivot — a third
+    /// of the tableau on partitioning-shaped problems — is pure waste.
     fn pivot(&mut self, r: usize, e: usize) {
         let n = self.n;
+        let live = self.scan_limit;
         let piv = self.t[r * n + e];
         debug_assert!(piv.abs() >= PIVOT_TOL * 0.5, "tiny pivot {piv}");
         let inv = 1.0 / piv;
-        for v in self.t[r * n..(r + 1) * n].iter_mut() {
+        for v in self.t[r * n..r * n + live].iter_mut() {
             *v *= inv;
         }
         self.rhs[r] *= inv;
         // Eliminate column e from every other row.
         let (before, rest) = self.t.split_at_mut(r * n);
         let (prow, after) = rest.split_at_mut(n);
+        let prow = &prow[..live];
         for (i, chunk) in before.chunks_exact_mut(n).enumerate() {
             let f = chunk[e];
             if f != 0.0 {
@@ -377,8 +294,11 @@ impl Simplex {
         }
     }
 
-    /// Solve both phases, returning the structural solution.
-    pub(crate) fn solve(mut self, problem: &Problem) -> Result<LpSolution, SolveError> {
+    /// Solve both phases from the freshly [`load`]ed all-artificial basis,
+    /// returning the structural solution.
+    ///
+    /// [`load`]: SimplexWorkspace::load
+    pub(crate) fn solve_cold(&mut self, problem: &Problem) -> Result<LpSolution, SolveError> {
         // Phase 1: minimize the sum of artificials.
         let needs_phase1 = (0..self.m).any(|i| self.x[self.first_artificial + i] > EPS);
         if needs_phase1 {
@@ -400,7 +320,9 @@ impl Simplex {
             self.cost[j] = 0.0;
         }
 
-        // Phase 2: the real objective.
+        // Phase 2: the real objective. Locked artificials are excluded
+        // from pricing from here on.
+        self.scan_limit = self.first_artificial;
         for j in 0..self.n {
             self.cost[j] = if j < self.n_structural {
                 problem.objective[j]
@@ -419,6 +341,167 @@ impl Simplex {
             iterations: self.iterations,
         })
     }
+
+    /// Warm solve: re-enter from the retained phase-2 basis under new
+    /// bounds. The retained reduced costs are dual feasible (the previous
+    /// solve ended optimal and only bounds changed), so a bounded
+    /// dual-simplex pass either restores primal feasibility or proves the
+    /// re-bounded LP infeasible; a primal phase-2 pass then certifies
+    /// optimality.
+    pub(crate) fn solve_warm(
+        &mut self,
+        problem: &Problem,
+        lower: &[f64],
+        upper: &[f64],
+        iteration_limit: u64,
+    ) -> WarmOutcome {
+        if !self.warm_load(problem, lower, upper, iteration_limit) {
+            return WarmOutcome::Retry;
+        }
+        // The repair is a *bounded* pass: a healthy warm start needs a
+        // handful of pivots; one that still flails after ~2m is cheaper to
+        // redo cold than to grind out (the budget also keeps warm + cold
+        // fallback within one node's iteration allowance).
+        let dual_budget = (self.m as u64 * 2 + 64).min(iteration_limit);
+        match self.dual_repair(dual_budget) {
+            DualOutcome::Feasible => {}
+            DualOutcome::Infeasible => return WarmOutcome::Infeasible,
+            DualOutcome::GiveUp => return WarmOutcome::Retry,
+        }
+        self.degenerate_run = 0;
+        match self.run_phase() {
+            Ok(()) => {}
+            // Cold start re-derives the verdict with a full budget; this
+            // keeps warm and cold solves byte-for-byte agreeing on errors.
+            Err(_) => return WarmOutcome::Retry,
+        }
+        let values = self.x[..self.n_structural].to_vec();
+        WarmOutcome::Solved(LpSolution {
+            objective: self.objective(),
+            values,
+            iterations: self.iterations,
+        })
+    }
+
+    /// Bounded-variable dual simplex: while some basic variable violates a
+    /// bound, pivot it out towards the violated bound, choosing the
+    /// entering column by the dual ratio test so reduced costs stay dual
+    /// feasible. "No admissible entering column" on a violated row is a
+    /// proof of primal infeasibility (the row's reachable range excludes
+    /// the bound) — this is what makes warm-started children *fast* at
+    /// proving infeasibility.
+    fn dual_repair(&mut self, budget: u64) -> DualOutcome {
+        loop {
+            if self.iterations >= budget {
+                return DualOutcome::GiveUp;
+            }
+            // Leaving row: the most violated basic variable.
+            let mut leave: Option<(usize, bool, f64)> = None; // (row, above, viol)
+            for i in 0..self.m {
+                let xb = self.basis[i];
+                let v = self.x[xb];
+                let (viol, above) = if v > self.upper[xb] + DUAL_FEAS_TOL {
+                    (v - self.upper[xb], true)
+                } else if v < self.lower[xb] - DUAL_FEAS_TOL {
+                    (self.lower[xb] - v, false)
+                } else {
+                    continue;
+                };
+                if leave.is_none_or(|(_, _, w)| viol > w) {
+                    leave = Some((i, above, viol));
+                }
+            }
+            let Some((r, above, _)) = leave else {
+                return DualOutcome::Feasible;
+            };
+            self.iterations += 1;
+
+            // Dual ratio test over nonbasic, non-fixed columns.
+            let row = &self.t[r * self.n..r * self.n + self.first_artificial];
+            let mut best: Option<(usize, f64, f64)> = None; // (col, ratio, |alpha|)
+            let mut dubious = false;
+            for (j, &alpha) in row.iter().enumerate() {
+                if alpha.abs() < EPS || self.upper[j] - self.lower[j] <= 0.0 {
+                    continue;
+                }
+                let (admissible, d_eff) = match self.status[j] {
+                    VarStatus::Basic => continue,
+                    // At lower: the column can only increase; it reduces an
+                    // above-violation when α > 0, a below-violation when
+                    // α < 0. Reduced cost is ≥ 0 (clamped against drift).
+                    VarStatus::AtLower => {
+                        let a_eff = if above { alpha } else { -alpha };
+                        (a_eff > 0.0, self.obj_row[j].max(0.0))
+                    }
+                    // At upper: mirrored signs; reduced cost ≤ 0.
+                    VarStatus::AtUpper => {
+                        let a_eff = if above { -alpha } else { alpha };
+                        (a_eff > 0.0, (-self.obj_row[j]).max(0.0))
+                    }
+                };
+                if !admissible {
+                    continue;
+                }
+                if alpha.abs() < PIVOT_TOL {
+                    // Right sign but numerically unusable: remember that the
+                    // infeasibility "proof" would be unsound.
+                    dubious = true;
+                    continue;
+                }
+                let ratio = d_eff / alpha.abs();
+                let take = match best {
+                    None => true,
+                    Some((_, br, ba)) => {
+                        ratio < br - EPS || (ratio <= br + EPS && alpha.abs() > ba)
+                    }
+                };
+                if take {
+                    best = Some((j, ratio, alpha.abs()));
+                }
+            }
+
+            match best {
+                None => {
+                    return if dubious {
+                        DualOutcome::GiveUp
+                    } else {
+                        DualOutcome::Infeasible
+                    };
+                }
+                Some((e, _, _)) => {
+                    // Incremental primal update: moving the entering
+                    // variable by Δ = (x_b − bound)/α_re drives the leaving
+                    // variable exactly onto its violated bound, and every
+                    // other basic value shifts by its own column entry —
+                    // O(m), no tableau-wide recomputation.
+                    let leaving = self.basis[r];
+                    let alpha = self.t[r * self.n + e];
+                    let target = if above {
+                        self.upper[leaving]
+                    } else {
+                        self.lower[leaving]
+                    };
+                    let delta = (self.x[leaving] - target) / alpha;
+                    self.apply_move(e, delta.signum(), delta.abs());
+                    self.x[leaving] = target;
+                    self.status[leaving] = if above {
+                        VarStatus::AtUpper
+                    } else {
+                        VarStatus::AtLower
+                    };
+                    self.status[e] = VarStatus::Basic;
+                    self.basis[r] = e;
+                    self.pivot(r, e);
+                }
+            }
+        }
+    }
+}
+
+enum DualOutcome {
+    Feasible,
+    Infeasible,
+    GiveUp,
 }
 
 /// Solve the LP relaxation of `problem` (integrality ignored).
@@ -432,19 +515,69 @@ pub fn solve_lp(problem: &Problem) -> Result<LpSolution, SolveError> {
 }
 
 /// Solve the LP relaxation with per-call bound overrides (used by
-/// branch-and-bound to express branching decisions).
+/// branch-and-bound to express branching decisions). Builds a throwaway
+/// workspace; hot paths should use [`solve_lp_in`].
 pub fn solve_lp_with_bounds(
     problem: &Problem,
     lower: &[f64],
     upper: &[f64],
     iteration_limit: u64,
 ) -> Result<LpSolution, SolveError> {
+    let mut ws = SimplexWorkspace::new();
+    solve_lp_in(problem, lower, upper, iteration_limit, &mut ws, false)
+}
+
+/// Solve the LP relaxation inside a reusable workspace.
+///
+/// With `allow_warm`, and when `ws` retains a valid basis for a problem of
+/// this shape, the solve re-enters warm (dual-simplex repair from the
+/// retained basis); any numerical doubt silently falls back to a cold
+/// start, so the answer never depends on the entry path. The workspace's
+/// warm/cold counters record which path ran.
+pub fn solve_lp_in(
+    problem: &Problem,
+    lower: &[f64],
+    upper: &[f64],
+    iteration_limit: u64,
+    ws: &mut SimplexWorkspace,
+    allow_warm: bool,
+) -> Result<LpSolution, SolveError> {
     for j in 0..problem.num_vars() {
         if lower[j] > upper[j] {
             return Err(SolveError::Infeasible);
         }
     }
-    Simplex::new(problem, lower, upper, iteration_limit).solve(problem)
+    let mut burned = 0;
+    if allow_warm && ws.can_warm(problem) {
+        match ws.solve_warm(problem, lower, upper, iteration_limit) {
+            WarmOutcome::Solved(s) => {
+                ws.note_warm();
+                return Ok(s);
+            }
+            WarmOutcome::Infeasible => {
+                ws.note_warm();
+                return Err(SolveError::Infeasible);
+            }
+            WarmOutcome::Retry => {
+                // The abandoned attempt's pivots still happened; count
+                // them towards this node's reported work.
+                burned = ws.iterations;
+                ws.invalidate();
+            }
+        }
+    }
+    ws.note_cold();
+    ws.load(problem, lower, upper, iteration_limit);
+    let result = ws.solve_cold(problem);
+    if result.is_ok() {
+        ws.mark_warm_ready();
+    } else {
+        ws.invalidate();
+    }
+    result.map(|mut s| {
+        s.iterations += burned;
+        s
+    })
 }
 
 /// Default iteration budget, generous relative to problem size.
@@ -597,5 +730,60 @@ mod tests {
         p.add_constraint(&sum, Sense::Le, 10.0);
         let s = solve_lp(&p).unwrap();
         assert_close(s.objective, -10.0);
+    }
+
+    #[test]
+    fn warm_resolve_matches_cold_after_bound_change() {
+        // Dantzig's example again; re-solve with x's upper bound tightened
+        // to 1 through the warm path and compare against a cold solve.
+        let mut p = Problem::new();
+        let x = p.add_var(0.0, 10.0, -3.0, false);
+        let y = p.add_var(0.0, 10.0, -5.0, false);
+        p.add_constraint(&[(x, 1.0)], Sense::Le, 4.0);
+        p.add_constraint(&[(y, 2.0)], Sense::Le, 12.0);
+        p.add_constraint(&[(x, 1.0), (y, 2.0)], Sense::Le, 18.0);
+
+        let mut ws = SimplexWorkspace::new();
+        let first = solve_lp_in(&p, &p.lower, &p.upper, 10_000, &mut ws, true).unwrap();
+        assert_close(first.values[0], 4.0);
+
+        let tight_upper = [1.0, 10.0];
+        let warm = solve_lp_in(&p, &p.lower, &tight_upper, 10_000, &mut ws, true).unwrap();
+        let cold = solve_lp_with_bounds(&p, &p.lower, &tight_upper, 10_000).unwrap();
+        assert_close(warm.objective, cold.objective);
+        assert_eq!(ws.warm_starts(), 1);
+        assert_eq!(ws.cold_starts(), 1);
+    }
+
+    #[test]
+    fn warm_resolve_detects_infeasibility() {
+        // x + y >= 6 with both in [0, 4] is feasible; tightening both
+        // uppers to 2 makes it infeasible — the warm dual pass must prove
+        // it without a cold restart.
+        let mut p = Problem::new();
+        let x = p.add_var(0.0, 4.0, 1.0, false);
+        let y = p.add_var(0.0, 4.0, 1.0, false);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Sense::Ge, 6.0);
+
+        let mut ws = SimplexWorkspace::new();
+        solve_lp_in(&p, &p.lower, &p.upper, 10_000, &mut ws, true).unwrap();
+        let r = solve_lp_in(&p, &p.lower, &[2.0, 2.0], 10_000, &mut ws, true);
+        assert_eq!(r, Err(SolveError::Infeasible));
+        assert_eq!(ws.warm_starts(), 1, "infeasibility proven on the warm path");
+    }
+
+    #[test]
+    fn warm_resolve_after_loosening_bounds() {
+        // Warm starts must also handle bounds that loosen relative to the
+        // retained basis (best-first search jumps between subtrees).
+        let mut p = Problem::new();
+        let x = p.add_var(0.0, 2.0, -1.0, false);
+        let y = p.add_var(0.0, 2.0, -1.0, false);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Sense::Le, 10.0);
+
+        let mut ws = SimplexWorkspace::new();
+        solve_lp_in(&p, &p.lower, &[1.0, 1.0], 10_000, &mut ws, true).unwrap();
+        let loose = solve_lp_in(&p, &p.lower, &[2.0, 2.0], 10_000, &mut ws, true).unwrap();
+        assert_close(loose.objective, -4.0);
     }
 }

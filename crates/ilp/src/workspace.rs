@@ -1,0 +1,304 @@
+//! Reusable dense-simplex workspace.
+//!
+//! A [`SimplexWorkspace`] owns every buffer the simplex algorithm needs —
+//! tableau, transformed right-hand side, basis, variable statuses, bounds,
+//! costs, reduced costs — sized once for a problem and reused across all LP
+//! solves of a branch-and-bound search. After the first node, [`load`]
+//! (the cold path) only rewrites buffer contents: zero per-node heap
+//! allocations of tableau buffers.
+//!
+//! The workspace also retains the final basis of the last *successful*
+//! solve. When the next solve is the same problem under different variable
+//! bounds (exactly what branch-and-bound children are), the warm path in
+//! `simplex.rs` re-enters from that basis and repairs primal feasibility
+//! with a bounded dual-simplex pass instead of rebuilding from the
+//! all-artificial basis — the warm-started-child strategy production MILP
+//! solvers use.
+//!
+//! [`load`]: SimplexWorkspace::load
+
+use crate::problem::{Problem, Sense};
+
+/// Where a variable currently sits relative to the basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VarStatus {
+    /// In the basis (value determined by the tableau).
+    Basic,
+    /// Nonbasic at its lower bound.
+    AtLower,
+    /// Nonbasic at its upper bound.
+    AtUpper,
+}
+
+/// Reusable dense simplex state: one allocation per *problem shape*, shared
+/// by every LP solve of a branch-and-bound search (and, allocation-wise, by
+/// every probe of a rate search over the same encoded problem).
+#[derive(Debug, Default)]
+pub struct SimplexWorkspace {
+    pub(crate) m: usize,
+    /// Total columns: structural + slack + artificial.
+    pub(crate) n: usize,
+    pub(crate) n_structural: usize,
+    pub(crate) first_artificial: usize,
+    /// Row-major `m × n` tableau, kept equal to `B⁻¹·A`.
+    pub(crate) t: Vec<f64>,
+    /// Transformed right-hand side (`B⁻¹·b`-style invariant).
+    pub(crate) rhs: Vec<f64>,
+    pub(crate) basis: Vec<usize>,
+    pub(crate) status: Vec<VarStatus>,
+    pub(crate) x: Vec<f64>,
+    pub(crate) lower: Vec<f64>,
+    pub(crate) upper: Vec<f64>,
+    pub(crate) cost: Vec<f64>,
+    pub(crate) obj_row: Vec<f64>,
+    /// `m`-sized scratch used when re-deriving basic values from the
+    /// tableau invariant.
+    pub(crate) work: Vec<f64>,
+    pub(crate) iterations: u64,
+    pub(crate) iteration_limit: u64,
+    pub(crate) degenerate_run: u64,
+    /// Entering-column scan bound: `n` while artificials may still price
+    /// (phase 1), `first_artificial` once they are locked at zero.
+    pub(crate) scan_limit: usize,
+    /// True when the buffers hold a valid, phase-2-optimal (or at least
+    /// dual-feasible) basis for the problem shape recorded above.
+    warm_ready: bool,
+    /// Raw constraint right-hand sides as of the last cold `load`. The
+    /// transformed `rhs` bakes these in, so a caller mutating them in
+    /// place (`Problem::set_rhs`) silently invalidates the retained basis;
+    /// `can_warm` compares to catch that. (Objective mutation is safe:
+    /// `warm_load` rereads costs and the final primal pass certifies
+    /// optimality regardless of the entering reduced costs.)
+    loaded_rhs: Vec<f64>,
+    warm_starts: u64,
+    cold_starts: u64,
+}
+
+/// Reset a buffer to `len` copies of `val` without shrinking capacity (and
+/// so without reallocating once the high-water mark is reached).
+fn refill<T: Clone>(buf: &mut Vec<T>, len: usize, val: T) {
+    buf.clear();
+    buf.resize(len, val);
+}
+
+impl SimplexWorkspace {
+    /// An empty workspace; buffers grow on first [`load`].
+    ///
+    /// [`load`]: SimplexWorkspace::load
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// LP solves that re-entered from a retained basis (dual-simplex warm
+    /// start) since the last [`reset_counters`].
+    ///
+    /// [`reset_counters`]: SimplexWorkspace::reset_counters
+    pub fn warm_starts(&self) -> u64 {
+        self.warm_starts
+    }
+
+    /// LP solves built from the all-artificial basis since the last
+    /// [`reset_counters`].
+    ///
+    /// [`reset_counters`]: SimplexWorkspace::reset_counters
+    pub fn cold_starts(&self) -> u64 {
+        self.cold_starts
+    }
+
+    /// Zero the warm/cold counters (each ILP solve reports per-solve
+    /// deltas).
+    pub fn reset_counters(&mut self) {
+        self.warm_starts = 0;
+        self.cold_starts = 0;
+    }
+
+    /// Forget the retained basis: the next solve must be a cold start.
+    /// Called whenever the problem's coefficients may have changed.
+    pub fn invalidate(&mut self) {
+        self.warm_ready = false;
+    }
+
+    pub(crate) fn note_warm(&mut self) {
+        self.warm_starts += 1;
+    }
+
+    pub(crate) fn note_cold(&mut self) {
+        self.cold_starts += 1;
+    }
+
+    pub(crate) fn mark_warm_ready(&mut self) {
+        self.warm_ready = true;
+    }
+
+    /// Can the retained basis serve `problem` (same shape, same
+    /// right-hand sides, valid state)?
+    pub(crate) fn can_warm(&self, problem: &Problem) -> bool {
+        self.warm_ready
+            && self.n_structural == problem.num_vars()
+            && self.m == problem.num_constraints()
+            && problem
+                .constraints
+                .iter()
+                .zip(&self.loaded_rhs)
+                .all(|(c, &r)| c.rhs == r)
+    }
+
+    /// Cold build: the tableau for `problem` with per-solve bound overrides
+    /// (branch-and-bound tightens bounds without copying the problem).
+    /// Reuses every buffer; allocates only if the problem outgrows them.
+    pub(crate) fn load(
+        &mut self,
+        problem: &Problem,
+        lower: &[f64],
+        upper: &[f64],
+        iteration_limit: u64,
+    ) {
+        let n_structural = problem.num_vars();
+        let m = problem.num_constraints();
+        let n_slack: usize = problem
+            .constraints
+            .iter()
+            .filter(|c| c.sense != Sense::Eq)
+            .count();
+        let n = n_structural + n_slack + m; // one artificial per row
+        let first_artificial = n_structural + n_slack;
+
+        self.m = m;
+        self.n = n;
+        self.n_structural = n_structural;
+        self.first_artificial = first_artificial;
+
+        refill(&mut self.t, m * n, 0.0);
+        refill(&mut self.rhs, m, 0.0);
+        refill(&mut self.lower, n, 0.0);
+        refill(&mut self.upper, n, f64::INFINITY);
+        self.lower[..n_structural].copy_from_slice(lower);
+        self.upper[..n_structural].copy_from_slice(upper);
+
+        // Nonbasic structural variables start at their (finite) lower bound.
+        refill(&mut self.x, n, 0.0);
+        self.x[..n_structural].copy_from_slice(&self.lower[..n_structural]);
+
+        refill(&mut self.status, n, VarStatus::AtLower);
+        self.basis.clear();
+
+        let mut slack_col = n_structural;
+        for (i, c) in problem.constraints.iter().enumerate() {
+            let row = &mut self.t[i * n..(i + 1) * n];
+            for &(v, a) in &c.terms {
+                row[v.0] += a;
+            }
+            match c.sense {
+                Sense::Le => {
+                    row[slack_col] = 1.0;
+                    slack_col += 1;
+                }
+                Sense::Ge => {
+                    row[slack_col] = -1.0;
+                    slack_col += 1;
+                }
+                Sense::Eq => {}
+            }
+            self.rhs[i] = c.rhs;
+            // Residual with all nonbasic vars at their initial values
+            // (slacks start at 0, structural at lower bound).
+            let lhs: f64 = c.terms.iter().map(|&(v, a)| a * self.x[v.0]).sum();
+            let residual = c.rhs - lhs;
+            let art = first_artificial + i;
+            if residual >= 0.0 {
+                row[art] = 1.0;
+            } else {
+                // Scale the row so the artificial's column is +1 and its
+                // value |residual| is nonnegative.
+                for v in row.iter_mut() {
+                    *v = -*v;
+                }
+                row[art] = 1.0;
+                self.rhs[i] = -self.rhs[i];
+            }
+            self.x[art] = residual.abs();
+            self.status[art] = VarStatus::Basic;
+            self.basis.push(art);
+        }
+        debug_assert_eq!(slack_col, first_artificial);
+
+        self.loaded_rhs.clear();
+        self.loaded_rhs
+            .extend(problem.constraints.iter().map(|c| c.rhs));
+
+        refill(&mut self.cost, n, 0.0);
+        refill(&mut self.obj_row, n, 0.0);
+        refill(&mut self.work, m, 0.0);
+        self.iterations = 0;
+        self.iteration_limit = iteration_limit;
+        self.degenerate_run = 0;
+        self.scan_limit = n;
+    }
+
+    /// Warm re-entry: keep the retained tableau/basis, apply the new bound
+    /// overrides, snap nonbasic variables onto their (possibly moved)
+    /// bounds, re-derive basic values from the tableau invariant, and
+    /// refresh phase-2 costs and reduced costs.
+    ///
+    /// Returns `false` when the retained statuses cannot express the new
+    /// bounds (a variable parked at an upper bound that is now infinite) —
+    /// the caller must fall back to a cold start.
+    pub(crate) fn warm_load(
+        &mut self,
+        problem: &Problem,
+        lower: &[f64],
+        upper: &[f64],
+        iteration_limit: u64,
+    ) -> bool {
+        self.lower[..self.n_structural].copy_from_slice(lower);
+        self.upper[..self.n_structural].copy_from_slice(upper);
+        for j in 0..self.n_structural {
+            match self.status[j] {
+                VarStatus::Basic => {}
+                VarStatus::AtLower => self.x[j] = self.lower[j],
+                VarStatus::AtUpper => {
+                    if !self.upper[j].is_finite() {
+                        return false;
+                    }
+                    self.x[j] = self.upper[j];
+                }
+            }
+        }
+
+        // Phase-2 costs (artificials stay locked at zero cost and bounds).
+        for j in 0..self.n {
+            self.cost[j] = if j < self.n_structural {
+                problem.objective[j]
+            } else {
+                0.0
+            };
+        }
+
+        self.iterations = 0;
+        self.iteration_limit = iteration_limit;
+        self.degenerate_run = 0;
+        self.scan_limit = self.first_artificial;
+        self.recompute_obj_row();
+        self.recompute_basic_x();
+        true
+    }
+
+    /// Re-derive every basic variable's value from the tableau invariant
+    /// `x_B = B⁻¹b − Σ_{j nonbasic} (B⁻¹A)_j · x_j`.
+    pub(crate) fn recompute_basic_x(&mut self) {
+        self.work.clear();
+        self.work.extend_from_slice(&self.rhs);
+        for j in 0..self.n {
+            if self.status[j] == VarStatus::Basic || self.x[j] == 0.0 {
+                continue;
+            }
+            let xj = self.x[j];
+            for i in 0..self.m {
+                self.work[i] -= self.t[i * self.n + j] * xj;
+            }
+        }
+        for i in 0..self.m {
+            self.x[self.basis[i]] = self.work[i];
+        }
+    }
+}

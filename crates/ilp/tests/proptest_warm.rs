@@ -1,0 +1,105 @@
+//! Warm-start soundness: a branch-and-bound search whose node LPs re-enter
+//! warm from the shared workspace basis must be indistinguishable — same
+//! objective, same feasible/infeasible verdict — from one that cold-starts
+//! every node, on random bounded mixed-integer programs. Plus the presolve
+//! fast-fail contract: a pinned-vertex CPU sum over budget is rejected with
+//! zero branch-and-bound nodes.
+
+use proptest::prelude::*;
+use wishbone_ilp::{solve_ilp_in, IlpOptions, Problem, Sense, SimplexWorkspace, SolveError};
+
+/// Random bounded MILPs: a mix of integer and continuous variables with
+/// finite boxes, small integer-ish coefficients, a few ≤/≥ rows.
+fn milp_strategy() -> impl Strategy<Value = Problem> {
+    let n_vars = 2usize..7;
+    n_vars.prop_flat_map(|n| {
+        let vars = prop::collection::vec((-3i32..=0, 0i32..=3, -8i32..=8, prop::bool::ANY), n);
+        let n_cons = 1usize..5;
+        let cons = n_cons.prop_flat_map(move |m| {
+            prop::collection::vec(
+                (
+                    prop::collection::vec(-4i32..=4, n),
+                    prop::bool::ANY,
+                    -8i32..=12,
+                ),
+                m,
+            )
+        });
+        (vars, cons).prop_map(|(vars, cons)| {
+            let mut p = Problem::new();
+            let ids: Vec<_> = vars
+                .iter()
+                .map(|&(lo, up, obj, int)| {
+                    p.add_var(f64::from(lo), f64::from(up), f64::from(obj), int)
+                })
+                .collect();
+            for (coefs, is_le, rhs) in cons {
+                let terms: Vec<_> = ids
+                    .iter()
+                    .zip(&coefs)
+                    .filter(|(_, &c)| c != 0)
+                    .map(|(&v, &c)| (v, f64::from(c)))
+                    .collect();
+                if terms.is_empty() {
+                    continue;
+                }
+                let sense = if is_le { Sense::Le } else { Sense::Ge };
+                p.add_constraint(&terms, sense, f64::from(rhs));
+            }
+            p
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn warm_and_cold_bb_agree(p in milp_strategy()) {
+        let warm = p.solve_ilp(&IlpOptions::default());
+        let cold = p.solve_ilp(&IlpOptions { warm_lp: false, ..Default::default() });
+        match (&warm, &cold) {
+            (Ok(w), Ok(c)) => {
+                prop_assert!((w.objective - c.objective).abs() < 1e-6,
+                    "warm {} vs cold {}", w.objective, c.objective);
+                prop_assert!(p.is_feasible(&w.values, 1e-6), "warm returned infeasible point");
+                prop_assert!(p.is_feasible(&c.values, 1e-6), "cold returned infeasible point");
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b, "verdicts must match"),
+            _ => prop_assert!(false, "warm {warm:?} vs cold {cold:?} verdicts diverge"),
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_across_solves_is_transparent(p in milp_strategy()) {
+        // One workspace carried across two back-to-back solves of the same
+        // problem must not change the answer (the second solve's root is
+        // forced cold internally).
+        let mut ws = SimplexWorkspace::new();
+        let (first, _) = solve_ilp_in(&p, &IlpOptions::default(), &mut ws);
+        let (second, _) = solve_ilp_in(&p, &IlpOptions::default(), &mut ws);
+        match (&first, &second) {
+            (Ok(a), Ok(b)) => prop_assert!((a.objective - b.objective).abs() < 1e-9),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            _ => prop_assert!(false, "reused workspace changed the verdict"),
+        }
+    }
+}
+
+#[test]
+fn presolve_rejects_pinned_sum_over_budget_without_search() {
+    // The ROADMAP open item in miniature: pinned vertices (f fixed at 1 by
+    // bounds, exactly how the partitioner encodes Pin::Node) whose CPU sum
+    // exceeds the budget row. Presolve must refuse before any node LP.
+    let mut p = Problem::new();
+    let pinned: Vec<_> = (0..5).map(|_| p.add_var(1.0, 1.0, 0.0, true)).collect();
+    let movable: Vec<_> = (0..5).map(|_| p.add_binary(-1.0)).collect();
+    let cpu_row: Vec<_> = pinned.iter().chain(&movable).map(|&v| (v, 0.3)).collect();
+    p.add_constraint(&cpu_row, Sense::Le, 1.0); // 5 × 0.3 pinned > 1.0
+    let mut ws = SimplexWorkspace::new();
+    let (result, stats) = solve_ilp_in(&p, &IlpOptions::default(), &mut ws);
+    assert_eq!(result, Err(SolveError::Infeasible));
+    assert_eq!(stats.nodes, 0, "no branch-and-bound node may be explored");
+    assert_eq!(stats.simplex_iterations, 0, "no simplex iteration may run");
+    assert!(stats.proved);
+}

@@ -63,7 +63,8 @@ pub mod prelude {
     pub use wishbone_core::{
         all_node, all_server, build_partition_graph, evaluate, greedy, max_sustainable_rate,
         partition, pin_analysis, pipeline_cutpoints, preprocess, Encoding, Mode, ObjectiveConfig,
-        Partition, PartitionConfig, PartitionError, PartitionGraph, Pin, RateSearchResult,
+        Partition, PartitionConfig, PartitionError, PartitionGraph, Pin, PreparedPartition,
+        RateSearchResult,
     };
     pub use wishbone_dataflow::{
         Graph, GraphBuilder, Namespace, OperatorId, OperatorKind, OperatorSpec, Value, WorkFn,
