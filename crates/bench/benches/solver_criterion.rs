@@ -28,7 +28,8 @@ use wishbone_core::{
     build_partition_graph, encode, partition, preprocess, Encoding, Mode, ObjectiveConfig,
     PartitionConfig, PartitionError, PartitionGraph,
 };
-use wishbone_ilp::{Branching, IlpOptions, IlpStats};
+use wishbone_ilp::instances::chain_ilp;
+use wishbone_ilp::{Branching, IlpOptions, IlpStats, Problem, SolverBackend};
 use wishbone_profile::{profile, GraphProfile, Platform};
 
 fn eeg_partition_graph(channels: usize) -> PartitionGraph {
@@ -72,6 +73,22 @@ fn solve_opts(pg: &PartitionGraph, enc: Encoding, pre: bool, opts: &IlpOptions) 
     (sol.objective, sol.stats)
 }
 
+fn backend_opts(backend: SolverBackend) -> IlpOptions {
+    IlpOptions {
+        backend,
+        ..Default::default()
+    }
+}
+
+/// The encoded (merged, restricted) ILP of an EEG instance — what the
+/// dense-vs-sparse backend benches solve directly, so encoding time does
+/// not dilute the solver comparison.
+fn eeg_ilp(channels: usize) -> Problem {
+    let pg = eeg_partition_graph(channels);
+    let merged = preprocess(&pg).expect("merge ok").graph;
+    encode(&merged, Encoding::Restricted, &obj()).problem
+}
+
 fn solver_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("solver_scaling");
     group.sample_size(10);
@@ -84,6 +101,45 @@ fn solver_scaling(c: &mut Criterion) {
         );
     }
     group.finish();
+}
+
+/// Dense tableau vs sparse revised on identical pre-encoded instances:
+/// the EEG family up to the full 22-channel fig6 application (729 vars ×
+/// 972 constraints — the ROADMAP's scaling-wall size) plus a synthetic
+/// 972-constraint chain. The dense path stays alive as the
+/// differential-test oracle; this group is where its replacement earns
+/// its keep.
+fn backend_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_scaling");
+    group.sample_size(10);
+    let instances: Vec<(String, Problem)> = vec![
+        ("eeg_4ch".into(), eeg_ilp(4)),
+        ("eeg_22ch".into(), eeg_ilp(22)),
+        ("chain_972".into(), chain_ilp(972, 1.5)),
+    ];
+    for (name, p) in &instances {
+        for backend in [SolverBackend::Dense, SolverBackend::Sparse] {
+            let label = match backend {
+                SolverBackend::Dense => "dense",
+                _ => "sparse",
+            };
+            group.bench_function(BenchmarkId::new(name.as_str(), label), |b| {
+                b.iter(|| p.solve_ilp(&backend_opts(backend)).expect("solvable"))
+            });
+        }
+    }
+    group.finish();
+    // Parity outside the timing loops: both backends, same optimum.
+    for (name, p) in &instances {
+        let d = p.solve_ilp(&backend_opts(SolverBackend::Dense)).unwrap();
+        let s = p.solve_ilp(&backend_opts(SolverBackend::Sparse)).unwrap();
+        assert!(
+            (d.objective - s.objective).abs() < 1e-6 * (1.0 + d.objective.abs()),
+            "{name}: dense {} vs sparse {}",
+            d.objective,
+            s.objective
+        );
+    }
 }
 
 fn ablation_preprocess(c: &mut Criterion) {
@@ -245,6 +301,7 @@ fn rate_search(c: &mut Criterion) {
 criterion_group!(
     benches,
     solver_scaling,
+    backend_scaling,
     ablation_preprocess,
     ablation_encoding,
     ablation_branching,
@@ -293,6 +350,33 @@ fn emit_json(reps: usize) {
         });
     }
 
+    // Dense-vs-sparse head to head on pre-encoded instances: the 4ch EEG
+    // point, the full fig6 application (972 constraints — the ROADMAP
+    // scaling-wall size), and the synthetic 972-constraint chain.
+    let head_to_head = [
+        ("solver_scaling_4ch".to_string(), eeg_ilp(4)),
+        ("solver_fig6_22ch".to_string(), eeg_ilp(22)),
+        ("solver_chain_972".to_string(), chain_ilp(972, 1.5)),
+    ];
+    for (name, p) in &head_to_head {
+        for backend in [SolverBackend::Dense, SolverBackend::Sparse] {
+            let label = match backend {
+                SolverBackend::Dense => "dense",
+                _ => "sparse",
+            };
+            let (median_ns, nodes, warm_starts) = measure(reps, || {
+                let s = p.solve_ilp(&backend_opts(backend)).expect("solvable");
+                (s.stats.nodes, s.stats.warm_starts)
+            });
+            records.push(JsonRecord {
+                bench: format!("{name}_{label}"),
+                median_ns,
+                nodes,
+                warm_starts,
+            });
+        }
+    }
+
     let (graph, prof) = eeg_app(2);
     let mote = Platform::tmote_sky();
     let cfg = PartitionConfig::for_platform(&mote);
@@ -335,44 +419,90 @@ fn emit_json(reps: usize) {
     println!("wrote {path}");
 }
 
-/// Seconds-scale smoke run for CI: the perf-critical paths must compile,
-/// run, agree warm-vs-cold, and actually exercise warm starts.
-fn smoke() {
+/// Seconds-scale smoke run for CI, parameterized by backend so a sparse
+/// (or dense) regression cannot land silently: the perf-critical paths
+/// must compile, run, agree warm-vs-cold *and* dense-vs-sparse, and
+/// actually exercise warm starts.
+fn smoke(backend: SolverBackend) {
+    let label = format!("{backend:?}").to_lowercase();
     let pg = eeg_partition_graph(1);
-    let (warm_obj, warm_stats) =
-        solve_opts(&pg, Encoding::Restricted, true, &IlpOptions::default());
-    let (cold_obj, cold_stats) = solve_opts(
-        &pg,
-        Encoding::Restricted,
-        true,
-        &IlpOptions {
-            warm_lp: false,
-            ..Default::default()
-        },
-    );
+    let warm_opts = backend_opts(backend);
+    let cold_opts = IlpOptions {
+        warm_lp: false,
+        ..backend_opts(backend)
+    };
+    let (warm_obj, warm_stats) = solve_opts(&pg, Encoding::Restricted, true, &warm_opts);
+    let (cold_obj, cold_stats) = solve_opts(&pg, Encoding::Restricted, true, &cold_opts);
     assert!(
         (warm_obj - cold_obj).abs() < 1e-6,
-        "warm {warm_obj} vs cold {cold_obj}"
+        "[{label}] warm {warm_obj} vs cold {cold_obj}"
     );
     assert_eq!(cold_stats.warm_starts, 0);
     if warm_stats.nodes > 1 {
         assert!(
             warm_stats.warm_starts > 0,
-            "a branching solve must warm-start its children"
+            "[{label}] a branching solve must warm-start its children"
         );
     }
+
+    // Differential parity against the other backend on the same instance
+    // and on the 972-constraint chain the sparse path exists for.
+    let other = match backend {
+        SolverBackend::Dense => SolverBackend::Sparse,
+        _ => SolverBackend::Dense,
+    };
+    let (other_obj, _) = solve_opts(&pg, Encoding::Restricted, true, &backend_opts(other));
+    assert!(
+        (warm_obj - other_obj).abs() < 1e-6,
+        "backends disagree on 1ch EEG: {warm_obj} vs {other_obj}"
+    );
+    let chain = chain_ilp(972, 1.5);
+    let mine = chain.solve_ilp(&backend_opts(backend)).expect("solvable");
+    assert_eq!(mine.stats.backend, backend);
+    let theirs = chain.solve_ilp(&backend_opts(other)).expect("solvable");
+    assert!(
+        (mine.objective - theirs.objective).abs() < 1e-6 * (1.0 + mine.objective.abs()),
+        "backends disagree on chain_972: {backend:?} {} vs {other:?} {}",
+        mine.objective,
+        theirs.objective
+    );
+
     let (graph, prof) = eeg_app(1);
     let mote = Platform::tmote_sky();
-    let cfg = PartitionConfig::for_platform(&mote);
+    let mut cfg = PartitionConfig::for_platform(&mote);
+    cfg.ilp.backend = backend;
     let r = wishbone_core::max_sustainable_rate(&graph, &prof, &mote, &cfg, 16.0, 0.05)
         .expect("no solver error")
         .expect("feasible");
     assert_eq!(r.encodes, 1, "rate search must encode exactly once");
     println!(
-        "smoke OK: {} nodes ({} warm) on 1ch EEG; rate search found x{:.3} \
-         in {} probes / {} encode",
-        warm_stats.nodes, warm_stats.warm_starts, r.rate, r.evaluations, r.encodes
+        "smoke[{label}] OK: {} nodes ({} warm) on 1ch EEG; chain_972 obj {:.1} \
+         in {} nodes; rate search found x{:.3} in {} probes / {} encode",
+        warm_stats.nodes,
+        warm_stats.warm_starts,
+        mine.objective,
+        mine.stats.nodes,
+        r.rate,
+        r.evaluations,
+        r.encodes
     );
+}
+
+/// Print the encoded ILP sizes of the bench family (handy when tuning
+/// `SPARSE_AUTO_THRESHOLD`).
+fn sizes() {
+    for channels in [1usize, 2, 4, 8] {
+        let pg = eeg_partition_graph(channels);
+        let raw = encode(&pg, Encoding::Restricted, &obj()).problem;
+        let merged = eeg_ilp(channels);
+        println!(
+            "eeg_{channels}ch: raw {} vars x {} cons; merged {} vars x {} cons",
+            raw.num_vars(),
+            raw.num_constraints(),
+            merged.num_vars(),
+            merged.num_constraints(),
+        );
+    }
 }
 
 fn main() {
@@ -381,8 +511,64 @@ fn main() {
         args.iter().any(|a| a == "--smoke") || std::env::var_os("WISHBONE_BENCH_SMOKE").is_some();
     let json_mode =
         args.iter().any(|a| a == "--json") || std::env::var_os("WISHBONE_BENCH_JSON").is_some();
+    let backend = args
+        .iter()
+        .position(|a| a == "--backend")
+        .and_then(|i| args.get(i + 1))
+        .map(|b| match b.as_str() {
+            "dense" => SolverBackend::Dense,
+            "sparse" => SolverBackend::Sparse,
+            other => panic!("unknown backend {other:?} (use dense|sparse)"),
+        });
+    if args.iter().any(|a| a == "--sizes") {
+        sizes();
+        return;
+    }
+    if args.iter().any(|a| a == "--probe") {
+        for (name, p) in [
+            ("eeg_1ch".to_string(), eeg_ilp(1)),
+            ("chain_24".to_string(), chain_ilp(24, 0.08)),
+            ("chain_48".to_string(), chain_ilp(48, 0.15)),
+            ("eeg_2ch".to_string(), eeg_ilp(2)),
+            ("eeg_4ch".to_string(), eeg_ilp(4)),
+            ("eeg_8ch".to_string(), eeg_ilp(8)),
+            ("chain_972".to_string(), chain_ilp(972, 1.5)),
+        ] {
+            let reps = if name == "chain_972" { 5 } else { 30 };
+            // Interleaved warm-up pass, then per-backend medians.
+            for b in [SolverBackend::Dense, SolverBackend::Sparse] {
+                let _ = p.solve_ilp(&backend_opts(b)).unwrap();
+            }
+            for b in [SolverBackend::Dense, SolverBackend::Sparse] {
+                let mut times: Vec<u128> = Vec::new();
+                let mut stats = None;
+                for _ in 0..reps {
+                    let t = Instant::now();
+                    let s = p.solve_ilp(&backend_opts(b)).unwrap();
+                    times.push(t.elapsed().as_nanos());
+                    stats = Some(s.stats);
+                }
+                times.sort_unstable();
+                let s = stats.unwrap();
+                println!(
+                    "{name} {b:?}: median {:.3}ms nodes {} iters {} warm {}",
+                    times[times.len() / 2] as f64 / 1e6,
+                    s.nodes,
+                    s.simplex_iterations,
+                    s.warm_starts,
+                );
+            }
+        }
+        return;
+    }
     if smoke_mode {
-        smoke();
+        match backend {
+            Some(b) => smoke(b),
+            None => {
+                smoke(SolverBackend::Dense);
+                smoke(SolverBackend::Sparse);
+            }
+        }
     } else {
         benches();
     }

@@ -13,7 +13,9 @@
 use std::collections::HashSet;
 
 use wishbone_dataflow::{EdgeId, Graph, OperatorId};
-use wishbone_ilp::{solve_ilp_in, IlpOptions, IlpStats, SimplexWorkspace, SolveError, VarId};
+use wishbone_ilp::{
+    solve_ilp_in, IlpOptions, IlpStats, SimplexWorkspace, SolveError, SolverBackend, VarId,
+};
 use wishbone_profile::{GraphProfile, Platform};
 
 use crate::cost_graph::{build_partition_graph, Mode, PartitionGraph, PinError};
@@ -39,7 +41,10 @@ pub struct PartitionConfig {
     pub preprocess: bool,
     /// Input-rate multiplier relative to the profile's reference rate.
     pub rate_multiplier: f64,
-    /// Branch-and-bound options.
+    /// Branch-and-bound options. `ilp.backend` selects the simplex
+    /// implementation: `Auto` (default) runs the sparse revised simplex
+    /// on kilooperator encodings and the dense tableau on small ones —
+    /// see [`PreparedPartition::solver_backend`] for the resolved choice.
     pub ilp: IlpOptions,
 }
 
@@ -244,6 +249,14 @@ impl<'a> PreparedPartition<'a> {
     /// How many rate probes this instance has solved.
     pub fn solves(&self) -> u32 {
         self.solves
+    }
+
+    /// The simplex backend that will solve this prepared instance —
+    /// `cfg.ilp.backend` resolved against the encoded problem size
+    /// (rate rescaling never changes the shape, so the choice is fixed
+    /// for the lifetime of the preparation).
+    pub fn solver_backend(&self) -> SolverBackend {
+        self.cfg.ilp.backend.resolve(&self.ep.problem)
     }
 
     /// Solve the prepared instance at `rate` (a multiplier on the

@@ -10,6 +10,7 @@
 //! the budget below saturation.
 
 use wishbone_dataflow::Graph;
+use wishbone_ilp::SolverBackend;
 use wishbone_profile::{GraphProfile, Platform};
 
 use crate::partitioner::{Partition, PartitionConfig, PartitionError, PreparedPartition};
@@ -28,6 +29,10 @@ pub struct RateSearchResult {
     /// always 1 — every probe re-solves the same [`PreparedPartition`]
     /// with rescaled coefficients.
     pub encodes: u32,
+    /// The simplex backend (resolved, never `Auto`) every probe ran on:
+    /// sparse revised on kilooperator encodings, dense tableau on small
+    /// ones.
+    pub backend: SolverBackend,
 }
 
 fn probe(
@@ -90,6 +95,7 @@ pub fn max_sustainable_rate(
                         partition: best,
                         evaluations: evals,
                         encodes: prep.encodes(),
+                        backend: prep.solver_backend(),
                     }));
                 }
             }
@@ -116,6 +122,7 @@ pub fn max_sustainable_rate(
         partition: best,
         evaluations: evals,
         encodes: prep.encodes(),
+        backend: prep.solver_backend(),
     }))
 }
 
@@ -237,6 +244,30 @@ mod tests {
         }
         assert_eq!(prep.encodes(), 1);
         assert_eq!(prep.solves(), 4);
+    }
+
+    #[test]
+    fn backends_agree_on_the_rate_search() {
+        // The §4.3 search must land on the same rate whichever simplex
+        // backend runs the probes, and report the backend it used.
+        let (g, prof) = profiled();
+        let platform = Platform::tmote_sky();
+        let mut rates = Vec::new();
+        for backend in [SolverBackend::Dense, SolverBackend::Sparse] {
+            let mut cfg = PartitionConfig::for_platform(&platform);
+            cfg.ilp.backend = backend;
+            let r = max_sustainable_rate(&g, &prof, &platform, &cfg, 64.0, 0.01)
+                .unwrap()
+                .expect("feasible at low rates");
+            assert_eq!(r.backend, backend, "forced backend must be reported");
+            rates.push(r.rate);
+        }
+        assert!(
+            (rates[0] - rates[1]).abs() <= 0.02 * rates[0],
+            "dense rate {} vs sparse rate {}",
+            rates[0],
+            rates[1]
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@ use std::time::{Duration, Instant};
 use crate::presolve::{presolve, quick_infeasible, PresolveOutcome};
 use crate::problem::{Problem, Sense, SolveError};
 use crate::simplex::{default_iteration_limit, solve_lp_in};
-use crate::workspace::SimplexWorkspace;
+use crate::workspace::{SimplexWorkspace, SolverBackend};
 
 /// Tolerance for deciding a relaxation value is integral.
 const INT_TOL: f64 = 1e-6;
@@ -60,6 +60,12 @@ pub struct IlpOptions {
     /// rate search) adopted as the initial incumbent/cutoff when it checks
     /// out feasible, so the tree is pruned from the first node.
     pub warm_solution: Option<Vec<f64>>,
+    /// Which simplex backend solves the node LPs. `Auto` (the default)
+    /// picks the sparse revised method at or above
+    /// [`SPARSE_AUTO_THRESHOLD`](crate::workspace::SPARSE_AUTO_THRESHOLD)
+    /// constraints and the dense tableau below it; forcing `Dense` or
+    /// `Sparse` is how the differential tests and benches compare them.
+    pub backend: SolverBackend,
 }
 
 impl Default for IlpOptions {
@@ -73,6 +79,7 @@ impl Default for IlpOptions {
             warm_lp: true,
             presolve: true,
             warm_solution: None,
+            backend: SolverBackend::Auto,
         }
     }
 }
@@ -114,6 +121,9 @@ pub struct IlpStats {
     pub proved: bool,
     /// Relative gap at termination.
     pub final_gap: f64,
+    /// The simplex backend that solved the node LPs (resolved — never
+    /// `Auto`).
+    pub backend: SolverBackend,
 }
 
 /// An integer-feasible solution plus statistics.
@@ -184,8 +194,12 @@ pub fn solve_ilp_in(
     // it (rate rescaling does); the root must always enter cold.
     ws.invalidate();
     ws.reset_counters();
+    ws.set_backend(opts.backend);
 
-    let mut stats = IlpStats::default();
+    let mut stats = IlpStats {
+        backend: opts.backend.resolve(problem),
+        ..IlpStats::default()
+    };
     let mut root_lower = problem.lower.clone();
     let mut root_upper = problem.upper.clone();
     if opts.presolve {

@@ -13,9 +13,17 @@
 //!
 //! Performance architecture (mirroring production MILP codes):
 //!
-//! * [`SimplexWorkspace`] — one tableau allocation reused by every
-//!   branch-and-bound node; children re-enter **warm** from the parent
-//!   search's last optimal basis via a bounded dual-simplex repair;
+//! * [`SimplexWorkspace`] — one tableau/factorization allocation reused
+//!   by every branch-and-bound node; children re-enter **warm** from the
+//!   parent search's last optimal basis via a bounded dual-simplex
+//!   repair;
+//! * two interchangeable simplex backends behind that workspace
+//!   ([`SolverBackend`]): the dense tableau (small problems, and the
+//!   oracle for the differential test suite) and a **sparse revised
+//!   simplex** over an LU-factored basis with eta updates (`sparse.rs`,
+//!   `lu.rs`, `revised.rs`) — `Auto` switches at
+//!   [`SPARSE_AUTO_THRESHOLD`] constraints, which on the fig6
+//!   972-constraint EEG instances is worth an order of magnitude;
 //! * [`presolve`] — bound propagation that proves infeasibility (or fixes
 //!   implied-integral variables) before a single simplex iteration runs;
 //! * best-first node selection, so the reported optimality gap tightens
@@ -42,16 +50,20 @@
 #![warn(missing_docs)]
 
 pub mod branch_bound;
+pub mod instances;
+mod lu;
 pub mod presolve;
 pub mod problem;
+mod revised;
 pub mod simplex;
+mod sparse;
 pub mod workspace;
 
 pub use branch_bound::{solve_ilp, solve_ilp_in, Branching, IlpOptions, IlpSolution, IlpStats};
 pub use presolve::{presolve, quick_infeasible, PresolveOutcome};
 pub use problem::{Constraint, LpSolution, Problem, Sense, SolveError, VarId};
 pub use simplex::{solve_lp, solve_lp_in, solve_lp_with_bounds};
-pub use workspace::SimplexWorkspace;
+pub use workspace::{SimplexWorkspace, SolverBackend, SPARSE_AUTO_THRESHOLD};
 
 impl Problem {
     /// Solve the LP relaxation.

@@ -1,0 +1,616 @@
+//! LU factorization of the simplex basis, with eta-file updates.
+//!
+//! The revised simplex never forms `B⁻¹`; it answers two questions per
+//! iteration — `B·w = a` (**FTRAN**: the entering column in the basis
+//! frame) and `Bᵀ·y = c_B` (**BTRAN**: the duals, or a single tableau
+//! row) — against a factorization `P·B = L·U` built by left-looking
+//! Gaussian elimination with partial pivoting. On Wishbone's ≈2-nonzero
+//! rows `L` and `U` stay nearly as sparse as `B` itself, so both solves
+//! are `O(nnz)` instead of the dense tableau's `O(m·n)` pivot.
+//!
+//! Basis changes do not refactorize: each pivot appends a product-form
+//! **eta** (the entering column in the old basis frame), applied after
+//! `L·U` on FTRAN and before it (transposed, in reverse) on BTRAN. After
+//! [`REFACTOR_PERIOD`] etas the caller refactorizes from scratch, which
+//! both caps the eta file and discards accumulated roundoff — the drift
+//! bound the regression tests pin.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::sparse::CscMatrix;
+
+/// Hard cap on eta updates between refactorizations. Each eta costs
+/// `O(nnz(α))` per solve, so together with [`ETA_NNZ_FACTOR`] this bounds
+/// FTRAN/BTRAN work *and* numerical drift.
+pub(crate) const REFACTOR_PERIOD: usize = 64;
+
+/// Refactorize once the eta file holds more than this many nonzeros per
+/// basis row. Entering columns on chain-structured bases densify (the
+/// inverse of a bidiagonal matrix is full), so a count-based period alone
+/// would let FTRAN/BTRAN degrade to `O(period · m)`; budgeting total eta
+/// nonzeros keeps the update cost at a small constant times the
+/// factorization cost regardless of fill.
+pub(crate) const ETA_NNZ_FACTOR: usize = 4;
+
+/// Pivots smaller than this during factorization mean the basis is
+/// numerically singular and the caller must recover (cold restart).
+const SINGULAR_TOL: f64 = 1e-10;
+
+/// Entries below this are dropped when harvesting an eta column.
+const ETA_DROP_TOL: f64 = 1e-13;
+
+/// One product-form update: the entering column `α = B⁻¹·a_e` at the
+/// moment of the pivot, split into the pivot element and the off-pivot
+/// nonzeros. Indices are *basis positions*.
+#[derive(Debug)]
+pub(crate) struct Eta {
+    r: usize,
+    pivot: f64,
+    entries: Vec<(usize, f64)>,
+}
+
+impl Eta {
+    /// Harvest an eta from a dense entering column `alpha` (by basis
+    /// position) pivoting at position `r`.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn from_column(r: usize, alpha: &[f64]) -> Eta {
+        let entries = alpha
+            .iter()
+            .enumerate()
+            .filter(|&(i, &a)| i != r && a.abs() > ETA_DROP_TOL)
+            .map(|(i, &a)| (i, a))
+            .collect();
+        Eta {
+            r,
+            pivot: alpha[r],
+            entries,
+        }
+    }
+
+    /// Harvest from a sparse column: only the positions listed in `nnz`
+    /// are live (the rest of `alpha` is stale storage).
+    pub(crate) fn from_sparse(r: usize, alpha: &[f64], nnz: &[usize]) -> Eta {
+        let entries = nnz
+            .iter()
+            .filter(|&&i| i != r && alpha[i].abs() > ETA_DROP_TOL)
+            .map(|&i| (i, alpha[i]))
+            .collect();
+        Eta {
+            r,
+            pivot: alpha[r],
+            entries,
+        }
+    }
+
+    /// Stored nonzeros (for the refactorization budget).
+    pub(crate) fn nnz(&self) -> usize {
+        self.entries.len() + 1
+    }
+
+    /// FTRAN update: replace `w` by `E⁻¹·w` (chronological order).
+    pub(crate) fn apply_ftran(&self, w: &mut [f64]) {
+        let wr = w[self.r] / self.pivot;
+        if wr != 0.0 {
+            for &(i, a) in &self.entries {
+                w[i] -= a * wr;
+            }
+        }
+        w[self.r] = wr;
+    }
+
+    /// FTRAN update on a stamped sparse column: positions outside the
+    /// current-epoch stamp set are zero by contract (their storage is
+    /// stale); any position this eta touches joins the set.
+    pub(crate) fn apply_ftran_sparse(
+        &self,
+        w: &mut [f64],
+        stamp: &mut [u64],
+        epoch: u64,
+        nnz: &mut Vec<usize>,
+    ) {
+        let live_r = stamp[self.r] == epoch;
+        let wr = if live_r { w[self.r] / self.pivot } else { 0.0 };
+        if wr != 0.0 {
+            for &(i, a) in &self.entries {
+                if stamp[i] != epoch {
+                    stamp[i] = epoch;
+                    w[i] = 0.0;
+                    nnz.push(i);
+                }
+                w[i] -= a * wr;
+            }
+        }
+        if !live_r {
+            stamp[self.r] = epoch;
+            nnz.push(self.r);
+        }
+        w[self.r] = wr;
+    }
+
+    /// BTRAN update: replace `c` by `E⁻ᵀ·c` (reverse chronological order,
+    /// applied before the base `LᵀUᵀ` solve).
+    pub(crate) fn apply_btran(&self, c: &mut [f64]) {
+        let mut v = c[self.r];
+        for &(i, a) in &self.entries {
+            v -= a * c[i];
+        }
+        c[self.r] = v / self.pivot;
+    }
+}
+
+/// `P_r·B·P_c = L·U`: a row permutation from partial pivoting plus a
+/// *column* permutation from a singleton-peel preorder. `L` is
+/// unit-lower-triangular, stored by factor step as `(original_row,
+/// multiplier)` pairs; `U` is stored by factor step as `(factor_step,
+/// value)` pairs above a separate diagonal.
+///
+/// The column preorder is what keeps the factors sparse: a simplex basis
+/// arrives in pivot-scrambled order, and factoring chain-structured
+/// columns out of order cascades fill through `U` (`O(m²)` on Wishbone's
+/// precedence chains). Peeling column singletons — repeatedly factoring
+/// any column with exactly one unpivoted row, the standard LP "crash
+/// triangularization" — reorders the basis so the peeled prefix factors
+/// with **zero fill**; only the residual bump (typically the one
+/// budget-row column) pays for general elimination.
+#[derive(Debug, Default)]
+pub(crate) struct LuFactors {
+    m: usize,
+    /// `prow[s]` = original row chosen as the pivot of factor step `s`.
+    prow: Vec<usize>,
+    /// `pcol[s]` = basis position factored at step `s`.
+    pcol: Vec<usize>,
+    /// `ppos[i]` = factor step of original row `i` (`usize::MAX` while
+    /// unpivoted during factorization).
+    ppos: Vec<usize>,
+    // L and U stored flat (CSC-style, one range per factor step) — tight
+    // sequential loops in the hot solves instead of a pointer chase per
+    // step through nested Vecs.
+    l_ptr: Vec<usize>,
+    l_rows: Vec<usize>,
+    l_vals: Vec<f64>,
+    u_ptr: Vec<usize>,
+    u_steps: Vec<usize>,
+    u_vals: Vec<f64>,
+    u_diag: Vec<f64>,
+    /// Dense scratch indexed by original row, zeroed between uses.
+    work: Vec<f64>,
+    /// Dense scratch indexed by factor step (BTRAN intermediate).
+    zwork: Vec<f64>,
+    /// Pending factor steps whose rows went nonzero during the current
+    /// column's elimination (min-heap: elimination must run in factor
+    /// order). Keeping it sparse is what makes factorization `O(flops)`
+    /// instead of `O(m²)` on these ≈2-nonzero-per-row bases.
+    pending: BinaryHeap<Reverse<usize>>,
+    /// Unpivoted rows that went nonzero (pivot candidates / L entries).
+    cand: Vec<usize>,
+    /// Pivoted rows hit by the current column (fast path, see below).
+    hit: Vec<usize>,
+    /// Cursor scratch for the row-map counting sort.
+    row_cursor: Vec<usize>,
+    // Singleton-peel scratch (all reused across factorizations).
+    peel_count: Vec<usize>,
+    peel_done: Vec<bool>,
+    row_used: Vec<bool>,
+    row_ptr: Vec<usize>,
+    row_elems: Vec<usize>,
+    peel_stack: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Factorize the basis `B = [a_{basis[0]} … a_{basis[m-1]}]` drawn
+    /// from `matrix`. Returns `false` on a numerically singular basis.
+    /// Reuses every buffer across refactorizations.
+    pub(crate) fn factorize(&mut self, matrix: &CscMatrix, basis: &[usize]) -> bool {
+        let m = matrix.rows();
+        debug_assert_eq!(basis.len(), m);
+        self.m = m;
+        self.prow.clear();
+        self.ppos.clear();
+        self.ppos.resize(m, usize::MAX);
+        self.u_diag.clear();
+        self.u_diag.resize(m, 0.0);
+        self.work.clear();
+        self.work.resize(m, 0.0);
+        self.zwork.clear();
+        self.zwork.resize(m, 0.0);
+        self.l_ptr.clear();
+        self.l_ptr.push(0);
+        self.l_rows.clear();
+        self.l_vals.clear();
+        self.u_ptr.clear();
+        self.u_ptr.push(0);
+        self.u_steps.clear();
+        self.u_vals.clear();
+
+        self.peel_order(matrix, basis);
+
+        for s in 0..m {
+            let k = self.pcol[s];
+            // Scatter basis column k, tracking which rows went nonzero:
+            // already-pivoted rows await elimination, unpivoted rows are
+            // pivot candidates.
+            self.pending.clear();
+            self.cand.clear();
+            self.hit.clear();
+            let (rows, vals) = matrix.col(basis[k]);
+            let no_fill_yet = self.l_rows.is_empty();
+            for (&i, &a) in rows.iter().zip(vals) {
+                let was = self.work[i];
+                self.work[i] = was + a; // duplicate terms accumulate
+                if was == 0.0 {
+                    if self.ppos[i] == usize::MAX {
+                        self.cand.push(i);
+                    } else if no_fill_yet {
+                        self.hit.push(i);
+                    } else {
+                        self.pending.push(Reverse(self.ppos[i]));
+                    }
+                }
+            }
+            if no_fill_yet {
+                // Fast path: every `L` column so far is empty (true for
+                // the whole singleton-peel prefix, i.e. usually the whole
+                // basis), so elimination cannot create fill and order is
+                // irrelevant — pivoted entries drop straight into `U`.
+                for idx in 0..self.hit.len() {
+                    let i = self.hit[idx];
+                    let v = self.work[i];
+                    if v != 0.0 {
+                        self.work[i] = 0.0;
+                        self.u_steps.push(self.ppos[i]);
+                        self.u_vals.push(v);
+                    }
+                }
+            }
+            // Eliminate — a sparse forward solve `L·y = P·a` visiting only
+            // the rows that are actually nonzero. Fill from an L column
+            // can only land on rows pivoted *later* (or not yet), so the
+            // increasing-position (min-heap) pop order is a valid
+            // elimination order.
+            while let Some(Reverse(t)) = self.pending.pop() {
+                let v = self.work[self.prow[t]];
+                if v == 0.0 {
+                    continue; // duplicate queue entry, already consumed
+                }
+                self.work[self.prow[t]] = 0.0;
+                self.u_steps.push(t);
+                self.u_vals.push(v);
+                for idx in self.l_ptr[t]..self.l_ptr[t + 1] {
+                    let i = self.l_rows[idx];
+                    let was = self.work[i];
+                    self.work[i] = was - self.l_vals[idx] * v;
+                    if was == 0.0 {
+                        if self.ppos[i] == usize::MAX {
+                            self.cand.push(i);
+                        } else {
+                            self.pending.push(Reverse(self.ppos[i]));
+                        }
+                    }
+                }
+            }
+            // Partial pivoting over the candidate rows.
+            let mut ipiv = usize::MAX;
+            let mut best = 0.0f64;
+            for &i in &self.cand {
+                let v = self.work[i].abs();
+                if v > best {
+                    best = v;
+                    ipiv = i;
+                }
+            }
+            if best < SINGULAR_TOL {
+                // Leave scratch clean for the next attempt.
+                for &i in &self.cand {
+                    self.work[i] = 0.0;
+                }
+                return false;
+            }
+            let piv = self.work[ipiv];
+            self.work[ipiv] = 0.0;
+            self.u_diag[s] = piv;
+            self.prow.push(ipiv);
+            self.ppos[ipiv] = s;
+            for idx in 0..self.cand.len() {
+                let i = self.cand[idx];
+                let v = self.work[i];
+                // Zero-valued or duplicate candidates drop out here.
+                if v != 0.0 {
+                    self.l_rows.push(i);
+                    self.l_vals.push(v / piv);
+                    self.work[i] = 0.0;
+                }
+            }
+            self.l_ptr.push(self.l_rows.len());
+            self.u_ptr.push(self.u_steps.len());
+        }
+        true
+    }
+
+    /// Compute the factor-order column permutation `pcol` by peeling
+    /// column singletons: any basis column with exactly one entry in a
+    /// still-unpivoted row factors with an empty `L` column, so every
+    /// column it uncovers afterwards also factors fill-free. Leftover
+    /// "bump" columns (no singleton available — e.g. the column that
+    /// closes a dense budget row) are appended in basis order for the
+    /// general elimination above. `O(nnz)`.
+    fn peel_order(&mut self, matrix: &CscMatrix, basis: &[usize]) {
+        let m = self.m;
+        self.pcol.clear();
+        self.peel_count.clear();
+        self.peel_done.clear();
+        self.peel_done.resize(m, false);
+        self.row_used.clear();
+        self.row_used.resize(m, false);
+        self.peel_stack.clear();
+
+        // Row → containing-columns map, counting-sort flat.
+        self.row_ptr.clear();
+        self.row_ptr.resize(m + 1, 0);
+        let mut nnz = 0;
+        for &j in basis {
+            let (rows, _) = matrix.col(j);
+            for &i in rows {
+                self.row_ptr[i + 1] += 1;
+            }
+            nnz += rows.len();
+        }
+        for i in 0..m {
+            let prev = self.row_ptr[i];
+            self.row_ptr[i + 1] += prev;
+        }
+        self.row_elems.clear();
+        self.row_elems.resize(nnz, 0);
+        self.row_cursor.clear();
+        self.row_cursor.extend_from_slice(&self.row_ptr[..m]);
+        for (k, &j) in basis.iter().enumerate() {
+            let (rows, _) = matrix.col(j);
+            for &i in rows {
+                self.row_elems[self.row_cursor[i]] = k;
+                self.row_cursor[i] += 1;
+            }
+        }
+
+        for (k, &j) in basis.iter().enumerate() {
+            let (rows, _) = matrix.col(j);
+            self.peel_count.push(rows.len());
+            if rows.len() == 1 {
+                self.peel_stack.push(k);
+            }
+        }
+        while let Some(k) = self.peel_stack.pop() {
+            if self.peel_done[k] || self.peel_count[k] != 1 {
+                continue;
+            }
+            let (rows, vals) = matrix.col(basis[k]);
+            let mut row = usize::MAX;
+            let mut val = 0.0;
+            for (&i, &a) in rows.iter().zip(vals) {
+                if !self.row_used[i] {
+                    row = i;
+                    val = a;
+                }
+            }
+            if row == usize::MAX || val.abs() < SINGULAR_TOL {
+                continue; // tiny pivot: leave it for the bump
+            }
+            self.peel_done[k] = true;
+            self.row_used[row] = true;
+            self.pcol.push(k);
+            for idx in self.row_ptr[row]..self.row_ptr[row + 1] {
+                let k2 = self.row_elems[idx];
+                if !self.peel_done[k2] {
+                    self.peel_count[k2] -= 1;
+                    if self.peel_count[k2] == 1 {
+                        self.peel_stack.push(k2);
+                    }
+                }
+            }
+        }
+        for k in 0..m {
+            if !self.peel_done[k] {
+                self.pcol.push(k);
+            }
+        }
+    }
+
+    /// FTRAN: solve `B·x = w` where `w` arrives dense, indexed by
+    /// original row, and is consumed (zeroed). `out[k]` receives the
+    /// solution by basis position; every position is written (dense).
+    pub(crate) fn ftran(&self, w: &mut [f64], out: &mut [f64]) {
+        self.ftran_forward(w);
+        // Backward: U·x' = y, consuming w; x'[s] is the value of the
+        // basis position factored at step s.
+        for s in (0..self.m).rev() {
+            let num = w[self.prow[s]];
+            if num == 0.0 {
+                out[self.pcol[s]] = 0.0;
+                continue;
+            }
+            w[self.prow[s]] = 0.0;
+            let xk = num / self.u_diag[s];
+            out[self.pcol[s]] = xk;
+            for idx in self.u_ptr[s]..self.u_ptr[s + 1] {
+                w[self.prow[self.u_steps[idx]]] -= self.u_vals[idx] * xk;
+            }
+        }
+    }
+
+    /// FTRAN writing only the nonzero result positions, each pushed onto
+    /// `nnz` — stale `out` entries at unlisted positions are the caller's
+    /// contract to never read. This keeps every consumer of a sparse
+    /// entering column `O(nnz(α))` instead of `O(m)`.
+    pub(crate) fn ftran_sparse(&self, w: &mut [f64], out: &mut [f64], nnz: &mut Vec<usize>) {
+        self.ftran_forward(w);
+        for s in (0..self.m).rev() {
+            let num = w[self.prow[s]];
+            if num == 0.0 {
+                continue;
+            }
+            w[self.prow[s]] = 0.0;
+            let xk = num / self.u_diag[s];
+            out[self.pcol[s]] = xk;
+            nnz.push(self.pcol[s]);
+            for idx in self.u_ptr[s]..self.u_ptr[s + 1] {
+                w[self.prow[self.u_steps[idx]]] -= self.u_vals[idx] * xk;
+            }
+        }
+    }
+
+    /// Forward pass `L·y = P_r·w` shared by both FTRAN variants.
+    #[inline]
+    fn ftran_forward(&self, w: &mut [f64]) {
+        for t in 0..self.m {
+            let v = w[self.prow[t]];
+            if v != 0.0 {
+                for idx in self.l_ptr[t]..self.l_ptr[t + 1] {
+                    w[self.l_rows[idx]] -= self.l_vals[idx] * v;
+                }
+            }
+        }
+    }
+
+    /// BTRAN: solve `Bᵀ·y = c` with `c` dense, indexed by basis
+    /// position (left unmodified). `y` receives the solution by original
+    /// row.
+    pub(crate) fn btran(&mut self, c: &[f64], y: &mut [f64]) {
+        // Uᵀ·z = P_c·c by forward substitution into the step-indexed
+        // scratch.
+        for s in 0..self.m {
+            let mut v = c[self.pcol[s]];
+            for idx in self.u_ptr[s]..self.u_ptr[s + 1] {
+                v -= self.u_vals[idx] * self.zwork[self.u_steps[idx]];
+            }
+            self.zwork[s] = if v == 0.0 { 0.0 } else { v / self.u_diag[s] };
+        }
+        // Lᵀ·(P_r·y) = z by backward substitution onto original rows.
+        for s in (0..self.m).rev() {
+            let mut v = self.zwork[s];
+            for idx in self.l_ptr[s]..self.l_ptr[s + 1] {
+                v -= self.l_vals[idx] * y[self.l_rows[idx]];
+            }
+            y[self.prow[s]] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Problem, Sense};
+
+    /// Dense multiply `B·x` for checking, columns drawn from `matrix`.
+    fn mat_vec(matrix: &CscMatrix, basis: &[usize], x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; matrix.rows()];
+        for (k, &j) in basis.iter().enumerate() {
+            matrix.axpy_col(j, x[k], &mut out);
+        }
+        out
+    }
+
+    fn chain_matrix(n: usize) -> CscMatrix {
+        // The Wishbone shape: precedence rows x_i - x_{i+1} >= 0 plus a
+        // budget row, slacks and artificials appended.
+        let mut p = Problem::new();
+        let vars: Vec<_> = (0..n).map(|_| p.add_var(0.0, 1.0, -1.0, false)).collect();
+        for w in vars.windows(2) {
+            p.add_constraint(&[(w[0], 1.0), (w[1], -1.0)], Sense::Ge, 0.0);
+        }
+        let row: Vec<_> = vars.iter().map(|&v| (v, 0.3)).collect();
+        p.add_constraint(&row, Sense::Le, 1.0);
+        let m = p.num_constraints();
+        let mut a = CscMatrix::default();
+        a.load(&p, &vec![1.0; m]);
+        a
+    }
+
+    #[test]
+    fn ftran_btran_invert_a_structural_basis() {
+        let a = chain_matrix(6);
+        let m = a.rows();
+        // Mix structural and slack columns into the basis.
+        let basis: Vec<usize> = (0..m).map(|i| if i % 2 == 0 { i } else { 6 + i }).collect();
+        let mut lu = LuFactors::default();
+        assert!(lu.factorize(&a, &basis));
+
+        let rhs: Vec<f64> = (0..m).map(|i| (i as f64) - 2.0).collect();
+        let mut w = rhs.clone();
+        let mut x = vec![0.0; m];
+        lu.ftran(&mut w, &mut x);
+        assert!(w.iter().all(|&v| v == 0.0), "scratch must come back clean");
+        let bx = mat_vec(&a, &basis, &x);
+        for (got, want) in bx.iter().zip(&rhs) {
+            assert!((got - want).abs() < 1e-9, "B·x = {got} vs rhs {want}");
+        }
+
+        // BTRAN: check Bᵀ·y = c against an explicit transpose-multiply.
+        let c: Vec<f64> = (0..m).map(|i| 1.0 + i as f64 * 0.5).collect();
+        let cin = c.clone();
+        let mut y = vec![0.0; m];
+        lu.btran(&cin, &mut y);
+        for (k, &j) in basis.iter().enumerate() {
+            let bty = a.col_dot(j, &y);
+            assert!((bty - c[k]).abs() < 1e-9, "col {k}: {bty} vs {}", c[k]);
+        }
+    }
+
+    #[test]
+    fn singular_basis_is_rejected() {
+        let a = chain_matrix(4);
+        // Repeat a column: structurally singular.
+        let basis: Vec<usize> = vec![0, 0, 1, 2];
+        let mut lu = LuFactors::default();
+        assert!(!lu.factorize(&a, &basis));
+        // The factors must remain usable after a failure + good basis.
+        let good: Vec<usize> = (0..a.rows()).map(|i| 6 + i).collect(); // artificials... slacks first
+        assert!(lu.factorize(&a, &good));
+    }
+
+    #[test]
+    fn eta_updates_track_a_basis_change() {
+        let a = chain_matrix(5);
+        let m = a.rows();
+        let basis: Vec<usize> = (0..m).map(|i| 5 + i).collect(); // slack cols of rows 0..3 + art? n=5: slacks 5..9
+        let mut lu = LuFactors::default();
+        assert!(lu.factorize(&a, &basis));
+
+        // Bring structural column 2 into basis position 1.
+        let entering = 2usize;
+        let mut w = vec![0.0; m];
+        a.axpy_col(entering, 1.0, &mut w);
+        let mut alpha = vec![0.0; m];
+        lu.ftran(&mut w, &mut alpha);
+        let eta = Eta::from_column(1, &alpha);
+        let mut new_basis = basis.clone();
+        new_basis[1] = entering;
+
+        // FTRAN through (LU, eta) must match a fresh factorization.
+        let rhs: Vec<f64> = (0..m).map(|i| 1.0 + i as f64).collect();
+        let mut w1 = rhs.clone();
+        let mut x1 = vec![0.0; m];
+        lu.ftran(&mut w1, &mut x1);
+        eta.apply_ftran(&mut x1);
+
+        let mut lu2 = LuFactors::default();
+        assert!(lu2.factorize(&a, &new_basis));
+        let mut w2 = rhs.clone();
+        let mut x2 = vec![0.0; m];
+        lu2.ftran(&mut w2, &mut x2);
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-9, "eta ftran {u} vs refactor {v}");
+        }
+
+        // Same for BTRAN: eta first (reverse order), then base solve.
+        let c: Vec<f64> = (0..m).map(|i| (i as f64) * 0.25 - 0.5).collect();
+        let mut c1 = c.clone();
+        eta.apply_btran(&mut c1);
+        let mut y1 = vec![0.0; m];
+        lu.btran(&c1, &mut y1);
+        let c2 = c.clone();
+        let mut y2 = vec![0.0; m];
+        lu2.btran(&c2, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!((u - v).abs() < 1e-9, "eta btran {u} vs refactor {v}");
+        }
+    }
+}

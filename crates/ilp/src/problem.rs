@@ -112,6 +112,18 @@ impl Problem {
         self.constraints[row].rhs = rhs;
     }
 
+    /// Lower bounds of all variables (indexed by `VarId`). Useful with
+    /// [`solve_lp_in`](crate::solve_lp_in), whose per-call bound slices
+    /// default to these.
+    pub fn lower_bounds(&self) -> &[f64] {
+        &self.lower
+    }
+
+    /// Upper bounds of all variables (indexed by `VarId`).
+    pub fn upper_bounds(&self) -> &[f64] {
+        &self.upper
+    }
+
     /// Number of variables.
     pub fn num_vars(&self) -> usize {
         self.objective.len()

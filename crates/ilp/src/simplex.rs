@@ -24,17 +24,17 @@
 //! so warm and cold solves always agree on the answer.
 
 use crate::problem::{LpSolution, Problem, SolveError};
-use crate::workspace::{SimplexWorkspace, VarStatus};
+use crate::workspace::{SimplexWorkspace, SolverBackend, VarStatus};
 
-const EPS: f64 = 1e-9;
+pub(crate) const EPS: f64 = 1e-9;
 /// Pivot elements smaller than this are considered numerically unusable.
-const PIVOT_TOL: f64 = 1e-7;
+pub(crate) const PIVOT_TOL: f64 = 1e-7;
 /// Consecutive degenerate pivots before switching to Bland's rule.
-const DEGENERATE_LIMIT: u64 = 64;
+pub(crate) const DEGENERATE_LIMIT: u64 = 64;
 /// Recompute reduced costs from scratch this often to bound drift.
 const REFRESH_PERIOD: u64 = 512;
 /// Bound violations below this are treated as feasible by the dual repair.
-const DUAL_FEAS_TOL: f64 = 1e-7;
+pub(crate) const DUAL_FEAS_TOL: f64 = 1e-7;
 
 /// How a warm-started solve ended.
 pub(crate) enum WarmOutcome {
@@ -67,7 +67,7 @@ impl SimplexWorkspace {
         }
     }
 
-    fn objective(&self) -> f64 {
+    pub(crate) fn objective(&self) -> f64 {
         self.cost.iter().zip(&self.x).map(|(c, v)| c * v).sum()
     }
 
@@ -111,7 +111,7 @@ impl SimplexWorkspace {
 
     /// One simplex iteration. `Ok(true)` = continue, `Ok(false)` = optimal.
     fn step(&mut self) -> Result<bool, SolveError> {
-        let bland = self.degenerate_run > DEGENERATE_LIMIT;
+        let bland = self.force_bland || self.degenerate_run > DEGENERATE_LIMIT;
         let Some((e, dir)) = self.choose_entering(bland) else {
             return Ok(false);
         };
@@ -498,7 +498,7 @@ impl SimplexWorkspace {
     }
 }
 
-enum DualOutcome {
+pub(crate) enum DualOutcome {
     Feasible,
     Infeasible,
     GiveUp,
@@ -547,9 +547,15 @@ pub fn solve_lp_in(
             return Err(SolveError::Infeasible);
         }
     }
+    let backend = ws.backend().resolve(problem);
     let mut burned = 0;
     if allow_warm && ws.can_warm(problem) {
-        match ws.solve_warm(problem, lower, upper, iteration_limit) {
+        let outcome = match backend {
+            SolverBackend::Dense => ws.solve_warm(problem, lower, upper, iteration_limit),
+            SolverBackend::Sparse => ws.solve_warm_sparse(problem, lower, upper, iteration_limit),
+            SolverBackend::Auto => unreachable!("resolve never returns Auto"),
+        };
+        match outcome {
             WarmOutcome::Solved(s) => {
                 ws.note_warm();
                 return Ok(s);
@@ -567,8 +573,28 @@ pub fn solve_lp_in(
         }
     }
     ws.note_cold();
-    ws.load(problem, lower, upper, iteration_limit);
-    let result = ws.solve_cold(problem);
+    let result = match backend {
+        SolverBackend::Dense => {
+            ws.load(problem, lower, upper, iteration_limit);
+            ws.solve_cold(problem)
+        }
+        SolverBackend::Sparse => {
+            ws.load_sparse(problem, lower, upper, iteration_limit);
+            match ws.solve_cold_sparse(problem) {
+                // An `IterationLimit` with budget to spare is the sparse
+                // path reporting a numerically singular refactorization,
+                // not exhaustion; re-derive the verdict on the dense
+                // oracle so a roundoff-frayed factorization can never
+                // turn a solvable instance into an error.
+                Err(SolveError::IterationLimit) if ws.iterations < ws.iteration_limit => {
+                    ws.load(problem, lower, upper, iteration_limit);
+                    ws.solve_cold(problem)
+                }
+                other => other,
+            }
+        }
+        SolverBackend::Auto => unreachable!("resolve never returns Auto"),
+    };
     if result.is_ok() {
         ws.mark_warm_ready();
     } else {

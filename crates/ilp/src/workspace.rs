@@ -18,6 +18,52 @@
 //! [`load`]: SimplexWorkspace::load
 
 use crate::problem::{Problem, Sense};
+use crate::revised::SparseState;
+
+/// Which simplex implementation executes a solve.
+///
+/// Both backends share the [`SimplexWorkspace`] bookkeeping (column
+/// layout, basis, statuses, warm-start retention) and produce the same
+/// answers — the differential proptests in `tests/proptest_revised.rs`
+/// hold them to that — but their per-iteration cost scales differently:
+/// the dense tableau streams `O(m·n)` floats per pivot, the sparse
+/// revised method `O(nnz)` per FTRAN/BTRAN against an LU-factored basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverBackend {
+    /// Pick per problem: sparse revised at or above
+    /// [`SPARSE_AUTO_THRESHOLD`] constraints, dense tableau below it.
+    #[default]
+    Auto,
+    /// Dense-tableau simplex (PR 2's path; the oracle the differential
+    /// tests compare the sparse backend against).
+    Dense,
+    /// Sparse revised simplex over an LU-factored basis (`revised.rs`).
+    Sparse,
+}
+
+/// Constraint count at which [`SolverBackend::Auto`] switches to the
+/// sparse revised backend. Calibrated on the EEG partitioning family
+/// (`BENCH_solver.json`): below ~50 constraints the dense tableau's
+/// cache-resident pivots win, around this size the backends are within
+/// noise of each other, and by ~1000 constraints (the fig6 near-cliff
+/// 22-channel EEG) the sparse backend wins by ~20×.
+pub const SPARSE_AUTO_THRESHOLD: usize = 64;
+
+impl SolverBackend {
+    /// Resolve `Auto` against a concrete problem (never returns `Auto`).
+    pub fn resolve(self, problem: &Problem) -> SolverBackend {
+        match self {
+            SolverBackend::Auto => {
+                if problem.num_constraints() >= SPARSE_AUTO_THRESHOLD {
+                    SolverBackend::Sparse
+                } else {
+                    SolverBackend::Dense
+                }
+            }
+            other => other,
+        }
+    }
+}
 
 /// Where a variable currently sits relative to the basis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +106,21 @@ pub struct SimplexWorkspace {
     /// Entering-column scan bound: `n` while artificials may still price
     /// (phase 1), `first_artificial` once they are locked at zero.
     pub(crate) scan_limit: usize,
+    /// Rotating start column of the sparse backend's sectional pricing.
+    pub(crate) price_cursor: usize,
+    /// Sparse-backend state: CSC matrix, LU factors, eta file, raw
+    /// right-hand sides, and the dense scratch the revised method needs.
+    /// Empty (no allocation) while only the dense backend runs.
+    pub(crate) sparse: SparseState,
+    /// Which backend the caller asked for (`Auto` resolves per problem).
+    backend: SolverBackend,
+    /// Backend that produced the currently loaded/retained state; a warm
+    /// start requires the resolved backend to match it.
+    loaded_backend: SolverBackend,
+    /// Test-only override: price with Bland's rule from the first
+    /// iteration instead of after a degenerate run. The anti-cycling
+    /// regression tests use it to pin the fallback path on both backends.
+    pub(crate) force_bland: bool,
     /// True when the buffers hold a valid, phase-2-optimal (or at least
     /// dual-feasible) basis for the problem shape recorded above.
     warm_ready: bool,
@@ -69,14 +130,14 @@ pub struct SimplexWorkspace {
     /// `can_warm` compares to catch that. (Objective mutation is safe:
     /// `warm_load` rereads costs and the final primal pass certifies
     /// optimality regardless of the entering reduced costs.)
-    loaded_rhs: Vec<f64>,
+    pub(crate) loaded_rhs: Vec<f64>,
     warm_starts: u64,
     cold_starts: u64,
 }
 
 /// Reset a buffer to `len` copies of `val` without shrinking capacity (and
 /// so without reallocating once the high-water mark is reached).
-fn refill<T: Clone>(buf: &mut Vec<T>, len: usize, val: T) {
+pub(crate) fn refill<T: Clone>(buf: &mut Vec<T>, len: usize, val: T) {
     buf.clear();
     buf.resize(len, val);
 }
@@ -118,6 +179,19 @@ impl SimplexWorkspace {
         self.warm_ready = false;
     }
 
+    /// Select the simplex backend for subsequent solves. `Auto` (the
+    /// default) resolves per problem by [`SPARSE_AUTO_THRESHOLD`].
+    /// Switching backends between solves is safe: a retained basis from
+    /// the other backend is simply not warm-started from.
+    pub fn set_backend(&mut self, backend: SolverBackend) {
+        self.backend = backend;
+    }
+
+    /// The configured backend (possibly `Auto`).
+    pub fn backend(&self) -> SolverBackend {
+        self.backend
+    }
+
     pub(crate) fn note_warm(&mut self) {
         self.warm_starts += 1;
     }
@@ -131,9 +205,10 @@ impl SimplexWorkspace {
     }
 
     /// Can the retained basis serve `problem` (same shape, same
-    /// right-hand sides, valid state)?
+    /// right-hand sides, same resolved backend, valid state)?
     pub(crate) fn can_warm(&self, problem: &Problem) -> bool {
         self.warm_ready
+            && self.loaded_backend == self.backend.resolve(problem)
             && self.n_structural == problem.num_vars()
             && self.m == problem.num_constraints()
             && problem
@@ -233,6 +308,13 @@ impl SimplexWorkspace {
         self.iteration_limit = iteration_limit;
         self.degenerate_run = 0;
         self.scan_limit = n;
+        self.loaded_backend = SolverBackend::Dense;
+    }
+
+    /// Record which backend produced the loaded state (the sparse loader
+    /// lives in `revised.rs` and calls this).
+    pub(crate) fn set_loaded_backend(&mut self, backend: SolverBackend) {
+        self.loaded_backend = backend;
     }
 
     /// Warm re-entry: keep the retained tableau/basis, apply the new bound

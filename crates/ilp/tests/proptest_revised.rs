@@ -1,0 +1,282 @@
+//! Differential testing: the sparse revised simplex against the dense
+//! tableau, which stays alive precisely to serve as the oracle here.
+//!
+//! Both backends implement the same bounded-variable two-phase simplex,
+//! so on every random LP/ILP they must agree on the *status*
+//! (optimal/infeasible/unbounded) and, when optimal, on the objective
+//! within tolerance — including when the sparse solve re-enters **warm**
+//! from a retained basis after a bound change, the exact access pattern
+//! branch-and-bound children produce.
+//!
+//! Two generators: Wishbone-shaped sparse instances (precedence chain
+//! rows `f_u − f_v ≥ 0` plus a knapsack budget row — ≈2 nonzeros per
+//! row), and unconstrained-shape small MILPs that exercise equality
+//! rows, negative bounds, and infeasible/unbounded corners.
+
+use proptest::prelude::*;
+use wishbone_ilp::{
+    solve_lp_in, IlpOptions, Problem, Sense, SimplexWorkspace, SolverBackend, VarId,
+};
+
+/// Wishbone-shaped sparse LPs/ILPs: a precedence chain, a budget row,
+/// and reducing per-vertex objective coefficients.
+fn chain_strategy() -> impl Strategy<Value = Problem> {
+    let n_vars = 3usize..12;
+    (n_vars, prop::bool::ANY).prop_flat_map(|(n, integral)| {
+        let objs = prop::collection::vec(-20i32..=20, n);
+        let weights = prop::collection::vec(1i32..=9, n);
+        let budget = 2i32..=24;
+        (objs, weights, budget).prop_map(move |(objs, weights, budget)| {
+            let mut p = Problem::new();
+            let vars: Vec<VarId> = objs
+                .iter()
+                .map(|&o| p.add_var(0.0, 1.0, f64::from(o), integral))
+                .collect();
+            for w in vars.windows(2) {
+                p.add_constraint(&[(w[0], 1.0), (w[1], -1.0)], Sense::Ge, 0.0);
+            }
+            let row: Vec<_> = vars
+                .iter()
+                .zip(&weights)
+                .map(|(&v, &w)| (v, f64::from(w)))
+                .collect();
+            p.add_constraint(&row, Sense::Le, f64::from(budget) * 0.25);
+            p
+        })
+    })
+}
+
+/// Free-form small MILPs (the same family `proptest_warm.rs` uses):
+/// mixed senses, equality rows, negative bounds, possible infeasibility.
+fn milp_strategy() -> impl Strategy<Value = Problem> {
+    let n_vars = 2usize..7;
+    n_vars.prop_flat_map(|n| {
+        let vars = prop::collection::vec((-3i32..=0, 0i32..=3, -8i32..=8, prop::bool::ANY), n);
+        let n_cons = 1usize..5;
+        let cons = n_cons.prop_flat_map(move |m| {
+            prop::collection::vec(
+                (prop::collection::vec(-4i32..=4, n), 0u8..=2, -8i32..=12),
+                m,
+            )
+        });
+        (vars, cons).prop_map(|(vars, cons)| {
+            let mut p = Problem::new();
+            let ids: Vec<_> = vars
+                .iter()
+                .map(|&(lo, up, obj, int)| {
+                    p.add_var(f64::from(lo), f64::from(up), f64::from(obj), int)
+                })
+                .collect();
+            for (coefs, sense, rhs) in cons {
+                let terms: Vec<_> = ids
+                    .iter()
+                    .zip(&coefs)
+                    .filter(|(_, &c)| c != 0)
+                    .map(|(&v, &c)| (v, f64::from(c)))
+                    .collect();
+                if terms.is_empty() {
+                    continue;
+                }
+                let sense = match sense {
+                    0 => Sense::Le,
+                    1 => Sense::Ge,
+                    _ => Sense::Eq,
+                };
+                p.add_constraint(&terms, sense, f64::from(rhs));
+            }
+            p
+        })
+    })
+}
+
+fn backend_opts(backend: SolverBackend) -> IlpOptions {
+    IlpOptions {
+        backend,
+        ..Default::default()
+    }
+}
+
+/// Solve the LP relaxation on a forced backend through a fresh workspace.
+fn lp_on(p: &Problem, backend: SolverBackend) -> Result<f64, wishbone_ilp::SolveError> {
+    let mut ws = SimplexWorkspace::new();
+    ws.set_backend(backend);
+    solve_lp_in(
+        p,
+        p.lower_bounds(),
+        p.upper_bounds(),
+        50_000,
+        &mut ws,
+        false,
+    )
+    .map(|s| s.objective)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    #[test]
+    fn lp_status_and_objective_agree_on_chains(p in chain_strategy()) {
+        let dense = lp_on(&p, SolverBackend::Dense);
+        let sparse = lp_on(&p, SolverBackend::Sparse);
+        match (&dense, &sparse) {
+            (Ok(d), Ok(s)) => prop_assert!(
+                (d - s).abs() < 1e-6 * (1.0 + d.abs()),
+                "dense {d} vs sparse {s}"
+            ),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b, "statuses must match"),
+            _ => prop_assert!(false, "dense {dense:?} vs sparse {sparse:?} diverge"),
+        }
+    }
+
+    #[test]
+    fn lp_status_and_objective_agree_on_free_form(p in milp_strategy()) {
+        let dense = lp_on(&p, SolverBackend::Dense);
+        let sparse = lp_on(&p, SolverBackend::Sparse);
+        match (&dense, &sparse) {
+            (Ok(d), Ok(s)) => prop_assert!(
+                (d - s).abs() < 1e-6 * (1.0 + d.abs()),
+                "dense {d} vs sparse {s}"
+            ),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b, "statuses must match"),
+            _ => prop_assert!(false, "dense {dense:?} vs sparse {sparse:?} diverge"),
+        }
+    }
+
+    #[test]
+    fn ilp_verdicts_agree(p in chain_strategy()) {
+        let dense = p.solve_ilp(&backend_opts(SolverBackend::Dense));
+        let sparse = p.solve_ilp(&backend_opts(SolverBackend::Sparse));
+        match (&dense, &sparse) {
+            (Ok(d), Ok(s)) => {
+                prop_assert!(
+                    (d.objective - s.objective).abs() < 1e-6 * (1.0 + d.objective.abs()),
+                    "dense {} vs sparse {}", d.objective, s.objective
+                );
+                prop_assert!(p.is_feasible(&s.values, 1e-6), "sparse point infeasible");
+                prop_assert_eq!(s.stats.backend, SolverBackend::Sparse);
+                prop_assert_eq!(d.stats.backend, SolverBackend::Dense);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b, "verdicts must match"),
+            _ => prop_assert!(false, "dense {dense:?} vs sparse {sparse:?} diverge"),
+        }
+    }
+
+    #[test]
+    fn ilp_verdicts_agree_on_free_form(p in milp_strategy()) {
+        let dense = p.solve_ilp(&backend_opts(SolverBackend::Dense));
+        let sparse = p.solve_ilp(&backend_opts(SolverBackend::Sparse));
+        match (&dense, &sparse) {
+            (Ok(d), Ok(s)) => {
+                prop_assert!(
+                    (d.objective - s.objective).abs() < 1e-6 * (1.0 + d.objective.abs()),
+                    "dense {} vs sparse {}", d.objective, s.objective
+                );
+                prop_assert!(p.is_feasible(&s.values, 1e-6), "sparse point infeasible");
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b, "verdicts must match"),
+            _ => prop_assert!(false, "dense {dense:?} vs sparse {sparse:?} diverge"),
+        }
+    }
+
+    #[test]
+    fn warm_resolves_agree_across_backends(
+        p in chain_strategy(),
+        tighten in prop::collection::vec(prop::bool::ANY, 12),
+    ) {
+        // First solve retains a basis; the re-solve tightens a subset of
+        // upper bounds to 0 (exactly what branching on f_j = 0 does) and
+        // must re-enter warm on both backends with identical verdicts.
+        let lower = p.lower_bounds().to_vec();
+        let upper = p.upper_bounds().to_vec();
+        let mut tight = upper.clone();
+        for (j, t) in tight.iter_mut().zip(&tighten) {
+            if *t {
+                *j = 0.0;
+            }
+        }
+
+        let mut results = Vec::new();
+        for backend in [SolverBackend::Dense, SolverBackend::Sparse] {
+            let mut ws = SimplexWorkspace::new();
+            ws.set_backend(backend);
+            let first = solve_lp_in(&p, &lower, &upper, 50_000, &mut ws, true);
+            prop_assert!(first.is_ok(), "{backend:?} root must solve: {first:?}");
+            let second = solve_lp_in(&p, &lower, &tight, 50_000, &mut ws, true);
+            results.push(second.map(|s| s.objective));
+        }
+        match (&results[0], &results[1]) {
+            (Ok(d), Ok(s)) => prop_assert!(
+                (d - s).abs() < 1e-6 * (1.0 + d.abs()),
+                "warm dense {d} vs warm sparse {s}"
+            ),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b, "warm statuses must match"),
+            (a, b) => prop_assert!(false, "warm dense {a:?} vs warm sparse {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn sparse_warm_start_is_exercised_and_counted() {
+    // A branching chain ILP on the forced-sparse backend must actually
+    // re-enter children warm (not silently cold-start every node).
+    let mut p = Problem::new();
+    let vars: Vec<VarId> = (0..10)
+        .map(|i| p.add_var(0.0, 1.0, -((i * 3 % 7) as f64) - 1.21, true))
+        .collect();
+    for w in vars.windows(2) {
+        p.add_constraint(&[(w[0], 1.0), (w[1], -1.0)], Sense::Ge, 0.0);
+    }
+    let row: Vec<_> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, (i % 4 + 1) as f64 + 0.5))
+        .collect();
+    p.add_constraint(&row, Sense::Le, 9.7);
+
+    let sparse = p.solve_ilp(&backend_opts(SolverBackend::Sparse)).unwrap();
+    let dense = p.solve_ilp(&backend_opts(SolverBackend::Dense)).unwrap();
+    assert!((sparse.objective - dense.objective).abs() < 1e-6);
+    if sparse.stats.nodes > 1 {
+        assert!(
+            sparse.stats.warm_starts > 0,
+            "sparse children must re-enter warm: {:?}",
+            sparse.stats
+        );
+    }
+}
+
+#[test]
+fn auto_threshold_routes_by_size() {
+    let small = {
+        let mut p = Problem::new();
+        let x = p.add_var(0.0, 1.0, -1.0, false);
+        p.add_constraint(&[(x, 1.0)], Sense::Le, 1.0);
+        p
+    };
+    assert_eq!(
+        SolverBackend::Auto.resolve(&small),
+        SolverBackend::Dense,
+        "small problems stay on the dense tableau"
+    );
+
+    let mut big = Problem::new();
+    let vars: Vec<VarId> = (0..wishbone_ilp::SPARSE_AUTO_THRESHOLD + 1)
+        .map(|_| p_var(&mut big))
+        .collect();
+    for w in vars.windows(2) {
+        big.add_constraint(&[(w[0], 1.0), (w[1], -1.0)], Sense::Ge, 0.0);
+    }
+    let row: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+    big.add_constraint(&row, Sense::Le, 10.0);
+    assert_eq!(SolverBackend::Auto.resolve(&big), SolverBackend::Sparse);
+
+    // And the auto-solved answer matches both forced backends.
+    let auto = big.solve_ilp(&IlpOptions::default()).unwrap();
+    let dense = big.solve_ilp(&backend_opts(SolverBackend::Dense)).unwrap();
+    assert_eq!(auto.stats.backend, SolverBackend::Sparse);
+    assert!((auto.objective - dense.objective).abs() < 1e-6);
+}
+
+fn p_var(p: &mut Problem) -> VarId {
+    p.add_var(0.0, 1.0, -1.0, false)
+}

@@ -2,41 +2,8 @@
 //! scale: chain ILPs of growing size, degenerate/duplicated constraints,
 //! and numerically awkward coefficient ranges.
 
+use wishbone_ilp::instances::chain_ilp;
 use wishbone_ilp::{IlpOptions, Problem, Sense, SolveError};
-
-/// Build a single-crossing chain partitioning ILP of `n` vertices with
-/// pseudo-random (deterministic) reducing bandwidths and CPU costs,
-/// mirroring the structure `wishbone-core` emits.
-fn chain_ilp(n: usize, budget: f64) -> Problem {
-    let mut p = Problem::new();
-    let mut state = 0x9E3779B97F4A7C15u64;
-    let mut next = || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        (state >> 11) as f64 / (1u64 << 53) as f64
-    };
-    let bw: Vec<f64> = (0..n)
-        .map(|i| 1000.0 * 0.9f64.powi(i as i32) + next() * 10.0)
-        .collect();
-    let cpu: Vec<f64> = (0..n).map(|_| 0.002 + 0.01 * next()).collect();
-
-    let vars: Vec<_> = (0..n)
-        .map(|i| {
-            // Objective = cut bandwidth expansion: out_bw - in_bw per vertex.
-            let out = bw[i];
-            let inb = if i == 0 { 0.0 } else { bw[i - 1] };
-            let (lo, hi) = if i == 0 { (1.0, 1.0) } else { (0.0, 1.0) };
-            p.add_var(lo, hi, out - inb, true)
-        })
-        .collect();
-    for w in vars.windows(2) {
-        p.add_constraint(&[(w[0], 1.0), (w[1], -1.0)], Sense::Ge, 0.0);
-    }
-    let cpu_row: Vec<_> = vars.iter().zip(&cpu).map(|(&v, &c)| (v, c)).collect();
-    p.add_constraint(&cpu_row, Sense::Le, budget);
-    p
-}
 
 #[test]
 fn chain_of_500_solves_quickly_and_correctly() {

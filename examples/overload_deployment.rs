@@ -47,6 +47,7 @@ fn main() {
     );
     let elems = app.trace_elements(200, 11);
     let mut best: Option<(&str, f64)> = None;
+    let mut goods: Vec<(&str, f64)> = Vec::new();
     for (name, node_set) in app.cutpoints() {
         let dcfg = DeploymentConfig {
             duration_s: 20.0,
@@ -67,10 +68,29 @@ fn main() {
         if best.is_none_or(|(_, g)| good > g) {
             best = Some((name, good));
         }
+        goods.push((name, good));
     }
     let (best_cut, best_good) = best.unwrap();
     println!(
         "\nempirical best cut: '{best_cut}' ({best_good:.1}% goodput); \
          Wishbone recommended '{recommended}'"
     );
+
+    // Assertion path (the same bar tests/end_to_end_mixed.rs holds the
+    // pipeline to): the recommendation must be competitive with the
+    // empirical peak, so a solver or model regression aborts the example
+    // instead of printing a quietly wrong table.
+    let rec_good = goods
+        .iter()
+        .find(|(name, _)| *name == recommended)
+        .map(|&(_, g)| g)
+        .expect("recommended cut is one of the cutpoints");
+    let mut sorted: Vec<f64> = goods.iter().map(|&(_, g)| g).collect();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    assert!(
+        rec_good >= 0.70 * best_good && rec_good >= sorted[1] - 1e-9,
+        "recommended cut '{recommended}' ({rec_good:.1}%) must be a top-2 cut \
+         within 70% of the empirical best ({best_good:.1}%)"
+    );
+    println!("assertion path OK: recommendation is a top-2 cut within 70% of peak");
 }

@@ -69,7 +69,7 @@ pub mod prelude {
     pub use wishbone_dataflow::{
         Graph, GraphBuilder, Namespace, OperatorId, OperatorKind, OperatorSpec, Value, WorkFn,
     };
-    pub use wishbone_ilp::{IlpOptions, Problem, Sense};
+    pub use wishbone_ilp::{IlpOptions, Problem, Sense, SolverBackend};
     pub use wishbone_net::{profile_network, Channel, ChannelParams, PacketFormat};
     pub use wishbone_profile::{profile, GraphProfile, Platform, SourceTrace};
     pub use wishbone_runtime::{

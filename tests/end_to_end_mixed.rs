@@ -1,0 +1,190 @@
+//! End-to-end coverage for the two example scenarios that previously had
+//! no test: the §9 mixed-network deployment (`examples/mixed_network.rs`)
+//! and the §7.3 overload pipeline (`examples/overload_deployment.rs`).
+//! Locking their semantics here means a solver swap (dense tableau →
+//! sparse revised simplex) cannot silently change what the examples
+//! print.
+
+use wishbone::core::{partition_mixed, NodeClass};
+use wishbone::prelude::*;
+
+fn speech_profiled() -> (SpeechApp, GraphProfile) {
+    let mut app = build_speech_app(SpeechParams::default());
+    let trace = app.trace(120, 7);
+    let prof = profile(&mut app.graph, &[trace]).expect("profiling succeeds");
+    (app, prof)
+}
+
+#[test]
+fn mixed_network_two_classes_semantics() {
+    // The examples/mixed_network.rs scenario: 16 slowed TMotes + 4
+    // Gumstix microservers running one logical speech program.
+    let (app, prof) = speech_profiled();
+    let mote = Platform::tmote_sky();
+    let gumstix = Platform::gumstix();
+    let classes = vec![
+        NodeClass {
+            config: PartitionConfig::for_platform(&mote)
+                .with_measured_overheads(&mote)
+                .at_rate(0.1),
+            platform: mote.clone(),
+            count: 16,
+        },
+        NodeClass {
+            config: PartitionConfig::for_platform(&gumstix),
+            platform: gumstix.clone(),
+            count: 4,
+        },
+    ];
+    let mixed = partition_mixed(&app.graph, &prof, &classes).expect("both classes partition");
+
+    assert_eq!(mixed.classes.len(), 2);
+    let mote_part = &mixed.classes[0].partition;
+    let gum_part = &mixed.classes[1].partition;
+
+    // Each class keeps the pinned source on the node and respects its own
+    // budgets at its own rate.
+    assert!(mote_part.node_ops.contains(&app.source));
+    assert!(gum_part.node_ops.contains(&app.source));
+    assert!(
+        mote_part.predicted_cpu <= 1.0 + 1e-9,
+        "mote cpu {}",
+        mote_part.predicted_cpu
+    );
+    // The microserver class runs the full 8 kHz and has CPU to spare, so
+    // it carries at least as much of the pipeline as the slowed motes.
+    assert!(
+        gum_part.node_op_count() >= mote_part.node_op_count(),
+        "gumstix {} ops vs mote {} ops",
+        gum_part.node_op_count(),
+        mote_part.node_op_count()
+    );
+
+    // "The server would need to be engineered to deal with receiving
+    // results ... at various stages of partial processing": the entry
+    // edges are exactly the union of the per-class cut edges, and the
+    // server-side union covers every operator some class leaves off-node.
+    for c in &mixed.classes {
+        for e in &c.partition.cut_edges {
+            assert!(
+                mixed.server_entry_edges.contains(e),
+                "cut edge missing from server entry set"
+            );
+        }
+    }
+    let union = mixed.server_side_union(&app.graph);
+    for id in app.graph.operator_ids() {
+        let off_node_somewhere = mixed
+            .classes
+            .iter()
+            .any(|c| !c.partition.node_ops.contains(&id));
+        assert_eq!(union.contains(&id), off_node_somewhere);
+    }
+
+    // Aggregate offered load = Σ count · per-node net.
+    let expect: f64 = mixed
+        .classes
+        .iter()
+        .map(|c| c.partition.predicted_net * c.count as f64)
+        .sum();
+    assert!((mixed.total_predicted_net() - expect).abs() < 1e-9);
+}
+
+#[test]
+fn overload_deployment_recommendation_matches_simulation() {
+    // The examples/overload_deployment.rs pipeline: profile the network
+    // (§7.3.1), binary-search the maximum sustainable rate with the
+    // measured budget (§4.3), then validate the recommended cut against
+    // a ground-truth deployment simulation of every cutpoint (Figs 9–10).
+    let mut app = build_speech_app(SpeechParams::default());
+    let trace = app.trace(120, 3);
+    let prof = profile(&mut app.graph, &[trace]).expect("profiling succeeds");
+    let mote = Platform::tmote_sky();
+
+    let channel = ChannelParams::mote();
+    let netprof = profile_network(channel, 1, 28, 0.90, 99);
+    assert!(
+        netprof.max_aggregate_payload_rate > 0.0,
+        "network profile must find a usable rate"
+    );
+
+    let mut cfg = PartitionConfig::for_platform(&mote);
+    cfg.net_budget = netprof.max_aggregate_payload_rate;
+    let result = max_sustainable_rate(&app.graph, &prof, &mote, &cfg, 8.0, 0.01)
+        .expect("solver ok")
+        .expect("feasible at low rate");
+    assert!(
+        result.rate > 0.0 && result.rate < 8.0,
+        "sustainable rate {} must be an interior point",
+        result.rate
+    );
+    // The recommendation is an intermediate cut: real on-node work, and
+    // the predicted load fits both measured budgets.
+    assert!(result.partition.node_op_count() >= 1);
+    assert!(result.partition.predicted_cpu <= cfg.cpu_budget + 1e-9);
+    assert!(result.partition.predicted_net <= cfg.net_budget + 1e-9);
+
+    // Ground truth: simulate the deployment at the recommended rate for
+    // every cutpoint; the recommended cut must be competitive with the
+    // empirical best (top-2, ≥70% of peak goodput — the same bar
+    // end_to_end_speech.rs holds the derated recommendation to).
+    let elems = app.trace_elements(200, 11);
+    let mut goods: Vec<(String, f64, bool)> = Vec::new();
+    for (name, node_set) in app.cutpoints() {
+        let dcfg = DeploymentConfig {
+            duration_s: 20.0,
+            rate_multiplier: result.rate,
+            ..DeploymentConfig::motes(1, 17)
+        };
+        let report = simulate_deployment(
+            &app.graph, &node_set, app.source, &elems, 40.0, &mote, channel, &dcfg,
+        );
+        let is_recommended = node_set == result.partition.node_ops;
+        goods.push((name.to_string(), report.goodput_ratio(), is_recommended));
+    }
+    let rec = goods
+        .iter()
+        .find(|(_, _, r)| *r)
+        .expect("recommended cut is one of the pipeline cutpoints")
+        .1;
+    let mut sorted: Vec<f64> = goods.iter().map(|&(_, g, _)| g).collect();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    assert!(
+        rec >= 0.70 * sorted[0],
+        "recommended cut goodput {rec} vs empirical best {}",
+        sorted[0]
+    );
+    assert!(
+        rec >= sorted[1] - 1e-9,
+        "recommendation must be a top-2 cut (got {rec}, second best {})",
+        sorted[1]
+    );
+    assert!(rec > 0.05, "recommended cut must actually deliver data");
+}
+
+#[test]
+fn overload_pipeline_is_backend_invariant() {
+    // The §7.3 pipeline's outcome (rate and chosen cut) must not depend
+    // on which simplex backend solved the partitioning ILPs.
+    let (app, prof) = speech_profiled();
+    let mote = Platform::tmote_sky();
+    let channel = ChannelParams::mote();
+    let netprof = profile_network(channel, 1, 28, 0.90, 99);
+    let mut results = Vec::new();
+    for backend in [SolverBackend::Dense, SolverBackend::Sparse] {
+        let mut cfg = PartitionConfig::for_platform(&mote);
+        cfg.net_budget = netprof.max_aggregate_payload_rate;
+        cfg.ilp.backend = backend;
+        let r = max_sustainable_rate(&app.graph, &prof, &mote, &cfg, 8.0, 0.01)
+            .expect("solver ok")
+            .expect("feasible");
+        results.push((r.rate, r.partition.node_ops.clone()));
+    }
+    let (dense_rate, dense_cut) = &results[0];
+    let (sparse_rate, sparse_cut) = &results[1];
+    assert!(
+        (dense_rate - sparse_rate).abs() <= 0.02 * dense_rate,
+        "dense rate {dense_rate} vs sparse rate {sparse_rate}"
+    );
+    assert_eq!(dense_cut, sparse_cut, "backends must pick the same cut");
+}
