@@ -25,8 +25,9 @@ use criterion::{criterion_group, BenchmarkId, Criterion};
 
 use wishbone_apps::{build_eeg_app, EegParams};
 use wishbone_core::{
-    build_partition_graph, encode, partition, preprocess, Encoding, Mode, ObjectiveConfig,
-    PartitionConfig, PartitionError, PartitionGraph,
+    build_partition_graph, build_tiered_graph, encode, encode_multitier, partition, preprocess,
+    preprocess_tiered, Encoding, Mode, MultiTierConfig, ObjectiveConfig, PartitionConfig,
+    PartitionError, PartitionGraph, PreparedMultiTier, TierObjective,
 };
 use wishbone_ilp::instances::chain_ilp;
 use wishbone_ilp::{Branching, IlpOptions, IlpStats, Problem, SolverBackend};
@@ -89,6 +90,34 @@ fn eeg_ilp(channels: usize) -> Problem {
     encode(&merged, Encoding::Restricted, &obj()).problem
 }
 
+/// The tier chain of the multitier benches: telos mote → phone → server.
+fn bench_chain(k: usize) -> Vec<Platform> {
+    match k {
+        2 => vec![Platform::tmote_sky(), Platform::server()],
+        3 => vec![
+            Platform::tmote_sky(),
+            Platform::iphone(),
+            Platform::server(),
+        ],
+        _ => panic!("bench chains are 2 or 3 tiers"),
+    }
+}
+
+/// The encoded (merged) k-tier monotone-cut ILP of an EEG instance, with
+/// unconstrained budgets (mirroring `obj()` so tier counts — not budget
+/// cliffs — dominate the timing).
+fn eeg_multitier_ilp(channels: usize, k: usize) -> Problem {
+    let (graph, prof) = eeg_app(channels);
+    let chain = bench_chain(k);
+    let tg = build_tiered_graph(&graph, &prof, &chain, Mode::Permissive, 1.0).expect("pins ok");
+    let mut cpu_budgets = vec![1.0; k];
+    cpu_budgets[k - 1] = f64::INFINITY;
+    let net_budgets = vec![1e12; k - 1];
+    let obj = TierObjective::bandwidth_only(cpu_budgets, net_budgets);
+    let tg = preprocess_tiered(&tg, &obj).expect("merge ok").graph;
+    encode_multitier(&tg, &obj).problem
+}
+
 fn solver_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("solver_scaling");
     group.sample_size(10);
@@ -140,6 +169,55 @@ fn backend_scaling(c: &mut Criterion) {
             s.objective
         );
     }
+}
+
+/// k-way monotone-cut scaling: the same EEG instance encoded for 2 and 3
+/// tiers (k multiplies variables and precedence rows on the identical
+/// ≈2-nonzeros-per-row structure — the stress test the sparse revised
+/// backend was built for).
+fn multitier_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multitier_scaling");
+    group.sample_size(10);
+    let instances: Vec<(String, Problem)> = vec![
+        ("eeg_2ch_k2".into(), eeg_multitier_ilp(2, 2)),
+        ("eeg_2ch_k3".into(), eeg_multitier_ilp(2, 3)),
+        ("eeg_4ch_k3".into(), eeg_multitier_ilp(4, 3)),
+    ];
+    for (name, p) in &instances {
+        group.bench_function(name.as_str(), |b| {
+            b.iter(|| p.solve_ilp(&IlpOptions::default()).expect("solvable"))
+        });
+    }
+    group.finish();
+    // Parity outside the timing loops: k = 2 multitier must equal the
+    // binary encoding's optimum, and both backends must agree on k = 3.
+    let binary = eeg_ilp(2)
+        .solve_ilp(&IlpOptions::default())
+        .expect("solvable");
+    let k2 = instances[0]
+        .1
+        .solve_ilp(&IlpOptions::default())
+        .expect("solvable");
+    assert!(
+        (binary.objective - k2.objective).abs() < 1e-6 * (1.0 + binary.objective.abs()),
+        "k=2 multitier {} vs binary {}",
+        k2.objective,
+        binary.objective
+    );
+    let d = instances[1]
+        .1
+        .solve_ilp(&backend_opts(SolverBackend::Dense))
+        .expect("solvable");
+    let s = instances[1]
+        .1
+        .solve_ilp(&backend_opts(SolverBackend::Sparse))
+        .expect("solvable");
+    assert!(
+        (d.objective - s.objective).abs() < 1e-6 * (1.0 + d.objective.abs()),
+        "k=3 backends disagree: dense {} vs sparse {}",
+        d.objective,
+        s.objective
+    );
 }
 
 fn ablation_preprocess(c: &mut Criterion) {
@@ -302,6 +380,7 @@ criterion_group!(
     benches,
     solver_scaling,
     backend_scaling,
+    multitier_scaling,
     ablation_preprocess,
     ablation_encoding,
     ablation_branching,
@@ -370,6 +449,50 @@ fn emit_json(reps: usize) {
             });
             records.push(JsonRecord {
                 bench: format!("{name}_{label}"),
+                median_ns,
+                nodes,
+                warm_starts,
+            });
+        }
+    }
+
+    // k-tier monotone cuts: a 2ch/22ch k=3 head-to-head plus the 3-tier
+    // 22-channel EEG rate sweep with per-point solve times (the tiered_eeg
+    // example's workload — the acceptance instance for the multi-tier
+    // subsystem).
+    for (name, p) in [
+        ("multitier_eeg2_k3".to_string(), eeg_multitier_ilp(2, 3)),
+        ("multitier_eeg22_k3".to_string(), eeg_multitier_ilp(22, 3)),
+    ] {
+        let (median_ns, nodes, warm_starts) = measure(reps, || {
+            let s = p.solve_ilp(&IlpOptions::default()).expect("solvable");
+            (s.stats.nodes, s.stats.warm_starts)
+        });
+        records.push(JsonRecord {
+            bench: name,
+            median_ns,
+            nodes,
+            warm_starts,
+        });
+    }
+    {
+        let (graph22, prof22) = eeg_app(22);
+        let mut cfg = MultiTierConfig::for_chain(&bench_chain(3));
+        cfg.ilp.rel_gap = 0.025;
+        let mut prep =
+            PreparedMultiTier::new(&graph22, &prof22, &cfg).expect("pin analysis succeeds");
+        assert_eq!(prep.solver_backend(), SolverBackend::Sparse);
+        for rate in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+            // Overload rates return Infeasible; median_ns then measures
+            // the cost of the *infeasibility proof* (a real root-LP
+            // refutation, tens of ms at this size — the stats columns are
+            // zeroed because the error path carries no IlpStats).
+            let (median_ns, nodes, warm_starts) = measure(reps, || match prep.solve_at(rate) {
+                Ok(part) => (part.ilp_stats.nodes, part.ilp_stats.warm_starts),
+                Err(_) => (0, 0),
+            });
+            records.push(JsonRecord {
+                bench: format!("multitier_eeg22_k3_sweep_x{rate}"),
                 median_ns,
                 nodes,
                 warm_starts,
@@ -467,6 +590,19 @@ fn smoke(backend: SolverBackend) {
         theirs.objective
     );
 
+    // One multitier instance per smoke: the 3-tier 1ch EEG encoding must
+    // solve on this backend to the same optimum as the other backend.
+    let mt = eeg_multitier_ilp(1, 3);
+    let mt_mine = mt.solve_ilp(&backend_opts(backend)).expect("solvable");
+    assert_eq!(mt_mine.stats.backend, backend);
+    let mt_theirs = mt.solve_ilp(&backend_opts(other)).expect("solvable");
+    assert!(
+        (mt_mine.objective - mt_theirs.objective).abs() < 1e-6 * (1.0 + mt_mine.objective.abs()),
+        "backends disagree on multitier 1ch k3: {backend:?} {} vs {other:?} {}",
+        mt_mine.objective,
+        mt_theirs.objective
+    );
+
     let (graph, prof) = eeg_app(1);
     let mote = Platform::tmote_sky();
     let mut cfg = PartitionConfig::for_platform(&mote);
@@ -477,11 +613,12 @@ fn smoke(backend: SolverBackend) {
     assert_eq!(r.encodes, 1, "rate search must encode exactly once");
     println!(
         "smoke[{label}] OK: {} nodes ({} warm) on 1ch EEG; chain_972 obj {:.1} \
-         in {} nodes; rate search found x{:.3} in {} probes / {} encode",
+         in {} nodes; multitier k3 obj {:.1}; rate search found x{:.3} in {} probes / {} encode",
         warm_stats.nodes,
         warm_stats.warm_starts,
         mine.objective,
         mine.stats.nodes,
+        mt_mine.objective,
         r.rate,
         r.evaluations,
         r.encodes
@@ -501,6 +638,14 @@ fn sizes() {
             raw.num_constraints(),
             merged.num_vars(),
             merged.num_constraints(),
+        );
+    }
+    for (channels, k) in [(1usize, 2usize), (1, 3), (2, 3), (4, 3), (22, 3)] {
+        let p = eeg_multitier_ilp(channels, k);
+        println!(
+            "multitier_eeg_{channels}ch_k{k}: merged {} vars x {} cons",
+            p.num_vars(),
+            p.num_constraints(),
         );
     }
 }

@@ -15,6 +15,7 @@
 use wishbone_ilp::{Problem, Sense, VarId};
 
 use crate::cost_graph::{PartitionGraph, Pin};
+use crate::multitier::TieredGraph;
 
 /// Which ILP formulation to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -131,7 +132,9 @@ fn encode_restricted(pg: &PartitionGraph, obj: &ObjectiveConfig) -> EncodedProbl
             0.0,
         );
     }
-    // (2): cpu ≤ C.
+    // (2): cpu ≤ C. An infinite budget is no constraint: the row is
+    // omitted (matching the multitier encoding, which keeps the k = 2
+    // case row-for-row identical even for unconstrained tiers).
     let cpu_row: Vec<(VarId, f64)> = pg
         .vertices
         .iter()
@@ -140,7 +143,7 @@ fn encode_restricted(pg: &PartitionGraph, obj: &ObjectiveConfig) -> EncodedProbl
         .map(|(v, vert)| (f_vars[v], vert.cpu_cost))
         .collect();
     let mut cpu_row_idx = None;
-    if !cpu_row.is_empty() {
+    if !cpu_row.is_empty() && obj.cpu_budget.is_finite() {
         cpu_row_idx = Some(p.num_constraints());
         p.add_constraint(&cpu_row, Sense::Le, obj.cpu_budget);
     }
@@ -152,7 +155,7 @@ fn encode_restricted(pg: &PartitionGraph, obj: &ObjectiveConfig) -> EncodedProbl
         .map(|(v, &c)| (f_vars[v], c))
         .collect();
     let mut net_row_idx = None;
-    if !net_row.is_empty() {
+    if !net_row.is_empty() && obj.net_budget.is_finite() {
         net_row_idx = Some(p.num_constraints());
         p.add_constraint(&net_row, Sense::Le, obj.net_budget);
     }
@@ -199,7 +202,8 @@ fn encode_general(pg: &PartitionGraph, obj: &ObjectiveConfig) -> EncodedProblem 
         net_row.push((epv, e.bandwidth));
     }
 
-    // (2): cpu ≤ C.
+    // (2): cpu ≤ C (omitted when unconstrained, as in the restricted
+    // encoding).
     let cpu_row: Vec<(VarId, f64)> = pg
         .vertices
         .iter()
@@ -208,13 +212,13 @@ fn encode_general(pg: &PartitionGraph, obj: &ObjectiveConfig) -> EncodedProblem 
         .map(|(v, vert)| (f_vars[v], vert.cpu_cost))
         .collect();
     let mut cpu_row_idx = None;
-    if !cpu_row.is_empty() {
+    if !cpu_row.is_empty() && obj.cpu_budget.is_finite() {
         cpu_row_idx = Some(p.num_constraints());
         p.add_constraint(&cpu_row, Sense::Le, obj.cpu_budget);
     }
     // (4): net ≤ N.
     let mut net_row_idx = None;
-    if !net_row.is_empty() {
+    if !net_row.is_empty() && obj.net_budget.is_finite() {
         net_row_idx = Some(p.num_constraints());
         p.add_constraint(&net_row, Sense::Le, obj.net_budget);
     }
@@ -225,6 +229,257 @@ fn encode_general(pg: &PartitionGraph, obj: &ObjectiveConfig) -> EncodedProblem 
         encoding: Encoding::General,
         cpu_row: cpu_row_idx,
         net_row: net_row_idx,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// k-way monotone cuts (§9 "hierarchies": mote → gateway → server chains)
+// ---------------------------------------------------------------------------
+
+/// Per-tier / per-link objective weights and budgets for the k-way
+/// monotone-cut encoding ([`encode_multitier`]).
+///
+/// `alpha`/`cpu_budget` have one entry per tier (CPU weight and budget on
+/// that tier's platform; `f64::INFINITY` omits the budget row), while
+/// `beta`/`net_budget` have one entry per *link* — the uplink from tier
+/// `b` to tier `b+1`.
+#[derive(Debug, Clone)]
+pub struct TierObjective {
+    /// CPU weight per tier (length `k`).
+    pub alpha: Vec<f64>,
+    /// CPU budget per tier (length `k`; `INFINITY` = unconstrained).
+    pub cpu_budget: Vec<f64>,
+    /// Bandwidth weight per link (length `k − 1`).
+    pub beta: Vec<f64>,
+    /// Bandwidth budget per link, bytes/second (length `k − 1`;
+    /// `INFINITY` = unconstrained).
+    pub net_budget: Vec<f64>,
+}
+
+impl TierObjective {
+    /// The paper's evaluation setting generalized to a chain: minimize the
+    /// sum of all link bandwidths subject to every tier's CPU budget and
+    /// every link's bandwidth budget (α = 0 per tier, β = 1 per link).
+    pub fn bandwidth_only(cpu_budgets: Vec<f64>, net_budgets: Vec<f64>) -> Self {
+        assert_eq!(cpu_budgets.len(), net_budgets.len() + 1);
+        TierObjective {
+            alpha: vec![0.0; cpu_budgets.len()],
+            beta: vec![1.0; net_budgets.len()],
+            cpu_budget: cpu_budgets,
+            net_budget: net_budgets,
+        }
+    }
+
+    /// Number of tiers.
+    pub fn tiers(&self) -> usize {
+        self.alpha.len()
+    }
+}
+
+/// A CPU-budget row of the multi-tier encoding, kept so prepared problems
+/// can be re-targeted at a new input rate in place.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuRow {
+    /// Constraint index within the problem.
+    pub row: usize,
+    /// Unit-rate constant already folded into the right-hand side. The
+    /// last tier's row is `Σ c·(1 − y) ≤ C`, stored as
+    /// `−Σ c·y ≤ C − Σ c`; re-targeting at rate `r` must set the rhs to
+    /// `C/r − shift`, not `C/r`.
+    pub shift: f64,
+}
+
+/// An encoded k-tier partitioning ILP plus the variable map to decode it.
+///
+/// The encoding assigns each vertex `u` a tier `t(u) ∈ {0, …, k−1}` via
+/// `k − 1` **monotone indicator variables** `y_u^b = 1 ⇔ t(u) ≤ b`:
+///
+/// * monotonicity rows `y_u^{b+1} − y_u^b ≥ 0` (an operator at or before
+///   boundary `b` is also at or before boundary `b+1`) — unit-coefficient,
+///   two-nonzero rows, upper-triangular in the boundary-major variable
+///   order, exactly the structure the sparse backend's singleton-peel LU
+///   preorder factors fill-free;
+/// * per-edge precedence `y_u^b − y_v^b ≥ 0` for every boundary (data
+///   flows strictly towards the server: `t(u) ≤ t(v)`), the k-way
+///   generalization of the restricted encoding's eq. 6;
+/// * tier-`t` CPU load `Σ_u c_u^t (y_u^t − y_u^{t−1}) ≤ C_t` with the
+///   conventions `y^{−1} = 0`, `y^{k−1} = 1`;
+/// * link-`b` bandwidth `Σ_{(u,v)} r_{uv}^b (y_u^b − y_v^b) ≤ N_b` — an
+///   edge is carried over link `b` exactly when `t(u) ≤ b < t(v)`, i.e.
+///   relays store-and-forward traffic that crosses them.
+///
+/// For `k = 2` the encoding degenerates, row for row and coefficient for
+/// coefficient, into the restricted binary encoding (`y^0 = f`).
+#[derive(Debug)]
+pub struct EncodedMultiTier {
+    /// The integer program.
+    pub problem: Problem,
+    /// `y_vars[b][v]` is the indicator "vertex `v` sits at tier ≤ `b`"
+    /// (`k − 1` boundaries × `|V|` vertices).
+    pub y_vars: Vec<Vec<VarId>>,
+    /// Number of tiers `k`.
+    pub tiers: usize,
+    /// CPU-budget row per tier (`None` when the budget is infinite or the
+    /// row would be empty).
+    pub cpu_rows: Vec<Option<CpuRow>>,
+    /// Link-budget row per link (`None` when infinite/empty).
+    pub net_rows: Vec<Option<usize>>,
+    /// Constant objective term at unit rate: the last tier's CPU cost is
+    /// `Σ c (1 − y)`, whose `α_{k−1}·Σ c` constant the ILP cannot see.
+    /// Add `offset × rate` to the solver objective to report true cost.
+    pub objective_offset: f64,
+}
+
+impl EncodedMultiTier {
+    /// Decode a solver assignment into the tier index of every vertex.
+    pub fn decode(&self, values: &[f64]) -> Vec<usize> {
+        let n = self.y_vars.first().map_or(0, Vec::len);
+        (0..n)
+            .map(|v| {
+                self.y_vars
+                    .iter()
+                    .position(|b| values[b[v].0] > 0.5)
+                    .unwrap_or(self.tiers - 1)
+            })
+            .collect()
+    }
+}
+
+/// Build the k-way monotone-cut ILP for `tg` under `obj`.
+///
+/// `k = tg.tiers` must match `obj.tiers()` and be at least 2. Vertices
+/// pinned [`Pin::Node`] are fixed to tier 0, [`Pin::Server`] to tier
+/// `k − 1`; movable vertices may take any tier.
+pub fn encode_multitier(tg: &TieredGraph, obj: &TierObjective) -> EncodedMultiTier {
+    let k = tg.tiers;
+    assert!(k >= 2, "a chain needs at least two tiers");
+    assert_eq!(obj.tiers(), k, "objective tier count mismatch");
+    assert_eq!(obj.beta.len(), k - 1);
+    assert_eq!(obj.cpu_budget.len(), k);
+    assert_eq!(obj.net_budget.len(), k - 1);
+
+    let n = tg.vertices.len();
+    let mut p = Problem::new();
+
+    // Per-link per-vertex net coefficients: link b's load is
+    // Σ (y_u^b − y_v^b)·r^b, i.e. coefficient (Σ_out r^b − Σ_in r^b) on
+    // y_v^b (accumulated in edge order, mirroring the binary encoding).
+    let mut net_coeff = vec![vec![0.0f64; n]; k - 1];
+    for e in &tg.edges {
+        for (b, &r) in e.bandwidth.iter().enumerate() {
+            net_coeff[b][e.src] += r;
+            net_coeff[b][e.dst] -= r;
+        }
+    }
+
+    // Variables, boundary-major (boundary 0 first, so k = 2 reproduces the
+    // binary encoding's VarIds exactly). Objective coefficient of y_u^b:
+    // α_b·c_u^b − α_{b+1}·c_u^{b+1} + β_b·net_coeff_b (tier b's CPU gains
+    // y^b, tier b+1's loses it).
+    let y_vars: Vec<Vec<VarId>> = (0..k - 1)
+        .map(|b| {
+            tg.vertices
+                .iter()
+                .enumerate()
+                .map(|(v, vert)| {
+                    let (lo, hi) = match vert.pin {
+                        Pin::Movable => (0.0, 1.0),
+                        Pin::Node => (1.0, 1.0),   // tier 0: every y is 1
+                        Pin::Server => (0.0, 0.0), // tier k−1: every y is 0
+                    };
+                    let mut c = obj.alpha[b] * vert.cpu_cost[b] + obj.beta[b] * net_coeff[b][v];
+                    if obj.alpha[b + 1] != 0.0 {
+                        c -= obj.alpha[b + 1] * vert.cpu_cost[b + 1];
+                    }
+                    p.add_var(lo, hi, c, true)
+                })
+                .collect()
+        })
+        .collect();
+
+    // Monotonicity: y_u^{b+1} − y_u^b ≥ 0 (absent for k = 2).
+    for b in 0..k.saturating_sub(2) {
+        for (&y_next, &y_cur) in y_vars[b + 1].iter().zip(&y_vars[b]) {
+            p.add_constraint(&[(y_next, 1.0), (y_cur, -1.0)], Sense::Ge, 0.0);
+        }
+    }
+
+    // Precedence per edge per boundary: y_u^b − y_v^b ≥ 0.
+    for y_b in &y_vars {
+        for e in &tg.edges {
+            p.add_constraint(&[(y_b[e.src], 1.0), (y_b[e.dst], -1.0)], Sense::Ge, 0.0);
+        }
+    }
+
+    // CPU budget per tier.
+    let mut cpu_rows: Vec<Option<CpuRow>> = vec![None; k];
+    for (t, row_slot) in cpu_rows.iter_mut().enumerate() {
+        if !obj.cpu_budget[t].is_finite() {
+            continue;
+        }
+        let mut terms: Vec<(VarId, f64)> = Vec::new();
+        let mut shift = 0.0f64;
+        for (v, vert) in tg.vertices.iter().enumerate() {
+            let c = vert.cpu_cost[t];
+            if c == 0.0 {
+                continue;
+            }
+            if t < k - 1 {
+                terms.push((y_vars[t][v], c));
+            }
+            if t > 0 {
+                terms.push((y_vars[t - 1][v], -c));
+            }
+            if t == k - 1 {
+                shift += c; // Σ c·(1 − y): constant folded into the rhs
+            }
+        }
+        if terms.is_empty() {
+            continue;
+        }
+        *row_slot = Some(CpuRow {
+            row: p.num_constraints(),
+            shift,
+        });
+        p.add_constraint(&terms, Sense::Le, obj.cpu_budget[t] - shift);
+    }
+
+    // Bandwidth budget per link.
+    let mut net_rows: Vec<Option<usize>> = vec![None; k - 1];
+    for (b, row_slot) in net_rows.iter_mut().enumerate() {
+        if !obj.net_budget[b].is_finite() {
+            continue;
+        }
+        let terms: Vec<(VarId, f64)> = net_coeff[b]
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0.0)
+            .map(|(v, &c)| (y_vars[b][v], c))
+            .collect();
+        if terms.is_empty() {
+            continue;
+        }
+        *row_slot = Some(p.num_constraints());
+        p.add_constraint(&terms, Sense::Le, obj.net_budget[b]);
+    }
+
+    let objective_offset: f64 = if obj.alpha[k - 1] != 0.0 {
+        obj.alpha[k - 1]
+            * tg.vertices
+                .iter()
+                .map(|vert| vert.cpu_cost[k - 1])
+                .sum::<f64>()
+    } else {
+        0.0
+    };
+
+    EncodedMultiTier {
+        problem: p,
+        y_vars,
+        tiers: k,
+        cpu_rows,
+        net_rows,
+        objective_offset,
     }
 }
 
@@ -322,6 +577,36 @@ mod tests {
         // Only |V| variables are integer in both encodings.
         assert_eq!(r.problem.num_integer_vars(), v);
         assert_eq!(g.problem.num_integer_vars(), v);
+    }
+
+    #[test]
+    fn infinite_budgets_omit_rows_in_every_encoding() {
+        let pg = chain(&[100.0, 40.0, 5.0], &[0.1, 0.1, 0.1, 0.0]);
+        let obj = ObjectiveConfig {
+            alpha: 0.0,
+            beta: 1.0,
+            cpu_budget: f64::INFINITY,
+            net_budget: f64::INFINITY,
+        };
+        for enc in [Encoding::Restricted, Encoding::General] {
+            let ep = encode(&pg, enc, &obj);
+            assert!(ep.cpu_row.is_none(), "{enc:?} must omit an ∞ cpu row");
+            assert!(ep.net_row.is_none(), "{enc:?} must omit an ∞ net row");
+        }
+        // The k = 2 parity contract holds even for unconstrained budgets:
+        // same rows as the restricted encoding, none of them budget rows.
+        let r = encode(&pg, Encoding::Restricted, &obj);
+        let t = encode_multitier(
+            &crate::multitier::TieredGraph::from_binary(&pg),
+            &TierObjective {
+                alpha: vec![0.0, 0.0],
+                cpu_budget: vec![f64::INFINITY, f64::INFINITY],
+                beta: vec![1.0],
+                net_budget: vec![f64::INFINITY],
+            },
+        );
+        assert_eq!(r.problem.num_vars(), t.problem.num_vars());
+        assert_eq!(r.problem.num_constraints(), t.problem.num_constraints());
     }
 
     #[test]

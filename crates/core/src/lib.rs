@@ -18,7 +18,10 @@
 //! 6. [`rate_search::max_sustainable_rate`] — §4.3's binary search when
 //!    nothing fits;
 //! 7. [`baselines`] — all-node / all-server / greedy / local-search /
-//!    exhaustive comparators.
+//!    exhaustive comparators;
+//! 8. [`multitier`] — §9's hierarchies done properly: k-way monotone cuts
+//!    over mote → gateway → server chains, one joint ILP instead of one
+//!    binary cut per node class.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +30,7 @@ pub mod baselines;
 pub mod cost_graph;
 pub mod encodings;
 pub mod mixed;
+pub mod multitier;
 pub mod partitioner;
 pub mod preprocess;
 pub mod rate_search;
@@ -38,8 +42,16 @@ pub use baselines::{
 pub use cost_graph::{
     build_partition_graph, pin_analysis, Mode, PEdge, PVertex, PartitionGraph, Pin, PinError,
 };
-pub use encodings::{encode, EncodedProblem, Encoding, ObjectiveConfig};
+pub use encodings::{
+    encode, encode_multitier, EncodedMultiTier, EncodedProblem, Encoding, ObjectiveConfig,
+    TierObjective,
+};
 pub use mixed::{partition_mixed, ClassPartition, MixedPartition, NodeClass};
+pub use multitier::{
+    build_tiered_graph, max_sustainable_rate_multitier, partition_multitier, preprocess_tiered,
+    LinkSpec, MultiTierConfig, MultiTierPartition, MultiTierRateResult, PreparedMultiTier, TEdge,
+    TVertex, TierSpec, TieredGraph, TieredPreprocessResult,
+};
 pub use partitioner::{partition, Partition, PartitionConfig, PartitionError, PreparedPartition};
 pub use preprocess::{preprocess, PreprocessResult};
 pub use rate_search::{max_sustainable_rate, RateSearchResult};

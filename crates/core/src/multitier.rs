@@ -1,0 +1,1169 @@
+//! Multi-tier partitioning: k-way monotone cuts over an ordered chain of
+//! platforms (mote → gateway → server).
+//!
+//! The paper's §9 sketches hierarchies beyond the single node/server cut
+//! ("the server would need to be engineered to deal with receiving results
+//! from the network at various stages of partial processing");
+//! [`crate::mixed`] approximates them by running the *binary* partitioner
+//! once per node class. This module solves the real thing: every operator
+//! is assigned a tier `t ∈ {0, …, k−1}` along a chain of platforms, jointly
+//! optimizing all `k − 1` cut frontiers in one ILP.
+//!
+//! The encoding ([`crate::encodings::encode_multitier`]) uses monotone
+//! indicator variables `y_u^b = 1 ⇔ tier(u) ≤ b` with unit-coefficient
+//! precedence rows — the same ≈2-nonzeros-per-row shape the sparse revised
+//! simplex backend was built for, just `k − 1` times wider. Each tier gets
+//! a CPU budget on its own platform's cycle model, and each link (tier
+//! `b` → `b+1`) carries the bandwidth of every edge whose endpoints
+//! straddle it, priced with *that* hop's radio framing — relays
+//! store-and-forward traffic that merely passes through them.
+//!
+//! For `k = 2` the subsystem is provably identical to the binary
+//! partitioner: same variables, same rows, same coefficients, in the same
+//! order — the differential parity tests (`tests/end_to_end_tiered.rs`,
+//! `tests/proptest_multitier.rs`) pin that anchor on both simplex
+//! backends.
+
+use std::collections::{HashMap, HashSet};
+
+use wishbone_dataflow::{EdgeId, Graph, OperatorId};
+use wishbone_ilp::{
+    solve_ilp_in, IlpOptions, IlpStats, SimplexWorkspace, SolveError, SolverBackend, VarId,
+};
+use wishbone_net::ChannelParams;
+use wishbone_profile::{GraphProfile, Platform};
+
+use crate::cost_graph::{pin_analysis, Mode, PartitionGraph, Pin, PinError};
+use crate::encodings::{encode_multitier, EncodedMultiTier, TierObjective};
+use crate::partitioner::{PartitionConfig, PartitionError};
+use crate::preprocess::{combine_pins, find_cycle_scc, Dsu};
+
+/// A vertex of the tiered partitioning graph: one operator (or a merged
+/// class) with a CPU cost *per tier platform*.
+#[derive(Debug, Clone)]
+pub struct TVertex {
+    /// The underlying dataflow operators.
+    pub ops: Vec<OperatorId>,
+    /// CPU fraction consumed on each tier's platform at the reference
+    /// rate (length `k`).
+    pub cpu_cost: Vec<f64>,
+    /// Placement constraint: [`Pin::Node`] = tier 0, [`Pin::Server`] =
+    /// tier `k − 1`.
+    pub pin: Pin,
+}
+
+/// An edge of the tiered partitioning graph with an on-air bandwidth *per
+/// link* (each hop frames packets with its own radio).
+#[derive(Debug, Clone)]
+pub struct TEdge {
+    /// Source vertex index.
+    pub src: usize,
+    /// Destination vertex index.
+    pub dst: usize,
+    /// On-air bytes/second if carried over link `b` (length `k − 1`).
+    pub bandwidth: Vec<f64>,
+    /// The dataflow edges aggregated into this partition edge.
+    pub graph_edges: Vec<EdgeId>,
+}
+
+/// The weighted DAG handed to the k-way encoding.
+#[derive(Debug, Clone)]
+pub struct TieredGraph {
+    /// Number of tiers `k ≥ 2`.
+    pub tiers: usize,
+    /// Vertices.
+    pub vertices: Vec<TVertex>,
+    /// Edges.
+    pub edges: Vec<TEdge>,
+}
+
+impl TieredGraph {
+    /// Lift a binary [`PartitionGraph`] into a 2-tier graph (tier-1 CPU
+    /// costs are zero: the paper's infinitely powerful server).
+    pub fn from_binary(pg: &PartitionGraph) -> TieredGraph {
+        TieredGraph {
+            tiers: 2,
+            vertices: pg
+                .vertices
+                .iter()
+                .map(|v| TVertex {
+                    ops: v.ops.clone(),
+                    cpu_cost: vec![v.cpu_cost, 0.0],
+                    pin: v.pin,
+                })
+                .collect(),
+            edges: pg
+                .edges
+                .iter()
+                .map(|e| TEdge {
+                    src: e.src,
+                    dst: e.dst,
+                    bandwidth: vec![e.bandwidth],
+                    graph_edges: e.graph_edges.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Expand a per-vertex tier assignment into per-operator tiers,
+    /// indexed by `OperatorId.0`.
+    pub fn op_tiers(&self, vertex_tiers: &[usize], n_ops: usize) -> Vec<usize> {
+        let mut tiers = vec![self.tiers - 1; n_ops];
+        for (v, vert) in self.vertices.iter().enumerate() {
+            for &op in &vert.ops {
+                tiers[op.0] = vertex_tiers[v];
+            }
+        }
+        tiers
+    }
+}
+
+/// Build the tiered partitioning graph for a chain of candidate platforms:
+/// per-tier CPU fractions and per-link on-air bandwidths, at
+/// `rate_multiplier` times the profile's reference rate.
+pub fn build_tiered_graph(
+    graph: &Graph,
+    profile: &GraphProfile,
+    platforms: &[Platform],
+    mode: Mode,
+    rate_multiplier: f64,
+) -> Result<TieredGraph, PinError> {
+    let k = platforms.len();
+    assert!(k >= 2, "a chain needs at least two tiers");
+    let pins = pin_analysis(graph, mode)?;
+    let vertices = graph
+        .operator_ids()
+        .map(|id| TVertex {
+            ops: vec![id],
+            cpu_cost: platforms
+                .iter()
+                .map(|p| profile.cpu_fraction(id, p) * rate_multiplier)
+                .collect(),
+            pin: pins[id.0],
+        })
+        .collect();
+    let edges = graph
+        .edge_ids()
+        .map(|eid| {
+            let e = graph.edge(eid);
+            TEdge {
+                src: e.src.0,
+                dst: e.dst.0,
+                // Link b is forwarded by tier b, so it wears tier b's
+                // packet framing.
+                bandwidth: platforms[..k - 1]
+                    .iter()
+                    .map(|p| profile.edge_on_air_bandwidth(eid, p) * rate_multiplier)
+                    .collect(),
+                graph_edges: vec![eid],
+            }
+        })
+        .collect();
+    Ok(TieredGraph {
+        tiers: k,
+        vertices,
+        edges,
+    })
+}
+
+/// Result of the tiered §4.1 merge.
+#[derive(Debug, Clone)]
+pub struct TieredPreprocessResult {
+    /// The merged graph.
+    pub graph: TieredGraph,
+    /// Vertex count before merging.
+    pub vertices_before: usize,
+    /// Vertex count after merging.
+    pub vertices_after: usize,
+}
+
+/// The §4.1 merge generalized to a chain. A movable single-output vertex
+/// `v` merges with its downstream consumer only when *both* halves of the
+/// dominance argument survive the generalization:
+///
+/// * **bandwidth**: `v` is data-expanding or data-neutral under **every**
+///   link's on-air measure (different hops frame packets differently, so
+///   an operator can reduce on-air bytes on one radio and expand them on
+///   another; moving a cut above `v` must help on every boundary it could
+///   sit on);
+/// * **CPU**: gluing `v` to its consumer may force `v` onto any later
+///   tier, which is free only where that tier cannot charge for it — for
+///   every tier `t ≥ 1`, either `v` costs nothing there
+///   (`cpu_cost[t] == 0`) or tier `t` is unconstrained (`α_t = 0` and an
+///   infinite budget). The binary §4.1 argument silently relies on this:
+///   its downstream side is the server with "infinite computational
+///   power". A budgeted gateway breaks it — merging could overload the
+///   middle tier and flip a feasible instance to infeasible.
+///
+/// For `k = 2` with a free final tier this is exactly
+/// [`crate::preprocess::preprocess`] (which now delegates here).
+pub fn preprocess_tiered(
+    tg: &TieredGraph,
+    obj: &TierObjective,
+) -> Result<TieredPreprocessResult, PinError> {
+    assert_eq!(obj.tiers(), tg.tiers, "objective tier count mismatch");
+    let n = tg.vertices.len();
+    let links = tg.tiers - 1;
+    let mut dsu = Dsu::new(n);
+
+    // Per-link per-vertex input/output bandwidth sums.
+    let mut in_bw = vec![vec![0.0f64; n]; links];
+    let mut out_bw = vec![vec![0.0f64; n]; links];
+    for e in &tg.edges {
+        for (b, &r) in e.bandwidth.iter().enumerate() {
+            out_bw[b][e.src] += r;
+            in_bw[b][e.dst] += r;
+        }
+    }
+
+    // Tiers that may charge `v` for being moved onto them.
+    let charging_tiers: Vec<usize> = (1..tg.tiers)
+        .filter(|&t| obj.alpha[t] != 0.0 || obj.cpu_budget[t].is_finite())
+        .collect();
+
+    let mut out_deg = vec![0usize; n];
+    for e in &tg.edges {
+        out_deg[e.src] += 1;
+    }
+    for (v, vert) in tg.vertices.iter().enumerate() {
+        if vert.pin != Pin::Movable || out_deg[v] != 1 {
+            continue;
+        }
+        let safe_on_every_link =
+            (0..links).all(|b| out_bw[b][v] + 1e-12 >= in_bw[b][v] && out_bw[b][v] > 0.0);
+        let free_on_every_charging_tier = charging_tiers.iter().all(|&t| vert.cpu_cost[t] == 0.0);
+        if safe_on_every_link && free_on_every_charging_tier {
+            for e in tg.edges.iter().filter(|e| e.src == v) {
+                dsu.union(v, e.dst);
+            }
+        }
+    }
+
+    // Build the quotient, collapsing SCCs until acyclic (mirrors the
+    // binary preprocess, with vector weights).
+    loop {
+        let mut class_of: HashMap<usize, usize> = HashMap::new();
+        let mut classes: Vec<Vec<usize>> = Vec::new();
+        for v in 0..n {
+            let root = dsu.find(v);
+            let c = *class_of.entry(root).or_insert_with(|| {
+                classes.push(Vec::new());
+                classes.len() - 1
+            });
+            classes[c].push(v);
+        }
+
+        let m = classes.len();
+        let mut adj: Vec<HashSet<usize>> = vec![HashSet::new(); m];
+        for e in &tg.edges {
+            let (cs, cd) = (class_of[&dsu.find(e.src)], class_of[&dsu.find(e.dst)]);
+            if cs != cd {
+                adj[cs].insert(cd);
+            }
+        }
+
+        match find_cycle_scc(m, &adj) {
+            Some(scc) => {
+                let mut members = scc.iter().flat_map(|&c| classes[c].iter().copied());
+                let first = members.next().expect("SCC is non-empty");
+                for v in members {
+                    dsu.union(first, v);
+                }
+            }
+            None => {
+                let mut vertices: Vec<TVertex> = Vec::with_capacity(m);
+                for members in &classes {
+                    let mut ops = Vec::new();
+                    let mut cpu = vec![0.0f64; tg.tiers];
+                    let mut pin = Pin::Movable;
+                    for &v in members {
+                        let vert = &tg.vertices[v];
+                        ops.extend(vert.ops.iter().copied());
+                        for (acc, &c) in cpu.iter_mut().zip(&vert.cpu_cost) {
+                            *acc += c;
+                        }
+                        pin = combine_pins(
+                            pin,
+                            vert.pin,
+                            vert.ops.first().copied().unwrap_or(OperatorId(0)),
+                        )?;
+                    }
+                    ops.sort_unstable();
+                    vertices.push(TVertex {
+                        ops,
+                        cpu_cost: cpu,
+                        pin,
+                    });
+                }
+                let mut agg: HashMap<(usize, usize), TEdge> = HashMap::new();
+                for e in &tg.edges {
+                    let (cs, cd) = (class_of[&dsu.find(e.src)], class_of[&dsu.find(e.dst)]);
+                    if cs == cd {
+                        continue;
+                    }
+                    let entry = agg.entry((cs, cd)).or_insert(TEdge {
+                        src: cs,
+                        dst: cd,
+                        bandwidth: vec![0.0; links],
+                        graph_edges: Vec::new(),
+                    });
+                    for (acc, &r) in entry.bandwidth.iter_mut().zip(&e.bandwidth) {
+                        *acc += r;
+                    }
+                    entry.graph_edges.extend(e.graph_edges.iter().copied());
+                }
+                let mut edges: Vec<TEdge> = agg.into_values().collect();
+                edges.sort_by_key(|e| (e.src, e.dst));
+                return Ok(TieredPreprocessResult {
+                    graph: TieredGraph {
+                        tiers: tg.tiers,
+                        vertices,
+                        edges,
+                    },
+                    vertices_before: n,
+                    vertices_after: m,
+                });
+            }
+        }
+    }
+}
+
+/// One tier of a [`MultiTierConfig`] chain.
+#[derive(Debug, Clone)]
+pub struct TierSpec {
+    /// Platform model of this tier's devices.
+    pub platform: Platform,
+    /// CPU weight of this tier in the objective.
+    pub alpha: f64,
+    /// CPU budget as a fraction of this tier's CPU
+    /// (`f64::INFINITY` = unconstrained, e.g. the backend server).
+    pub cpu_budget: f64,
+}
+
+/// One link (the uplink from tier `b` towards tier `b+1`).
+#[derive(Debug, Clone, Copy)]
+pub struct LinkSpec {
+    /// Bandwidth weight of this link in the objective.
+    pub beta: f64,
+    /// On-air bandwidth budget, bytes/second
+    /// (`f64::INFINITY` = unconstrained).
+    pub net_budget: f64,
+}
+
+impl LinkSpec {
+    /// Derive a link budget from a [`ChannelParams`] radio model: budget
+    /// the channel at `utilization` of its saturation capacity (the §7.3.1
+    /// network profile keeps the budget below the congestion cliff).
+    pub fn from_channel(params: &ChannelParams, utilization: f64) -> LinkSpec {
+        assert!(utilization > 0.0);
+        LinkSpec {
+            beta: 1.0,
+            net_budget: params.capacity_bytes_per_sec * utilization,
+        }
+    }
+}
+
+/// Full multi-tier partitioner configuration: an ordered chain of tiers
+/// (index 0 = the sensing mote, last = the server) and the `k − 1` links
+/// between consecutive tiers.
+#[derive(Debug, Clone)]
+pub struct MultiTierConfig {
+    /// Tier chain, innermost first (length `k ≥ 2`).
+    pub tiers: Vec<TierSpec>,
+    /// Links between consecutive tiers (length `k − 1`).
+    pub links: Vec<LinkSpec>,
+    /// Stateful-relocation mode (§2.1.1).
+    pub mode: Mode,
+    /// Apply the (tiered) §4.1 merge preprocessing.
+    pub preprocess: bool,
+    /// Input-rate multiplier relative to the profile's reference rate.
+    pub rate_multiplier: f64,
+    /// Branch-and-bound options (backend selection included).
+    pub ilp: IlpOptions,
+}
+
+impl MultiTierConfig {
+    /// The paper's evaluation setting generalized to a chain of platforms:
+    /// minimize the sum of all link bandwidths (α = 0, β = 1) subject to
+    /// each non-final platform's CPU budget and each uplink's radio
+    /// goodput budget. The final platform is the backend server with
+    /// "infinite computational power" (§4): no CPU row.
+    pub fn for_chain(platforms: &[Platform]) -> Self {
+        assert!(platforms.len() >= 2, "a chain needs at least two tiers");
+        let k = platforms.len();
+        let tiers = platforms
+            .iter()
+            .enumerate()
+            .map(|(t, p)| TierSpec {
+                platform: p.clone(),
+                alpha: 0.0,
+                cpu_budget: if t + 1 == k {
+                    f64::INFINITY
+                } else {
+                    p.cpu_budget_fraction
+                },
+            })
+            .collect();
+        let links = platforms[..k - 1]
+            .iter()
+            .map(|p| LinkSpec {
+                beta: 1.0,
+                net_budget: p.radio.goodput_bytes_per_sec,
+            })
+            .collect();
+        MultiTierConfig {
+            tiers,
+            links,
+            mode: Mode::Permissive,
+            preprocess: true,
+            rate_multiplier: 1.0,
+            ilp: IlpOptions::default(),
+        }
+    }
+
+    /// The exact 2-tier image of a binary [`PartitionConfig`] (restricted
+    /// encoding): partitioning with this configuration produces the same
+    /// ILP as [`crate::partitioner::partition`] on `node_platform`, row
+    /// for row — the differential parity anchor. `cfg.encoding` is
+    /// ignored (monotone cuts *are* the restricted formulation).
+    pub fn binary(cfg: &PartitionConfig, node_platform: &Platform) -> Self {
+        MultiTierConfig {
+            tiers: vec![
+                TierSpec {
+                    platform: node_platform.clone(),
+                    alpha: cfg.alpha,
+                    cpu_budget: cfg.cpu_budget,
+                },
+                TierSpec {
+                    platform: Platform::server(),
+                    alpha: 0.0,
+                    cpu_budget: f64::INFINITY,
+                },
+            ],
+            links: vec![LinkSpec {
+                beta: cfg.beta,
+                net_budget: cfg.net_budget,
+            }],
+            mode: cfg.mode,
+            preprocess: cfg.preprocess,
+            rate_multiplier: cfg.rate_multiplier,
+            ilp: cfg.ilp.clone(),
+        }
+    }
+
+    /// Number of tiers `k`.
+    pub fn k(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Override the rate multiplier (builder style).
+    pub fn at_rate(mut self, rate_multiplier: f64) -> Self {
+        self.rate_multiplier = rate_multiplier;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.tiers.len() >= 2, "a chain needs at least two tiers");
+        assert_eq!(
+            self.links.len(),
+            self.tiers.len() - 1,
+            "a k-tier chain has k − 1 links"
+        );
+    }
+
+    fn objective(&self) -> TierObjective {
+        TierObjective {
+            alpha: self.tiers.iter().map(|t| t.alpha).collect(),
+            cpu_budget: self.tiers.iter().map(|t| t.cpu_budget).collect(),
+            beta: self.links.iter().map(|l| l.beta).collect(),
+            net_budget: self.links.iter().map(|l| l.net_budget).collect(),
+        }
+    }
+}
+
+/// A computed k-tier partition.
+#[derive(Debug, Clone)]
+pub struct MultiTierPartition {
+    /// Operators assigned to each tier (length `k`).
+    pub tier_ops: Vec<HashSet<OperatorId>>,
+    /// Dataflow edges carried over each link (length `k − 1`). An edge
+    /// whose endpoints are more than one tier apart appears on every link
+    /// it crosses: relays store-and-forward it.
+    pub link_cut_edges: Vec<Vec<EdgeId>>,
+    /// Predicted CPU fraction per tier at the configured rate, on each
+    /// tier's own platform.
+    pub predicted_cpu: Vec<f64>,
+    /// Predicted on-air bytes/second per link at the configured rate.
+    pub predicted_net: Vec<f64>,
+    /// Objective value `Σ_t α_t·cpu_t + Σ_b β_b·net_b` over the merged
+    /// graph.
+    pub objective: f64,
+    /// Solver statistics.
+    pub ilp_stats: IlpStats,
+    /// ILP size actually solved: (variables, constraints).
+    pub problem_size: (usize, usize),
+    /// Tiered-graph vertices before and after preprocessing.
+    pub merge_stats: (usize, usize),
+}
+
+impl MultiTierPartition {
+    /// Number of tiers.
+    pub fn k(&self) -> usize {
+        self.tier_ops.len()
+    }
+
+    /// Operators on tier `t`.
+    pub fn tier_op_count(&self, t: usize) -> usize {
+        self.tier_ops[t].len()
+    }
+
+    /// Tier of `op`, if the operator exists in the partitioned graph.
+    pub fn tier_of(&self, op: OperatorId) -> Option<usize> {
+        self.tier_ops.iter().position(|s| s.contains(&op))
+    }
+}
+
+/// Compute the optimal k-tier partition of `graph` along `cfg`'s chain.
+///
+/// One-shot convenience over [`PreparedMultiTier`]; callers probing many
+/// rates should prepare once and call
+/// [`solve_at`](PreparedMultiTier::solve_at) per rate.
+pub fn partition_multitier(
+    graph: &Graph,
+    profile: &GraphProfile,
+    cfg: &MultiTierConfig,
+) -> Result<MultiTierPartition, PartitionError> {
+    let mut prep = PreparedMultiTier::new(graph, profile, cfg)?;
+    prep.solve_at(cfg.rate_multiplier)
+}
+
+/// A k-tier partitioning instance prepared for repeated solves at varying
+/// input rates — the multi-tier sibling of
+/// [`PreparedPartition`](crate::partitioner::PreparedPartition), with the
+/// same rescaling contract: graph build, tiered merge, and encoding happen
+/// once; every probe rescales the prepared ILP in place (objective × rate,
+/// budget right-hand sides ÷ rate) on one reused [`SimplexWorkspace`],
+/// seeding branch-and-bound with the previous incumbent.
+pub struct PreparedMultiTier<'a> {
+    graph: &'a Graph,
+    profile: &'a GraphProfile,
+    cfg: MultiTierConfig,
+    tg: TieredGraph,
+    vertices_before: usize,
+    vertices_after: usize,
+    ep: EncodedMultiTier,
+    base_objective: Vec<f64>,
+    workspace: SimplexWorkspace,
+    encodes: u32,
+    solves: u32,
+    last_values: Option<Vec<f64>>,
+}
+
+impl<'a> PreparedMultiTier<'a> {
+    /// Build the tiered graph, preprocess, and encode — once.
+    /// `cfg.rate_multiplier` is ignored here; pass the rate to
+    /// [`solve_at`](PreparedMultiTier::solve_at).
+    pub fn new(
+        graph: &'a Graph,
+        profile: &'a GraphProfile,
+        cfg: &MultiTierConfig,
+    ) -> Result<Self, PartitionError> {
+        cfg.validate();
+        let obj = cfg.objective();
+        let platforms: Vec<Platform> = cfg.tiers.iter().map(|t| t.platform.clone()).collect();
+        let tg0 = build_tiered_graph(graph, profile, &platforms, cfg.mode, 1.0)?;
+        let vertices_before = tg0.vertices.len();
+        let (tg, vertices_after) = if cfg.preprocess {
+            let r = preprocess_tiered(&tg0, &obj)?;
+            let after = r.vertices_after;
+            (r.graph, after)
+        } else {
+            (tg0, vertices_before)
+        };
+
+        let ep = encode_multitier(&tg, &obj);
+        let base_objective: Vec<f64> = (0..ep.problem.num_vars())
+            .map(|j| ep.problem.objective_coeff(VarId(j)))
+            .collect();
+        Ok(PreparedMultiTier {
+            graph,
+            profile,
+            cfg: cfg.clone(),
+            tg,
+            vertices_before,
+            vertices_after,
+            ep,
+            base_objective,
+            workspace: SimplexWorkspace::new(),
+            encodes: 1,
+            solves: 0,
+            last_values: None,
+        })
+    }
+
+    /// How many times the ILP has been encoded (always 1).
+    pub fn encodes(&self) -> u32 {
+        self.encodes
+    }
+
+    /// How many rate probes this instance has solved.
+    pub fn solves(&self) -> u32 {
+        self.solves
+    }
+
+    /// The simplex backend that will solve this prepared instance
+    /// (resolved against the encoded size — never `Auto`).
+    pub fn solver_backend(&self) -> SolverBackend {
+        self.cfg.ilp.backend.resolve(&self.ep.problem)
+    }
+
+    /// ILP size: (variables, constraints).
+    pub fn problem_size(&self) -> (usize, usize) {
+        (
+            self.ep.problem.num_vars(),
+            self.ep.problem.num_constraints(),
+        )
+    }
+
+    /// Solve the prepared instance at `rate` (a multiplier on the
+    /// profile's reference input rate).
+    pub fn solve_at(&mut self, rate: f64) -> Result<MultiTierPartition, PartitionError> {
+        assert!(rate > 0.0, "rate multiplier must be positive");
+        self.solves += 1;
+
+        for (j, &base) in self.base_objective.iter().enumerate() {
+            self.ep.problem.set_objective_coeff(VarId(j), base * rate);
+        }
+        for (t, row) in self.ep.cpu_rows.iter().enumerate() {
+            if let Some(cr) = row {
+                self.ep
+                    .problem
+                    .set_rhs(cr.row, self.cfg.tiers[t].cpu_budget / rate - cr.shift);
+            }
+        }
+        for (b, row) in self.ep.net_rows.iter().enumerate() {
+            if let Some(r) = row {
+                self.ep
+                    .problem
+                    .set_rhs(*r, self.cfg.links[b].net_budget / rate);
+            }
+        }
+
+        let mut opts = self.cfg.ilp.clone();
+        if opts.warm_solution.is_none() {
+            opts.warm_solution = self.last_values.clone();
+        }
+        let (result, _stats) = solve_ilp_in(&self.ep.problem, &opts, &mut self.workspace);
+        let sol = match result {
+            Ok(s) => s,
+            Err(SolveError::Infeasible) => return Err(PartitionError::Infeasible),
+            Err(e) => return Err(PartitionError::Solver(e)),
+        };
+        self.last_values = Some(sol.values.clone());
+
+        let k = self.cfg.k();
+        let vertex_tiers = self.ep.decode(&sol.values);
+        let op_tiers = self.tg.op_tiers(&vertex_tiers, self.graph.operator_count());
+
+        let mut tier_ops: Vec<HashSet<OperatorId>> = vec![HashSet::new(); k];
+        for id in self.graph.operator_ids() {
+            tier_ops[op_tiers[id.0]].insert(id);
+        }
+
+        // An edge is carried over link b exactly when
+        // tier(src) ≤ b < tier(dst).
+        let mut link_cut_edges: Vec<Vec<EdgeId>> = vec![Vec::new(); k - 1];
+        for eid in self.graph.edge_ids() {
+            let e = self.graph.edge(eid);
+            for (b, cut) in link_cut_edges.iter_mut().enumerate() {
+                if op_tiers[e.src.0] <= b && b < op_tiers[e.dst.0] {
+                    cut.push(eid);
+                }
+            }
+        }
+
+        // Report predictions against the original (unmerged) weights.
+        let predicted_cpu: Vec<f64> = (0..k)
+            .map(|t| {
+                tier_ops[t]
+                    .iter()
+                    .map(|&op| self.profile.cpu_fraction(op, &self.cfg.tiers[t].platform) * rate)
+                    .sum()
+            })
+            .collect();
+        let predicted_net: Vec<f64> = link_cut_edges
+            .iter()
+            .enumerate()
+            .map(|(b, cut)| {
+                cut.iter()
+                    .map(|&e| {
+                        self.profile
+                            .edge_on_air_bandwidth(e, &self.cfg.tiers[b].platform)
+                            * rate
+                    })
+                    .sum()
+            })
+            .collect();
+
+        Ok(MultiTierPartition {
+            tier_ops,
+            link_cut_edges,
+            predicted_cpu,
+            predicted_net,
+            objective: sol.objective + self.ep.objective_offset * rate,
+            ilp_stats: sol.stats,
+            problem_size: (
+                self.ep.problem.num_vars(),
+                self.ep.problem.num_constraints(),
+            ),
+            merge_stats: (self.vertices_before, self.vertices_after),
+        })
+    }
+}
+
+/// Result of the tier-aware §4.3 rate search.
+#[derive(Debug, Clone)]
+pub struct MultiTierRateResult {
+    /// Highest feasible rate multiplier found.
+    pub rate: f64,
+    /// The optimal k-tier partition at that rate.
+    pub partition: MultiTierPartition,
+    /// ILP solves consumed.
+    pub evaluations: u32,
+    /// Encodings performed — always 1 (probes rescale in place).
+    pub encodes: u32,
+    /// The simplex backend every probe ran on (resolved, never `Auto`).
+    pub backend: SolverBackend,
+}
+
+/// Binary-search the maximum sustainable rate multiplier of a k-tier
+/// chain in `(0, hi_limit]` to relative precision `tol` — §4.3 with every
+/// probe solving one prepared multi-tier ILP in place.
+///
+/// Returns `None` if the chain is infeasible even at vanishingly small
+/// rates; solver errors propagate.
+pub fn max_sustainable_rate_multitier(
+    graph: &Graph,
+    profile: &GraphProfile,
+    cfg: &MultiTierConfig,
+    hi_limit: f64,
+    tol: f64,
+) -> Result<Option<MultiTierRateResult>, PartitionError> {
+    let mut prep = PreparedMultiTier::new(graph, profile, cfg)?;
+    let found = crate::rate_search::search_max_rate(
+        |rate| match prep.solve_at(rate) {
+            Ok(p) => Ok(Some(p)),
+            Err(PartitionError::Infeasible) => Ok(None),
+            Err(e) => Err(e),
+        },
+        hi_limit,
+        tol,
+    )?;
+    Ok(
+        found.map(|(rate, partition, evaluations)| MultiTierRateResult {
+            rate,
+            partition,
+            evaluations,
+            encodes: prep.encodes(),
+            backend: prep.solver_backend(),
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioner::partition;
+    use wishbone_dataflow::{ExecCtx, FnWork, GraphBuilder, Value};
+    use wishbone_profile::{profile as run_profile, SourceTrace};
+
+    /// src -> heavy 4x reducer -> light 2x reducer -> sink.
+    fn app() -> (Graph, OperatorId) {
+        let mut b = GraphBuilder::new();
+        b.enter_node_namespace();
+        let src = b.source("src");
+        let heavy = b.transform(
+            "heavy",
+            Box::new(FnWork(|_p: usize, v: &Value, cx: &mut ExecCtx| {
+                let w = v.as_i16s().unwrap();
+                cx.meter().loop_scope(w.len() as u64, |m| {
+                    m.fmul(40 * w.len() as u64);
+                    m.fadd(40 * w.len() as u64);
+                });
+                cx.emit(Value::VecI16(w.iter().step_by(4).copied().collect()));
+            })),
+            src,
+        );
+        let light = b.transform(
+            "light",
+            Box::new(FnWork(|_p: usize, v: &Value, cx: &mut ExecCtx| {
+                let w = v.as_i16s().unwrap();
+                cx.meter()
+                    .loop_scope(w.len() as u64, |m| m.int(w.len() as u64));
+                cx.emit(Value::VecI16(w.iter().step_by(2).copied().collect()));
+            })),
+            heavy,
+        );
+        b.exit_namespace();
+        b.sink("out", light);
+        (b.finish().unwrap(), src.0)
+    }
+
+    fn profiled() -> (Graph, GraphProfile) {
+        let (mut g, src) = app();
+        let t = SourceTrace {
+            source: src,
+            elements: (0..30)
+                .map(|i| Value::VecI16(vec![i as i16; 256]))
+                .collect(),
+            rate_hz: 20.0,
+        };
+        let prof = run_profile(&mut g, &[t]).unwrap();
+        (g, prof)
+    }
+
+    #[test]
+    fn two_tier_parity_with_binary_partitioner() {
+        let (g, prof) = profiled();
+        let mote = Platform::tmote_sky();
+        for backend in [SolverBackend::Dense, SolverBackend::Sparse] {
+            for rate in [0.02, 0.1, 0.5] {
+                let mut cfg = PartitionConfig::for_platform(&mote).at_rate(rate);
+                cfg.ilp.backend = backend;
+                let mt_cfg = MultiTierConfig::binary(&cfg, &mote);
+                let a = partition(&g, &prof, &mote, &cfg);
+                let b = partition_multitier(&g, &prof, &mt_cfg);
+                match (a, b) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.node_ops, b.tier_ops[0], "rate {rate} {backend:?}");
+                        assert_eq!(a.server_ops, b.tier_ops[1]);
+                        assert_eq!(a.cut_edges, b.link_cut_edges[0]);
+                        assert!(
+                            (a.objective - b.objective).abs() < 1e-9 * (1.0 + a.objective.abs()),
+                            "objectives {} vs {}",
+                            a.objective,
+                            b.objective
+                        );
+                        assert!((a.predicted_cpu - b.predicted_cpu[0]).abs() < 1e-12);
+                        assert!((a.predicted_net - b.predicted_net[0]).abs() < 1e-12);
+                        assert_eq!(a.problem_size, b.problem_size, "identical ILP shape");
+                        assert_eq!(a.merge_stats, b.merge_stats, "identical merge");
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a, b, "rate {rate} {backend:?}"),
+                    (a, b) => panic!("rate {rate} {backend:?}: binary {a:?} vs multitier {b:?}"),
+                }
+            }
+        }
+    }
+
+    /// Synthetic 3-tier chain where the gateway is the only place the
+    /// heavy reducer fits: tier 1 must absorb it.
+    fn synthetic_3tier() -> TieredGraph {
+        TieredGraph {
+            tiers: 3,
+            vertices: vec![
+                TVertex {
+                    ops: vec![OperatorId(0)],
+                    cpu_cost: vec![0.1, 0.01, 0.0],
+                    pin: Pin::Node,
+                },
+                TVertex {
+                    ops: vec![OperatorId(1)],
+                    cpu_cost: vec![0.9, 0.1, 0.0],
+                    pin: Pin::Movable,
+                },
+                TVertex {
+                    ops: vec![OperatorId(2)],
+                    cpu_cost: vec![0.0, 0.0, 0.0],
+                    pin: Pin::Server,
+                },
+            ],
+            edges: vec![
+                TEdge {
+                    src: 0,
+                    dst: 1,
+                    bandwidth: vec![100.0, 100.0],
+                    graph_edges: vec![],
+                },
+                TEdge {
+                    src: 1,
+                    dst: 2,
+                    bandwidth: vec![10.0, 10.0],
+                    graph_edges: vec![],
+                },
+            ],
+        }
+    }
+
+    fn solve_tiers(tg: &TieredGraph, obj: &TierObjective) -> Option<(Vec<usize>, f64)> {
+        let ep = encode_multitier(tg, obj);
+        ep.problem
+            .solve_ilp(&IlpOptions::default())
+            .ok()
+            .map(|s| (ep.decode(&s.values), s.objective + ep.objective_offset))
+    }
+
+    #[test]
+    fn gateway_absorbs_work_the_mote_cannot_hold() {
+        let tg = synthetic_3tier();
+        // Mote budget 0.5 rejects the 0.9 reducer; gateway budget 1.0
+        // accepts its 0.1 incarnation. Optimal: reducer on tier 1
+        // (objective 100 + 10 = 110, vs all-server 100 + 100 = 200).
+        let obj = TierObjective::bandwidth_only(
+            vec![0.5, 1.0, f64::INFINITY],
+            vec![f64::INFINITY, f64::INFINITY],
+        );
+        let (tiers, objective) = solve_tiers(&tg, &obj).expect("feasible");
+        assert_eq!(tiers, vec![0, 1, 2]);
+        assert!((objective - 110.0).abs() < 1e-6, "objective {objective}");
+    }
+
+    #[test]
+    fn gateway_cpu_budget_pushes_work_to_the_server() {
+        let tg = synthetic_3tier();
+        let obj = TierObjective::bandwidth_only(
+            vec![0.5, 0.05, f64::INFINITY],
+            vec![f64::INFINITY, f64::INFINITY],
+        );
+        let (tiers, objective) = solve_tiers(&tg, &obj).expect("feasible");
+        assert_eq!(tiers, vec![0, 2, 2], "0.05 gateway budget rejects 0.1");
+        assert!((objective - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn link_budget_binds_per_hop() {
+        let mut tg = synthetic_3tier();
+        // Make the mote able to hold the reducer so the first hop can be
+        // the cheap 10 B/s edge.
+        tg.vertices[1].cpu_cost[0] = 0.2;
+        // Link 1 budget below 10 B/s: nothing may cross to the server —
+        // but the sink is pinned there, so even the residual 10 B/s flow
+        // must cross, making the instance infeasible.
+        let obj =
+            TierObjective::bandwidth_only(vec![1.0, 1.0, f64::INFINITY], vec![f64::INFINITY, 5.0]);
+        assert!(solve_tiers(&tg, &obj).is_none(), "5 B/s hop-1 cap");
+        // Budget 15 admits the reduced stream.
+        let obj =
+            TierObjective::bandwidth_only(vec![1.0, 1.0, f64::INFINITY], vec![f64::INFINITY, 15.0]);
+        let (tiers, _) = solve_tiers(&tg, &obj).expect("feasible");
+        assert!(tiers[1] <= 1, "reducer stays inside the network");
+    }
+
+    #[test]
+    fn monotone_rows_enforce_tier_order_along_edges() {
+        let (g, prof) = profiled();
+        let chain = [
+            Platform::tmote_sky(),
+            Platform::iphone(),
+            Platform::server(),
+        ];
+        let cfg = MultiTierConfig::for_chain(&chain).at_rate(0.2);
+        let part = partition_multitier(&g, &prof, &cfg).expect("feasible");
+        assert_eq!(part.k(), 3);
+        for eid in g.edge_ids() {
+            let e = g.edge(eid);
+            let ts = part.tier_of(e.src).unwrap();
+            let td = part.tier_of(e.dst).unwrap();
+            assert!(ts <= td, "edge {eid:?} goes backwards: {ts} -> {td}");
+        }
+        // Budgets respected on every tier that has one.
+        for (t, spec) in cfg.tiers.iter().enumerate() {
+            if spec.cpu_budget.is_finite() {
+                assert!(
+                    part.predicted_cpu[t] <= spec.cpu_budget + 1e-9,
+                    "tier {t} cpu {} over budget {}",
+                    part.predicted_cpu[t],
+                    spec.cpu_budget
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_multitier_matches_one_shot() {
+        let (g, prof) = profiled();
+        let chain = [
+            Platform::tmote_sky(),
+            Platform::gumstix(),
+            Platform::server(),
+        ];
+        let cfg = MultiTierConfig::for_chain(&chain);
+        let mut prep = PreparedMultiTier::new(&g, &prof, &cfg).unwrap();
+        for rate in [0.05, 0.2, 1.0, 4.0] {
+            let a = prep.solve_at(rate);
+            let b = partition_multitier(&g, &prof, &cfg.clone().at_rate(rate));
+            match (a, b) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.tier_ops, b.tier_ops, "rate {rate}");
+                    assert!(
+                        (a.objective - b.objective).abs() < 1e-6 * (1.0 + b.objective.abs()),
+                        "rate {rate}: {} vs {}",
+                        a.objective,
+                        b.objective
+                    );
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "rate {rate}"),
+                (a, b) => panic!("rate {rate}: prepared {a:?} vs one-shot {b:?}"),
+            }
+        }
+        assert_eq!(prep.encodes(), 1);
+        assert_eq!(prep.solves(), 4);
+    }
+
+    #[test]
+    fn three_tier_rate_at_least_two_tier() {
+        // A phone relay can only help: every 2-tier solution is a 3-tier
+        // solution with an empty middle (the phone's uplink budget dwarfs
+        // the mote's, so pass-through traffic always fits).
+        let (g, prof) = profiled();
+        let mote = Platform::tmote_sky();
+        let two = max_sustainable_rate_multitier(
+            &g,
+            &prof,
+            &MultiTierConfig::for_chain(&[mote.clone(), Platform::server()]),
+            64.0,
+            0.01,
+        )
+        .unwrap()
+        .expect("feasible");
+        let three = max_sustainable_rate_multitier(
+            &g,
+            &prof,
+            &MultiTierConfig::for_chain(&[mote, Platform::iphone(), Platform::server()]),
+            64.0,
+            0.01,
+        )
+        .unwrap()
+        .expect("feasible");
+        assert!(
+            three.rate >= two.rate * (1.0 - 0.02),
+            "3-tier {} vs 2-tier {}",
+            three.rate,
+            two.rate
+        );
+        assert_eq!(three.encodes, 1);
+        assert!(three.evaluations > 1);
+    }
+
+    #[test]
+    fn tiered_preprocess_reduces_to_binary_on_two_tiers() {
+        let (g, prof) = profiled();
+        let mote = Platform::tmote_sky();
+        let pg = crate::cost_graph::build_partition_graph(&g, &prof, &mote, Mode::Permissive, 1.0)
+            .unwrap();
+        let binary = crate::preprocess::preprocess(&pg).unwrap();
+        let tg = build_tiered_graph(
+            &g,
+            &prof,
+            &[mote.clone(), Platform::server()],
+            Mode::Permissive,
+            1.0,
+        )
+        .unwrap();
+        let obj = TierObjective::bandwidth_only(vec![1.0, f64::INFINITY], vec![1e9]);
+        let tiered = preprocess_tiered(&tg, &obj).unwrap();
+        assert_eq!(binary.vertices_after, tiered.vertices_after);
+        for (bv, tv) in binary.graph.vertices.iter().zip(&tiered.graph.vertices) {
+            assert_eq!(bv.ops, tv.ops);
+            assert!((bv.cpu_cost - tv.cpu_cost[0]).abs() < 1e-12);
+            assert_eq!(bv.pin, tv.pin);
+        }
+        for (be, te) in binary.graph.edges.iter().zip(&tiered.graph.edges) {
+            assert_eq!((be.src, be.dst), (te.src, te.dst));
+            assert!((be.bandwidth - te.bandwidth[0]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tiered_merge_never_worsens_the_optimum_under_gateway_budgets() {
+        // The regression the sound merge rule exists for: a data-neutral
+        // op `v` that is cheap on the mote but *expensive on the gateway*
+        // feeds a heavy op `w`. Gluing v to w (the naive bandwidth-only
+        // rule) would weld v's gateway cost onto w and push both to the
+        // server (objective 200); the true optimum keeps v on the mote
+        // and w on the gateway (objective 110).
+        let tg = TieredGraph {
+            tiers: 3,
+            vertices: vec![
+                TVertex {
+                    ops: vec![OperatorId(0)],
+                    cpu_cost: vec![0.05, 0.01, 0.0],
+                    pin: Pin::Node,
+                },
+                TVertex {
+                    ops: vec![OperatorId(1)], // v: neutral, gateway-heavy
+                    cpu_cost: vec![0.1, 0.5, 0.0],
+                    pin: Pin::Movable,
+                },
+                TVertex {
+                    ops: vec![OperatorId(2)], // w: mote-impossible
+                    cpu_cost: vec![2.0, 0.4, 0.0],
+                    pin: Pin::Movable,
+                },
+                TVertex {
+                    ops: vec![OperatorId(3)],
+                    cpu_cost: vec![0.0, 0.0, 0.0],
+                    pin: Pin::Server,
+                },
+            ],
+            edges: vec![
+                TEdge {
+                    src: 0,
+                    dst: 1,
+                    bandwidth: vec![100.0, 100.0],
+                    graph_edges: vec![],
+                },
+                TEdge {
+                    src: 1,
+                    dst: 2,
+                    bandwidth: vec![100.0, 100.0], // v is data-neutral
+                    graph_edges: vec![],
+                },
+                TEdge {
+                    src: 2,
+                    dst: 3,
+                    bandwidth: vec![10.0, 10.0],
+                    graph_edges: vec![],
+                },
+            ],
+        };
+        let obj = TierObjective::bandwidth_only(
+            vec![0.2, 0.6, f64::INFINITY],
+            vec![f64::INFINITY, f64::INFINITY],
+        );
+        let (_, unmerged) = solve_tiers(&tg, &obj).expect("unmerged feasible");
+        assert!((unmerged - 110.0).abs() < 1e-6, "optimum {unmerged}");
+        let merged = preprocess_tiered(&tg, &obj).unwrap();
+        let (_, merged_obj) = solve_tiers(&merged.graph, &obj).expect("merged stays feasible");
+        assert!(
+            (merged_obj - unmerged).abs() < 1e-6,
+            "merge changed the optimum: {unmerged} -> {merged_obj}"
+        );
+        // Sanity for the rule itself: v must not have been glued to w
+        // (its gateway cost is nonzero and the gateway budget is finite).
+        assert!(merged
+            .graph
+            .vertices
+            .iter()
+            .all(|vert| !(vert.ops.contains(&OperatorId(1)) && vert.ops.contains(&OperatorId(2)))));
+    }
+
+    #[test]
+    fn infeasible_chain_returns_none_from_rate_search() {
+        let (g, prof) = profiled();
+        let mut cfg = MultiTierConfig::for_chain(&[Platform::tmote_sky(), Platform::server()]);
+        cfg.tiers[0].cpu_budget = 0.0;
+        cfg.links[0].net_budget = 0.0;
+        assert!(max_sustainable_rate_multitier(&g, &prof, &cfg, 8.0, 0.01)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn link_spec_from_channel_budgets_below_saturation() {
+        let ch = ChannelParams::mote();
+        let l = LinkSpec::from_channel(&ch, 0.5);
+        assert!((l.net_budget - 3_000.0).abs() < 1e-9);
+        assert_eq!(l.beta, 1.0);
+    }
+}

@@ -15,23 +15,24 @@
 //! vertices onto the same side anyway, so we collapse quotient-level
 //! strongly connected components until the result is a DAG.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use crate::cost_graph::{PEdge, PVertex, PartitionGraph, Pin, PinError};
 
-/// Union-find over vertex indices.
-struct Dsu {
+/// Union-find over vertex indices (shared with the tiered merge in
+/// [`crate::multitier`]).
+pub(crate) struct Dsu {
     parent: Vec<usize>,
 }
 
 impl Dsu {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         Dsu {
             parent: (0..n).collect(),
         }
     }
 
-    fn find(&mut self, x: usize) -> usize {
+    pub(crate) fn find(&mut self, x: usize) -> usize {
         if self.parent[x] != x {
             let root = self.find(self.parent[x]);
             self.parent[x] = root;
@@ -39,7 +40,7 @@ impl Dsu {
         self.parent[x]
     }
 
-    fn union(&mut self, a: usize, b: usize) {
+    pub(crate) fn union(&mut self, a: usize, b: usize) {
         let (ra, rb) = (self.find(a), self.find(b));
         if ra != rb {
             self.parent[ra] = rb;
@@ -47,12 +48,16 @@ impl Dsu {
     }
 }
 
-/// Combine two pin states; `Err` on node/server conflict.
-fn combine_pins(a: Pin, b: Pin, witness: &PVertex) -> Result<Pin, PinError> {
+/// Combine two pin states; `Err` names `witness` on node/server conflict.
+pub(crate) fn combine_pins(
+    a: Pin,
+    b: Pin,
+    witness: wishbone_dataflow::OperatorId,
+) -> Result<Pin, PinError> {
     match (a, b) {
         (Pin::Movable, p) | (p, Pin::Movable) => Ok(p),
         (x, y) if x == y => Ok(x),
-        _ => Err(PinError::Conflict(witness.ops[0])),
+        _ => Err(PinError::Conflict(witness)),
     }
 }
 
@@ -68,129 +73,57 @@ pub struct PreprocessResult {
 }
 
 /// Apply the §4.1 merge to `pg`.
+///
+/// Delegates to the k-way generalization
+/// ([`crate::multitier::preprocess_tiered`]) with a free server tier — the
+/// binary graph *is* the 2-tier chain whose downstream side has "infinite
+/// computational power", which is exactly the regime where the paper's
+/// dominance argument holds. One quotient/SCC-collapse implementation
+/// serves both paths.
 pub fn preprocess(pg: &PartitionGraph) -> Result<PreprocessResult, PinError> {
-    let n = pg.vertices.len();
-    let mut dsu = Dsu::new(n);
-
-    // Per-vertex input/output bandwidth sums.
-    let mut in_bw = vec![0.0f64; n];
-    let mut out_bw = vec![0.0f64; n];
-    for e in &pg.edges {
-        out_bw[e.src] += e.bandwidth;
-        in_bw[e.dst] += e.bandwidth;
-    }
-
-    // A movable vertex whose output bandwidth is >= its input bandwidth
-    // (data-expanding or data-neutral) merges with its downstream
-    // operator. Sources (in_bw = 0 with pinned status) are excluded by the
-    // pin check; vertices with no outputs have nothing to merge into.
-    //
-    // Soundness refinement over the paper's informal statement: the
-    // dominance argument ("moving the cut from below v to above v never
-    // increases bandwidth") only holds when *all* of v's output edges are
-    // cut together. With fan-out, an optimal partition may cut only a
-    // subset of v's outputs (e.g. v feeds both a node-side reducer and the
-    // server), and gluing v to every successor would destroy that optimum.
-    // Restricting the merge to out-degree-1 vertices keeps the rule exact;
-    // single-output chains are where virtually all of the reduction comes
-    // from in stream graphs anyway.
-    let mut out_deg = vec![0usize; n];
-    for e in &pg.edges {
-        out_deg[e.src] += 1;
-    }
-    for (v, vert) in pg.vertices.iter().enumerate() {
-        if vert.pin != Pin::Movable {
-            continue;
-        }
-        if out_deg[v] == 1 && out_bw[v] + 1e-12 >= in_bw[v] && out_bw[v] > 0.0 {
-            for e in pg.edges.iter().filter(|e| e.src == v) {
-                dsu.union(v, e.dst);
-            }
-        }
-    }
-
-    // Build the quotient, collapsing SCCs until acyclic.
-    loop {
-        let mut class_of: HashMap<usize, usize> = HashMap::new();
-        let mut classes: Vec<Vec<usize>> = Vec::new();
-        for v in 0..n {
-            let root = dsu.find(v);
-            let c = *class_of.entry(root).or_insert_with(|| {
-                classes.push(Vec::new());
-                classes.len() - 1
-            });
-            classes[c].push(v);
-        }
-
-        // Quotient adjacency.
-        let m = classes.len();
-        let mut adj: Vec<HashSet<usize>> = vec![HashSet::new(); m];
-        for e in &pg.edges {
-            let (cs, cd) = (class_of[&dsu.find(e.src)], class_of[&dsu.find(e.dst)]);
-            if cs != cd {
-                adj[cs].insert(cd);
-            }
-        }
-
-        match find_cycle_scc(m, &adj) {
-            Some(scc) => {
-                // Force the cycle onto one side: union all members.
-                let mut members = scc.iter().flat_map(|&c| classes[c].iter().copied());
-                let first = members.next().expect("SCC is non-empty");
-                for v in members {
-                    dsu.union(first, v);
-                }
-            }
-            None => {
-                // Acyclic: materialize the merged graph.
-                let mut vertices: Vec<PVertex> = Vec::with_capacity(m);
-                for members in &classes {
-                    let mut ops = Vec::new();
-                    let mut cpu = 0.0;
-                    let mut pin = Pin::Movable;
-                    for &v in members {
-                        ops.extend(pg.vertices[v].ops.iter().copied());
-                        cpu += pg.vertices[v].cpu_cost;
-                        pin = combine_pins(pin, pg.vertices[v].pin, &pg.vertices[v])?;
-                    }
-                    ops.sort_unstable();
-                    vertices.push(PVertex {
-                        ops,
-                        cpu_cost: cpu,
-                        pin,
-                    });
-                }
-                // Aggregate parallel edges between classes.
-                let mut agg: HashMap<(usize, usize), PEdge> = HashMap::new();
-                for e in &pg.edges {
-                    let (cs, cd) = (class_of[&dsu.find(e.src)], class_of[&dsu.find(e.dst)]);
-                    if cs == cd {
-                        continue;
-                    }
-                    let entry = agg.entry((cs, cd)).or_insert(PEdge {
-                        src: cs,
-                        dst: cd,
-                        bandwidth: 0.0,
-                        graph_edges: Vec::new(),
-                    });
-                    entry.bandwidth += e.bandwidth;
-                    entry.graph_edges.extend(e.graph_edges.iter().copied());
-                }
-                let mut edges: Vec<PEdge> = agg.into_values().collect();
-                edges.sort_by_key(|e| (e.src, e.dst));
-                return Ok(PreprocessResult {
-                    graph: PartitionGraph { vertices, edges },
-                    vertices_before: n,
-                    vertices_after: m,
-                });
-            }
-        }
-    }
+    let tg = crate::multitier::TieredGraph::from_binary(pg);
+    // A free final tier (α = 0, infinite budget): every bandwidth-safe
+    // merge is also CPU-safe, matching the binary rule exactly.
+    let obj = crate::encodings::TierObjective {
+        alpha: vec![0.0, 0.0],
+        cpu_budget: vec![f64::INFINITY, f64::INFINITY],
+        beta: vec![1.0],
+        net_budget: vec![f64::INFINITY],
+    };
+    let r = crate::multitier::preprocess_tiered(&tg, &obj)?;
+    Ok(PreprocessResult {
+        graph: PartitionGraph {
+            vertices: r
+                .graph
+                .vertices
+                .into_iter()
+                .map(|v| PVertex {
+                    ops: v.ops,
+                    cpu_cost: v.cpu_cost[0],
+                    pin: v.pin,
+                })
+                .collect(),
+            edges: r
+                .graph
+                .edges
+                .into_iter()
+                .map(|e| PEdge {
+                    src: e.src,
+                    dst: e.dst,
+                    bandwidth: e.bandwidth[0],
+                    graph_edges: e.graph_edges,
+                })
+                .collect(),
+        },
+        vertices_before: r.vertices_before,
+        vertices_after: r.vertices_after,
+    })
 }
 
 /// Find one non-trivial SCC in the quotient graph, if any (iterative
-/// Tarjan). Returns `None` when the graph is a DAG.
-fn find_cycle_scc(n: usize, adj: &[HashSet<usize>]) -> Option<Vec<usize>> {
+/// Tarjan). Returns `None` when the graph is a DAG. Shared with the
+/// tiered merge in [`crate::multitier`].
+pub(crate) fn find_cycle_scc(n: usize, adj: &[HashSet<usize>]) -> Option<Vec<usize>> {
     let mut index = vec![usize::MAX; n];
     let mut low = vec![0usize; n];
     let mut on_stack = vec![false; n];

@@ -35,17 +35,62 @@ pub struct RateSearchResult {
     pub backend: SolverBackend,
 }
 
-fn probe(
-    prep: &mut PreparedPartition<'_>,
-    rate: f64,
-    evals: &mut u32,
-) -> Result<Option<Partition>, PartitionError> {
-    *evals += 1;
-    match prep.solve_at(rate) {
-        Ok(p) => Ok(Some(p)),
-        Err(PartitionError::Infeasible) => Ok(None),
-        Err(e) => Err(e),
+/// The §4.3 search skeleton shared by the binary and multi-tier rate
+/// searches: establish a feasible lower bound at a vanishing rate, double
+/// until infeasible (or the cap is hit), then bisect to relative
+/// precision `tol`. `probe` returns `Ok(Some(_))` when a rate is
+/// feasible, `Ok(None)` when infeasible; errors abort the search. On
+/// success yields `(rate, best_solution, evaluations)`.
+pub(crate) fn search_max_rate<P, E>(
+    mut probe: impl FnMut(f64) -> Result<Option<P>, E>,
+    hi_limit: f64,
+    tol: f64,
+) -> Result<Option<(f64, P, u32)>, E> {
+    assert!(hi_limit > 0.0 && tol > 0.0);
+    let mut evals = 0u32;
+
+    // Establish a feasible lower bound.
+    let mut lo = hi_limit * 2f64.powi(-24);
+    evals += 1;
+    let mut best = match probe(lo)? {
+        Some(p) => p,
+        None => return Ok(None),
+    };
+
+    // Grow until infeasible or the cap is hit.
+    let mut hi = lo;
+    loop {
+        let next = (hi * 2.0).min(hi_limit);
+        evals += 1;
+        match probe(next)? {
+            Some(p) => {
+                lo = next;
+                best = p;
+                hi = next;
+                if (next - hi_limit).abs() < f64::EPSILON * hi_limit {
+                    return Ok(Some((lo, best, evals)));
+                }
+            }
+            None => {
+                hi = next;
+                break;
+            }
+        }
     }
+
+    // Bisect (lo feasible, hi infeasible).
+    while (hi - lo) / lo > tol {
+        let mid = 0.5 * (lo + hi);
+        evals += 1;
+        match probe(mid)? {
+            Some(p) => {
+                lo = mid;
+                best = p;
+            }
+            None => hi = mid,
+        }
+    }
+    Ok(Some((lo, best, evals)))
 }
 
 /// Binary-search the maximum sustainable rate multiplier in
@@ -69,61 +114,25 @@ pub fn max_sustainable_rate(
     hi_limit: f64,
     tol: f64,
 ) -> Result<Option<RateSearchResult>, PartitionError> {
-    assert!(hi_limit > 0.0 && tol > 0.0);
     let mut prep = PreparedPartition::new(graph, profile, platform, cfg)?;
-    let mut evals = 0u32;
-
-    // Establish a feasible lower bound.
-    let mut lo = hi_limit * 2f64.powi(-24);
-    let mut best = match probe(&mut prep, lo, &mut evals)? {
-        Some(p) => p,
-        None => return Ok(None),
-    };
-
-    // Grow until infeasible or the cap is hit.
-    let mut hi = lo;
-    loop {
-        let next = (hi * 2.0).min(hi_limit);
-        match probe(&mut prep, next, &mut evals)? {
-            Some(p) => {
-                lo = next;
-                best = p;
-                hi = next;
-                if (next - hi_limit).abs() < f64::EPSILON * hi_limit {
-                    return Ok(Some(RateSearchResult {
-                        rate: lo,
-                        partition: best,
-                        evaluations: evals,
-                        encodes: prep.encodes(),
-                        backend: prep.solver_backend(),
-                    }));
-                }
-            }
-            None => {
-                hi = next;
-                break;
-            }
-        }
-    }
-
-    // Bisect (lo feasible, hi infeasible).
-    while (hi - lo) / lo > tol {
-        let mid = 0.5 * (lo + hi);
-        match probe(&mut prep, mid, &mut evals)? {
-            Some(p) => {
-                lo = mid;
-                best = p;
-            }
-            None => hi = mid,
-        }
-    }
-    Ok(Some(RateSearchResult {
-        rate: lo,
-        partition: best,
-        evaluations: evals,
-        encodes: prep.encodes(),
-        backend: prep.solver_backend(),
-    }))
+    let found = search_max_rate(
+        |rate| match prep.solve_at(rate) {
+            Ok(p) => Ok(Some(p)),
+            Err(PartitionError::Infeasible) => Ok(None),
+            Err(e) => Err(e),
+        },
+        hi_limit,
+        tol,
+    )?;
+    Ok(
+        found.map(|(rate, partition, evaluations)| RateSearchResult {
+            rate,
+            partition,
+            evaluations,
+            encodes: prep.encodes(),
+            backend: prep.solver_backend(),
+        }),
+    )
 }
 
 #[cfg(test)]

@@ -4,12 +4,14 @@
 //! visualization summarizing the results for the user ... uses colorization
 //! to represent profiling results (cool to hot) and shapes to indicate which
 //! operators were assigned to the node partition" (§3). This module
-//! reproduces that artifact.
+//! reproduces that artifact, with two extensions: cut edges can carry their
+//! profiled on-air bandwidth as a label, and multi-tier partitions can
+//! colour operators by tier instead of by heat.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 
-use crate::graph::{Graph, OperatorId, OperatorKind};
+use crate::graph::{EdgeId, Graph, OperatorId, OperatorKind};
 
 /// Options controlling DOT rendering.
 #[derive(Debug, Clone, Default)]
@@ -22,6 +24,14 @@ pub struct DotOptions {
     pub node_partition: Vec<OperatorId>,
     /// Title displayed above the graph.
     pub label: String,
+    /// Cut edges annotated with their profiled on-air bandwidth in
+    /// bytes/second; rendered bold and red with a `B/s` label (the
+    /// marshalling points a deployment engineer cares about).
+    pub cut_bandwidth: Vec<(EdgeId, f64)>,
+    /// Tier index per operator (0 = innermost / mote side). When
+    /// non-empty, fill colours come from a qualitative per-tier palette
+    /// instead of the heat map, so a k-tier cut reads at a glance.
+    pub tiers: Vec<(OperatorId, usize)>,
 }
 
 /// Map heat in `[0,1]` to a cool-to-hot RGB hex colour (blue → red).
@@ -38,10 +48,29 @@ fn heat_color(h: f64) -> String {
     )
 }
 
+/// Qualitative fill colour for tier `t` (cycles past four tiers).
+fn tier_color(t: usize) -> &'static str {
+    // Light qualitative palette: mote blue, gateway orange, server green,
+    // then violet.
+    const PALETTE: [&str; 4] = ["#80b1d3", "#fdb462", "#b3de69", "#bc80bd"];
+    PALETTE[t % PALETTE.len()]
+}
+
+/// Format a bandwidth label: integral B/s below 10 kB/s, else kB/s.
+fn bandwidth_label(bw: f64) -> String {
+    if bw >= 10_000.0 {
+        format!("{:.1} kB/s", bw / 1000.0)
+    } else {
+        format!("{bw:.0} B/s")
+    }
+}
+
 /// Render `graph` as GraphViz DOT text.
 pub fn to_dot(graph: &Graph, opts: &DotOptions) -> String {
     let node_set: HashSet<OperatorId> = opts.node_partition.iter().copied().collect();
-    let heat: std::collections::HashMap<OperatorId, f64> = opts.heat.iter().copied().collect();
+    let heat: HashMap<OperatorId, f64> = opts.heat.iter().copied().collect();
+    let tiers: HashMap<OperatorId, usize> = opts.tiers.iter().copied().collect();
+    let cut_bw: HashMap<EdgeId, f64> = opts.cut_bandwidth.iter().copied().collect();
 
     let mut s = String::new();
     s.push_str("digraph wishbone {\n");
@@ -60,9 +89,19 @@ pub fn to_dot(graph: &Graph, opts: &DotOptions) -> String {
                 OperatorKind::Transform => "ellipse",
             }
         };
-        let fill = match heat.get(&id) {
-            Some(&h) if h.is_finite() => heat_color(h),
-            _ => "#cccccc".to_string(),
+        // Tier mode and heat mode are mutually exclusive palettes: once
+        // any tier is given, operators without one render grey rather
+        // than falling back to heat (whose red reads as another tier).
+        let fill = if opts.tiers.is_empty() {
+            match heat.get(&id) {
+                Some(&h) if h.is_finite() => heat_color(h),
+                _ => "#cccccc".to_string(),
+            }
+        } else {
+            match tiers.get(&id) {
+                Some(&t) => tier_color(t).to_string(),
+                None => "#cccccc".to_string(),
+            }
         };
         let _ = writeln!(
             s,
@@ -75,7 +114,20 @@ pub fn to_dot(graph: &Graph, opts: &DotOptions) -> String {
     }
     for eid in graph.edge_ids() {
         let e = graph.edge(eid);
-        let _ = writeln!(s, "  {} -> {};", e.src.0, e.dst.0);
+        match cut_bw.get(&eid) {
+            Some(&bw) => {
+                let _ = writeln!(
+                    s,
+                    "  {} -> {} [label=\"{}\", penwidth=2.0, color=\"#d73027\"];",
+                    e.src.0,
+                    e.dst.0,
+                    bandwidth_label(bw)
+                );
+            }
+            None => {
+                let _ = writeln!(s, "  {} -> {};", e.src.0, e.dst.0);
+            }
+        }
     }
     s.push_str("}\n");
     s
@@ -91,21 +143,26 @@ mod tests {
     use crate::builder::GraphBuilder;
     use crate::graph::IdentityWork;
 
-    #[test]
-    fn dot_contains_all_operators_and_edges() {
+    fn demo_graph() -> (Graph, OperatorId, OperatorId) {
         let mut b = GraphBuilder::new();
         b.enter_node_namespace();
         let s = b.source("mic");
         let f = b.transform("filt", Box::new(IdentityWork), s);
         b.exit_namespace();
         b.sink("main", f);
-        let g = b.finish().unwrap();
+        (b.finish().unwrap(), s.0, f.0)
+    }
+
+    #[test]
+    fn dot_contains_all_operators_and_edges() {
+        let (g, s, f) = demo_graph();
         let dot = to_dot(
             &g,
             &DotOptions {
-                heat: vec![(f.0, 0.9)],
-                node_partition: vec![s.0, f.0],
+                heat: vec![(f, 0.9)],
+                node_partition: vec![s, f],
                 label: "speech \"demo\"".into(),
+                ..Default::default()
             },
         );
         assert!(dot.contains("digraph wishbone"));
@@ -117,11 +174,75 @@ mod tests {
     }
 
     #[test]
+    fn cut_edges_carry_bandwidth_labels() {
+        let (g, s, f) = demo_graph();
+        let cut = g.out_edges(f)[0];
+        let uncut = g.out_edges(s)[0];
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                node_partition: vec![s, f],
+                cut_bandwidth: vec![(cut, 402.0)],
+                ..Default::default()
+            },
+        );
+        assert!(
+            dot.contains("1 -> 2 [label=\"402 B/s\", penwidth=2.0"),
+            "{dot}"
+        );
+        assert!(dot.contains(&format!(
+            "{} -> {};",
+            g.edge(uncut).src.0,
+            g.edge(uncut).dst.0
+        )));
+        // Large bandwidths switch to kB/s.
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                cut_bandwidth: vec![(cut, 250_000.0)],
+                ..Default::default()
+            },
+        );
+        assert!(dot.contains("250.0 kB/s"), "{dot}");
+    }
+
+    #[test]
+    fn tier_colors_override_heat() {
+        let (g, s, f) = demo_graph();
+        let sink = g
+            .operator_ids()
+            .find(|&id| g.spec(id).name == "main")
+            .unwrap();
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                // The sink carries max heat but no tier: in tier mode it
+                // must render grey, never heat-red (which would read as
+                // another tier).
+                heat: vec![(s, 1.0), (f, 1.0), (sink, 1.0)],
+                tiers: vec![(s, 0), (f, 1)],
+                ..Default::default()
+            },
+        );
+        assert!(dot.contains(tier_color(0)), "{dot}");
+        assert!(dot.contains(tier_color(1)), "{dot}");
+        assert!(dot.contains("#cccccc"), "{dot}");
+        // Heat palette must not appear anywhere in tier mode.
+        assert!(!dot.contains("#d73027"));
+    }
+
+    #[test]
     fn heat_endpoints() {
         assert_eq!(heat_color(0.0), "#4575b4");
         assert_eq!(heat_color(1.0), "#d73027");
         // Out-of-range clamps instead of panicking.
         assert_eq!(heat_color(7.5), "#d73027");
         assert_eq!(heat_color(-3.0), "#4575b4");
+    }
+
+    #[test]
+    fn tier_palette_cycles() {
+        assert_eq!(tier_color(0), tier_color(4));
+        assert_ne!(tier_color(0), tier_color(1));
     }
 }

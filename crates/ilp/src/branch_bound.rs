@@ -14,7 +14,7 @@
 //!   child re-enters **warm** from the last optimal basis and a short
 //!   dual-simplex pass repairs (or refutes) feasibility, instead of paying
 //!   a full tableau build + phase 1 from the artificial basis;
-//! * [`presolve`](crate::presolve) runs before the root LP (bailing
+//! * [`presolve`](crate::presolve()) runs before the root LP (bailing
 //!   `Infeasible` with zero simplex iterations when bound propagation
 //!   proves it) and a single-pass activity check discards hopeless
 //!   children before they reach the simplex;

@@ -24,7 +24,7 @@
 //!   `lu.rs`, `revised.rs`) — `Auto` switches at
 //!   [`SPARSE_AUTO_THRESHOLD`] constraints, which on the fig6
 //!   972-constraint EEG instances is worth an order of magnitude;
-//! * [`presolve`] — bound propagation that proves infeasibility (or fixes
+//! * [`presolve`](mod@presolve) — bound propagation that proves infeasibility (or fixes
 //!   implied-integral variables) before a single simplex iteration runs;
 //! * best-first node selection, so the reported optimality gap tightens
 //!   monotonically and limit-hit returns carry a meaningful bound.

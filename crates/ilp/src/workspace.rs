@@ -3,7 +3,7 @@
 //! A [`SimplexWorkspace`] owns every buffer the simplex algorithm needs —
 //! tableau, transformed right-hand side, basis, variable statuses, bounds,
 //! costs, reduced costs — sized once for a problem and reused across all LP
-//! solves of a branch-and-bound search. After the first node, [`load`]
+//! solves of a branch-and-bound search. After the first node, `load`
 //! (the cold path) only rewrites buffer contents: zero per-node heap
 //! allocations of tableau buffers.
 //!
@@ -14,8 +14,6 @@
 //! with a bounded dual-simplex pass instead of rebuilding from the
 //! all-artificial basis — the warm-started-child strategy production MILP
 //! solvers use.
-//!
-//! [`load`]: SimplexWorkspace::load
 
 use crate::problem::{Problem, Sense};
 use crate::revised::SparseState;
@@ -143,9 +141,7 @@ pub(crate) fn refill<T: Clone>(buf: &mut Vec<T>, len: usize, val: T) {
 }
 
 impl SimplexWorkspace {
-    /// An empty workspace; buffers grow on first [`load`].
-    ///
-    /// [`load`]: SimplexWorkspace::load
+    /// An empty workspace; buffers grow on first `load`.
     pub fn new() -> Self {
         Self::default()
     }

@@ -15,6 +15,21 @@
 //!   frequency scaling (§7.2);
 //! * the Meraki Mini has ~15× the TMote's CPU but ≥10× the radio
 //!   bandwidth, flipping its optimal cut to "ship raw data" (§7.3).
+//!
+//! ## Platforms as tier chains
+//!
+//! §3's platform substitution table is what makes each platform a
+//! *drop-in* cost model: the same profiled operation counts are priced
+//! through any [`Platform`]'s cycle table and radio. The multi-tier
+//! partitioner (`wishbone-core::multitier`) leans on exactly that — an
+//! ordered chain like `[tmote_sky, iphone, server]` prices every
+//! operator's CPU on each tier it could run on and every edge's on-air
+//! bandwidth with each hop's radio framing (`radio.goodput_bytes_per_sec`
+//! is the natural per-link budget, `max_payload`/`per_packet_overhead`
+//! the per-hop framing). A platform's row in the substitution table is
+//! therefore also its row in a tier chain: swapping the middle tier from
+//! `nokia_n80` to `iphone` re-prices tier-1 CPU and the link-1 budget
+//! without touching the profile.
 
 use wishbone_dataflow::{OpClass, OpCounts, ScaledOpCounts};
 

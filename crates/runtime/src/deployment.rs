@@ -10,11 +10,11 @@
 
 use std::collections::HashSet;
 
-use wishbone_dataflow::{Graph, OperatorId, Value};
+use wishbone_dataflow::{EdgeId, Graph, OperatorId, Value};
 use wishbone_net::{Channel, ChannelParams};
 use wishbone_profile::Platform;
 
-use crate::exec::{NodeExecutor, ServerExecutor};
+use crate::exec::{NodeExecutor, RelayExecutor, ServerExecutor};
 use crate::task::TaskModel;
 
 /// Configuration of one simulated deployment run.
@@ -155,82 +155,14 @@ pub fn simulate_deployment_multi(
     channel: ChannelParams,
     cfg: &DeploymentConfig,
 ) -> DeploymentReport {
-    assert!(
-        !feeds.is_empty(),
-        "deployment needs at least one source feed"
-    );
-    for f in feeds {
-        assert!(!f.trace.is_empty(), "deployment needs non-empty traces");
-        assert!(f.rate_hz > 0.0);
-    }
-    assert!(cfg.n_nodes >= 1);
-
-    // Merged per-node arrival schedule: (time, feed index, element index).
-    let mut schedule: Vec<(f64, usize, usize)> = Vec::new();
-    for (fi, f) in feeds.iter().enumerate() {
-        let rate = f.rate_hz * cfg.rate_multiplier;
-        let n = (cfg.duration_s * rate).floor() as u64;
-        for k in 0..n {
-            schedule.push((k as f64 / rate, fi, k as usize));
-        }
-    }
-    schedule.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
-
-    // ---- Pass 1: node-side simulation (CPU + queueing) ------------------
-    // Nodes are independent except for the shared channel; simulate each
-    // node's arrival queue to find which events are processed and what
-    // traffic it offers.
-    let mut executors: Vec<NodeExecutor> = (0..cfg.n_nodes)
-        .map(|_| NodeExecutor::new(graph, node_ops, node_platform.clone(), cfg.task_model))
-        .collect();
-
-    let mut events_offered = 0u64;
-    let mut events_processed = 0u64;
-    let mut busy_total = 0.0f64;
-    // (node, element) transmissions in send order.
-    let mut sends: Vec<(usize, wishbone_dataflow::EdgeId, Value)> = Vec::new();
-    let mut on_air_total = 0.0f64;
-
-    for (node, ne) in executors.iter_mut().enumerate() {
-        // When the CPU finishes its current queue.
-        let mut free_at = 0.0f64;
-        // Each source has its own buffer (TinyOS ReadStream double
-        // buffering is per interface), so simultaneous multi-channel
-        // arrivals do not evict each other.
-        let mut queued = vec![0usize; feeds.len()];
-        for &(t, fi, k) in &schedule {
-            events_offered += 1;
-            // Drain the queues virtually: everything queued completes
-            // before `free_at`; arrivals when a source's backlog exceeds
-            // its buffer are missed (the ReadStream has nowhere to put
-            // them).
-            if t >= free_at {
-                queued.iter_mut().for_each(|q| *q = 0);
-            }
-            if queued[fi] >= cfg.source_buffer {
-                continue; // missed input event
-            }
-            let feed = &feeds[fi];
-            let elem = &feed.trace[k % feed.trace.len()];
-            let cascade = ne.process_event(graph, feed.source, elem);
-            let tx_cpu = cascade
-                .transmissions
-                .iter()
-                .map(|(_, v)| {
-                    channel.format.packets_for(v.wire_size()) as f64 * cfg.per_packet_cpu_s
-                })
-                .sum::<f64>();
-            let service = cascade.cpu_seconds + tx_cpu;
-            busy_total += service;
-            free_at = free_at.max(t) + service;
-            queued[fi] += 1;
-            events_processed += 1;
-            for (eid, v) in cascade.transmissions {
-                on_air_total += channel.format.on_air_bytes(v.wire_size()) as f64;
-                sends.push((node, eid, v));
-            }
-        }
-    }
+    let np = run_node_pass(graph, node_ops, feeds, node_platform, &channel, cfg);
+    let NodePass {
+        events_offered,
+        events_processed,
+        busy_total,
+        sends,
+        on_air_total,
+    } = np;
 
     // ---- Pass 2: channel + server --------------------------------------
     let offered_load = on_air_total / cfg.duration_s;
@@ -257,6 +189,286 @@ pub fn simulate_deployment_multi(
         node_cpu_utilization: (busy_total / (cfg.n_nodes as f64 * cfg.duration_s)).min(1.0),
         offered_load_bytes_per_sec: offered_load,
     }
+}
+
+/// Output of the node-side simulation pass (CPU + queueing) shared by the
+/// single-hop and tiered deployment simulators.
+struct NodePass {
+    events_offered: u64,
+    events_processed: u64,
+    busy_total: f64,
+    /// (node, cut edge, element) transmissions in send order.
+    sends: Vec<(usize, EdgeId, Value)>,
+    on_air_total: f64,
+}
+
+/// Pass 1: nodes are independent except for the shared channel; simulate
+/// each node's arrival queue to find which events are processed and what
+/// traffic it offers to the first hop.
+fn run_node_pass(
+    graph: &Graph,
+    node_ops: &HashSet<OperatorId>,
+    feeds: &[SourceFeed],
+    node_platform: &Platform,
+    channel: &ChannelParams,
+    cfg: &DeploymentConfig,
+) -> NodePass {
+    assert!(
+        !feeds.is_empty(),
+        "deployment needs at least one source feed"
+    );
+    for f in feeds {
+        assert!(!f.trace.is_empty(), "deployment needs non-empty traces");
+        assert!(f.rate_hz > 0.0);
+    }
+    assert!(cfg.n_nodes >= 1);
+
+    // Merged per-node arrival schedule: (time, feed index, element index).
+    let mut schedule: Vec<(f64, usize, usize)> = Vec::new();
+    for (fi, f) in feeds.iter().enumerate() {
+        let rate = f.rate_hz * cfg.rate_multiplier;
+        let n = (cfg.duration_s * rate).floor() as u64;
+        for k in 0..n {
+            schedule.push((k as f64 / rate, fi, k as usize));
+        }
+    }
+    schedule.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+
+    let mut executors: Vec<NodeExecutor> = (0..cfg.n_nodes)
+        .map(|_| NodeExecutor::new(graph, node_ops, node_platform.clone(), cfg.task_model))
+        .collect();
+
+    let mut pass = NodePass {
+        events_offered: 0,
+        events_processed: 0,
+        busy_total: 0.0,
+        sends: Vec::new(),
+        on_air_total: 0.0,
+    };
+
+    for (node, ne) in executors.iter_mut().enumerate() {
+        // When the CPU finishes its current queue.
+        let mut free_at = 0.0f64;
+        // Each source has its own buffer (TinyOS ReadStream double
+        // buffering is per interface), so simultaneous multi-channel
+        // arrivals do not evict each other.
+        let mut queued = vec![0usize; feeds.len()];
+        for &(t, fi, k) in &schedule {
+            pass.events_offered += 1;
+            // Drain the queues virtually: everything queued completes
+            // before `free_at`; arrivals when a source's backlog exceeds
+            // its buffer are missed (the ReadStream has nowhere to put
+            // them).
+            if t >= free_at {
+                queued.iter_mut().for_each(|q| *q = 0);
+            }
+            if queued[fi] >= cfg.source_buffer {
+                continue; // missed input event
+            }
+            let feed = &feeds[fi];
+            let elem = &feed.trace[k % feed.trace.len()];
+            let cascade = ne.process_event(graph, feed.source, elem);
+            let tx_cpu = cascade
+                .transmissions
+                .iter()
+                .map(|(_, v)| {
+                    channel.format.packets_for(v.wire_size()) as f64 * cfg.per_packet_cpu_s
+                })
+                .sum::<f64>();
+            let service = cascade.cpu_seconds + tx_cpu;
+            pass.busy_total += service;
+            free_at = free_at.max(t) + service;
+            queued[fi] += 1;
+            pass.events_processed += 1;
+            for (eid, v) in cascade.transmissions {
+                pass.on_air_total += channel.format.on_air_bytes(v.wire_size()) as f64;
+                pass.sends.push((node, eid, v));
+            }
+        }
+    }
+    pass
+}
+
+/// Outcome of a multi-tier deployment simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TieredDeploymentReport {
+    /// Source events offered across all nodes.
+    pub events_offered: u64,
+    /// Source events actually processed (not missed while CPU-busy).
+    pub events_processed: u64,
+    /// Elements submitted to each hop's channel (length `k − 1`).
+    pub hop_elements_sent: Vec<u64>,
+    /// Elements fully delivered over each hop.
+    pub hop_elements_delivered: Vec<u64>,
+    /// Aggregate on-air offered load per hop, bytes/s.
+    pub hop_offered_load_bytes_per_sec: Vec<f64>,
+    /// Fraction of packets delivered per hop.
+    pub hop_packet_delivery_ratio: Vec<f64>,
+    /// Mean node CPU utilization at tier 0.
+    pub node_cpu_utilization: f64,
+    /// CPU utilization of each relay tier (length `k − 2`). A value at
+    /// 1.0 means the gateway saturated and started dropping (see
+    /// [`relay_elements_dropped`](Self::relay_elements_dropped)).
+    pub relay_cpu_utilization: Vec<f64>,
+    /// Elements that survived their hop but were dropped by a saturated
+    /// relay CPU before processing (length `k − 2`).
+    pub relay_elements_dropped: Vec<u64>,
+    /// Elements that reached a sink on the server.
+    pub sink_arrivals: u64,
+}
+
+impl TieredDeploymentReport {
+    /// Fraction of input events processed at the nodes.
+    pub fn input_processed_ratio(&self) -> f64 {
+        if self.events_offered == 0 {
+            1.0
+        } else {
+            self.events_processed as f64 / self.events_offered as f64
+        }
+    }
+
+    /// Fraction of elements delivered end-to-end over hop `h`.
+    pub fn hop_delivery_ratio(&self, h: usize) -> f64 {
+        if self.hop_elements_sent[h] == 0 {
+            1.0
+        } else {
+            self.hop_elements_delivered[h] as f64 / self.hop_elements_sent[h] as f64
+        }
+    }
+
+    /// Fraction of elements delivered into relay `r` that its CPU managed
+    /// to process (1.0 when the gateway kept up).
+    pub fn relay_processed_ratio(&self, r: usize) -> f64 {
+        let delivered = self.hop_elements_delivered[r];
+        if delivered == 0 {
+            1.0
+        } else {
+            (delivered - self.relay_elements_dropped[r]) as f64 / delivered as f64
+        }
+    }
+
+    /// The paper's goodput metric generalized to a chain: the product of
+    /// the input-processing ratio, every hop's element delivery ratio,
+    /// and every relay's CPU processing ratio.
+    pub fn goodput_ratio(&self) -> f64 {
+        (0..self.hop_elements_sent.len())
+            .map(|h| self.hop_delivery_ratio(h))
+            .product::<f64>()
+            * (0..self.relay_elements_dropped.len())
+                .map(|r| self.relay_processed_ratio(r))
+                .product::<f64>()
+            * self.input_processed_ratio()
+    }
+}
+
+/// Simulate a multi-tier deployment of `graph`: `cfg.n_nodes` motes run
+/// `tier_ops[0]`, each intermediate tier is a gateway
+/// ([`RelayExecutor`]) hosting `tier_ops[t]` with per-node state for
+/// relocated operators, and the final tier is the server. `channels[h]`
+/// carries hop `h` (tier `h` → `h+1`); traffic whose destination lies
+/// beyond the next tier is stored-and-forwarded by each relay it crosses,
+/// consuming bandwidth on every hop — the deployment-level counterpart of
+/// the partitioner's per-link bandwidth accounting.
+pub fn simulate_tiered_deployment(
+    graph: &Graph,
+    tier_ops: &[HashSet<OperatorId>],
+    feeds: &[SourceFeed],
+    platforms: &[Platform],
+    channels: &[ChannelParams],
+    cfg: &DeploymentConfig,
+) -> TieredDeploymentReport {
+    let k = tier_ops.len();
+    assert!(k >= 2, "a chain needs at least two tiers");
+    assert_eq!(platforms.len(), k, "one platform per tier");
+    assert_eq!(channels.len(), k - 1, "one channel per hop");
+    for id in graph.operator_ids() {
+        debug_assert_eq!(
+            tier_ops.iter().filter(|s| s.contains(&id)).count(),
+            1,
+            "operator {id} must sit on exactly one tier"
+        );
+    }
+
+    let np = run_node_pass(graph, &tier_ops[0], feeds, &platforms[0], &channels[0], cfg);
+
+    // Relays for tiers 1..k−1; the server hosts everything beyond them.
+    let mut relays: Vec<RelayExecutor> = (1..k - 1)
+        .map(|t| RelayExecutor::new(graph, &tier_ops[t], cfg.n_nodes, platforms[t].clone()))
+        .collect();
+    let pre_server: HashSet<OperatorId> = tier_ops[..k - 1]
+        .iter()
+        .flat_map(|s| s.iter().copied())
+        .collect();
+    let mut server = ServerExecutor::new(graph, &pre_server, cfg.n_nodes);
+
+    let mut report = TieredDeploymentReport {
+        events_offered: np.events_offered,
+        events_processed: np.events_processed,
+        hop_elements_sent: vec![0; k - 1],
+        hop_elements_delivered: vec![0; k - 1],
+        hop_offered_load_bytes_per_sec: vec![0.0; k - 1],
+        hop_packet_delivery_ratio: vec![1.0; k - 1],
+        node_cpu_utilization: (np.busy_total / (cfg.n_nodes as f64 * cfg.duration_s)).min(1.0),
+        relay_cpu_utilization: vec![0.0; k.saturating_sub(2)],
+        relay_elements_dropped: vec![0; k.saturating_sub(2)],
+        sink_arrivals: 0,
+    };
+
+    let mut traffic = np.sends;
+    for h in 0..k - 1 {
+        let offered = traffic
+            .iter()
+            .map(|(_, _, v)| channels[h].format.on_air_bytes(v.wire_size()) as f64)
+            .sum::<f64>()
+            / cfg.duration_s;
+        report.hop_offered_load_bytes_per_sec[h] = offered;
+        let mut ch = Channel::new(channels[h], cfg.seed.wrapping_add(h as u64));
+        ch.set_offered_load(offered);
+
+        let mut next: Vec<(usize, EdgeId, Value)> = Vec::new();
+        let mut relay_busy = 0.0f64;
+        for (node, eid, v) in &traffic {
+            report.hop_elements_sent[h] += 1;
+            if !ch.try_deliver(v.wire_size()) {
+                continue;
+            }
+            report.hop_elements_delivered[h] += 1;
+            if h + 1 == k - 1 {
+                server.deliver(graph, *node, *eid, v);
+            } else {
+                // The gateway has a CPU too: once it has burned a full
+                // duration of busy time it is saturated, and further
+                // arrivals are dropped instead of processed — the relay
+                // analogue of tier-0 nodes missing input events while
+                // CPU-busy.
+                if relay_busy >= cfg.duration_s {
+                    report.relay_elements_dropped[h] += 1;
+                    continue;
+                }
+                let cascade = relays[h].deliver(graph, *node, *eid, v);
+                let tx_cpu = cascade
+                    .forwards
+                    .iter()
+                    .map(|(_, fv)| {
+                        channels[h + 1].format.packets_for(fv.wire_size()) as f64
+                            * cfg.per_packet_cpu_s
+                    })
+                    .sum::<f64>();
+                relay_busy += cascade.cpu_seconds + tx_cpu;
+                for (fe, fv) in cascade.forwards {
+                    next.push((*node, fe, fv));
+                }
+            }
+        }
+        report.hop_packet_delivery_ratio[h] = ch.packet_delivery_ratio();
+        if h + 1 < k - 1 {
+            report.relay_cpu_utilization[h] = (relay_busy / cfg.duration_s).min(1.0);
+        }
+        traffic = next;
+    }
+
+    report.sink_arrivals = server.sink_arrivals;
+    report
 }
 
 #[cfg(test)]
@@ -539,6 +751,245 @@ mod tests {
             &cfg,
         );
         assert_eq!(a, b);
+    }
+
+    /// src -> burn(node) -> squeeze(relay candidate, 2x reducer) -> sink
+    fn three_stage() -> (Graph, OperatorId, OperatorId, OperatorId) {
+        let mut b = GraphBuilder::new();
+        b.enter_node_namespace();
+        let src = b.source("src");
+        let burn = b.transform(
+            "burn",
+            Box::new(FnWork(|_p: usize, v: &Value, cx: &mut ExecCtx| {
+                cx.meter().loop_scope(100, |m| m.int(100));
+                cx.emit(v.clone());
+            })),
+            src,
+        );
+        let squeeze = b.transform(
+            "squeeze",
+            Box::new(FnWork(|_p: usize, v: &Value, cx: &mut ExecCtx| {
+                let w = v.as_i16s().unwrap();
+                cx.meter()
+                    .loop_scope(w.len() as u64, |m| m.int(w.len() as u64));
+                cx.emit(Value::VecI16(w.iter().step_by(2).copied().collect()));
+            })),
+            burn,
+        );
+        b.exit_namespace();
+        b.sink("out", squeeze);
+        let g = b.finish().unwrap();
+        (g, src.0, burn.0, squeeze.0)
+    }
+
+    #[test]
+    fn two_tier_sim_equals_flat_deployment() {
+        // With k = 2 the tiered simulator must reproduce the flat one
+        // exactly: same node pass, same channel seed, same server.
+        let (g, src, burn) = pipeline(500);
+        let node_ops: HashSet<_> = [src, burn].into_iter().collect();
+        let server_ops: HashSet<_> = g
+            .operator_ids()
+            .filter(|id| !node_ops.contains(id))
+            .collect();
+        let cfg = DeploymentConfig {
+            duration_s: 10.0,
+            ..DeploymentConfig::motes(2, 11)
+        };
+        let feeds = vec![SourceFeed {
+            source: src,
+            trace: trace(50),
+            rate_hz: 10.0,
+        }];
+        let flat = simulate_deployment_multi(
+            &g,
+            &node_ops,
+            &feeds,
+            &Platform::tmote_sky(),
+            ChannelParams::mote(),
+            &cfg,
+        );
+        let tiered = simulate_tiered_deployment(
+            &g,
+            &[node_ops, server_ops],
+            &feeds,
+            &[Platform::tmote_sky(), Platform::server()],
+            &[ChannelParams::mote()],
+            &cfg,
+        );
+        assert_eq!(tiered.events_offered, flat.events_offered);
+        assert_eq!(tiered.events_processed, flat.events_processed);
+        assert_eq!(tiered.hop_elements_sent[0], flat.elements_sent);
+        assert_eq!(tiered.hop_elements_delivered[0], flat.elements_delivered);
+        assert_eq!(tiered.sink_arrivals, flat.sink_arrivals);
+        assert!((tiered.goodput_ratio() - flat.goodput_ratio()).abs() < 1e-12);
+        assert!((tiered.node_cpu_utilization - flat.node_cpu_utilization).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relay_tier_reduces_second_hop_load() {
+        let (g, src, burn, squeeze) = three_stage();
+        let node: HashSet<_> = [src, burn].into_iter().collect();
+        let server: HashSet<_> = g.operator_ids().filter(|id| !node.contains(id)).collect();
+        let relay_hosted: HashSet<_> = [squeeze].into_iter().collect();
+        let after_relay: HashSet<_> = server
+            .iter()
+            .copied()
+            .filter(|id| !relay_hosted.contains(id))
+            .collect();
+        let cfg = DeploymentConfig {
+            duration_s: 10.0,
+            ..DeploymentConfig::motes(1, 13)
+        };
+        let feeds = vec![SourceFeed {
+            source: src,
+            trace: trace(50),
+            rate_hz: 10.0,
+        }];
+        let platforms = [
+            Platform::tmote_sky(),
+            Platform::gumstix(),
+            Platform::server(),
+        ];
+        let channels = [ChannelParams::mote(), ChannelParams::wifi(1e6)];
+        // Empty relay: hop-1 carries the same payloads as hop 0.
+        let passthrough = simulate_tiered_deployment(
+            &g,
+            &[node.clone(), HashSet::new(), server.clone()],
+            &feeds,
+            &platforms,
+            &channels,
+            &cfg,
+        );
+        // Squeeze at the relay: hop-1 load halves, and the relay burns CPU.
+        let squeezed = simulate_tiered_deployment(
+            &g,
+            &[node, relay_hosted, after_relay],
+            &feeds,
+            &platforms,
+            &channels,
+            &cfg,
+        );
+        assert!(
+            squeezed.hop_offered_load_bytes_per_sec[1]
+                < 0.8 * passthrough.hop_offered_load_bytes_per_sec[1],
+            "squeezed {} vs passthrough {}",
+            squeezed.hop_offered_load_bytes_per_sec[1],
+            passthrough.hop_offered_load_bytes_per_sec[1]
+        );
+        // Pass-through still pays per-packet forwarding CPU; hosting the
+        // squeeze op adds real application CPU on top.
+        assert!(squeezed.relay_cpu_utilization[0] > passthrough.relay_cpu_utilization[0]);
+        assert_eq!(squeezed.sink_arrivals, squeezed.hop_elements_delivered[1]);
+    }
+
+    #[test]
+    fn saturated_relay_drops_instead_of_forwarding_for_free() {
+        // The squeeze stage costs ~0.9 s per element on a TMote-class
+        // gateway; at 20 elements/s over 10 s the gateway can process only
+        // ~11 of ~200 — the rest must be dropped, and goodput must say so.
+        let mut b = GraphBuilder::new();
+        b.enter_node_namespace();
+        let src = b.source("src");
+        let heavy = b.transform(
+            "heavy",
+            Box::new(FnWork(|_p: usize, v: &Value, cx: &mut ExecCtx| {
+                cx.meter().loop_scope(2_500_000, |m| m.int(2_500_000));
+                cx.emit(v.clone());
+            })),
+            src,
+        );
+        b.exit_namespace();
+        b.sink("out", heavy);
+        let g = b.finish().unwrap();
+        let node: HashSet<_> = [src.0].into_iter().collect();
+        let relay: HashSet<_> = [heavy.0].into_iter().collect();
+        let server: HashSet<_> = g
+            .operator_ids()
+            .filter(|id| !node.contains(id) && !relay.contains(id))
+            .collect();
+        let cfg = DeploymentConfig {
+            duration_s: 10.0,
+            ..DeploymentConfig::motes(1, 23)
+        };
+        let feeds = vec![SourceFeed {
+            source: src.0,
+            trace: trace(50),
+            rate_hz: 20.0,
+        }];
+        let r = simulate_tiered_deployment(
+            &g,
+            &[node, relay, server],
+            &feeds,
+            &[
+                Platform::gumstix(),
+                Platform::tmote_sky(),
+                Platform::server(),
+            ],
+            &[ChannelParams::wifi(1e6), ChannelParams::wifi(1e6)],
+            &cfg,
+        );
+        assert!(
+            r.relay_elements_dropped[0] > 0,
+            "saturated gateway must shed load"
+        );
+        assert!(r.relay_cpu_utilization[0] >= 0.99);
+        assert!(
+            r.relay_processed_ratio(0) < 0.2,
+            "processed ratio {}",
+            r.relay_processed_ratio(0)
+        );
+        assert!(
+            r.goodput_ratio() < 0.2,
+            "goodput must reflect relay overload, got {}",
+            r.goodput_ratio()
+        );
+        // Conservation: everything delivered into the relay was either
+        // processed (and forwarded, 1:1 here) or dropped.
+        assert_eq!(
+            r.hop_elements_sent[1] + r.relay_elements_dropped[0],
+            r.hop_elements_delivered[0]
+        );
+    }
+
+    #[test]
+    fn congested_second_hop_caps_goodput() {
+        let (g, src, burn, _squeeze) = three_stage();
+        let node: HashSet<_> = [src, burn].into_iter().collect();
+        let server: HashSet<_> = g.operator_ids().filter(|id| !node.contains(id)).collect();
+        let cfg = DeploymentConfig {
+            duration_s: 10.0,
+            ..DeploymentConfig::motes(1, 17)
+        };
+        let feeds = vec![SourceFeed {
+            source: src,
+            trace: trace(50),
+            rate_hz: 20.0,
+        }];
+        let platforms = [
+            Platform::tmote_sky(),
+            Platform::gumstix(),
+            Platform::server(),
+        ];
+        // Hop 0 is a roomy 1 MB/s link, hop 1 a starved 500 B/s one:
+        // 202-byte elements at 20/s sail over the first hop and swamp
+        // the second.
+        let r = simulate_tiered_deployment(
+            &g,
+            &[node, HashSet::new(), server],
+            &feeds,
+            &platforms,
+            &[ChannelParams::wifi(1e6), ChannelParams::wifi(500.0)],
+            &cfg,
+        );
+        assert!(
+            r.hop_delivery_ratio(1) < r.hop_delivery_ratio(0),
+            "hop1 {} must lose more than hop0 {}",
+            r.hop_delivery_ratio(1),
+            r.hop_delivery_ratio(0)
+        );
+        assert!(r.goodput_ratio() < 0.5, "goodput {}", r.goodput_ratio());
+        assert_eq!(r.sink_arrivals, r.hop_elements_delivered[1]);
     }
 
     #[test]

@@ -115,6 +115,128 @@ impl NodeExecutor {
     }
 }
 
+/// Result of delivering one element to a relay tier.
+#[derive(Debug, Default)]
+pub struct RelayCascade {
+    /// CPU-seconds consumed at the relay (including OS overhead).
+    pub cpu_seconds: f64,
+    /// Elements that must continue towards the next tier:
+    /// `(cut edge, element)`. Includes unmodified pass-through traffic
+    /// whose destination lives beyond this tier.
+    pub forwards: Vec<(EdgeId, Value)>,
+}
+
+/// Executes an intermediate tier (a gateway) of a multi-tier partition.
+///
+/// A relay hosts the operators assigned to its tier and
+/// **stores-and-forwards** everything destined further downstream. Like
+/// [`ServerExecutor`], node-namespace operators relocated here keep one
+/// work-function instance (one copy of private state) per originating
+/// node, while server-namespace operators keep a single serial instance.
+pub struct RelayExecutor {
+    /// `per_node[node][op]`: instances for Node-namespace operators.
+    per_node: Vec<Vec<Option<Box<dyn WorkFn>>>>,
+    /// Shared instances for Server-namespace operators.
+    shared: Vec<Option<Box<dyn WorkFn>>>,
+    is_node_ns: Vec<bool>,
+    hosted: Vec<bool>,
+    platform: Platform,
+}
+
+impl RelayExecutor {
+    /// Build relay-side state for `n_nodes` originating nodes; `relay_ops`
+    /// is the operator set assigned to this tier, `platform` its cost
+    /// model.
+    pub fn new(
+        graph: &Graph,
+        relay_ops: &HashSet<OperatorId>,
+        n_nodes: usize,
+        platform: Platform,
+    ) -> Self {
+        let per_node = (0..n_nodes).map(|_| graph.instantiate_work()).collect();
+        let shared = graph.instantiate_work();
+        let is_node_ns = graph
+            .operator_ids()
+            .map(|id| graph.spec(id).namespace == Namespace::Node)
+            .collect();
+        let hosted = graph
+            .operator_ids()
+            .map(|id| relay_ops.contains(&id))
+            .collect();
+        RelayExecutor {
+            per_node,
+            shared,
+            is_node_ns,
+            hosted,
+            platform,
+        }
+    }
+
+    /// Is `op` assigned to this relay tier?
+    pub fn hosts(&self, op: OperatorId) -> bool {
+        self.hosted[op.0]
+    }
+
+    /// Deliver an element that arrived from `node` over cut edge `edge`.
+    /// Hosted destinations are executed (cascading within the tier);
+    /// anything else — including the incoming element itself when its
+    /// destination lives further downstream — comes back as a forward.
+    pub fn deliver(
+        &mut self,
+        graph: &Graph,
+        node: usize,
+        edge: EdgeId,
+        value: &Value,
+    ) -> RelayCascade {
+        let mut cascade = RelayCascade::default();
+        let e = graph.edge(edge);
+        if self.hosted[e.dst.0] {
+            self.run(graph, node, e.dst, e.dst_port, value, &mut cascade);
+        } else {
+            // Pure store-and-forward: the destination is on a later tier.
+            cascade.forwards.push((edge, value.clone()));
+        }
+        cascade
+    }
+
+    fn run(
+        &mut self,
+        graph: &Graph,
+        node: usize,
+        op: OperatorId,
+        port: usize,
+        input: &Value,
+        cascade: &mut RelayCascade,
+    ) {
+        debug_assert!(
+            graph.spec(op).kind != OperatorKind::Sink,
+            "sinks live on the final tier, not a relay"
+        );
+        let mut cx = wishbone_dataflow::ExecCtx::new();
+        let slot = if self.is_node_ns[op.0] {
+            &mut self.per_node[node][op.0]
+        } else {
+            &mut self.shared[op.0]
+        };
+        slot.as_mut()
+            .unwrap_or_else(|| panic!("operator {op} has no work function"))
+            .process(port, input, &mut cx);
+        let (outputs, counts) = cx.finish();
+        cascade.cpu_seconds += self.platform.seconds_for(&counts) * self.platform.os_overhead;
+        let out_edges: Vec<EdgeId> = graph.out_edges(op).to_vec();
+        for v in &outputs {
+            for &eid in &out_edges {
+                let e = graph.edge(eid);
+                if self.hosted[e.dst.0] {
+                    self.run(graph, node, e.dst, e.dst_port, v, cascade);
+                } else {
+                    cascade.forwards.push((eid, v.clone()));
+                }
+            }
+        }
+    }
+}
+
 /// Executes the server partition for a whole network of nodes.
 ///
 /// Node-namespace operators relocated to the server keep one work-function
@@ -295,6 +417,40 @@ mod tests {
         // directly here, but sink arrivals confirm flow; state sharing is
         // observable through graph semantics in the deployment tests.
         assert_eq!(se.sink_arrivals, 2);
+    }
+
+    #[test]
+    fn relay_runs_hosted_ops_and_forwards_the_rest() {
+        let (g, src, counter, _) = counting_graph();
+        // Tier chain: {src} on the mote, {counter} on the relay, sink on
+        // the server.
+        let relay_ops: HashSet<_> = [counter].into_iter().collect();
+        let mut relay = RelayExecutor::new(&g, &relay_ops, 2, Platform::gumstix());
+        let cut = g.out_edges(src)[0];
+        let c1 = relay.deliver(&g, 0, cut, &Value::I16(1));
+        let c2 = relay.deliver(&g, 0, cut, &Value::I16(1));
+        let c3 = relay.deliver(&g, 1, cut, &Value::I16(1));
+        // The counter runs *at the relay* with per-node state: node 0 sees
+        // 1 then 2, node 1 starts over at 1.
+        assert_eq!(c1.forwards[0].1, Value::I32(1));
+        assert_eq!(c2.forwards[0].1, Value::I32(2));
+        assert_eq!(c3.forwards[0].1, Value::I32(1));
+        assert!(c1.cpu_seconds > 0.0);
+        // Every forward targets the counter -> sink edge.
+        let out = g.out_edges(counter)[0];
+        assert!(c1.forwards.iter().all(|(e, _)| *e == out));
+    }
+
+    #[test]
+    fn relay_passes_through_traffic_for_later_tiers() {
+        let (g, src, _counter, _) = counting_graph();
+        // Empty relay tier: everything is pass-through, untouched.
+        let relay_ops: HashSet<_> = HashSet::new();
+        let mut relay = RelayExecutor::new(&g, &relay_ops, 1, Platform::gumstix());
+        let cut = g.out_edges(src)[0];
+        let c = relay.deliver(&g, 0, cut, &Value::I16(7));
+        assert_eq!(c.forwards, vec![(cut, Value::I16(7))]);
+        assert_eq!(c.cpu_seconds, 0.0, "store-and-forward costs no app CPU");
     }
 
     #[test]

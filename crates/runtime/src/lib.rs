@@ -4,12 +4,17 @@
 //!
 //! * [`TaskModel`] — the TinyOS cooperative task model with loop-boundary
 //!   task splitting (paper §5.2);
-//! * [`NodeExecutor`] / [`ServerExecutor`] — run the embedded and server
-//!   partitions with the paper's state semantics (per-node instances for
-//!   relocated stateful operators, §2.1.1);
+//! * [`NodeExecutor`] / [`RelayExecutor`] / [`ServerExecutor`] — run the
+//!   embedded, gateway, and server partitions with the paper's state
+//!   semantics (per-node instances for relocated stateful operators,
+//!   §2.1.1); relays store-and-forward traffic destined further
+//!   downstream;
 //! * [`simulate_deployment`] — the end-to-end testbed simulation behind
 //!   Figures 9 and 10: N nodes feeding one congested channel, counting
-//!   missed input events, dropped messages, and goodput.
+//!   missed input events, dropped messages, and goodput;
+//! * [`simulate_tiered_deployment`] — the multi-tier generalization: a
+//!   mote → gateway → server chain with one [`wishbone_net::Channel`] per
+//!   hop, reporting per-hop delivery and end-to-end goodput.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,7 +24,8 @@ pub mod exec;
 pub mod task;
 
 pub use deployment::{
-    simulate_deployment, simulate_deployment_multi, DeploymentConfig, DeploymentReport, SourceFeed,
+    simulate_deployment, simulate_deployment_multi, simulate_tiered_deployment, DeploymentConfig,
+    DeploymentReport, SourceFeed, TieredDeploymentReport,
 };
-pub use exec::{NodeCascade, NodeExecutor, ServerExecutor};
+pub use exec::{NodeCascade, NodeExecutor, RelayCascade, RelayExecutor, ServerExecutor};
 pub use task::TaskModel;

@@ -43,6 +43,11 @@ fn main() {
                 part.ilp_stats.nodes,
                 part.ilp_stats.warm_starts
             );
+            println!(
+                "backend: {:?} ({} warm / {} cold node LPs) — regressions in \
+                 BENCH_solver.json should reproduce here",
+                part.ilp_stats.backend, part.ilp_stats.warm_starts, part.ilp_stats.cold_starts
+            );
         }
         Err(e) => println!("rate x0.5: {e}"),
     }
@@ -65,18 +70,35 @@ fn main() {
     cfg_n80.ilp.time_limit = Some(std::time::Duration::from_secs(2));
     let mut prep_n80 =
         PreparedPartition::new(&app.graph, &prof, &n80, &cfg_n80).expect("pin analysis succeeds");
+    let mut sweep_stats: Vec<(String, u64, u64)> = Vec::new();
     for mult in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
-        let count = |prep: &mut PreparedPartition| -> String {
+        let mut count = |prep: &mut PreparedPartition, name: &str| -> String {
             match prep.solve_at(mult) {
-                Ok(part) => part.node_op_count().to_string(),
+                Ok(part) => {
+                    sweep_stats.push((
+                        format!("{name} x{mult}"),
+                        part.ilp_stats.warm_starts,
+                        part.ilp_stats.cold_starts,
+                    ));
+                    part.node_op_count().to_string()
+                }
                 Err(_) => "-".into(),
             }
         };
-        println!(
-            "{:>8.2} {:>10} {:>10}",
-            mult,
-            count(&mut prep_mote),
-            count(&mut prep_n80)
-        );
+        let mote_count = count(&mut prep_mote, "TMoteSky");
+        let n80_count = count(&mut prep_n80, "NokiaN80");
+        println!("{mult:>8.2} {mote_count:>10} {n80_count:>10}");
     }
+
+    // Solver diagnostics for the sweep: which backend ran the probes and
+    // how much warm-start reuse they got (a bench regression in
+    // BENCH_solver.json should be explainable from these numbers alone).
+    println!(
+        "\nsweep backends: TMoteSky -> {:?}, NokiaN80 -> {:?}",
+        prep_mote.solver_backend(),
+        prep_n80.solver_backend()
+    );
+    let warm: u64 = sweep_stats.iter().map(|s| s.1).sum();
+    let cold: u64 = sweep_stats.iter().map(|s| s.2).sum();
+    println!("sweep node LPs: {warm} warm-started, {cold} cold across all feasible probes");
 }

@@ -52,6 +52,14 @@ fn main() {
             c.partition.predicted_cpu * 100.0,
             c.partition.predicted_net
         );
+        println!(
+            "{:>13} solver: {:?} backend, {} B&B nodes ({} warm / {} cold LPs)",
+            "",
+            c.partition.ilp_stats.backend,
+            c.partition.ilp_stats.nodes,
+            c.partition.ilp_stats.warm_starts,
+            c.partition.ilp_stats.cold_starts
+        );
     }
     println!(
         "\nserver must accept partial results at {} distinct cut edges; \

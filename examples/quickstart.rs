@@ -59,13 +59,25 @@ fn main() {
             );
 
             // 4. The compiler's visualization (§3): heat = CPU, boxes =
-            // node partition.
+            // node partition, cut edges labelled with their profiled
+            // on-air bandwidth at the partitioned rate.
             let dot = to_dot(
                 &app.graph,
                 &DotOptions {
                     heat: prof.heat(&mote),
                     node_partition: part.node_ops.iter().copied().collect(),
                     label: "speech detection on TMote Sky (1/8 rate)".into(),
+                    cut_bandwidth: part
+                        .cut_edges
+                        .iter()
+                        .map(|&e| {
+                            (
+                                e,
+                                prof.edge_on_air_bandwidth(e, &mote) * cfg.rate_multiplier,
+                            )
+                        })
+                        .collect(),
+                    ..Default::default()
                 },
             );
             std::fs::write("speech_partition.dot", &dot).ok();

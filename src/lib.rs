@@ -62,9 +62,11 @@ pub mod prelude {
     };
     pub use wishbone_core::{
         all_node, all_server, build_partition_graph, evaluate, greedy, max_sustainable_rate,
-        partition, pin_analysis, pipeline_cutpoints, preprocess, Encoding, Mode, ObjectiveConfig,
-        Partition, PartitionConfig, PartitionError, PartitionGraph, Pin, PreparedPartition,
-        RateSearchResult,
+        max_sustainable_rate_multitier, partition, partition_multitier, pin_analysis,
+        pipeline_cutpoints, preprocess, Encoding, LinkSpec, Mode, MultiTierConfig,
+        MultiTierPartition, MultiTierRateResult, ObjectiveConfig, Partition, PartitionConfig,
+        PartitionError, PartitionGraph, Pin, PreparedMultiTier, PreparedPartition,
+        RateSearchResult, TierSpec,
     };
     pub use wishbone_dataflow::{
         Graph, GraphBuilder, Namespace, OperatorId, OperatorKind, OperatorSpec, Value, WorkFn,
@@ -73,7 +75,8 @@ pub mod prelude {
     pub use wishbone_net::{profile_network, Channel, ChannelParams, PacketFormat};
     pub use wishbone_profile::{profile, GraphProfile, Platform, SourceTrace};
     pub use wishbone_runtime::{
-        simulate_deployment, simulate_deployment_multi, DeploymentConfig, DeploymentReport,
-        SourceFeed, TaskModel,
+        simulate_deployment, simulate_deployment_multi, simulate_tiered_deployment,
+        DeploymentConfig, DeploymentReport, RelayExecutor, SourceFeed, TaskModel,
+        TieredDeploymentReport,
     };
 }

@@ -1,0 +1,217 @@
+//! End-to-end tests of the multi-tier subsystem.
+//!
+//! The correctness anchor is differential parity: for k = 2 the k-way
+//! monotone-cut partitioner must return the same operator assignment,
+//! objective, and verdict as the binary `partition()` on the apps-crate
+//! graphs, on both simplex backends (the same way the dense tableau
+//! anchored the sparse revised simplex in PR 3). On top of that, 3-tier
+//! chains are checked for structural invariants and wired through the
+//! tiered deployment simulator.
+
+use wishbone::core::MultiTierConfig;
+use wishbone::prelude::*;
+
+fn parity_on(
+    graph: &Graph,
+    prof: &GraphProfile,
+    node_platform: &Platform,
+    rates: &[f64],
+    backend: SolverBackend,
+) {
+    for &rate in rates {
+        let mut cfg = PartitionConfig::for_platform(node_platform).at_rate(rate);
+        cfg.ilp.backend = backend;
+        let mt_cfg = MultiTierConfig::binary(&cfg, node_platform);
+        let binary = partition(graph, prof, node_platform, &cfg);
+        let tiered = partition_multitier(graph, prof, &mt_cfg);
+        match (binary, tiered) {
+            (Ok(b), Ok(t)) => {
+                assert_eq!(
+                    b.node_ops, t.tier_ops[0],
+                    "node assignment diverged at rate {rate} on {backend:?}"
+                );
+                assert_eq!(b.server_ops, t.tier_ops[1]);
+                assert_eq!(b.cut_edges, t.link_cut_edges[0]);
+                assert!(
+                    (b.objective - t.objective).abs() < 1e-9 * (1.0 + b.objective.abs()),
+                    "objective diverged at rate {rate}: {} vs {}",
+                    b.objective,
+                    t.objective
+                );
+                assert_eq!(
+                    b.problem_size, t.problem_size,
+                    "the k=2 encoding must be the binary encoding, row for row"
+                );
+                assert_eq!(b.ilp_stats.backend, t.ilp_stats.backend);
+            }
+            (Err(b), Err(t)) => {
+                assert_eq!(b, t, "verdicts diverged at rate {rate} on {backend:?}")
+            }
+            (b, t) => panic!("rate {rate} {backend:?}: binary {b:?} vs multitier {t:?}"),
+        }
+    }
+}
+
+#[test]
+fn speech_k2_parity_both_backends() {
+    let mut app = build_speech_app(SpeechParams::default());
+    let trace = app.trace(40, 42);
+    let prof = profile(&mut app.graph, &[trace]).unwrap();
+    let mote = Platform::tmote_sky();
+    // 0.125 fits a prefix on the mote; 4.0 is hopeless (pinned source
+    // alone overruns): both Ok and Err verdicts must agree.
+    for backend in [SolverBackend::Dense, SolverBackend::Sparse] {
+        parity_on(&app.graph, &prof, &mote, &[0.125, 0.5, 4.0], backend);
+    }
+}
+
+#[test]
+fn eeg_k2_parity_both_backends() {
+    let mut app = build_eeg_channel();
+    let traces = app.traces(6, 2..4, 9);
+    let prof = profile(&mut app.graph, &traces).unwrap();
+    for platform in [Platform::tmote_sky(), Platform::nokia_n80()] {
+        for backend in [SolverBackend::Dense, SolverBackend::Sparse] {
+            parity_on(&app.graph, &prof, &platform, &[0.25, 1.0], backend);
+        }
+    }
+}
+
+#[test]
+fn eeg_three_tier_structure_and_rate_dominance() {
+    let mut app = build_eeg_app(EegParams {
+        n_channels: 4,
+        ..Default::default()
+    });
+    let traces = app.traces(6, 2..4, 13);
+    let prof = profile(&mut app.graph, &traces).unwrap();
+    let mote = Platform::tmote_sky();
+    let chain = [mote.clone(), Platform::iphone(), Platform::server()];
+
+    let cfg3 = MultiTierConfig::for_chain(&chain);
+    let part = partition_multitier(&app.graph, &prof, &cfg3.clone().at_rate(0.5))
+        .expect("3-tier feasible at half rate");
+    assert_eq!(part.k(), 3);
+    // Tier order is monotone along every dataflow edge.
+    for eid in app.graph.edge_ids() {
+        let e = app.graph.edge(eid);
+        assert!(part.tier_of(e.src).unwrap() <= part.tier_of(e.dst).unwrap());
+    }
+    // Sources sit on the motes, the sink on the server.
+    for &src in &app.sources {
+        assert_eq!(part.tier_of(src), Some(0));
+    }
+    assert_eq!(part.tier_of(app.sink), Some(2));
+    // Budgets hold on every constrained tier and link.
+    for (t, spec) in cfg3.tiers.iter().enumerate() {
+        if spec.cpu_budget.is_finite() {
+            assert!(part.predicted_cpu[t] <= spec.cpu_budget * 0.5 + 1e-9);
+        }
+    }
+    for (b, link) in cfg3.links.iter().enumerate() {
+        assert!(part.predicted_net[b] <= link.net_budget * 0.5 + 1e-9);
+    }
+
+    // Adding a relay can only help: the 3-tier max sustainable rate is at
+    // least the binary mote→server rate (a 2-tier solution embeds as a
+    // 3-tier one with an empty phone tier; the phone's WiFi uplink dwarfs
+    // the mote radio, so pass-through always fits).
+    let two = max_sustainable_rate_multitier(
+        &app.graph,
+        &prof,
+        &MultiTierConfig::for_chain(&[mote, Platform::server()]),
+        32.0,
+        0.02,
+    )
+    .unwrap()
+    .expect("2-tier feasible");
+    let three = max_sustainable_rate_multitier(&app.graph, &prof, &cfg3, 32.0, 0.02)
+        .unwrap()
+        .expect("3-tier feasible");
+    assert!(
+        three.rate >= two.rate * (1.0 - 0.05),
+        "3-tier rate {} must not trail 2-tier rate {}",
+        three.rate,
+        two.rate
+    );
+    assert_eq!(three.encodes, 1, "one encode for the whole search");
+}
+
+#[test]
+fn tiered_deployment_simulates_goodput_across_both_hops() {
+    let mut app = build_speech_app(SpeechParams::default());
+    let trace = app.trace(40, 7);
+    let prof = profile(&mut app.graph, std::slice::from_ref(&trace)).unwrap();
+    let chain = [
+        Platform::tmote_sky(),
+        Platform::gumstix(),
+        Platform::server(),
+    ];
+    let rate = 0.125;
+    let part = partition_multitier(
+        &app.graph,
+        &prof,
+        &MultiTierConfig::for_chain(&chain).at_rate(rate),
+    )
+    .expect("feasible at 1/8 rate");
+
+    let cfg = DeploymentConfig {
+        duration_s: 5.0,
+        rate_multiplier: rate,
+        ..DeploymentConfig::motes(2, 3)
+    };
+    let feeds = vec![SourceFeed {
+        source: app.source,
+        trace: trace.elements.clone(),
+        rate_hz: trace.rate_hz,
+    }];
+    let r = simulate_tiered_deployment(
+        &app.graph,
+        &part.tier_ops,
+        &feeds,
+        &chain,
+        &[ChannelParams::mote(), ChannelParams::wifi(400_000.0)],
+        &cfg,
+    );
+    assert!(r.events_offered > 0);
+    assert!(
+        r.input_processed_ratio() > 0.9,
+        "partitioned rate must be sustainable: {}",
+        r.input_processed_ratio()
+    );
+    // Both hops were exercised and neither collapsed: the partitioner's
+    // per-link budgets kept each offered load under its channel capacity.
+    assert!(r.hop_elements_sent[0] > 0);
+    assert!(r.hop_elements_sent[1] > 0);
+    assert!(r.hop_offered_load_bytes_per_sec[0] <= ChannelParams::mote().capacity_bytes_per_sec);
+    assert!(r.hop_offered_load_bytes_per_sec[1] <= 400_000.0);
+    assert!(r.goodput_ratio() > 0.5, "goodput {}", r.goodput_ratio());
+    assert_eq!(r.sink_arrivals, r.hop_elements_delivered[1]);
+}
+
+#[test]
+fn mixed_classes_still_compose_with_multitier_chains() {
+    // The §9 mixed-network path (one binary ILP per class) and the
+    // multitier path answer different questions about the same program;
+    // on a single-class network they must agree with each other through
+    // the k = 2 anchor.
+    let mut app = build_speech_app(SpeechParams::default());
+    let trace = app.trace(40, 21);
+    let prof = profile(&mut app.graph, &[trace]).unwrap();
+    let gumstix = Platform::gumstix();
+    let cfg = PartitionConfig::for_platform(&gumstix);
+    let mixed = wishbone::core::partition_mixed(
+        &app.graph,
+        &prof,
+        &[wishbone::core::NodeClass {
+            platform: gumstix.clone(),
+            count: 4,
+            config: cfg.clone(),
+        }],
+    )
+    .unwrap();
+    let tiered =
+        partition_multitier(&app.graph, &prof, &MultiTierConfig::binary(&cfg, &gumstix)).unwrap();
+    assert_eq!(mixed.classes[0].partition.node_ops, tiered.tier_ops[0]);
+    assert_eq!(mixed.server_entry_edges, tiered.link_cut_edges[0]);
+}

@@ -390,7 +390,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Sizes acceptable to [`vec`]: an exact count or a range of counts.
+    /// Sizes acceptable to [`vec()`]: an exact count or a range of counts.
     pub trait IntoSizeRange {
         /// Smallest allowed length and largest allowed length (inclusive).
         fn bounds(&self) -> (usize, usize);
