@@ -12,7 +12,7 @@ use wishbone_apps::{build_speech_app, SpeechParams};
 use wishbone_core::{partition, PartitionConfig};
 use wishbone_net::ChannelParams;
 use wishbone_profile::{profile, Platform};
-use wishbone_runtime::{simulate_deployment, DeploymentConfig};
+use wishbone_runtime::{simulate_deployment, SimulationConfig};
 
 fn main() {
     let mut app = build_speech_app(SpeechParams::default());
@@ -32,10 +32,10 @@ fn main() {
     let mut twenty_series = Vec::new();
     for (name, node_set) in app.cutpoints() {
         let run = |n_nodes: usize| -> f64 {
-            let cfg = DeploymentConfig {
+            let cfg = SimulationConfig {
                 duration_s: duration,
                 rate_multiplier: 1.0,
-                ..DeploymentConfig::motes(n_nodes, 29)
+                ..SimulationConfig::motes(n_nodes, 29)
             };
             simulate_deployment(
                 &app.graph, &node_set, app.source, &elems, 40.0, &mote, channel, &cfg,

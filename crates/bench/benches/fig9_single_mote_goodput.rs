@@ -9,7 +9,7 @@
 use wishbone_apps::{build_speech_app, SpeechParams};
 use wishbone_net::ChannelParams;
 use wishbone_profile::{profile, Platform};
-use wishbone_runtime::{simulate_deployment, DeploymentConfig};
+use wishbone_runtime::{simulate_deployment, SimulationConfig};
 
 fn main() {
     let mut app = build_speech_app(SpeechParams::default());
@@ -27,10 +27,10 @@ fn main() {
 
     let mut series = Vec::new();
     for (name, node_set) in app.cutpoints() {
-        let cfg = DeploymentConfig {
+        let cfg = SimulationConfig {
             duration_s: duration,
             rate_multiplier: 1.0,
-            ..DeploymentConfig::motes(1, 17)
+            ..SimulationConfig::motes(1, 17)
         };
         let rep = simulate_deployment(
             &app.graph, &node_set, app.source, &elems, 40.0, &mote, channel, &cfg,

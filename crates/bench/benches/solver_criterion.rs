@@ -26,8 +26,9 @@ use criterion::{criterion_group, BenchmarkId, Criterion};
 use wishbone_apps::{build_eeg_app, EegParams};
 use wishbone_core::{
     build_partition_graph, build_tiered_graph, encode, encode_multitier, partition, preprocess,
-    preprocess_tiered, Encoding, Mode, MultiTierConfig, ObjectiveConfig, PartitionConfig,
-    PartitionError, PartitionGraph, PreparedMultiTier, TierObjective,
+    preprocess_tiered, Deployment, DeploymentConfig, Encoding, LinkSpec, Mode, MultiTierConfig,
+    ObjectiveConfig, PartitionConfig, PartitionError, PartitionGraph, PreparedDeployment,
+    PreparedMultiTier, Site, TierObjective,
 };
 use wishbone_ilp::instances::chain_ilp;
 use wishbone_ilp::{Branching, IlpOptions, IlpStats, Problem, SolverBackend};
@@ -116,6 +117,61 @@ fn eeg_multitier_ilp(channels: usize, k: usize) -> Problem {
     let obj = TierObjective::bandwidth_only(cpu_budgets, net_budgets);
     let tg = preprocess_tiered(&tg, &obj).expect("merge ok").graph;
     encode_multitier(&tg, &obj).problem
+}
+
+/// A two-ward forest deployment of the EEG app: `count` caps per ward
+/// behind each of two gateways with (optionally asymmetric) backhauls —
+/// the tree-deployment instance of the benches and smokes.
+fn eeg_forest(
+    channels: usize,
+    count: usize,
+    backhaul_a: f64,
+    backhaul_b: f64,
+) -> (wishbone_dataflow::Graph, GraphProfile, Deployment) {
+    let (graph, prof) = eeg_app(channels);
+    let mote = Platform::tmote_sky();
+    let phone = Platform::iphone();
+    let mut dep = Deployment::new(Site::server("server", &Platform::server()));
+    let root = dep.root();
+    let gw_a = dep.attach(
+        root,
+        Site::new("gw-a", &phone),
+        LinkSpec {
+            beta: 1.0,
+            net_budget: backhaul_a,
+        },
+    );
+    let gw_b = dep.attach(
+        root,
+        Site::new("gw-b", &phone),
+        LinkSpec {
+            beta: 1.0,
+            net_budget: backhaul_b,
+        },
+    );
+    let ward_uplink = LinkSpec {
+        beta: 1.0,
+        net_budget: count as f64 * mote.radio.goodput_bytes_per_sec,
+    };
+    dep.attach(
+        gw_a,
+        Site::new("ward-a", &mote).with_count(count),
+        ward_uplink,
+    );
+    dep.attach(
+        gw_b,
+        Site::new("ward-b", &mote).with_count(count),
+        ward_uplink,
+    );
+    (graph, prof, dep)
+}
+
+/// The encoded (merged) forest ILP at unit rate.
+fn eeg_forest_ilp(channels: usize, count: usize) -> Problem {
+    let (graph, prof, dep) = eeg_forest(channels, count, 1e9, 1e9);
+    let prep = PreparedDeployment::new(&graph, &prof, &dep, &DeploymentConfig::default())
+        .expect("pins ok");
+    prep.problem().clone()
 }
 
 fn solver_scaling(c: &mut Criterion) {
@@ -217,6 +273,40 @@ fn multitier_scaling(c: &mut Criterion) {
         "k=3 backends disagree: dense {} vs sparse {}",
         d.objective,
         s.objective
+    );
+}
+
+/// Tree-deployment scaling: two coupled leaf classes vs the same app's
+/// single chain — the joint forest ILP is ~2x the chain's size with the
+/// identical ≈2-nonzeros-per-row structure.
+fn deployment_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deployment_scaling");
+    group.sample_size(10);
+    let instances: Vec<(String, Problem)> = vec![
+        ("forest_eeg1_2x1".into(), eeg_forest_ilp(1, 1)),
+        ("forest_eeg2_2x4".into(), eeg_forest_ilp(2, 4)),
+        ("forest_eeg4_2x4".into(), eeg_forest_ilp(4, 4)),
+    ];
+    for (name, p) in &instances {
+        group.bench_function(name.as_str(), |b| {
+            b.iter(|| p.solve_ilp(&IlpOptions::default()).expect("solvable"))
+        });
+    }
+    group.finish();
+    // Parity outside the timing loops: both backends agree on the forest.
+    let d = instances[1]
+        .1
+        .solve_ilp(&backend_opts(SolverBackend::Dense))
+        .expect("solvable");
+    let sp = instances[1]
+        .1
+        .solve_ilp(&backend_opts(SolverBackend::Sparse))
+        .expect("solvable");
+    assert!(
+        (d.objective - sp.objective).abs() < 1e-6 * (1.0 + d.objective.abs()),
+        "forest backends disagree: dense {} vs sparse {}",
+        d.objective,
+        sp.objective
     );
 }
 
@@ -381,6 +471,7 @@ criterion_group!(
     solver_scaling,
     backend_scaling,
     multitier_scaling,
+    deployment_scaling,
     ablation_preprocess,
     ablation_encoding,
     ablation_branching,
@@ -500,6 +591,47 @@ fn emit_json(reps: usize) {
         }
     }
 
+    // Tree deployments: a dense/sparse head-to-head on the 2-ward forest
+    // plus an asymmetric-gateway rate sweep on the prepared deployment
+    // (the forest_eeg example's solve pattern: one encode, per-rate
+    // rescale, per-gateway uplink rows).
+    {
+        let forest = eeg_forest_ilp(2, 4);
+        for backend in [SolverBackend::Dense, SolverBackend::Sparse] {
+            let label = match backend {
+                SolverBackend::Dense => "dense",
+                _ => "sparse",
+            };
+            let (median_ns, nodes, warm_starts) = measure(reps, || {
+                let s = forest.solve_ilp(&backend_opts(backend)).expect("solvable");
+                (s.stats.nodes, s.stats.warm_starts)
+            });
+            records.push(JsonRecord {
+                bench: format!("deployment_forest_eeg2_2x4_{label}"),
+                median_ns,
+                nodes,
+                warm_starts,
+            });
+        }
+        // Asymmetric backhauls: gw-a starved to ~the trickle, gw-b roomy.
+        let (graph, prof, dep) = eeg_forest(4, 4, 500.0, 400_000.0);
+        let mut dcfg = DeploymentConfig::default();
+        dcfg.ilp.rel_gap = 0.025;
+        let mut prep = PreparedDeployment::new(&graph, &prof, &dep, &dcfg).expect("pins ok");
+        for rate in [0.25, 0.5, 1.0, 2.0] {
+            let (median_ns, nodes, warm_starts) = measure(reps, || match prep.solve_at(rate) {
+                Ok(part) => (part.ilp_stats.nodes, part.ilp_stats.warm_starts),
+                Err(_) => (0, 0),
+            });
+            records.push(JsonRecord {
+                bench: format!("deployment_forest_eeg4_asym_sweep_x{rate}"),
+                median_ns,
+                nodes,
+                warm_starts,
+            });
+        }
+    }
+
     let (graph, prof) = eeg_app(2);
     let mote = Platform::tmote_sky();
     let cfg = PartitionConfig::for_platform(&mote);
@@ -603,6 +735,19 @@ fn smoke(backend: SolverBackend) {
         mt_theirs.objective
     );
 
+    // One tree-deployment instance per smoke: the 2-ward forest encoding
+    // must solve on this backend to the same optimum as the other.
+    let forest = eeg_forest_ilp(1, 1);
+    let f_mine = forest.solve_ilp(&backend_opts(backend)).expect("solvable");
+    assert_eq!(f_mine.stats.backend, backend);
+    let f_theirs = forest.solve_ilp(&backend_opts(other)).expect("solvable");
+    assert!(
+        (f_mine.objective - f_theirs.objective).abs() < 1e-6 * (1.0 + f_mine.objective.abs()),
+        "backends disagree on the 2-ward forest: {backend:?} {} vs {other:?} {}",
+        f_mine.objective,
+        f_theirs.objective
+    );
+
     let (graph, prof) = eeg_app(1);
     let mote = Platform::tmote_sky();
     let mut cfg = PartitionConfig::for_platform(&mote);
@@ -613,12 +758,14 @@ fn smoke(backend: SolverBackend) {
     assert_eq!(r.encodes, 1, "rate search must encode exactly once");
     println!(
         "smoke[{label}] OK: {} nodes ({} warm) on 1ch EEG; chain_972 obj {:.1} \
-         in {} nodes; multitier k3 obj {:.1}; rate search found x{:.3} in {} probes / {} encode",
+         in {} nodes; multitier k3 obj {:.1}; forest obj {:.1}; rate search found \
+         x{:.3} in {} probes / {} encode",
         warm_stats.nodes,
         warm_stats.warm_starts,
         mine.objective,
         mine.stats.nodes,
         mt_mine.objective,
+        f_mine.objective,
         r.rate,
         r.evaluations,
         r.encodes
@@ -644,6 +791,14 @@ fn sizes() {
         let p = eeg_multitier_ilp(channels, k);
         println!(
             "multitier_eeg_{channels}ch_k{k}: merged {} vars x {} cons",
+            p.num_vars(),
+            p.num_constraints(),
+        );
+    }
+    for (channels, count) in [(1usize, 1usize), (2, 4), (4, 4), (11, 20)] {
+        let p = eeg_forest_ilp(channels, count);
+        println!(
+            "deployment_forest_eeg{channels}_2x{count}: merged {} vars x {} cons",
             p.num_vars(),
             p.num_constraints(),
         );

@@ -17,7 +17,7 @@ use wishbone_core::{
 };
 use wishbone_net::{profile_network, ChannelParams};
 use wishbone_profile::{profile, Platform};
-use wishbone_runtime::{simulate_deployment, DeploymentConfig, TaskModel};
+use wishbone_runtime::{simulate_deployment, SimulationConfig, TaskModel};
 
 fn main() {
     let mut app = build_speech_app(SpeechParams::default());
@@ -53,10 +53,10 @@ fn main() {
     let mut best: Option<(&str, f64)> = None;
     let mut rec_good = 0.0;
     for (name, node_set) in app.cutpoints() {
-        let dcfg = DeploymentConfig {
+        let dcfg = SimulationConfig {
             duration_s: 30.0,
             rate_multiplier: r.rate,
-            ..DeploymentConfig::motes(1, 77)
+            ..SimulationConfig::motes(1, 77)
         };
         let rep = simulate_deployment(
             &app.graph, &node_set, app.source, &elems, 40.0, &mote, channel, &dcfg,
@@ -86,11 +86,11 @@ fn main() {
     let gumstix = Platform::gumstix();
     let gcfg = PartitionConfig::for_platform(&gumstix);
     let gpart = partition(&app.graph, &prof, &gumstix, &gcfg).expect("gumstix fits");
-    let dcfg = DeploymentConfig {
+    let dcfg = SimulationConfig {
         duration_s: 20.0,
         task_model: TaskModel::threaded(),
         per_packet_cpu_s: 20e-6,
-        ..DeploymentConfig::motes(1, 3)
+        ..SimulationConfig::motes(1, 3)
     };
     let rep = simulate_deployment(
         &app.graph,

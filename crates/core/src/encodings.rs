@@ -483,6 +483,304 @@ pub fn encode_multitier(tg: &TieredGraph, obj: &TierObjective) -> EncodedMultiTi
     }
 }
 
+// ---------------------------------------------------------------------------
+// Tree deployments: monotone cuts per leaf class, coupled per-site rows
+// ---------------------------------------------------------------------------
+
+/// One leaf class of a tree deployment, ready to encode: the (merged)
+/// chain graph along the leaf's root path, plus the site index at every
+/// path position and the leaf's device count.
+///
+/// Each leaf class runs its own instance of the program along its own
+/// mote → gateway → … → server path; what couples the classes is the
+/// *sites*: a gateway's CPU row and uplink row sum the contributions of
+/// every leaf class routed through it.
+#[derive(Debug, Clone)]
+pub struct LeafChain<'g> {
+    /// The leaf's chain graph (tiers = `path.len()`), built over the
+    /// path's platforms and optionally merged by
+    /// [`crate::multitier::preprocess_tiered`]. Borrowed: the encoder
+    /// only reads it, and [`EncodedDeployment`] retains nothing from it.
+    pub graph: &'g TieredGraph,
+    /// Site index at each path position, leaf first, root last.
+    pub path: Vec<usize>,
+    /// Device count of the leaf class.
+    pub count: f64,
+}
+
+/// Per-site weights, budgets, and counts of a tree deployment, indexed by
+/// site. `beta`/`net_budget` describe each non-root site's *uplink* (the
+/// tree edge towards its parent); the root entries are ignored.
+#[derive(Debug, Clone)]
+pub struct DeploymentObjective {
+    /// CPU weight per site.
+    pub alpha: Vec<f64>,
+    /// CPU budget per site, as a fraction of one device's CPU
+    /// (`INFINITY` = unconstrained).
+    pub cpu_budget: Vec<f64>,
+    /// Device count per site (≥ 1; leaf counts multiply the traffic and
+    /// relay load offered upward, interior counts divide it — a site's
+    /// row measures the per-device load of its busiest representative
+    /// under perfect balancing).
+    pub count: Vec<f64>,
+    /// Uplink bandwidth weight per site (root entry unused).
+    pub beta: Vec<f64>,
+    /// Uplink bandwidth budget per site, aggregate on-air bytes/second
+    /// across the whole subtree (root entry unused; `INFINITY` omits the
+    /// row).
+    pub net_budget: Vec<f64>,
+    /// Canonical row-emission order of sites: depth-descending, index
+    /// ascending. For a path deployment this is leaf → … → root, which is
+    /// what makes the encoding row-for-row identical to
+    /// [`encode_multitier`].
+    pub row_order: Vec<usize>,
+}
+
+/// An encoded tree-deployment ILP plus the variable map to decode it.
+///
+/// Generalizes [`EncodedMultiTier`] from one chain to a forest of leaf
+/// chains sharing interior sites: per leaf class the same monotone
+/// indicators `y_u^b = 1 ⇔ position(u) ≤ b` with monotonicity and
+/// precedence rows, and per *site* one CPU row and one uplink row that
+/// sum every leaf class routed through it (weighted by device counts).
+/// With a single leaf the encoding degenerates — row for row, bit for
+/// bit — into [`encode_multitier`] (and thus, for a 2-site star, into the
+/// binary restricted encoding), which is the differential parity anchor
+/// pinned by `tests/proptest_deployment.rs`.
+#[derive(Debug)]
+pub struct EncodedDeployment {
+    /// The integer program.
+    pub problem: Problem,
+    /// `y_vars[l][b][v]`: indicator "leaf `l`'s vertex `v` sits at path
+    /// position ≤ `b`".
+    pub y_vars: Vec<Vec<Vec<VarId>>>,
+    /// CPU-budget row per site (`None` when infinite or empty), with the
+    /// folded root-row constant for in-place rate re-targeting.
+    pub cpu_rows: Vec<Option<CpuRow>>,
+    /// Uplink-budget row per site (`None` for the root and for
+    /// infinite/empty budgets).
+    pub net_rows: Vec<Option<usize>>,
+    /// Constant objective term at unit rate (root CPU charged at
+    /// `α_root`), invisible to the solver.
+    pub objective_offset: f64,
+}
+
+impl EncodedDeployment {
+    /// Decode a solver assignment into per-leaf vertex path positions.
+    pub fn decode(&self, values: &[f64]) -> Vec<Vec<usize>> {
+        self.y_vars
+            .iter()
+            .map(|leaf| {
+                let n = leaf.first().map_or(0, Vec::len);
+                let k = leaf.len() + 1;
+                (0..n)
+                    .map(|v| {
+                        leaf.iter()
+                            .position(|b| values[b[v].0] > 0.5)
+                            .unwrap_or(k - 1)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Build the coupled monotone-cut ILP for a tree deployment.
+///
+/// Every element of `leaves` contributes its own block of indicator
+/// variables and monotonicity/precedence rows; CPU and uplink budget rows
+/// are emitted **per site** in `obj.row_order`, summing all leaf classes
+/// that cross the site. Coefficients are scaled by device counts: a leaf
+/// with `count` devices offers `count ×` its per-device traffic to every
+/// uplink it crosses, and `count / count_site ×` its per-device CPU to
+/// every interior site (perfect balancing across the site's devices).
+pub fn encode_deployment(leaves: &[LeafChain<'_>], obj: &DeploymentObjective) -> EncodedDeployment {
+    let n_sites = obj.alpha.len();
+    assert!(!leaves.is_empty(), "a deployment needs at least one leaf");
+    assert_eq!(obj.cpu_budget.len(), n_sites);
+    assert_eq!(obj.count.len(), n_sites);
+    assert_eq!(obj.beta.len(), n_sites);
+    assert_eq!(obj.net_budget.len(), n_sites);
+    assert_eq!(obj.row_order.len(), n_sites);
+    for leaf in leaves {
+        assert_eq!(
+            leaf.graph.tiers,
+            leaf.path.len(),
+            "leaf chain graph must span its whole path"
+        );
+        assert!(leaf.path.len() >= 2, "a leaf path needs at least two sites");
+        assert!(leaf.count > 0.0);
+    }
+
+    let mut p = Problem::new();
+
+    // Per-leaf per-boundary per-vertex net coefficients (leaf-local,
+    // unscaled — counts are applied at the point of use so a count of 1
+    // reproduces the chain encoding bit for bit).
+    let net_coeff: Vec<Vec<Vec<f64>>> = leaves
+        .iter()
+        .map(|leaf| {
+            let k = leaf.path.len();
+            let n = leaf.graph.vertices.len();
+            let mut nc = vec![vec![0.0f64; n]; k - 1];
+            for e in &leaf.graph.edges {
+                for (b, &r) in e.bandwidth.iter().enumerate() {
+                    nc[b][e.src] += r;
+                    nc[b][e.dst] -= r;
+                }
+            }
+            nc
+        })
+        .collect();
+
+    // Variables: leaf-major, boundary-major, vertex within — so a single
+    // leaf reproduces encode_multitier's VarIds exactly. Objective of
+    // y_u^b: site(b)'s CPU gains u, site(b+1)'s loses it, and the uplink
+    // of site(b) carries u's net coefficient.
+    let y_vars: Vec<Vec<Vec<VarId>>> = leaves
+        .iter()
+        .enumerate()
+        .map(|(l, leaf)| {
+            let k = leaf.path.len();
+            (0..k - 1)
+                .map(|b| {
+                    let (sb, sb1) = (leaf.path[b], leaf.path[b + 1]);
+                    let cpu_scale = leaf.count / obj.count[sb];
+                    let cpu_scale1 = leaf.count / obj.count[sb1];
+                    leaf.graph
+                        .vertices
+                        .iter()
+                        .enumerate()
+                        .map(|(v, vert)| {
+                            let (lo, hi) = match vert.pin {
+                                Pin::Movable => (0.0, 1.0),
+                                Pin::Node => (1.0, 1.0),
+                                Pin::Server => (0.0, 0.0),
+                            };
+                            let mut c = obj.alpha[sb] * (cpu_scale * vert.cpu_cost[b])
+                                + obj.beta[sb] * (leaf.count * net_coeff[l][b][v]);
+                            if obj.alpha[sb1] != 0.0 {
+                                c -= obj.alpha[sb1] * (cpu_scale1 * vert.cpu_cost[b + 1]);
+                            }
+                            p.add_var(lo, hi, c, true)
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+
+    // Per-leaf structural rows: monotonicity y^{b+1} ≥ y^b, then edge
+    // precedence y_u^b ≥ y_v^b per boundary.
+    for (l, leaf) in leaves.iter().enumerate() {
+        let k = leaf.path.len();
+        for b in 0..k.saturating_sub(2) {
+            for (&y_next, &y_cur) in y_vars[l][b + 1].iter().zip(&y_vars[l][b]) {
+                p.add_constraint(&[(y_next, 1.0), (y_cur, -1.0)], Sense::Ge, 0.0);
+            }
+        }
+        for y_b in &y_vars[l] {
+            for e in &leaf.graph.edges {
+                p.add_constraint(&[(y_b[e.src], 1.0), (y_b[e.dst], -1.0)], Sense::Ge, 0.0);
+            }
+        }
+    }
+
+    // CPU budget per site, coupling every leaf class that crosses it.
+    let mut cpu_rows: Vec<Option<CpuRow>> = vec![None; n_sites];
+    for &s in &obj.row_order {
+        if !obj.cpu_budget[s].is_finite() {
+            continue;
+        }
+        let mut terms: Vec<(VarId, f64)> = Vec::new();
+        let mut shift = 0.0f64;
+        for (l, leaf) in leaves.iter().enumerate() {
+            let Some(t) = leaf.path.iter().position(|&site| site == s) else {
+                continue;
+            };
+            let k = leaf.path.len();
+            let scale = leaf.count / obj.count[s];
+            for (v, vert) in leaf.graph.vertices.iter().enumerate() {
+                let c = scale * vert.cpu_cost[t];
+                if c == 0.0 {
+                    continue;
+                }
+                if t < k - 1 {
+                    terms.push((y_vars[l][t][v], c));
+                }
+                if t > 0 {
+                    terms.push((y_vars[l][t - 1][v], -c));
+                }
+                if t == k - 1 {
+                    shift += c;
+                }
+            }
+        }
+        if terms.is_empty() {
+            continue;
+        }
+        cpu_rows[s] = Some(CpuRow {
+            row: p.num_constraints(),
+            shift,
+        });
+        p.add_constraint(&terms, Sense::Le, obj.cpu_budget[s] - shift);
+    }
+
+    // Uplink budget per non-root site: aggregate on-air load of every
+    // leaf class whose path crosses this tree edge.
+    let root = *leaves[0].path.last().expect("non-empty path");
+    let mut net_rows: Vec<Option<usize>> = vec![None; n_sites];
+    for &s in &obj.row_order {
+        if s == root || !obj.net_budget[s].is_finite() {
+            continue;
+        }
+        let mut terms: Vec<(VarId, f64)> = Vec::new();
+        for (l, leaf) in leaves.iter().enumerate() {
+            let Some(b) = leaf.path.iter().position(|&site| site == s) else {
+                continue;
+            };
+            debug_assert!(b < leaf.path.len() - 1, "non-root site at root position");
+            for (v, &nc) in net_coeff[l][b].iter().enumerate() {
+                let c = leaf.count * nc;
+                if c != 0.0 {
+                    terms.push((y_vars[l][b][v], c));
+                }
+            }
+        }
+        if terms.is_empty() {
+            continue;
+        }
+        net_rows[s] = Some(p.num_constraints());
+        p.add_constraint(&terms, Sense::Le, obj.net_budget[s]);
+    }
+
+    // Root CPU cost is Σ c·(1 − y): its constant is invisible to the
+    // solver and reported via the offset (per leaf, count-scaled).
+    let mut objective_offset = 0.0f64;
+    for leaf in leaves {
+        let root = *leaf.path.last().expect("non-empty path");
+        if obj.alpha[root] != 0.0 {
+            let k = leaf.path.len();
+            let scale = leaf.count / obj.count[root];
+            objective_offset += obj.alpha[root]
+                * leaf
+                    .graph
+                    .vertices
+                    .iter()
+                    .map(|vert| scale * vert.cpu_cost[k - 1])
+                    .sum::<f64>();
+        }
+    }
+
+    EncodedDeployment {
+        problem: p,
+        y_vars,
+        cpu_rows,
+        net_rows,
+        objective_offset,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

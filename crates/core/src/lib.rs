@@ -21,7 +21,13 @@
 //!    exhaustive comparators;
 //! 8. [`multitier`] — §9's hierarchies done properly: k-way monotone cuts
 //!    over mote → gateway → server chains, one joint ILP instead of one
-//!    binary cut per node class.
+//!    binary cut per node class;
+//! 9. [`topology`] — the topology-first surface every entry point above
+//!    now delegates to: a [`topology::Deployment`] tree of sites (motes,
+//!    gateways, servers) whose path, star, and 2-site special cases are
+//!    the multi-tier, mixed, and binary partitioners — and whose genuine
+//!    trees (many motes per gateway, per-gateway uplink budgets) are new
+//!    capability.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +40,7 @@ pub mod multitier;
 pub mod partitioner;
 pub mod preprocess;
 pub mod rate_search;
+pub mod topology;
 
 pub use baselines::{
     all_node, all_server, evaluate, exhaustive, greedy, local_search, pipeline_cutpoints,
@@ -43,8 +50,8 @@ pub use cost_graph::{
     build_partition_graph, pin_analysis, Mode, PEdge, PVertex, PartitionGraph, Pin, PinError,
 };
 pub use encodings::{
-    encode, encode_multitier, EncodedMultiTier, EncodedProblem, Encoding, ObjectiveConfig,
-    TierObjective,
+    encode, encode_deployment, encode_multitier, DeploymentObjective, EncodedDeployment,
+    EncodedMultiTier, EncodedProblem, Encoding, LeafChain, ObjectiveConfig, TierObjective,
 };
 pub use mixed::{partition_mixed, ClassPartition, MixedPartition, NodeClass};
 pub use multitier::{
@@ -55,3 +62,7 @@ pub use multitier::{
 pub use partitioner::{partition, Partition, PartitionConfig, PartitionError, PreparedPartition};
 pub use preprocess::{preprocess, PreprocessResult};
 pub use rate_search::{max_sustainable_rate, RateSearchResult};
+pub use topology::{
+    max_sustainable_rate_deployment, partition_deployment, Deployment, DeploymentConfig,
+    DeploymentPartition, DeploymentRateResult, LeafPartition, PreparedDeployment, Site, SiteId,
+};

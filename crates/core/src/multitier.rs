@@ -27,14 +27,12 @@
 use std::collections::{HashMap, HashSet};
 
 use wishbone_dataflow::{EdgeId, Graph, OperatorId};
-use wishbone_ilp::{
-    solve_ilp_in, IlpOptions, IlpStats, SimplexWorkspace, SolveError, SolverBackend, VarId,
-};
+use wishbone_ilp::{IlpOptions, IlpStats, SolverBackend};
 use wishbone_net::ChannelParams;
 use wishbone_profile::{GraphProfile, Platform};
 
 use crate::cost_graph::{pin_analysis, Mode, PartitionGraph, Pin, PinError};
-use crate::encodings::{encode_multitier, EncodedMultiTier, TierObjective};
+use crate::encodings::TierObjective;
 use crate::partitioner::{PartitionConfig, PartitionError};
 use crate::preprocess::{combine_pins, find_cycle_scc, Dsu};
 
@@ -471,7 +469,9 @@ impl MultiTierConfig {
         );
     }
 
-    fn objective(&self) -> TierObjective {
+    /// The chain's [`TierObjective`] view (what the tiered merge and the
+    /// standalone [`crate::encodings::encode_multitier`] oracle consume).
+    pub fn objective(&self) -> TierObjective {
         TierObjective {
             alpha: self.tiers.iter().map(|t| t.alpha).collect(),
             cpu_budget: self.tiers.iter().map(|t| t.cpu_budget).collect(),
@@ -528,6 +528,11 @@ impl MultiTierPartition {
 /// One-shot convenience over [`PreparedMultiTier`]; callers probing many
 /// rates should prepare once and call
 /// [`solve_at`](PreparedMultiTier::solve_at) per rate.
+///
+/// Prefer [`partition_deployment`](crate::topology::partition_deployment):
+/// a chain is the path special case of a [`Deployment`](crate::topology::Deployment)
+/// tree, and this function now delegates to that one code path (the
+/// encodings stay independently pinned by the differential parity tests).
 pub fn partition_multitier(
     graph: &Graph,
     profile: &GraphProfile,
@@ -542,21 +547,19 @@ pub fn partition_multitier(
 /// [`PreparedPartition`](crate::partitioner::PreparedPartition), with the
 /// same rescaling contract: graph build, tiered merge, and encoding happen
 /// once; every probe rescales the prepared ILP in place (objective × rate,
-/// budget right-hand sides ÷ rate) on one reused [`SimplexWorkspace`],
-/// seeding branch-and-bound with the previous incumbent.
+/// budget right-hand sides ÷ rate) on one reused
+/// [`wishbone_ilp::SimplexWorkspace`], seeding branch-and-bound with the
+/// previous incumbent.
+///
+/// Since the topology-first redesign this is a thin wrapper over
+/// [`PreparedDeployment`](crate::topology::PreparedDeployment) on the
+/// path image of the chain: a k-site path produces
+/// [`crate::encodings::encode_multitier`]'s encoding row for row (pinned by
+/// `tests/proptest_deployment.rs` against the independent chain encoder),
+/// so one quotient/merge/encode/rescale code path serves binary, chain,
+/// and tree partitioning alike.
 pub struct PreparedMultiTier<'a> {
-    graph: &'a Graph,
-    profile: &'a GraphProfile,
-    cfg: MultiTierConfig,
-    tg: TieredGraph,
-    vertices_before: usize,
-    vertices_after: usize,
-    ep: EncodedMultiTier,
-    base_objective: Vec<f64>,
-    workspace: SimplexWorkspace,
-    encodes: u32,
-    solves: u32,
-    last_values: Option<Vec<f64>>,
+    inner: crate::topology::PreparedDeployment<'a>,
 }
 
 impl<'a> PreparedMultiTier<'a> {
@@ -569,154 +572,57 @@ impl<'a> PreparedMultiTier<'a> {
         cfg: &MultiTierConfig,
     ) -> Result<Self, PartitionError> {
         cfg.validate();
-        let obj = cfg.objective();
-        let platforms: Vec<Platform> = cfg.tiers.iter().map(|t| t.platform.clone()).collect();
-        let tg0 = build_tiered_graph(graph, profile, &platforms, cfg.mode, 1.0)?;
-        let vertices_before = tg0.vertices.len();
-        let (tg, vertices_after) = if cfg.preprocess {
-            let r = preprocess_tiered(&tg0, &obj)?;
-            let after = r.vertices_after;
-            (r.graph, after)
-        } else {
-            (tg0, vertices_before)
+        let dep = crate::topology::Deployment::from_multitier(cfg);
+        let dcfg = crate::topology::DeploymentConfig {
+            mode: cfg.mode,
+            preprocess: cfg.preprocess,
+            rate_multiplier: 1.0,
+            ilp: cfg.ilp.clone(),
         };
-
-        let ep = encode_multitier(&tg, &obj);
-        let base_objective: Vec<f64> = (0..ep.problem.num_vars())
-            .map(|j| ep.problem.objective_coeff(VarId(j)))
-            .collect();
         Ok(PreparedMultiTier {
-            graph,
-            profile,
-            cfg: cfg.clone(),
-            tg,
-            vertices_before,
-            vertices_after,
-            ep,
-            base_objective,
-            workspace: SimplexWorkspace::new(),
-            encodes: 1,
-            solves: 0,
-            last_values: None,
+            inner: crate::topology::PreparedDeployment::new(graph, profile, &dep, &dcfg)?,
         })
     }
 
     /// How many times the ILP has been encoded (always 1).
     pub fn encodes(&self) -> u32 {
-        self.encodes
+        self.inner.encodes()
     }
 
     /// How many rate probes this instance has solved.
     pub fn solves(&self) -> u32 {
-        self.solves
+        self.inner.solves()
     }
 
     /// The simplex backend that will solve this prepared instance
     /// (resolved against the encoded size — never `Auto`).
     pub fn solver_backend(&self) -> SolverBackend {
-        self.cfg.ilp.backend.resolve(&self.ep.problem)
+        self.inner.solver_backend()
     }
 
     /// ILP size: (variables, constraints).
     pub fn problem_size(&self) -> (usize, usize) {
-        (
-            self.ep.problem.num_vars(),
-            self.ep.problem.num_constraints(),
-        )
+        self.inner.problem_size()
     }
 
     /// Solve the prepared instance at `rate` (a multiplier on the
     /// profile's reference input rate).
     pub fn solve_at(&mut self, rate: f64) -> Result<MultiTierPartition, PartitionError> {
-        assert!(rate > 0.0, "rate multiplier must be positive");
-        self.solves += 1;
-
-        for (j, &base) in self.base_objective.iter().enumerate() {
-            self.ep.problem.set_objective_coeff(VarId(j), base * rate);
-        }
-        for (t, row) in self.ep.cpu_rows.iter().enumerate() {
-            if let Some(cr) = row {
-                self.ep
-                    .problem
-                    .set_rhs(cr.row, self.cfg.tiers[t].cpu_budget / rate - cr.shift);
-            }
-        }
-        for (b, row) in self.ep.net_rows.iter().enumerate() {
-            if let Some(r) = row {
-                self.ep
-                    .problem
-                    .set_rhs(*r, self.cfg.links[b].net_budget / rate);
-            }
-        }
-
-        let mut opts = self.cfg.ilp.clone();
-        if opts.warm_solution.is_none() {
-            opts.warm_solution = self.last_values.clone();
-        }
-        let (result, _stats) = solve_ilp_in(&self.ep.problem, &opts, &mut self.workspace);
-        let sol = match result {
-            Ok(s) => s,
-            Err(SolveError::Infeasible) => return Err(PartitionError::Infeasible),
-            Err(e) => return Err(PartitionError::Solver(e)),
-        };
-        self.last_values = Some(sol.values.clone());
-
-        let k = self.cfg.k();
-        let vertex_tiers = self.ep.decode(&sol.values);
-        let op_tiers = self.tg.op_tiers(&vertex_tiers, self.graph.operator_count());
-
-        let mut tier_ops: Vec<HashSet<OperatorId>> = vec![HashSet::new(); k];
-        for id in self.graph.operator_ids() {
-            tier_ops[op_tiers[id.0]].insert(id);
-        }
-
-        // An edge is carried over link b exactly when
-        // tier(src) ≤ b < tier(dst).
-        let mut link_cut_edges: Vec<Vec<EdgeId>> = vec![Vec::new(); k - 1];
-        for eid in self.graph.edge_ids() {
-            let e = self.graph.edge(eid);
-            for (b, cut) in link_cut_edges.iter_mut().enumerate() {
-                if op_tiers[e.src.0] <= b && b < op_tiers[e.dst.0] {
-                    cut.push(eid);
-                }
-            }
-        }
-
-        // Report predictions against the original (unmerged) weights.
-        let predicted_cpu: Vec<f64> = (0..k)
-            .map(|t| {
-                tier_ops[t]
-                    .iter()
-                    .map(|&op| self.profile.cpu_fraction(op, &self.cfg.tiers[t].platform) * rate)
-                    .sum()
-            })
-            .collect();
-        let predicted_net: Vec<f64> = link_cut_edges
-            .iter()
-            .enumerate()
-            .map(|(b, cut)| {
-                cut.iter()
-                    .map(|&e| {
-                        self.profile
-                            .edge_on_air_bandwidth(e, &self.cfg.tiers[b].platform)
-                            * rate
-                    })
-                    .sum()
-            })
-            .collect();
-
+        let dp = self.inner.solve_at(rate)?;
+        let leaf = dp
+            .leaves
+            .into_iter()
+            .next()
+            .expect("a chain deployment has exactly one leaf");
         Ok(MultiTierPartition {
-            tier_ops,
-            link_cut_edges,
-            predicted_cpu,
-            predicted_net,
-            objective: sol.objective + self.ep.objective_offset * rate,
-            ilp_stats: sol.stats,
-            problem_size: (
-                self.ep.problem.num_vars(),
-                self.ep.problem.num_constraints(),
-            ),
-            merge_stats: (self.vertices_before, self.vertices_after),
+            tier_ops: leaf.site_ops,
+            link_cut_edges: leaf.link_cut_edges,
+            predicted_cpu: leaf.predicted_cpu,
+            predicted_net: leaf.predicted_net,
+            objective: dp.objective,
+            ilp_stats: dp.ilp_stats,
+            problem_size: dp.problem_size,
+            merge_stats: dp.merge_stats,
         })
     }
 }
@@ -773,6 +679,7 @@ pub fn max_sustainable_rate_multitier(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::encodings::encode_multitier;
     use crate::partitioner::partition;
     use wishbone_dataflow::{ExecCtx, FnWork, GraphBuilder, Value};
     use wishbone_profile::{profile as run_profile, SourceTrace};

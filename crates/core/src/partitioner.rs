@@ -153,6 +153,13 @@ impl From<PinError> for PartitionError {
 /// One-shot convenience over [`PreparedPartition`]; callers solving the
 /// same application at many rates (rate searches, figure sweeps) should
 /// prepare once and call [`PreparedPartition::solve_at`] per rate.
+///
+/// Prefer [`partition_deployment`](crate::topology::partition_deployment):
+/// the node/server split is the 2-site star special case of a
+/// [`Deployment`](crate::topology::Deployment) tree, and (for the default
+/// restricted encoding) this function now delegates to that one code path
+/// — the encodings themselves stay independently pinned by the
+/// differential parity tests.
 pub fn partition(
     graph: &Graph,
     profile: &GraphProfile,
@@ -177,6 +184,22 @@ pub fn partition(
 /// with the previous incumbent, which (rates only shrink the load) is
 /// usually still feasible and prunes the new tree from node one.
 pub struct PreparedPartition<'a> {
+    inner: PreparedInner<'a>,
+}
+
+/// The restricted encoding is the 2-site star special case of the
+/// topology-first deployment path — one quotient/merge/encode/rescale
+/// implementation shared with the multi-tier and tree partitioners,
+/// producing the binary encoding bit for bit (pinned by
+/// `tests/proptest_deployment.rs`). The general (edge-variable)
+/// formulation of §4.2.1 eq. 3–5 is not expressible as monotone
+/// indicators, so it keeps the direct [`encode`] path.
+enum PreparedInner<'a> {
+    Tree(crate::topology::PreparedDeployment<'a>),
+    General(PreparedGeneral<'a>),
+}
+
+struct PreparedGeneral<'a> {
     graph: &'a Graph,
     profile: &'a GraphProfile,
     platform: &'a Platform,
@@ -188,7 +211,6 @@ pub struct PreparedPartition<'a> {
     /// Objective coefficients of the unit-rate encoding.
     base_objective: Vec<f64>,
     workspace: SimplexWorkspace,
-    encodes: u32,
     solves: u32,
     last_values: Option<Vec<f64>>,
 }
@@ -203,6 +225,21 @@ impl<'a> PreparedPartition<'a> {
         platform: &'a Platform,
         cfg: &PartitionConfig,
     ) -> Result<Self, PartitionError> {
+        if cfg.encoding == Encoding::Restricted {
+            let dep = crate::topology::Deployment::binary(cfg, platform);
+            let dcfg = crate::topology::DeploymentConfig {
+                mode: cfg.mode,
+                preprocess: cfg.preprocess,
+                rate_multiplier: 1.0,
+                ilp: cfg.ilp.clone(),
+            };
+            return Ok(PreparedPartition {
+                inner: PreparedInner::Tree(crate::topology::PreparedDeployment::new(
+                    graph, profile, &dep, &dcfg,
+                )?),
+            });
+        }
+
         let pg0 = build_partition_graph(graph, profile, platform, cfg.mode, 1.0)?;
         let vertices_before = pg0.vertices.len();
         let (pg, vertices_after) = if cfg.preprocess {
@@ -224,31 +261,38 @@ impl<'a> PreparedPartition<'a> {
             .map(|j| ep.problem.objective_coeff(VarId(j)))
             .collect();
         Ok(PreparedPartition {
-            graph,
-            profile,
-            platform,
-            cfg: cfg.clone(),
-            pg,
-            vertices_before,
-            vertices_after,
-            ep,
-            base_objective,
-            workspace: SimplexWorkspace::new(),
-            encodes: 1,
-            solves: 0,
-            last_values: None,
+            inner: PreparedInner::General(PreparedGeneral {
+                graph,
+                profile,
+                platform,
+                cfg: cfg.clone(),
+                pg,
+                vertices_before,
+                vertices_after,
+                ep,
+                base_objective,
+                workspace: SimplexWorkspace::new(),
+                solves: 0,
+                last_values: None,
+            }),
         })
     }
 
     /// How many times the ILP has been encoded (always 1: that is the
     /// point — rate probes rescale, they do not re-encode).
     pub fn encodes(&self) -> u32 {
-        self.encodes
+        match &self.inner {
+            PreparedInner::Tree(prep) => prep.encodes(),
+            PreparedInner::General(_) => 1,
+        }
     }
 
     /// How many rate probes this instance has solved.
     pub fn solves(&self) -> u32 {
-        self.solves
+        match &self.inner {
+            PreparedInner::Tree(prep) => prep.solves(),
+            PreparedInner::General(prep) => prep.solves,
+        }
     }
 
     /// The simplex backend that will solve this prepared instance —
@@ -256,12 +300,46 @@ impl<'a> PreparedPartition<'a> {
     /// (rate rescaling never changes the shape, so the choice is fixed
     /// for the lifetime of the preparation).
     pub fn solver_backend(&self) -> SolverBackend {
-        self.cfg.ilp.backend.resolve(&self.ep.problem)
+        match &self.inner {
+            PreparedInner::Tree(prep) => prep.solver_backend(),
+            PreparedInner::General(prep) => prep.cfg.ilp.backend.resolve(&prep.ep.problem),
+        }
     }
 
     /// Solve the prepared instance at `rate` (a multiplier on the
     /// profile's reference input rate).
     pub fn solve_at(&mut self, rate: f64) -> Result<Partition, PartitionError> {
+        match &mut self.inner {
+            PreparedInner::Tree(prep) => {
+                let dp = prep.solve_at(rate)?;
+                let leaf = dp
+                    .leaves
+                    .into_iter()
+                    .next()
+                    .expect("a binary deployment has exactly one leaf");
+                let mut site_ops = leaf.site_ops.into_iter();
+                let node_ops = site_ops.next().expect("leaf side");
+                let server_ops = site_ops.next().expect("server side");
+                let mut link_cut_edges = leaf.link_cut_edges.into_iter();
+                Ok(Partition {
+                    node_ops,
+                    server_ops,
+                    cut_edges: link_cut_edges.next().expect("single cut"),
+                    predicted_cpu: leaf.predicted_cpu[0],
+                    predicted_net: leaf.predicted_net[0],
+                    objective: dp.objective,
+                    ilp_stats: dp.ilp_stats,
+                    problem_size: dp.problem_size,
+                    merge_stats: dp.merge_stats,
+                })
+            }
+            PreparedInner::General(prep) => prep.solve_at(rate),
+        }
+    }
+}
+
+impl PreparedGeneral<'_> {
+    fn solve_at(&mut self, rate: f64) -> Result<Partition, PartitionError> {
         assert!(rate > 0.0, "rate multiplier must be positive");
         self.solves += 1;
 

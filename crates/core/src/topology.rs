@@ -1,0 +1,1150 @@
+//! Topology-first deployments: one `Deployment` tree subsumes binary,
+//! mixed, and multi-tier partitioning.
+//!
+//! The paper's §9 sketches heterogeneous deployments ("run the
+//! partitioning algorithm once for each type of node"); PR 4 generalized
+//! the cut to tier *chains*. This module is the single entry point both
+//! of those grew into: a [`Deployment`] is a rooted tree of [`Site`]s —
+//! each site a platform, a device count, and a CPU budget; each tree edge
+//! an uplink [`LinkSpec`] with its own radio framing (the child site's)
+//! and bandwidth budget. Every *leaf* site runs its own instance of the
+//! program, partitioned along its root path; interior sites (gateways)
+//! and tree edges are **shared**, so one joint ILP prices a gateway's CPU
+//! and uplink across every mote class routed through it.
+//!
+//! Special cases, each pinned by differential parity tests:
+//!
+//! * a 2-site star (one leaf under the server) is the binary restricted
+//!   encoding, bit for bit — [`crate::partitioner::partition`];
+//! * a k-site path is [`crate::encodings::encode_multitier`] row for row
+//!   — [`crate::multitier::partition_multitier`];
+//! * a star of heterogeneous leaves decouples into one binary ILP per
+//!   leaf — [`crate::mixed::partition_mixed`];
+//! * a genuine tree (many motes per gateway, many gateways per server,
+//!   each gateway with its own uplink budget) is new capability: the
+//!   branching topology the ROADMAP called for.
+//!
+//! [`PreparedDeployment`] keeps the `PreparedPartition` contract: graph
+//! build, per-leaf §4.1 merge, and encoding happen **once**; every rate
+//! probe rescales the prepared ILP in place on one reused
+//! [`SimplexWorkspace`], seeding branch-and-bound with the previous
+//! incumbent; [`max_sustainable_rate_deployment`] runs §4.3 on the shared
+//! `search_max_rate` skeleton.
+
+use std::collections::HashSet;
+
+use wishbone_dataflow::{EdgeId, Graph, OperatorId};
+use wishbone_ilp::{
+    solve_ilp_in, IlpOptions, IlpStats, SimplexWorkspace, SolveError, SolverBackend, VarId,
+};
+use wishbone_profile::{GraphProfile, Platform};
+
+use crate::cost_graph::Mode;
+use crate::encodings::TierObjective;
+use crate::encodings::{encode_deployment, DeploymentObjective, EncodedDeployment, LeafChain};
+use crate::multitier::{build_tiered_graph, preprocess_tiered, LinkSpec, MultiTierConfig};
+use crate::partitioner::{PartitionConfig, PartitionError};
+
+/// Index of a [`Site`] within its [`Deployment`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SiteId(pub usize);
+
+/// One node of the deployment tree: a class of identical devices.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Human-readable name (reporting, DOT cluster labels).
+    pub name: String,
+    /// Platform cost model of this site's devices.
+    pub platform: Platform,
+    /// Number of physical devices at this site (leaf counts multiply the
+    /// traffic and relay load offered upward; interior counts divide it —
+    /// perfect balancing across the site's devices).
+    pub count: usize,
+    /// CPU weight of this site in the objective.
+    pub alpha: f64,
+    /// CPU budget as a fraction of one device's CPU
+    /// (`f64::INFINITY` = unconstrained, e.g. the backend server).
+    pub cpu_budget: f64,
+    /// Per-leaf input-rate factor relative to the profile's reference
+    /// rate, multiplied with the global rate at solve time (meaningful on
+    /// leaf sites; mirrors `partition_mixed`'s per-class rates).
+    pub rate_factor: f64,
+}
+
+impl Site {
+    /// A budgeted site on `platform` (count 1, `α = 0`, the platform's
+    /// CPU budget, unit rate).
+    pub fn new(name: impl Into<String>, platform: &Platform) -> Self {
+        Site {
+            name: name.into(),
+            platform: platform.clone(),
+            count: 1,
+            alpha: 0.0,
+            cpu_budget: platform.cpu_budget_fraction,
+            rate_factor: 1.0,
+        }
+    }
+
+    /// An unconstrained site (the paper's server with "infinite
+    /// computational power": no CPU row).
+    pub fn server(name: impl Into<String>, platform: &Platform) -> Self {
+        Site {
+            cpu_budget: f64::INFINITY,
+            ..Site::new(name, platform)
+        }
+    }
+
+    /// Override the device count (builder style).
+    pub fn with_count(mut self, count: usize) -> Self {
+        assert!(count >= 1, "a site needs at least one device");
+        self.count = count;
+        self
+    }
+
+    /// Override the CPU budget (builder style).
+    pub fn with_cpu_budget(mut self, cpu_budget: f64) -> Self {
+        self.cpu_budget = cpu_budget;
+        self
+    }
+
+    /// Override the CPU objective weight (builder style).
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Override the per-leaf rate factor (builder style).
+    pub fn at_rate(mut self, rate_factor: f64) -> Self {
+        assert!(rate_factor > 0.0);
+        self.rate_factor = rate_factor;
+        self
+    }
+}
+
+/// A rooted tree of [`Site`]s. The root is the backend server; every
+/// other site has a parent and an uplink [`LinkSpec`] describing the tree
+/// edge towards it. Leaves host the program's sources.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    sites: Vec<Site>,
+    parent: Vec<Option<SiteId>>,
+    uplink: Vec<Option<LinkSpec>>,
+}
+
+impl Deployment {
+    /// A deployment consisting only of its root.
+    pub fn new(root: Site) -> Self {
+        Deployment {
+            sites: vec![root],
+            parent: vec![None],
+            uplink: vec![None],
+        }
+    }
+
+    /// The root site (always index 0).
+    pub fn root(&self) -> SiteId {
+        SiteId(0)
+    }
+
+    /// Attach `site` under `parent` with the given uplink; returns the
+    /// new site's id. Acyclicity holds by construction (the parent must
+    /// already exist).
+    pub fn attach(&mut self, parent: SiteId, site: Site, uplink: LinkSpec) -> SiteId {
+        assert!(parent.0 < self.sites.len(), "unknown parent site");
+        let id = SiteId(self.sites.len());
+        self.sites.push(site);
+        self.parent.push(Some(parent));
+        self.uplink.push(Some(uplink));
+        id
+    }
+
+    /// A path deployment mirroring [`MultiTierConfig::for_chain`]:
+    /// `platforms` innermost-first, every non-final platform budgeted at
+    /// its own CPU fraction and radio goodput, the final platform an
+    /// unconstrained server.
+    pub fn chain(platforms: &[Platform]) -> Self {
+        assert!(platforms.len() >= 2, "a chain needs at least two sites");
+        let k = platforms.len();
+        let mut dep = Deployment::new(Site::server(
+            platforms[k - 1].name.clone(),
+            &platforms[k - 1],
+        ));
+        let mut parent = dep.root();
+        for p in platforms[..k - 1].iter().rev() {
+            parent = dep.attach(
+                parent,
+                Site::new(p.name.clone(), p),
+                LinkSpec {
+                    beta: 1.0,
+                    net_budget: p.radio.goodput_bytes_per_sec,
+                },
+            );
+        }
+        dep
+    }
+
+    /// The exact path image of a [`MultiTierConfig`]: partitioning with
+    /// this deployment produces the same ILP as
+    /// [`crate::multitier::partition_multitier`], row for row.
+    pub fn from_multitier(cfg: &MultiTierConfig) -> Self {
+        let k = cfg.k();
+        let last = &cfg.tiers[k - 1];
+        let mut dep = Deployment::new(Site {
+            name: last.platform.name.clone(),
+            platform: last.platform.clone(),
+            count: 1,
+            alpha: last.alpha,
+            cpu_budget: last.cpu_budget,
+            rate_factor: 1.0,
+        });
+        let mut parent = dep.root();
+        for t in (0..k - 1).rev() {
+            let tier = &cfg.tiers[t];
+            parent = dep.attach(
+                parent,
+                Site {
+                    name: tier.platform.name.clone(),
+                    platform: tier.platform.clone(),
+                    count: 1,
+                    alpha: tier.alpha,
+                    cpu_budget: tier.cpu_budget,
+                    rate_factor: 1.0,
+                },
+                cfg.links[t],
+            );
+        }
+        dep
+    }
+
+    /// The exact 2-site star image of a binary [`PartitionConfig`] on
+    /// `node_platform`: one leaf under an unconstrained server, producing
+    /// the binary restricted encoding bit for bit (`cfg.encoding` is
+    /// ignored — monotone cuts *are* the restricted formulation).
+    pub fn binary(cfg: &PartitionConfig, node_platform: &Platform) -> Self {
+        let mut dep = Deployment::new(Site::server("server", &Platform::server()));
+        let root = dep.root();
+        dep.attach(
+            root,
+            Site::new(node_platform.name.clone(), node_platform)
+                .with_alpha(cfg.alpha)
+                .with_cpu_budget(cfg.cpu_budget),
+            LinkSpec {
+                beta: cfg.beta,
+                net_budget: cfg.net_budget,
+            },
+        );
+        dep
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Always false: a deployment owns at least its root.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The site behind `id`.
+    pub fn site(&self, id: SiteId) -> &Site {
+        &self.sites[id.0]
+    }
+
+    /// Parent of `id` (`None` for the root).
+    pub fn parent(&self, id: SiteId) -> Option<SiteId> {
+        self.parent[id.0]
+    }
+
+    /// Uplink of `id` (`None` for the root).
+    pub fn uplink(&self, id: SiteId) -> Option<&LinkSpec> {
+        self.uplink[id.0].as_ref()
+    }
+
+    /// All site ids, root first.
+    pub fn site_ids(&self) -> impl Iterator<Item = SiteId> {
+        (0..self.sites.len()).map(SiteId)
+    }
+
+    /// Children of `id`, in insertion order.
+    pub fn children(&self, id: SiteId) -> Vec<SiteId> {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter(|&(_, p)| *p == Some(id))
+            .map(|(i, _)| SiteId(i))
+            .collect()
+    }
+
+    /// Leaf sites (no children), in insertion order. Each leaf runs one
+    /// instance of the program.
+    pub fn leaves(&self) -> Vec<SiteId> {
+        let mut has_child = vec![false; self.sites.len()];
+        for p in self.parent.iter().flatten() {
+            has_child[p.0] = true;
+        }
+        (0..self.sites.len())
+            .filter(|&i| !has_child[i])
+            .map(SiteId)
+            .collect()
+    }
+
+    /// Depth of `id` (root = 0).
+    pub fn depth(&self, id: SiteId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.parent[cur.0] {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// The root path of `id`: `id`, its parent, …, the root.
+    pub fn path(&self, id: SiteId) -> Vec<SiteId> {
+        let mut path = vec![id];
+        let mut cur = id;
+        while let Some(p) = self.parent[cur.0] {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+
+    /// Canonical row-emission order: depth descending, index ascending —
+    /// for a path deployment exactly leaf → … → root, which anchors the
+    /// row-for-row parity with the chain encodings.
+    pub fn site_order(&self) -> Vec<SiteId> {
+        let mut order: Vec<SiteId> = self.site_ids().collect();
+        order.sort_by_key(|&s| (std::cmp::Reverse(self.depth(s)), s.0));
+        order
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.sites.len() >= 2,
+            "a deployment needs at least one leaf under the root"
+        );
+        assert!(
+            !self.leaves().contains(&self.root()),
+            "the root cannot be a leaf"
+        );
+        for s in &self.sites {
+            assert!(s.count >= 1, "site {:?} has no devices", s.name);
+        }
+    }
+
+    /// The per-site objective handed to the encoder.
+    fn objective(&self) -> DeploymentObjective {
+        DeploymentObjective {
+            alpha: self.sites.iter().map(|s| s.alpha).collect(),
+            cpu_budget: self.sites.iter().map(|s| s.cpu_budget).collect(),
+            count: self.sites.iter().map(|s| s.count as f64).collect(),
+            beta: self
+                .uplink
+                .iter()
+                .map(|u| u.map_or(0.0, |l| l.beta))
+                .collect(),
+            net_budget: self
+                .uplink
+                .iter()
+                .map(|u| u.map_or(f64::INFINITY, |l| l.net_budget))
+                .collect(),
+            row_order: self.site_order().iter().map(|s| s.0).collect(),
+        }
+    }
+
+    /// The chain view of one leaf's root path, as a [`TierObjective`]
+    /// (what the per-leaf §4.1 merge reasons about).
+    fn leaf_objective(&self, leaf: SiteId) -> TierObjective {
+        let path = self.path(leaf);
+        TierObjective {
+            alpha: path.iter().map(|&s| self.sites[s.0].alpha).collect(),
+            cpu_budget: path.iter().map(|&s| self.sites[s.0].cpu_budget).collect(),
+            beta: path[..path.len() - 1]
+                .iter()
+                .map(|&s| self.uplink[s.0].expect("non-root site has an uplink").beta)
+                .collect(),
+            net_budget: path[..path.len() - 1]
+                .iter()
+                .map(|&s| {
+                    self.uplink[s.0]
+                        .expect("non-root site has an uplink")
+                        .net_budget
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Solver-side configuration of [`partition_deployment`] — the topology
+/// itself lives in [`Deployment`]. (The simulation-side sibling is
+/// `wishbone_runtime::SimulationConfig`.)
+#[derive(Debug, Clone)]
+pub struct DeploymentConfig {
+    /// Stateful-relocation mode (§2.1.1).
+    pub mode: Mode,
+    /// Apply the (per-leaf, tiered) §4.1 merge preprocessing.
+    pub preprocess: bool,
+    /// Global input-rate multiplier relative to the profile's reference
+    /// rate (composed with each leaf site's `rate_factor`).
+    pub rate_multiplier: f64,
+    /// Branch-and-bound options (backend selection included).
+    pub ilp: IlpOptions,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> Self {
+        DeploymentConfig {
+            mode: Mode::Permissive,
+            preprocess: true,
+            rate_multiplier: 1.0,
+            ilp: IlpOptions::default(),
+        }
+    }
+}
+
+impl DeploymentConfig {
+    /// Override the rate multiplier (builder style).
+    pub fn at_rate(mut self, rate_multiplier: f64) -> Self {
+        self.rate_multiplier = rate_multiplier;
+        self
+    }
+}
+
+/// One leaf class's share of a computed [`DeploymentPartition`]: where
+/// each operator of that leaf's program instance runs along its root
+/// path, and what crosses each hop.
+#[derive(Debug, Clone)]
+pub struct LeafPartition {
+    /// The leaf site.
+    pub leaf: SiteId,
+    /// The leaf's root path (leaf first, root last).
+    pub path: Vec<SiteId>,
+    /// Operators assigned to each path position.
+    pub site_ops: Vec<HashSet<OperatorId>>,
+    /// Dataflow edges carried over each hop (length `path.len() − 1`).
+    /// An edge whose endpoints are several positions apart appears on
+    /// every hop it crosses: relays store-and-forward it.
+    pub link_cut_edges: Vec<Vec<EdgeId>>,
+    /// Predicted per-device CPU fraction at each path position, at this
+    /// leaf's effective rate.
+    pub predicted_cpu: Vec<f64>,
+    /// Predicted per-device on-air bytes/second over each hop.
+    pub predicted_net: Vec<f64>,
+}
+
+impl LeafPartition {
+    /// Path position of `op`, if it exists in the program.
+    pub fn position_of(&self, op: OperatorId) -> Option<usize> {
+        self.site_ops.iter().position(|s| s.contains(&op))
+    }
+}
+
+/// A computed tree-deployment partition.
+#[derive(Debug, Clone)]
+pub struct DeploymentPartition {
+    /// Per-leaf placements, in [`Deployment::leaves`] order.
+    pub leaves: Vec<LeafPartition>,
+    /// Aggregate per-device CPU fraction per site (the budget-row view:
+    /// every leaf class through the site, count-balanced).
+    pub site_cpu: Vec<f64>,
+    /// Aggregate on-air bytes/second over each site's uplink (0 for the
+    /// root).
+    pub link_net: Vec<f64>,
+    /// Objective value `Σ_s α_s·cpu_s + Σ_e β_e·net_e` over the merged
+    /// graphs.
+    pub objective: f64,
+    /// Solver statistics.
+    pub ilp_stats: IlpStats,
+    /// ILP size actually solved: (variables, constraints).
+    pub problem_size: (usize, usize),
+    /// Summed per-leaf chain-graph vertices before and after the merge.
+    pub merge_stats: (usize, usize),
+}
+
+impl DeploymentPartition {
+    /// The placement of the leaf class rooted at `leaf`.
+    pub fn leaf(&self, leaf: SiteId) -> Option<&LeafPartition> {
+        self.leaves.iter().find(|l| l.leaf == leaf)
+    }
+
+    /// Operators hosted at `site` for at least one leaf class.
+    pub fn ops_at(&self, site: SiteId) -> HashSet<OperatorId> {
+        let mut ops = HashSet::new();
+        for leaf in &self.leaves {
+            if let Some(pos) = leaf.path.iter().position(|&s| s == site) {
+                ops.extend(leaf.site_ops[pos].iter().copied());
+            }
+        }
+        ops
+    }
+}
+
+/// Compute the optimal placement of `graph` over `dep`'s topology.
+///
+/// One-shot convenience over [`PreparedDeployment`]; callers probing many
+/// rates should prepare once and call
+/// [`solve_at`](PreparedDeployment::solve_at) per rate.
+pub fn partition_deployment(
+    graph: &Graph,
+    profile: &GraphProfile,
+    dep: &Deployment,
+    cfg: &DeploymentConfig,
+) -> Result<DeploymentPartition, PartitionError> {
+    let mut prep = PreparedDeployment::new(graph, profile, dep, cfg)?;
+    prep.solve_at(cfg.rate_multiplier)
+}
+
+/// Per-leaf prepared state: the merged chain graph and its path.
+struct PreparedLeaf {
+    leaf: SiteId,
+    path: Vec<SiteId>,
+    graph: crate::multitier::TieredGraph,
+    rate_factor: f64,
+}
+
+/// A tree-deployment instance prepared for repeated solves at varying
+/// input rates — the topology-first sibling of
+/// [`PreparedPartition`](crate::partitioner::PreparedPartition) and the
+/// engine both it and `PreparedMultiTier` now delegate to. Same
+/// contract: graph build, per-leaf merge, and encoding happen once; every
+/// probe rescales the prepared ILP in place (objective × rate, budget
+/// right-hand sides ÷ rate) on one reused [`SimplexWorkspace`], seeding
+/// branch-and-bound with the previous incumbent.
+pub struct PreparedDeployment<'a> {
+    graph: &'a Graph,
+    profile: &'a GraphProfile,
+    dep: Deployment,
+    cfg: DeploymentConfig,
+    leaves: Vec<PreparedLeaf>,
+    vertices_before: usize,
+    vertices_after: usize,
+    ep: EncodedDeployment,
+    base_objective: Vec<f64>,
+    workspace: SimplexWorkspace,
+    encodes: u32,
+    solves: u32,
+    last_values: Option<Vec<f64>>,
+}
+
+impl<'a> PreparedDeployment<'a> {
+    /// Build every leaf's chain graph, merge, and encode — once.
+    /// `cfg.rate_multiplier` is ignored here; pass the rate to
+    /// [`solve_at`](PreparedDeployment::solve_at).
+    pub fn new(
+        graph: &'a Graph,
+        profile: &'a GraphProfile,
+        dep: &Deployment,
+        cfg: &DeploymentConfig,
+    ) -> Result<Self, PartitionError> {
+        dep.validate();
+        let mut leaves = Vec::new();
+        let mut vertices_before = 0;
+        let mut vertices_after = 0;
+        for leaf in dep.leaves() {
+            let path = dep.path(leaf);
+            let platforms: Vec<Platform> =
+                path.iter().map(|&s| dep.site(s).platform.clone()).collect();
+            let rate_factor = dep.site(leaf).rate_factor;
+            let tg0 = build_tiered_graph(graph, profile, &platforms, cfg.mode, rate_factor)?;
+            vertices_before += tg0.vertices.len();
+            let tg = if cfg.preprocess {
+                let r = preprocess_tiered(&tg0, &dep.leaf_objective(leaf))?;
+                vertices_after += r.vertices_after;
+                r.graph
+            } else {
+                vertices_after += tg0.vertices.len();
+                tg0
+            };
+            leaves.push(PreparedLeaf {
+                leaf,
+                path,
+                graph: tg,
+                rate_factor,
+            });
+        }
+
+        let chains: Vec<LeafChain<'_>> = leaves
+            .iter()
+            .map(|l| LeafChain {
+                graph: &l.graph,
+                path: l.path.iter().map(|s| s.0).collect(),
+                count: dep.site(l.leaf).count as f64,
+            })
+            .collect();
+        let ep = encode_deployment(&chains, &dep.objective());
+        let base_objective: Vec<f64> = (0..ep.problem.num_vars())
+            .map(|j| ep.problem.objective_coeff(VarId(j)))
+            .collect();
+        Ok(PreparedDeployment {
+            graph,
+            profile,
+            dep: dep.clone(),
+            cfg: cfg.clone(),
+            leaves,
+            vertices_before,
+            vertices_after,
+            ep,
+            base_objective,
+            workspace: SimplexWorkspace::new(),
+            encodes: 1,
+            solves: 0,
+            last_values: None,
+        })
+    }
+
+    /// How many times the ILP has been encoded (always 1).
+    pub fn encodes(&self) -> u32 {
+        self.encodes
+    }
+
+    /// How many rate probes this instance has solved.
+    pub fn solves(&self) -> u32 {
+        self.solves
+    }
+
+    /// The simplex backend that will solve this prepared instance
+    /// (resolved against the encoded size — never `Auto`).
+    pub fn solver_backend(&self) -> SolverBackend {
+        self.cfg.ilp.backend.resolve(&self.ep.problem)
+    }
+
+    /// ILP size: (variables, constraints).
+    pub fn problem_size(&self) -> (usize, usize) {
+        (
+            self.ep.problem.num_vars(),
+            self.ep.problem.num_constraints(),
+        )
+    }
+
+    /// The encoded problem at the most recent rate (diagnostics and
+    /// benches; solves go through [`solve_at`](Self::solve_at)).
+    pub fn problem(&self) -> &wishbone_ilp::Problem {
+        &self.ep.problem
+    }
+
+    /// Solve the prepared instance at `rate` (a global multiplier on the
+    /// profile's reference input rate, composed with each leaf's
+    /// `rate_factor`).
+    pub fn solve_at(&mut self, rate: f64) -> Result<DeploymentPartition, PartitionError> {
+        assert!(rate > 0.0, "rate multiplier must be positive");
+        self.solves += 1;
+
+        for (j, &base) in self.base_objective.iter().enumerate() {
+            self.ep.problem.set_objective_coeff(VarId(j), base * rate);
+        }
+        for (s, row) in self.ep.cpu_rows.iter().enumerate() {
+            if let Some(cr) = row {
+                self.ep.problem.set_rhs(
+                    cr.row,
+                    self.dep.site(SiteId(s)).cpu_budget / rate - cr.shift,
+                );
+            }
+        }
+        for (s, row) in self.ep.net_rows.iter().enumerate() {
+            if let Some(r) = row {
+                let budget = self
+                    .dep
+                    .uplink(SiteId(s))
+                    .expect("net row only on uplinked sites")
+                    .net_budget;
+                self.ep.problem.set_rhs(*r, budget / rate);
+            }
+        }
+
+        let mut opts = self.cfg.ilp.clone();
+        if opts.warm_solution.is_none() {
+            opts.warm_solution = self.last_values.clone();
+        }
+        let (result, _stats) = solve_ilp_in(&self.ep.problem, &opts, &mut self.workspace);
+        let sol = match result {
+            Ok(s) => s,
+            Err(SolveError::Infeasible) => return Err(PartitionError::Infeasible),
+            Err(e) => return Err(PartitionError::Solver(e)),
+        };
+        self.last_values = Some(sol.values.clone());
+
+        let decoded = self.ep.decode(&sol.values);
+        let mut leaves = Vec::with_capacity(self.leaves.len());
+        for (l, prep) in self.leaves.iter().enumerate() {
+            let k = prep.path.len();
+            let eff_rate = rate * prep.rate_factor;
+            let op_pos = prep
+                .graph
+                .op_tiers(&decoded[l], self.graph.operator_count());
+
+            let mut site_ops: Vec<HashSet<OperatorId>> = vec![HashSet::new(); k];
+            for id in self.graph.operator_ids() {
+                site_ops[op_pos[id.0]].insert(id);
+            }
+            let mut link_cut_edges: Vec<Vec<EdgeId>> = vec![Vec::new(); k - 1];
+            for eid in self.graph.edge_ids() {
+                let e = self.graph.edge(eid);
+                for (b, cut) in link_cut_edges.iter_mut().enumerate() {
+                    if op_pos[e.src.0] <= b && b < op_pos[e.dst.0] {
+                        cut.push(eid);
+                    }
+                }
+            }
+            // Report predictions against the original (unmerged) weights.
+            let predicted_cpu: Vec<f64> = (0..k)
+                .map(|t| {
+                    let platform = &self.dep.site(prep.path[t]).platform;
+                    site_ops[t]
+                        .iter()
+                        .map(|&op| self.profile.cpu_fraction(op, platform) * eff_rate)
+                        .sum()
+                })
+                .collect();
+            let predicted_net: Vec<f64> = link_cut_edges
+                .iter()
+                .enumerate()
+                .map(|(b, cut)| {
+                    let platform = &self.dep.site(prep.path[b]).platform;
+                    cut.iter()
+                        .map(|&e| self.profile.edge_on_air_bandwidth(e, platform) * eff_rate)
+                        .sum()
+                })
+                .collect();
+            leaves.push(LeafPartition {
+                leaf: prep.leaf,
+                path: prep.path.clone(),
+                site_ops,
+                link_cut_edges,
+                predicted_cpu,
+                predicted_net,
+            });
+        }
+
+        // Aggregate per-site and per-uplink loads (the budget-row view).
+        let n_sites = self.dep.len();
+        let mut site_cpu = vec![0.0f64; n_sites];
+        let mut link_net = vec![0.0f64; n_sites];
+        for leaf in &leaves {
+            let count = self.dep.site(leaf.leaf).count as f64;
+            for (t, &s) in leaf.path.iter().enumerate() {
+                site_cpu[s.0] += leaf.predicted_cpu[t] * count / self.dep.site(s).count as f64;
+                if t < leaf.path.len() - 1 {
+                    link_net[s.0] += leaf.predicted_net[t] * count;
+                }
+            }
+        }
+
+        Ok(DeploymentPartition {
+            leaves,
+            site_cpu,
+            link_net,
+            objective: sol.objective + self.ep.objective_offset * rate,
+            ilp_stats: sol.stats,
+            problem_size: (
+                self.ep.problem.num_vars(),
+                self.ep.problem.num_constraints(),
+            ),
+            merge_stats: (self.vertices_before, self.vertices_after),
+        })
+    }
+}
+
+/// Result of the topology-aware §4.3 rate search.
+#[derive(Debug, Clone)]
+pub struct DeploymentRateResult {
+    /// Highest feasible global rate multiplier found.
+    pub rate: f64,
+    /// The optimal placement at that rate.
+    pub partition: DeploymentPartition,
+    /// ILP solves consumed.
+    pub evaluations: u32,
+    /// Encodings performed — always 1 (probes rescale in place).
+    pub encodes: u32,
+    /// The simplex backend every probe ran on (resolved, never `Auto`).
+    pub backend: SolverBackend,
+}
+
+/// Binary-search the maximum sustainable global rate multiplier of a
+/// deployment in `(0, hi_limit]` to relative precision `tol` — §4.3 on
+/// the shared `search_max_rate` skeleton, every probe solving one
+/// prepared deployment ILP in place.
+///
+/// Returns `None` if the deployment is infeasible even at vanishingly
+/// small rates; solver errors propagate.
+pub fn max_sustainable_rate_deployment(
+    graph: &Graph,
+    profile: &GraphProfile,
+    dep: &Deployment,
+    cfg: &DeploymentConfig,
+    hi_limit: f64,
+    tol: f64,
+) -> Result<Option<DeploymentRateResult>, PartitionError> {
+    let mut prep = PreparedDeployment::new(graph, profile, dep, cfg)?;
+    let found = crate::rate_search::search_max_rate(
+        |rate| match prep.solve_at(rate) {
+            Ok(p) => Ok(Some(p)),
+            Err(PartitionError::Infeasible) => Ok(None),
+            Err(e) => Err(e),
+        },
+        hi_limit,
+        tol,
+    )?;
+    Ok(
+        found.map(|(rate, partition, evaluations)| DeploymentRateResult {
+            rate,
+            partition,
+            evaluations,
+            encodes: prep.encodes(),
+            backend: prep.solver_backend(),
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wishbone_dataflow::{ExecCtx, FnWork, GraphBuilder, Value};
+    use wishbone_profile::{profile as run_profile, SourceTrace};
+
+    /// src -> heavy 4x reducer -> light 2x reducer -> sink.
+    fn app() -> (Graph, OperatorId) {
+        let mut b = GraphBuilder::new();
+        b.enter_node_namespace();
+        let src = b.source("src");
+        let heavy = b.transform(
+            "heavy",
+            Box::new(FnWork(|_p: usize, v: &Value, cx: &mut ExecCtx| {
+                let w = v.as_i16s().unwrap();
+                cx.meter().loop_scope(w.len() as u64, |m| {
+                    m.fmul(40 * w.len() as u64);
+                    m.fadd(40 * w.len() as u64);
+                });
+                cx.emit(Value::VecI16(w.iter().step_by(4).copied().collect()));
+            })),
+            src,
+        );
+        let light = b.transform(
+            "light",
+            Box::new(FnWork(|_p: usize, v: &Value, cx: &mut ExecCtx| {
+                let w = v.as_i16s().unwrap();
+                cx.meter()
+                    .loop_scope(w.len() as u64, |m| m.int(w.len() as u64));
+                cx.emit(Value::VecI16(w.iter().step_by(2).copied().collect()));
+            })),
+            heavy,
+        );
+        b.exit_namespace();
+        b.sink("out", light);
+        (b.finish().unwrap(), src.0)
+    }
+
+    fn profiled() -> (Graph, GraphProfile) {
+        let (mut g, src) = app();
+        let t = SourceTrace {
+            source: src,
+            elements: (0..30)
+                .map(|i| Value::VecI16(vec![i as i16; 256]))
+                .collect(),
+            rate_hz: 20.0,
+        };
+        let prof = run_profile(&mut g, &[t]).unwrap();
+        (g, prof)
+    }
+
+    /// A forest: server <- {gw_a <- motes_a, gw_b <- motes_b}.
+    fn forest(uplink_a: f64, uplink_b: f64) -> Deployment {
+        let mut dep = Deployment::new(Site::server("server", &Platform::server()));
+        let root = dep.root();
+        let gw_a = dep.attach(
+            root,
+            Site::new("gw-a", &Platform::iphone()),
+            LinkSpec {
+                beta: 1.0,
+                net_budget: uplink_a,
+            },
+        );
+        let gw_b = dep.attach(
+            root,
+            Site::new("gw-b", &Platform::iphone()),
+            LinkSpec {
+                beta: 1.0,
+                net_budget: uplink_b,
+            },
+        );
+        let mote = Platform::tmote_sky();
+        for (gw, name) in [(gw_a, "motes-a"), (gw_b, "motes-b")] {
+            dep.attach(
+                gw,
+                Site::new(name, &mote),
+                LinkSpec {
+                    beta: 1.0,
+                    net_budget: mote.radio.goodput_bytes_per_sec,
+                },
+            );
+        }
+        dep
+    }
+
+    #[test]
+    fn tree_structure_helpers() {
+        let dep = forest(1e5, 1e5);
+        assert_eq!(dep.len(), 5);
+        assert_eq!(dep.leaves(), vec![SiteId(3), SiteId(4)]);
+        assert_eq!(dep.path(SiteId(3)), vec![SiteId(3), SiteId(1), SiteId(0)]);
+        assert_eq!(dep.depth(SiteId(3)), 2);
+        assert_eq!(dep.children(dep.root()), vec![SiteId(1), SiteId(2)]);
+        // Row order: deepest first, index ascending.
+        assert_eq!(
+            dep.site_order(),
+            vec![SiteId(3), SiteId(4), SiteId(1), SiteId(2), SiteId(0)]
+        );
+    }
+
+    #[test]
+    fn chain_deployment_matches_multitier_row_for_row() {
+        let (g, prof) = profiled();
+        let chain = [
+            Platform::tmote_sky(),
+            Platform::iphone(),
+            Platform::server(),
+        ];
+        let mt_cfg = MultiTierConfig::for_chain(&chain);
+        let mut mt_prep = crate::multitier::PreparedMultiTier::new(&g, &prof, &mt_cfg).unwrap();
+        let dep = Deployment::chain(&chain);
+        let mut prep =
+            PreparedDeployment::new(&g, &prof, &dep, &DeploymentConfig::default()).unwrap();
+        assert_eq!(prep.problem_size(), mt_prep.problem_size());
+        for rate in [0.1, 0.5, 2.0] {
+            match (prep.solve_at(rate), mt_prep.solve_at(rate)) {
+                (Ok(d), Ok(m)) => {
+                    assert_eq!(d.leaves[0].site_ops, m.tier_ops, "rate {rate}");
+                    assert_eq!(d.leaves[0].link_cut_edges, m.link_cut_edges);
+                    assert!((d.objective - m.objective).abs() < 1e-9 * (1.0 + m.objective.abs()));
+                }
+                (Err(d), Err(m)) => assert_eq!(d, m),
+                (d, m) => panic!("rate {rate}: deployment {d:?} vs multitier {m:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_forest_decouples() {
+        let (g, prof) = profiled();
+        // Generous gateways: both subtrees place identically (the joint
+        // problem decouples) and every uplink budget holds.
+        let dep = forest(1e6, 1e6);
+        let part = partition_deployment(&g, &prof, &dep, &DeploymentConfig::default().at_rate(0.2))
+            .expect("feasible");
+        assert_eq!(part.leaves.len(), 2);
+        assert_eq!(part.leaves[0].site_ops, part.leaves[1].site_ops);
+        for (s, &net) in part.link_net.iter().enumerate() {
+            if let Some(l) = dep.uplink(SiteId(s)) {
+                assert!(
+                    net <= l.net_budget + 1e-9,
+                    "site {s} uplink {net} over {}",
+                    l.net_budget
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_gateway_cpu_row_couples_leaf_classes() {
+        // Two mote classes behind ONE gateway whose CPU budget fits
+        // hosting the pipeline for exactly one class: the joint ILP must
+        // give the gateway to one class and push the other's work to the
+        // server. partition_mixed cannot express this — its per-class
+        // solves would both claim the gateway.
+        let (g, prof) = profiled();
+        let phone = Platform::iphone();
+        let mote = Platform::tmote_sky();
+        let rate = 0.2;
+        let (heavy, light) = (OperatorId(1), OperatorId(2));
+        let heavy_gw = prof.cpu_fraction(heavy, &phone) * rate;
+        let light_gw = prof.cpu_fraction(light, &phone) * rate;
+        assert!(heavy_gw > light_gw, "the 40x flop stage dominates");
+        let one_class = heavy_gw + light_gw;
+
+        let mut dep = Deployment::new(Site::server("server", &Platform::server()));
+        let root = dep.root();
+        let gw = dep.attach(
+            root,
+            Site::new("gw", &phone).with_cpu_budget(1.5 * one_class),
+            LinkSpec {
+                beta: 1.0,
+                net_budget: 1e12,
+            },
+        );
+        // Motes can only afford their pinned source.
+        let src_cost = prof.cpu_fraction(OperatorId(0), &mote) * rate;
+        for name in ["motes-a", "motes-b"] {
+            dep.attach(
+                gw,
+                Site::new(name, &mote).with_cpu_budget(1.0001 * src_cost),
+                LinkSpec {
+                    beta: 1.0,
+                    net_budget: 1e12,
+                },
+            );
+        }
+        let part =
+            partition_deployment(&g, &prof, &dep, &DeploymentConfig::default().at_rate(rate))
+                .expect("feasible: the server catches whatever the gateway cannot");
+        let hosted: Vec<bool> = part
+            .leaves
+            .iter()
+            .map(|l| l.site_ops[1].contains(&heavy))
+            .collect();
+        assert_eq!(
+            hosted.iter().filter(|&&h| h).count(),
+            1,
+            "exactly one class fits its heavy stage on the shared gateway: {hosted:?}"
+        );
+        let budget = dep.site(gw).cpu_budget;
+        assert!(
+            part.site_cpu[gw.0] <= budget + 1e-9,
+            "gateway cpu {} over shared budget {budget}",
+            part.site_cpu[gw.0]
+        );
+    }
+
+    #[test]
+    fn leaf_counts_scale_shared_rows() {
+        let (g, prof) = profiled();
+        // One gateway, one leaf class with 4 motes: the gateway uplink
+        // must carry 4x the per-device traffic.
+        let mut dep = Deployment::new(Site::server("server", &Platform::server()));
+        let root = dep.root();
+        let gw = dep.attach(
+            root,
+            Site::new("gw", &Platform::iphone()),
+            LinkSpec {
+                beta: 1.0,
+                net_budget: 1e6,
+            },
+        );
+        let mote = Platform::tmote_sky();
+        dep.attach(
+            gw,
+            Site::new("motes", &mote).with_count(4),
+            LinkSpec {
+                beta: 1.0,
+                net_budget: 4.0 * mote.radio.goodput_bytes_per_sec,
+            },
+        );
+        let part = partition_deployment(&g, &prof, &dep, &DeploymentConfig::default().at_rate(0.2))
+            .expect("feasible");
+        let leaf = &part.leaves[0];
+        assert!(
+            (part.link_net[gw.0] - 4.0 * leaf.predicted_net[1]).abs() < 1e-9,
+            "gateway uplink must aggregate all 4 motes"
+        );
+        assert!((part.link_net[2] - 4.0 * leaf.predicted_net[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_search_is_limited_by_the_weakest_gateway() {
+        let (g, prof) = profiled();
+        let cfg = DeploymentConfig::default();
+        let strong =
+            max_sustainable_rate_deployment(&g, &prof, &forest(1e6, 1e6), &cfg, 64.0, 0.01)
+                .unwrap()
+                .expect("feasible");
+        // Starve gateway A far below what its subtree needs even fully
+        // reduced: the whole deployment's max rate drops.
+        let weak = max_sustainable_rate_deployment(&g, &prof, &forest(20.0, 1e6), &cfg, 64.0, 0.01)
+            .unwrap()
+            .expect("feasible at low rates");
+        assert!(
+            weak.rate < strong.rate,
+            "weak {} vs strong {}",
+            weak.rate,
+            strong.rate
+        );
+        assert_eq!(weak.encodes, 1);
+    }
+
+    #[test]
+    fn prepared_deployment_matches_one_shot() {
+        let (g, prof) = profiled();
+        let dep = forest(1e5, 1e6);
+        let cfg = DeploymentConfig::default();
+        let mut prep = PreparedDeployment::new(&g, &prof, &dep, &cfg).unwrap();
+        for rate in [0.05, 0.2, 1.0, 4.0] {
+            let a = prep.solve_at(rate);
+            let b = partition_deployment(&g, &prof, &dep, &cfg.clone().at_rate(rate));
+            match (a, b) {
+                (Ok(a), Ok(b)) => {
+                    for (la, lb) in a.leaves.iter().zip(&b.leaves) {
+                        assert_eq!(la.site_ops, lb.site_ops, "rate {rate}");
+                    }
+                    assert!(
+                        (a.objective - b.objective).abs() < 1e-6 * (1.0 + b.objective.abs()),
+                        "rate {rate}: {} vs {}",
+                        a.objective,
+                        b.objective
+                    );
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "rate {rate}"),
+                (a, b) => panic!("rate {rate}: prepared {a:?} vs one-shot {b:?}"),
+            }
+        }
+        assert_eq!(prep.encodes(), 1);
+        assert_eq!(prep.solves(), 4);
+    }
+
+    #[test]
+    fn per_leaf_rate_factors_mirror_mixed_classes() {
+        let (g, prof) = profiled();
+        // Star: two leaf classes at different rates directly under the
+        // server — the joint solve must reproduce partition_mixed.
+        let mote = Platform::tmote_sky();
+        let strong = Platform::gumstix();
+        let mote_cfg = PartitionConfig::for_platform(&mote).at_rate(0.05);
+        let strong_cfg = PartitionConfig::for_platform(&strong);
+        let mut dep = Deployment::new(Site::server("server", &Platform::server()));
+        let root = dep.root();
+        dep.attach(
+            root,
+            Site::new("motes", &mote)
+                .with_cpu_budget(mote_cfg.cpu_budget)
+                .at_rate(0.05),
+            LinkSpec {
+                beta: 1.0,
+                net_budget: mote_cfg.net_budget,
+            },
+        );
+        dep.attach(
+            root,
+            Site::new("microservers", &strong).with_cpu_budget(strong_cfg.cpu_budget),
+            LinkSpec {
+                beta: 1.0,
+                net_budget: strong_cfg.net_budget,
+            },
+        );
+        let part =
+            partition_deployment(&g, &prof, &dep, &DeploymentConfig::default()).expect("feasible");
+        let mixed = crate::mixed::partition_mixed(
+            &g,
+            &prof,
+            &[
+                crate::mixed::NodeClass {
+                    platform: mote.clone(),
+                    count: 1,
+                    config: mote_cfg,
+                },
+                crate::mixed::NodeClass {
+                    platform: strong.clone(),
+                    count: 1,
+                    config: strong_cfg,
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            part.leaves[0].site_ops[0],
+            mixed.classes[0].partition.node_ops
+        );
+        assert_eq!(
+            part.leaves[1].site_ops[0],
+            mixed.classes[1].partition.node_ops
+        );
+    }
+}

@@ -133,6 +133,113 @@ pub fn to_dot(graph: &Graph, opts: &DotOptions) -> String {
     s
 }
 
+/// One program instance (leaf class) of a tree-deployment rendering:
+/// which site hosts each operator, and the cut-edge bandwidths of the
+/// hops this instance's data crosses.
+#[derive(Debug, Clone, Default)]
+pub struct DeploymentInstance {
+    /// Instance label, prefixed onto operator names (e.g. `"cap-a"`).
+    pub label: String,
+    /// Site index per operator.
+    pub sites: Vec<(OperatorId, usize)>,
+    /// Cut edges annotated with on-air bytes/second (rendered bold/red,
+    /// as in the flat visualization).
+    pub cut_bandwidth: Vec<(EdgeId, f64)>,
+}
+
+/// Options for [`deployment_to_dot`].
+#[derive(Debug, Clone, Default)]
+pub struct DeploymentDotOptions {
+    /// Title displayed above the graph.
+    pub label: String,
+    /// One label per site, indexed by site id (cluster captions).
+    pub site_labels: Vec<String>,
+    /// One entry per leaf class; every instance is a full copy of the
+    /// graph, and instances sharing a site meet in that site's cluster.
+    pub instances: Vec<DeploymentInstance>,
+}
+
+/// Render a tree deployment as GraphViz DOT: **one cluster per site**,
+/// containing every instance's operators placed there (so a shared
+/// gateway visibly hosts several classes' stages), operators filled with
+/// the per-site qualitative palette, and every cut edge labelled with its
+/// profiled on-air bandwidth.
+pub fn deployment_to_dot(graph: &Graph, opts: &DeploymentDotOptions) -> String {
+    let mut s = String::new();
+    s.push_str("digraph wishbone_deployment {\n");
+    s.push_str("  rankdir=TB;\n  compound=true;\n");
+    if !opts.label.is_empty() {
+        let _ = writeln!(s, "  label=\"{}\";", escape(&opts.label));
+    }
+
+    // site -> [(instance index, operator)]
+    let n_sites = opts.site_labels.len();
+    let mut members: Vec<Vec<(usize, OperatorId)>> = vec![Vec::new(); n_sites];
+    for (i, inst) in opts.instances.iter().enumerate() {
+        for &(op, site) in &inst.sites {
+            assert!(site < n_sites, "site index out of range");
+            members[site].push((i, op));
+        }
+    }
+
+    for (site, ops) in members.iter().enumerate() {
+        if ops.is_empty() {
+            continue;
+        }
+        let _ = writeln!(s, "  subgraph cluster_{site} {{");
+        let _ = writeln!(s, "    label=\"{}\";", escape(&opts.site_labels[site]));
+        let _ = writeln!(s, "    style=rounded;");
+        for &(i, op) in ops {
+            let spec = graph.spec(op);
+            let shape = match spec.kind {
+                OperatorKind::Source => "invhouse",
+                OperatorKind::Sink => "doublecircle",
+                OperatorKind::Transform => "ellipse",
+            };
+            let name = if opts.instances[i].label.is_empty() {
+                spec.name.clone()
+            } else {
+                format!("{}/{}", opts.instances[i].label, spec.name)
+            };
+            let _ = writeln!(
+                s,
+                "    i{}_{} [label=\"{}\", shape={}, style=filled, fillcolor=\"{}\"];",
+                i,
+                op.0,
+                escape(&name),
+                shape,
+                tier_color(site)
+            );
+        }
+        s.push_str("  }\n");
+    }
+
+    for (i, inst) in opts.instances.iter().enumerate() {
+        let cut_bw: HashMap<EdgeId, f64> = inst.cut_bandwidth.iter().copied().collect();
+        for eid in graph.edge_ids() {
+            let e = graph.edge(eid);
+            match cut_bw.get(&eid) {
+                Some(&bw) => {
+                    let _ = writeln!(
+                        s,
+                        "  i{}_{} -> i{}_{} [label=\"{}\", penwidth=2.0, color=\"#d73027\"];",
+                        i,
+                        e.src.0,
+                        i,
+                        e.dst.0,
+                        bandwidth_label(bw)
+                    );
+                }
+                None => {
+                    let _ = writeln!(s, "  i{}_{} -> i{}_{};", i, e.src.0, i, e.dst.0);
+                }
+            }
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
 fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -244,5 +351,46 @@ mod tests {
     fn tier_palette_cycles() {
         assert_eq!(tier_color(0), tier_color(4));
         assert_ne!(tier_color(0), tier_color(1));
+    }
+
+    #[test]
+    fn deployment_dot_clusters_per_site_with_cut_labels() {
+        let (g, s0, f) = demo_graph();
+        let sink = g
+            .operator_ids()
+            .find(|&id| g.spec(id).name == "main")
+            .unwrap();
+        let cut = g.out_edges(f)[0];
+        // Two instances: cap-a keeps `filt` at its gateway (site 1),
+        // cap-b pushes it to the server (site 0).
+        let dot = deployment_to_dot(
+            &g,
+            &DeploymentDotOptions {
+                label: "forest".into(),
+                site_labels: vec!["server".into(), "gw-a x11".into(), "caps".into()],
+                instances: vec![
+                    DeploymentInstance {
+                        label: "cap-a".into(),
+                        sites: vec![(s0, 2), (f, 1), (sink, 0)],
+                        cut_bandwidth: vec![(cut, 420.0)],
+                    },
+                    DeploymentInstance {
+                        label: "cap-b".into(),
+                        sites: vec![(s0, 2), (f, 0), (sink, 0)],
+                        cut_bandwidth: vec![],
+                    },
+                ],
+            },
+        );
+        assert!(dot.contains("subgraph cluster_0"), "{dot}");
+        assert!(dot.contains("subgraph cluster_1"), "{dot}");
+        assert!(dot.contains("label=\"gw-a x11\""), "{dot}");
+        // Both instances render disjoint node ids; the shared server
+        // cluster hosts cap-a's sink, cap-b's filt, and cap-b's sink.
+        assert!(dot.contains("i0_1 [label=\"cap-a/filt\""), "{dot}");
+        assert!(dot.contains("i1_1 [label=\"cap-b/filt\""), "{dot}");
+        assert!(dot.contains("420 B/s"), "{dot}");
+        // Per-site palette: the gateway cluster uses tier colour 1.
+        assert!(dot.contains(tier_color(1)), "{dot}");
     }
 }

@@ -134,6 +134,18 @@ impl Problem {
         self.constraints.len()
     }
 
+    /// The constraint at `row`, exactly as encoded (terms in insertion
+    /// order). This is what the row-level differential parity tests
+    /// compare: two encoders agree iff every row matches term for term.
+    pub fn constraint(&self, row: usize) -> &Constraint {
+        &self.constraints[row]
+    }
+
+    /// Is `v` an integer variable?
+    pub fn is_integer(&self, v: VarId) -> bool {
+        self.integer[v.0]
+    }
+
     /// Number of variables marked integer.
     pub fn num_integer_vars(&self) -> usize {
         self.integer.iter().filter(|&&b| b).count()

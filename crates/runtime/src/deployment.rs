@@ -19,7 +19,7 @@ use crate::task::TaskModel;
 
 /// Configuration of one simulated deployment run.
 #[derive(Debug, Clone)]
-pub struct DeploymentConfig {
+pub struct SimulationConfig {
     /// Number of embedded nodes (the paper deploys 1 and 20).
     pub n_nodes: usize,
     /// Simulated wall-clock duration, seconds.
@@ -39,10 +39,10 @@ pub struct DeploymentConfig {
     pub source_buffer: usize,
 }
 
-impl DeploymentConfig {
+impl SimulationConfig {
     /// A mote-class deployment at the reference rate.
     pub fn motes(n_nodes: usize, seed: u64) -> Self {
-        DeploymentConfig {
+        SimulationConfig {
             n_nodes,
             duration_s: 30.0,
             rate_multiplier: 1.0,
@@ -129,7 +129,7 @@ pub fn simulate_deployment(
     trace_rate_hz: f64,
     node_platform: &Platform,
     channel: ChannelParams,
-    cfg: &DeploymentConfig,
+    cfg: &SimulationConfig,
 ) -> DeploymentReport {
     simulate_deployment_multi(
         graph,
@@ -153,7 +153,7 @@ pub fn simulate_deployment_multi(
     feeds: &[SourceFeed],
     node_platform: &Platform,
     channel: ChannelParams,
-    cfg: &DeploymentConfig,
+    cfg: &SimulationConfig,
 ) -> DeploymentReport {
     let np = run_node_pass(graph, node_ops, feeds, node_platform, &channel, cfg);
     let NodePass {
@@ -192,26 +192,26 @@ pub fn simulate_deployment_multi(
 }
 
 /// Output of the node-side simulation pass (CPU + queueing) shared by the
-/// single-hop and tiered deployment simulators.
-struct NodePass {
-    events_offered: u64,
-    events_processed: u64,
-    busy_total: f64,
+/// single-hop, tiered, and tree deployment simulators.
+pub(crate) struct NodePass {
+    pub(crate) events_offered: u64,
+    pub(crate) events_processed: u64,
+    pub(crate) busy_total: f64,
     /// (node, cut edge, element) transmissions in send order.
-    sends: Vec<(usize, EdgeId, Value)>,
-    on_air_total: f64,
+    pub(crate) sends: Vec<(usize, EdgeId, Value)>,
+    pub(crate) on_air_total: f64,
 }
 
 /// Pass 1: nodes are independent except for the shared channel; simulate
 /// each node's arrival queue to find which events are processed and what
 /// traffic it offers to the first hop.
-fn run_node_pass(
+pub(crate) fn run_node_pass(
     graph: &Graph,
     node_ops: &HashSet<OperatorId>,
     feeds: &[SourceFeed],
     node_platform: &Platform,
     channel: &ChannelParams,
-    cfg: &DeploymentConfig,
+    cfg: &SimulationConfig,
 ) -> NodePass {
     assert!(
         !feeds.is_empty(),
@@ -375,7 +375,7 @@ pub fn simulate_tiered_deployment(
     feeds: &[SourceFeed],
     platforms: &[Platform],
     channels: &[ChannelParams],
-    cfg: &DeploymentConfig,
+    cfg: &SimulationConfig,
 ) -> TieredDeploymentReport {
     let k = tier_ops.len();
     assert!(k >= 2, "a chain needs at least two tiers");
@@ -514,9 +514,9 @@ mod tests {
     fn light_load_processes_everything() {
         let (g, src, burn) = pipeline(100);
         let node_ops: HashSet<_> = [src, burn].into_iter().collect();
-        let cfg = DeploymentConfig {
+        let cfg = SimulationConfig {
             duration_s: 10.0,
-            ..DeploymentConfig::motes(1, 1)
+            ..SimulationConfig::motes(1, 1)
         };
         let r = simulate_deployment(
             &g,
@@ -544,9 +544,9 @@ mod tests {
         // os_overhead; at 10 events/s the node can keep up with only ~1/8.
         let (g, src, burn) = pipeline(2_500_000);
         let node_ops: HashSet<_> = [src, burn].into_iter().collect();
-        let cfg = DeploymentConfig {
+        let cfg = SimulationConfig {
             duration_s: 10.0,
-            ..DeploymentConfig::motes(1, 2)
+            ..SimulationConfig::motes(1, 2)
         };
         let r = simulate_deployment(
             &g,
@@ -572,9 +572,9 @@ mod tests {
         // + per-packet headers over a 6 KB/s channel.
         let (g, src, _burn) = pipeline(100);
         let node_ops: HashSet<_> = [src].into_iter().collect();
-        let cfg = DeploymentConfig {
+        let cfg = SimulationConfig {
             duration_s: 10.0,
-            ..DeploymentConfig::motes(1, 3)
+            ..SimulationConfig::motes(1, 3)
         };
         let r = simulate_deployment(
             &g,
@@ -612,9 +612,9 @@ mod tests {
             20.0,
             &Platform::tmote_sky(),
             ChannelParams::mote(),
-            &DeploymentConfig {
+            &SimulationConfig {
                 duration_s: 10.0,
-                ..DeploymentConfig::motes(1, 4)
+                ..SimulationConfig::motes(1, 4)
             },
         );
         let twenty = simulate_deployment(
@@ -625,9 +625,9 @@ mod tests {
             20.0,
             &Platform::tmote_sky(),
             ChannelParams::mote(),
-            &DeploymentConfig {
+            &SimulationConfig {
                 duration_s: 10.0,
-                ..DeploymentConfig::motes(20, 4)
+                ..SimulationConfig::motes(20, 4)
             },
         );
         assert!(twenty.offered_load_bytes_per_sec > 10.0 * one.offered_load_bytes_per_sec);
@@ -638,9 +638,9 @@ mod tests {
     fn sink_arrivals_track_deliveries() {
         let (g, src, burn) = pipeline(10);
         let node_ops: HashSet<_> = [src, burn].into_iter().collect();
-        let cfg = DeploymentConfig {
+        let cfg = SimulationConfig {
             duration_s: 10.0,
-            ..DeploymentConfig::motes(1, 5)
+            ..SimulationConfig::motes(1, 5)
         };
         let r = simulate_deployment(
             &g,
@@ -695,9 +695,9 @@ mod tests {
                 rate_hz: 5.0,
             },
         ];
-        let cfg = DeploymentConfig {
+        let cfg = SimulationConfig {
             duration_s: 10.0,
-            ..DeploymentConfig::motes(1, 8)
+            ..SimulationConfig::motes(1, 8)
         };
         let r = simulate_deployment_multi(
             &g,
@@ -723,9 +723,9 @@ mod tests {
     fn single_source_wrapper_equals_multi() {
         let (g, src, burn) = pipeline(500);
         let node_ops: HashSet<_> = [src, burn].into_iter().collect();
-        let cfg = DeploymentConfig {
+        let cfg = SimulationConfig {
             duration_s: 5.0,
-            ..DeploymentConfig::motes(2, 9)
+            ..SimulationConfig::motes(2, 9)
         };
         let tr = trace(50);
         let a = simulate_deployment(
@@ -792,9 +792,9 @@ mod tests {
             .operator_ids()
             .filter(|id| !node_ops.contains(id))
             .collect();
-        let cfg = DeploymentConfig {
+        let cfg = SimulationConfig {
             duration_s: 10.0,
-            ..DeploymentConfig::motes(2, 11)
+            ..SimulationConfig::motes(2, 11)
         };
         let feeds = vec![SourceFeed {
             source: src,
@@ -837,9 +837,9 @@ mod tests {
             .copied()
             .filter(|id| !relay_hosted.contains(id))
             .collect();
-        let cfg = DeploymentConfig {
+        let cfg = SimulationConfig {
             duration_s: 10.0,
-            ..DeploymentConfig::motes(1, 13)
+            ..SimulationConfig::motes(1, 13)
         };
         let feeds = vec![SourceFeed {
             source: src,
@@ -908,9 +908,9 @@ mod tests {
             .operator_ids()
             .filter(|id| !node.contains(id) && !relay.contains(id))
             .collect();
-        let cfg = DeploymentConfig {
+        let cfg = SimulationConfig {
             duration_s: 10.0,
-            ..DeploymentConfig::motes(1, 23)
+            ..SimulationConfig::motes(1, 23)
         };
         let feeds = vec![SourceFeed {
             source: src.0,
@@ -957,9 +957,9 @@ mod tests {
         let (g, src, burn, _squeeze) = three_stage();
         let node: HashSet<_> = [src, burn].into_iter().collect();
         let server: HashSet<_> = g.operator_ids().filter(|id| !node.contains(id)).collect();
-        let cfg = DeploymentConfig {
+        let cfg = SimulationConfig {
             duration_s: 10.0,
-            ..DeploymentConfig::motes(1, 17)
+            ..SimulationConfig::motes(1, 17)
         };
         let feeds = vec![SourceFeed {
             source: src,
@@ -996,9 +996,9 @@ mod tests {
     fn deterministic_given_seed() {
         let (g, src, burn) = pipeline(500);
         let node_ops: HashSet<_> = [src, burn].into_iter().collect();
-        let cfg = DeploymentConfig {
+        let cfg = SimulationConfig {
             duration_s: 5.0,
-            ..DeploymentConfig::motes(3, 9)
+            ..SimulationConfig::motes(3, 9)
         };
         let run = || {
             simulate_deployment(

@@ -14,7 +14,11 @@
 //!   missed input events, dropped messages, and goodput;
 //! * [`simulate_tiered_deployment`] — the multi-tier generalization: a
 //!   mote → gateway → server chain with one [`wishbone_net::Channel`] per
-//!   hop, reporting per-hop delivery and end-to-end goodput.
+//!   hop, reporting per-hop delivery and end-to-end goodput;
+//! * [`simulate_deployment_tree`] — the topology-first generalization: a
+//!   [`TreeTopology`] of leaf classes, gateways, and a server with one
+//!   channel per tree edge, shared gateway CPU, and per-route goodput —
+//!   the runtime mirror of `wishbone-core`'s `Deployment` partitioner.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,10 +26,14 @@
 pub mod deployment;
 pub mod exec;
 pub mod task;
+pub mod tree;
 
 pub use deployment::{
-    simulate_deployment, simulate_deployment_multi, simulate_tiered_deployment, DeploymentConfig,
-    DeploymentReport, SourceFeed, TieredDeploymentReport,
+    simulate_deployment, simulate_deployment_multi, simulate_tiered_deployment, DeploymentReport,
+    SimulationConfig, SourceFeed, TieredDeploymentReport,
 };
 pub use exec::{NodeCascade, NodeExecutor, RelayCascade, RelayExecutor, ServerExecutor};
 pub use task::TaskModel;
+pub use tree::{
+    simulate_deployment_tree, LeafFlowReport, LeafRoute, TreeDeploymentReport, TreeTopology,
+};

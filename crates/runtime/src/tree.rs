@@ -1,0 +1,674 @@
+//! Tree-deployment simulation: the runtime mirror of
+//! `wishbone-core`'s topology-first `Deployment` partitioner.
+//!
+//! A [`TreeTopology`] is a rooted tree of sites — leaf sites are classes
+//! of embedded nodes, interior sites are gateways
+//! ([`crate::exec::RelayExecutor`] per leaf class, with per-node state
+//! for relocated operators), the root is the server — with **one
+//! [`Channel`] per tree edge**. Each [`LeafRoute`] runs its own instance
+//! of the program along its root path; what couples the routes is the
+//! shared infrastructure: a tree edge's channel carries every route
+//! crossing it, and a gateway's CPU burns busy time for every route it
+//! serves, dropping elements once saturated (the relay analogue of
+//! tier-0 nodes missing input events).
+//!
+//! For a path topology with a single route this reproduces
+//! [`crate::deployment::simulate_tiered_deployment`] *exactly* — same
+//! node pass, same channel seeds, same relay semantics — which is the
+//! simulator's differential parity anchor (see the tests below).
+
+use std::collections::{HashMap, HashSet};
+
+use wishbone_dataflow::{EdgeId, Graph, OperatorId, Value};
+use wishbone_net::{Channel, ChannelParams};
+use wishbone_profile::Platform;
+
+use crate::deployment::{run_node_pass, SimulationConfig, SourceFeed};
+use crate::exec::{RelayExecutor, ServerExecutor};
+
+/// A rooted tree of deployment sites, runtime view: platforms, device
+/// counts, and one uplink channel per non-root site.
+#[derive(Debug, Clone)]
+pub struct TreeTopology {
+    /// Parent site per site (`None` exactly for the root, site 0).
+    pub parent: Vec<Option<usize>>,
+    /// Platform model per site.
+    pub platforms: Vec<Platform>,
+    /// Device count per site (leaf counts = nodes running the program;
+    /// interior counts scale gateway CPU capacity).
+    pub counts: Vec<usize>,
+    /// Uplink radio channel per site (`None` exactly for the root).
+    pub uplink: Vec<Option<ChannelParams>>,
+}
+
+impl TreeTopology {
+    /// A path topology (mote → … → server), mirroring the tiered
+    /// simulator's `platforms`/`channels` arrays (innermost first).
+    pub fn chain(platforms: &[Platform], channels: &[ChannelParams], n_nodes: usize) -> Self {
+        let k = platforms.len();
+        assert!(k >= 2, "a chain needs at least two sites");
+        assert_eq!(channels.len(), k - 1, "one channel per hop");
+        // Site 0 = root (server) … site k−1 = the motes.
+        let mut counts = vec![1; k];
+        counts[k - 1] = n_nodes;
+        TreeTopology {
+            parent: (0..k).map(|i| i.checked_sub(1)).collect(),
+            platforms: platforms.iter().rev().cloned().collect(),
+            counts,
+            uplink: std::iter::once(None)
+                .chain(channels.iter().rev().map(|&c| Some(c)))
+                .collect(),
+        }
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.platforms.len()
+    }
+
+    /// Always false: a topology owns at least its root.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Depth of `site` (root = 0).
+    pub fn depth(&self, site: usize) -> usize {
+        let mut d = 0;
+        let mut cur = site;
+        while let Some(p) = self.parent[cur] {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Edge-processing order: child sites by depth descending, index
+    /// ascending — deepest hops first, so every route's traffic reaches a
+    /// shared edge before that edge's channel is simulated. For a path
+    /// this is exactly the tiered simulator's hop order (and its channel
+    /// seeds).
+    pub fn edge_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.len())
+            .filter(|&s| self.parent[s].is_some())
+            .collect();
+        order.sort_by_key(|&s| (std::cmp::Reverse(self.depth(s)), s));
+        order
+    }
+
+    fn validate(&self) {
+        let n = self.len();
+        assert!(n >= 2, "a tree needs at least one site under the root");
+        assert_eq!(self.parent.len(), n);
+        assert_eq!(self.counts.len(), n);
+        assert_eq!(self.uplink.len(), n);
+        assert_eq!(self.parent[0], None, "site 0 is the root");
+        for s in 1..n {
+            let p = self.parent[s].expect("non-root site has a parent");
+            assert!(p < n, "unknown parent of site {s}");
+            assert!(self.uplink[s].is_some(), "non-root site {s} has an uplink");
+            assert!(self.counts[s] >= 1);
+        }
+    }
+}
+
+/// One leaf class's program instance: its root path, the operator set at
+/// each path position (from a `DeploymentPartition` leaf), and its input
+/// feeds (replayed on every node of the class).
+#[derive(Debug, Clone)]
+pub struct LeafRoute {
+    /// Site indices, leaf first, root last.
+    pub path: Vec<usize>,
+    /// Operators at each path position.
+    pub site_ops: Vec<HashSet<OperatorId>>,
+    /// Source feeds driving every node of this class.
+    pub feeds: Vec<SourceFeed>,
+}
+
+/// Per-leaf-class flow accounting of a tree simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeafFlowReport {
+    /// The route's leaf site.
+    pub leaf: usize,
+    /// Source events offered across the class's nodes.
+    pub events_offered: u64,
+    /// Source events actually processed (not missed while CPU-busy).
+    pub events_processed: u64,
+    /// Elements this class submitted to each hop of its path.
+    pub hop_elements_sent: Vec<u64>,
+    /// Elements delivered over each hop.
+    pub hop_elements_delivered: Vec<u64>,
+    /// Elements that survived the hop but were dropped by a saturated
+    /// gateway CPU before processing.
+    pub hop_elements_dropped: Vec<u64>,
+    /// Elements of this class that reached a sink on the server.
+    pub sink_arrivals: u64,
+}
+
+impl LeafFlowReport {
+    /// Fraction of input events processed at the class's nodes.
+    pub fn input_processed_ratio(&self) -> f64 {
+        if self.events_offered == 0 {
+            1.0
+        } else {
+            self.events_processed as f64 / self.events_offered as f64
+        }
+    }
+
+    /// Fraction of elements delivered over hop `h` of this route.
+    pub fn hop_delivery_ratio(&self, h: usize) -> f64 {
+        if self.hop_elements_sent[h] == 0 {
+            1.0
+        } else {
+            self.hop_elements_delivered[h] as f64 / self.hop_elements_sent[h] as f64
+        }
+    }
+
+    /// Fraction of elements delivered into the gateway after hop `h`
+    /// that its CPU managed to process.
+    pub fn relay_processed_ratio(&self, h: usize) -> f64 {
+        if self.hop_elements_delivered[h] == 0 {
+            1.0
+        } else {
+            (self.hop_elements_delivered[h] - self.hop_elements_dropped[h]) as f64
+                / self.hop_elements_delivered[h] as f64
+        }
+    }
+
+    /// The paper's goodput metric along this route: input processing ×
+    /// every hop's delivery × every gateway's processed ratio.
+    pub fn goodput_ratio(&self) -> f64 {
+        (0..self.hop_elements_sent.len())
+            .map(|h| self.hop_delivery_ratio(h) * self.relay_processed_ratio(h))
+            .product::<f64>()
+            * self.input_processed_ratio()
+    }
+}
+
+/// Outcome of a tree-deployment simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeDeploymentReport {
+    /// Per-route flow accounting, in route order.
+    pub leaves: Vec<LeafFlowReport>,
+    /// Aggregate on-air offered load per site's uplink, bytes/s (0 for
+    /// the root).
+    pub edge_offered_load_bytes_per_sec: Vec<f64>,
+    /// Packet delivery ratio per site's uplink (1.0 for the root).
+    pub edge_packet_delivery_ratio: Vec<f64>,
+    /// CPU utilization per site: node pass utilization at leaves, relay
+    /// busy fraction at gateways, 0 at the root.
+    pub site_cpu_utilization: Vec<f64>,
+    /// Elements dropped by each site's saturated CPU (gateways only).
+    pub site_elements_dropped: Vec<u64>,
+    /// Elements that reached a sink on the server, all routes.
+    pub sink_arrivals: u64,
+}
+
+impl TreeDeploymentReport {
+    /// Events-weighted mean of the per-route goodputs.
+    pub fn goodput_ratio(&self) -> f64 {
+        let offered: u64 = self.leaves.iter().map(|l| l.events_offered).sum();
+        if offered == 0 {
+            return 1.0;
+        }
+        self.leaves
+            .iter()
+            .map(|l| l.goodput_ratio() * l.events_offered as f64)
+            .sum::<f64>()
+            / offered as f64
+    }
+}
+
+/// Simulate a tree deployment of `graph`: every route's leaf class runs
+/// `site_ops[0]` on `counts[leaf]` nodes, gateways along the path host
+/// that route's interior placements with per-node state, and the root
+/// hosts the rest. Each tree edge is one [`Channel`] shared by every
+/// route crossing it; traffic destined beyond the next site is
+/// store-and-forwarded by each gateway it crosses, consuming bandwidth on
+/// every hop and gateway CPU at every relay — the runtime counterpart of
+/// the partitioner's per-site rows.
+///
+/// `cfg.n_nodes` is ignored (per-class counts come from `topo`); the
+/// rest of [`SimulationConfig`] applies to every site.
+pub fn simulate_deployment_tree(
+    graph: &Graph,
+    topo: &TreeTopology,
+    routes: &[LeafRoute],
+    cfg: &SimulationConfig,
+) -> TreeDeploymentReport {
+    topo.validate();
+    assert!(!routes.is_empty(), "a tree deployment needs a route");
+    for route in routes {
+        assert!(route.path.len() >= 2, "a route spans at least two sites");
+        assert_eq!(route.site_ops.len(), route.path.len());
+        assert_eq!(*route.path.last().unwrap(), 0, "routes end at the root");
+        for w in route.path.windows(2) {
+            assert_eq!(
+                topo.parent[w[0]],
+                Some(w[1]),
+                "route must follow tree edges"
+            );
+        }
+    }
+
+    let n_sites = topo.len();
+    let mut report = TreeDeploymentReport {
+        leaves: Vec::with_capacity(routes.len()),
+        edge_offered_load_bytes_per_sec: vec![0.0; n_sites],
+        edge_packet_delivery_ratio: vec![1.0; n_sites],
+        site_cpu_utilization: vec![0.0; n_sites],
+        site_elements_dropped: vec![0; n_sites],
+        sink_arrivals: 0,
+    };
+
+    // Pass 1: every leaf class's nodes, independently (they share only
+    // the channels and gateways above them). Per-site busy time goes into
+    // one shared budget — a site that starts one route *and* relays
+    // another spends the same CPU on both.
+    let mut site_busy = vec![0.0f64; n_sites];
+    let mut traffic: Vec<Vec<(usize, EdgeId, Value)>> = Vec::with_capacity(routes.len());
+    for route in routes {
+        let leaf = route.path[0];
+        let count = topo.counts[leaf];
+        let leaf_cfg = SimulationConfig {
+            n_nodes: count,
+            ..cfg.clone()
+        };
+        let np = run_node_pass(
+            graph,
+            &route.site_ops[0],
+            &route.feeds,
+            &topo.platforms[leaf],
+            topo.uplink[leaf].as_ref().expect("leaf has an uplink"),
+            &leaf_cfg,
+        );
+        site_busy[leaf] += np.busy_total;
+        report.leaves.push(LeafFlowReport {
+            leaf,
+            events_offered: np.events_offered,
+            events_processed: np.events_processed,
+            hop_elements_sent: vec![0; route.path.len() - 1],
+            hop_elements_delivered: vec![0; route.path.len() - 1],
+            hop_elements_dropped: vec![0; route.path.len() - 1],
+            sink_arrivals: 0,
+        });
+        traffic.push(np.sends);
+    }
+
+    // Gateway state: per (site, route) one RelayExecutor (per-node state
+    // for the route's class), per site one shared busy-time budget.
+    let mut relays: HashMap<(usize, usize), RelayExecutor> = HashMap::new();
+    for (r, route) in routes.iter().enumerate() {
+        let count = topo.counts[route.path[0]];
+        for (t, &site) in route.path.iter().enumerate() {
+            if t > 0 && t + 1 < route.path.len() {
+                relays.insert(
+                    (site, r),
+                    RelayExecutor::new(
+                        graph,
+                        &route.site_ops[t],
+                        count,
+                        topo.platforms[site].clone(),
+                    ),
+                );
+            }
+        }
+    }
+
+    // Server state: one executor per route (per-node state per class).
+    let mut servers: Vec<ServerExecutor> = routes
+        .iter()
+        .map(|route| {
+            let pre_server: HashSet<OperatorId> = route.site_ops[..route.path.len() - 1]
+                .iter()
+                .flat_map(|s| s.iter().copied())
+                .collect();
+            ServerExecutor::new(graph, &pre_server, topo.counts[route.path[0]])
+        })
+        .collect();
+
+    // Pass 2: tree edges, deepest first. All traffic arriving at an edge
+    // has been produced by deeper edges already; the edge's channel sees
+    // the aggregate offered load of every route crossing it.
+    for (ordinal, child) in topo.edge_order().into_iter().enumerate() {
+        let params = topo.uplink[child].expect("non-root site has an uplink");
+        let parent = topo.parent[child].expect("non-root site has a parent");
+        // Which routes cross this edge, and at which hop of their path?
+        let crossing: Vec<(usize, usize)> = routes
+            .iter()
+            .enumerate()
+            .filter_map(|(r, route)| {
+                route.path[..route.path.len() - 1]
+                    .iter()
+                    .position(|&s| s == child)
+                    .map(|h| (r, h))
+            })
+            .collect();
+        if crossing.is_empty() {
+            continue;
+        }
+        let offered = crossing
+            .iter()
+            .flat_map(|&(r, _)| traffic[r].iter())
+            .map(|(_, _, v)| params.format.on_air_bytes(v.wire_size()) as f64)
+            .sum::<f64>()
+            / cfg.duration_s;
+        report.edge_offered_load_bytes_per_sec[child] = offered;
+        let mut ch = Channel::new(params, cfg.seed.wrapping_add(ordinal as u64));
+        ch.set_offered_load(offered);
+
+        // Gateway CPU capacity scales with its device count (perfect
+        // balancing, mirroring the partitioner's count-balanced rows).
+        let relay_capacity = topo.counts[parent] as f64 * cfg.duration_s;
+        for (r, h) in crossing {
+            let flow = std::mem::take(&mut traffic[r]);
+            let mut next: Vec<(usize, EdgeId, Value)> = Vec::new();
+            for (node, eid, v) in &flow {
+                report.leaves[r].hop_elements_sent[h] += 1;
+                if !ch.try_deliver(v.wire_size()) {
+                    continue;
+                }
+                report.leaves[r].hop_elements_delivered[h] += 1;
+                if parent == 0 {
+                    servers[r].deliver(graph, *node, *eid, v);
+                } else {
+                    // The gateway has a CPU too: once it has burned its
+                    // whole capacity of busy time it is saturated, and
+                    // further arrivals are dropped instead of forwarded
+                    // for free.
+                    if site_busy[parent] >= relay_capacity {
+                        report.leaves[r].hop_elements_dropped[h] += 1;
+                        report.site_elements_dropped[parent] += 1;
+                        continue;
+                    }
+                    let relay = relays.get_mut(&(parent, r)).expect("relay exists");
+                    let cascade = relay.deliver(graph, *node, *eid, v);
+                    let next_hop = topo.uplink[parent].expect("gateway has an uplink");
+                    let tx_cpu = cascade
+                        .forwards
+                        .iter()
+                        .map(|(_, fv)| {
+                            next_hop.format.packets_for(fv.wire_size()) as f64
+                                * cfg.per_packet_cpu_s
+                        })
+                        .sum::<f64>();
+                    site_busy[parent] += cascade.cpu_seconds + tx_cpu;
+                    for (fe, fv) in cascade.forwards {
+                        next.push((*node, fe, fv));
+                    }
+                }
+            }
+            traffic[r] = next;
+        }
+        report.edge_packet_delivery_ratio[child] = ch.packet_delivery_ratio();
+    }
+
+    for (s, &busy) in site_busy.iter().enumerate() {
+        report.site_cpu_utilization[s] = (busy / (topo.counts[s] as f64 * cfg.duration_s)).min(1.0);
+    }
+    for (r, server) in servers.iter().enumerate() {
+        report.leaves[r].sink_arrivals = server.sink_arrivals;
+        report.sink_arrivals += server.sink_arrivals;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::{simulate_tiered_deployment, SimulationConfig};
+    use wishbone_dataflow::{ExecCtx, FnWork, GraphBuilder};
+
+    /// src -> squeeze (2x reducer, configurable cost) -> sink
+    fn pipeline(cost: u64) -> (Graph, OperatorId, OperatorId) {
+        let mut b = GraphBuilder::new();
+        b.enter_node_namespace();
+        let src = b.source("src");
+        let squeeze = b.transform(
+            "squeeze",
+            Box::new(FnWork(move |_p: usize, v: &Value, cx: &mut ExecCtx| {
+                let w = v.as_i16s().unwrap();
+                cx.meter().loop_scope(cost, |m| m.int(cost));
+                cx.emit(Value::VecI16(w.iter().step_by(2).copied().collect()));
+            })),
+            src,
+        );
+        b.exit_namespace();
+        b.sink("out", squeeze);
+        let g = b.finish().unwrap();
+        (g, src.0, squeeze.0)
+    }
+
+    fn trace(n: usize) -> Vec<Value> {
+        (0..n).map(|i| Value::VecI16(vec![i as i16; 100])).collect()
+    }
+
+    fn feeds(src: OperatorId, rate_hz: f64) -> Vec<SourceFeed> {
+        vec![SourceFeed {
+            source: src,
+            trace: trace(50),
+            rate_hz,
+        }]
+    }
+
+    #[test]
+    fn path_tree_equals_tiered_simulation_exactly() {
+        let (g, src, squeeze) = pipeline(200);
+        let node: HashSet<_> = [src].into_iter().collect();
+        let relay: HashSet<_> = [squeeze].into_iter().collect();
+        let server: HashSet<_> = g
+            .operator_ids()
+            .filter(|id| !node.contains(id) && !relay.contains(id))
+            .collect();
+        let platforms = [
+            Platform::tmote_sky(),
+            Platform::gumstix(),
+            Platform::server(),
+        ];
+        let channels = [ChannelParams::mote(), ChannelParams::wifi(50_000.0)];
+        let cfg = SimulationConfig {
+            duration_s: 10.0,
+            ..SimulationConfig::motes(3, 11)
+        };
+        let tiered = simulate_tiered_deployment(
+            &g,
+            &[node.clone(), relay.clone(), server.clone()],
+            &feeds(src, 10.0),
+            &platforms,
+            &channels,
+            &cfg,
+        );
+        let topo = TreeTopology::chain(&platforms, &channels, 3);
+        // Sites: 0 = server, 1 = gumstix relay, 2 = motes.
+        let route = LeafRoute {
+            path: vec![2, 1, 0],
+            site_ops: vec![node, relay, server],
+            feeds: feeds(src, 10.0),
+        };
+        let tree = simulate_deployment_tree(&g, &topo, &[route], &cfg);
+        let leaf = &tree.leaves[0];
+        assert_eq!(leaf.events_offered, tiered.events_offered);
+        assert_eq!(leaf.events_processed, tiered.events_processed);
+        assert_eq!(leaf.hop_elements_sent, tiered.hop_elements_sent);
+        assert_eq!(leaf.hop_elements_delivered, tiered.hop_elements_delivered);
+        assert_eq!(
+            leaf.hop_elements_dropped[0],
+            tiered.relay_elements_dropped[0]
+        );
+        assert_eq!(tree.sink_arrivals, tiered.sink_arrivals);
+        assert!(
+            (tree.site_cpu_utilization[2] - tiered.node_cpu_utilization).abs() < 1e-12,
+            "leaf CPU"
+        );
+        assert!(
+            (tree.site_cpu_utilization[1] - tiered.relay_cpu_utilization[0]).abs() < 1e-12,
+            "relay CPU"
+        );
+        assert!(
+            (tree.edge_offered_load_bytes_per_sec[2] - tiered.hop_offered_load_bytes_per_sec[0])
+                .abs()
+                < 1e-9
+        );
+        assert!((leaf.goodput_ratio() - tiered.goodput_ratio()).abs() < 1e-12);
+        assert!((tree.goodput_ratio() - tiered.goodput_ratio()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturated_gateway_collapses_only_its_own_subtree() {
+        // Two sibling gateways under the server; the heavy reducer runs at
+        // each gateway. Gateway A is a TMote-class box that cannot keep
+        // up; gateway B is a Gumstix with headroom. Only A's subtree may
+        // lose goodput.
+        let (g, src, squeeze) = pipeline(2_500_000);
+        let node: HashSet<_> = [src].into_iter().collect();
+        let relay: HashSet<_> = [squeeze].into_iter().collect();
+        let server: HashSet<_> = g
+            .operator_ids()
+            .filter(|id| !node.contains(id) && !relay.contains(id))
+            .collect();
+        let wifi = ChannelParams::wifi(1e6);
+        let topo = TreeTopology {
+            parent: vec![None, Some(0), Some(0), Some(1), Some(2)],
+            platforms: vec![
+                Platform::server(),
+                Platform::tmote_sky(), // gw A: drowns in the reducer
+                Platform::gumstix(),   // gw B: shrugs it off
+                Platform::gumstix(),   // motes A (cheap source)
+                Platform::gumstix(),   // motes B
+            ],
+            counts: vec![1, 1, 1, 1, 1],
+            uplink: vec![None, Some(wifi), Some(wifi), Some(wifi), Some(wifi)],
+        };
+        let mk_route = |leaf: usize, gw: usize| LeafRoute {
+            path: vec![leaf, gw, 0],
+            site_ops: vec![node.clone(), relay.clone(), server.clone()],
+            feeds: feeds(src, 20.0),
+        };
+        let cfg = SimulationConfig {
+            duration_s: 10.0,
+            ..SimulationConfig::motes(1, 23)
+        };
+        let r = simulate_deployment_tree(&g, &topo, &[mk_route(3, 1), mk_route(4, 2)], &cfg);
+        let (a, b) = (&r.leaves[0], &r.leaves[1]);
+        assert!(
+            a.goodput_ratio() < 0.2,
+            "saturated gateway A must shed most of its subtree's data: {}",
+            a.goodput_ratio()
+        );
+        assert!(
+            b.goodput_ratio() > 0.8,
+            "sibling B has headroom: {}",
+            b.goodput_ratio()
+        );
+        assert!(r.site_elements_dropped[1] > 0);
+        assert_eq!(r.site_elements_dropped[2], 0);
+        assert!(r.site_cpu_utilization[1] >= 0.99);
+        assert!(r.site_cpu_utilization[2] < 0.5);
+    }
+
+    #[test]
+    fn shared_gateway_accumulates_busy_time_across_routes() {
+        // One gateway serving two leaf classes: each class alone fits
+        // (~0.072 s per element on the 4 MHz TMote gateway, 100 elements
+        // in 10 s), together they saturate it — the busy-time budget is
+        // shared.
+        let (g, src, squeeze) = pipeline(250_000);
+        let node: HashSet<_> = [src].into_iter().collect();
+        let relay: HashSet<_> = [squeeze].into_iter().collect();
+        let server: HashSet<_> = g
+            .operator_ids()
+            .filter(|id| !node.contains(id) && !relay.contains(id))
+            .collect();
+        let wifi = ChannelParams::wifi(1e6);
+        let mk_topo = |n_leaves: usize| {
+            let mut parent = vec![None, Some(0)];
+            let mut platforms = vec![Platform::server(), Platform::tmote_sky()];
+            let mut counts = vec![1, 1];
+            let mut uplink = vec![None, Some(wifi)];
+            for _ in 0..n_leaves {
+                parent.push(Some(1));
+                platforms.push(Platform::gumstix());
+                counts.push(1);
+                uplink.push(Some(wifi));
+            }
+            TreeTopology {
+                parent,
+                platforms,
+                counts,
+                uplink,
+            }
+        };
+        let mk_route = |leaf: usize| LeafRoute {
+            path: vec![leaf, 1, 0],
+            site_ops: vec![node.clone(), relay.clone(), server.clone()],
+            feeds: feeds(src, 10.0),
+        };
+        let cfg = SimulationConfig {
+            duration_s: 10.0,
+            ..SimulationConfig::motes(1, 29)
+        };
+        let one = simulate_deployment_tree(&g, &mk_topo(1), &[mk_route(2)], &cfg);
+        assert_eq!(
+            one.site_elements_dropped[1], 0,
+            "one class alone fits the gateway"
+        );
+        let two = simulate_deployment_tree(&g, &mk_topo(2), &[mk_route(2), mk_route(3)], &cfg);
+        assert!(
+            two.site_elements_dropped[1] > 0,
+            "two classes must overrun the shared gateway CPU"
+        );
+        assert!(two.site_cpu_utilization[1] >= 0.99);
+    }
+
+    #[test]
+    fn shared_root_edge_carries_both_routes() {
+        // Two leaf classes whose routes share one congested mote channel
+        // into the server: the channel sees the sum of both loads.
+        let (g, src, _sq) = pipeline(10);
+        let node: HashSet<_> = g
+            .operator_ids()
+            .filter(|id| {
+                let k = g.spec(*id).kind;
+                k != wishbone_dataflow::OperatorKind::Sink
+            })
+            .collect();
+        let server: HashSet<_> = g.operator_ids().filter(|id| !node.contains(id)).collect();
+        // server <- gateway <- {motes-a, motes-b}; the gateway uplink is
+        // the paper's 6 kB/s mote channel, each leaf uplink is roomy.
+        let topo = TreeTopology {
+            parent: vec![None, Some(0), Some(1), Some(1)],
+            platforms: vec![
+                Platform::server(),
+                Platform::tmote_sky(),
+                Platform::gumstix(),
+                Platform::gumstix(),
+            ],
+            counts: vec![1, 1, 1, 1],
+            uplink: vec![
+                None,
+                Some(ChannelParams::mote()),
+                Some(ChannelParams::wifi(1e6)),
+                Some(ChannelParams::wifi(1e6)),
+            ],
+        };
+        let mk_route = |leaf: usize, rate: f64| LeafRoute {
+            path: vec![leaf, 1, 0],
+            site_ops: vec![node.clone(), HashSet::new(), server.clone()],
+            feeds: feeds(src, rate),
+        };
+        let cfg = SimulationConfig {
+            duration_s: 10.0,
+            ..SimulationConfig::motes(1, 31)
+        };
+        let solo = simulate_deployment_tree(&g, &topo, &[mk_route(2, 20.0)], &cfg);
+        let both =
+            simulate_deployment_tree(&g, &topo, &[mk_route(2, 20.0), mk_route(3, 20.0)], &cfg);
+        assert!(
+            both.edge_offered_load_bytes_per_sec[1] > 1.9 * solo.edge_offered_load_bytes_per_sec[1],
+            "shared edge must see both classes' load"
+        );
+        assert!(
+            both.leaves[0].hop_delivery_ratio(1) < solo.leaves[0].hop_delivery_ratio(1),
+            "congestion from the sibling class must hurt route A's shared hop"
+        );
+    }
+}

@@ -44,9 +44,8 @@ fn main() {
                 part.ilp_stats.warm_starts
             );
             println!(
-                "backend: {:?} ({} warm / {} cold node LPs) — regressions in \
-                 BENCH_solver.json should reproduce here",
-                part.ilp_stats.backend, part.ilp_stats.warm_starts, part.ilp_stats.cold_starts
+                "solver: {} — regressions in BENCH_solver.json should reproduce here",
+                report_stats(&part.ilp_stats)
             );
         }
         Err(e) => println!("rate x0.5: {e}"),

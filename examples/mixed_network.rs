@@ -53,12 +53,9 @@ fn main() {
             c.partition.predicted_net
         );
         println!(
-            "{:>13} solver: {:?} backend, {} B&B nodes ({} warm / {} cold LPs)",
+            "{:>13} solver: {}",
             "",
-            c.partition.ilp_stats.backend,
-            c.partition.ilp_stats.nodes,
-            c.partition.ilp_stats.warm_starts,
-            c.partition.ilp_stats.cold_starts
+            report_stats(&c.partition.ilp_stats)
         );
     }
     println!(

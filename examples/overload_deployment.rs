@@ -35,9 +35,10 @@ fn main() {
         .map(|&(n, _)| n)
         .unwrap();
     println!(
-        "binary search: max rate x{:.3} of 8 kHz; recommended cut after '{}'\n",
+        "binary search: max rate x{:.3} of 8 kHz; recommended cut after '{}'",
         result.rate, recommended
     );
+    println!("solver: {}\n", report_stats(&result.partition.ilp_stats));
 
     // 3. Ground truth: simulate every cutpoint on a 1-mote deployment.
     println!("deployment simulation at the recommended rate (1 TMote + basestation):");
@@ -49,10 +50,10 @@ fn main() {
     let mut best: Option<(&str, f64)> = None;
     let mut goods: Vec<(&str, f64)> = Vec::new();
     for (name, node_set) in app.cutpoints() {
-        let dcfg = DeploymentConfig {
+        let dcfg = SimulationConfig {
             duration_s: 20.0,
             rate_multiplier: result.rate,
-            ..DeploymentConfig::motes(1, 17)
+            ..SimulationConfig::motes(1, 17)
         };
         let report = simulate_deployment(
             &app.graph, &node_set, app.source, &elems, 40.0, &mote, channel, &dcfg,

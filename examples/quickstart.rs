@@ -51,12 +51,10 @@ fn main() {
                 part.objective
             );
             println!(
-                "ILP: {} vars, {} constraints, solved in {:?} ({} B&B nodes)",
-                part.problem_size.0,
-                part.problem_size.1,
-                part.ilp_stats.total_time,
-                part.ilp_stats.nodes
+                "ILP: {} vars, {} constraints, solved in {:?}",
+                part.problem_size.0, part.problem_size.1, part.ilp_stats.total_time
             );
+            println!("solver: {}", report_stats(&part.ilp_stats));
 
             // 4. The compiler's visualization (§3): heat = CPU, boxes =
             // node partition, cut edges labelled with their profiled

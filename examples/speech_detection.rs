@@ -47,6 +47,7 @@ fn main() {
     let meraki = Platform::meraki_mini();
     let cfg = PartitionConfig::for_platform(&meraki);
     let part = partition(&app.graph, &prof, &meraki, &cfg).expect("meraki fits at full rate");
+    println!("\nMeraki solver: {}", report_stats(&part.ilp_stats));
     let node_stage_count = part.node_op_count();
     println!(
         "\nMeraki Mini at full rate: {} node op(s) -> {}",

@@ -90,6 +90,7 @@ fn main() {
         "\nmax sustainable rate x{:.3} ({} probes, {} encode, {:?} backend)",
         r.rate, r.evaluations, r.encodes, r.backend
     );
+    println!("solver: {}", report_stats(&r.partition.ilp_stats));
     let part = &r.partition;
     for (t, platform) in chain.iter().enumerate() {
         println!(

@@ -56,17 +56,20 @@ pub use wishbone_runtime as runtime;
 
 /// The names most programs need, re-exported flat.
 pub mod prelude {
+    pub use crate::report_stats;
     pub use wishbone_apps::{
         build_eeg_app, build_eeg_channel, build_speech_app, heuristic_svm, EegApp, EegParams,
         LinearSvm, SpeechApp, SpeechParams,
     };
     pub use wishbone_core::{
         all_node, all_server, build_partition_graph, evaluate, greedy, max_sustainable_rate,
-        max_sustainable_rate_multitier, partition, partition_multitier, pin_analysis,
-        pipeline_cutpoints, preprocess, Encoding, LinkSpec, Mode, MultiTierConfig,
-        MultiTierPartition, MultiTierRateResult, ObjectiveConfig, Partition, PartitionConfig,
-        PartitionError, PartitionGraph, Pin, PreparedMultiTier, PreparedPartition,
-        RateSearchResult, TierSpec,
+        max_sustainable_rate_deployment, max_sustainable_rate_multitier, partition,
+        partition_deployment, partition_multitier, pin_analysis, pipeline_cutpoints, preprocess,
+        Deployment, DeploymentConfig, DeploymentPartition, DeploymentRateResult, Encoding,
+        LeafPartition, LinkSpec, Mode, MultiTierConfig, MultiTierPartition, MultiTierRateResult,
+        ObjectiveConfig, Partition, PartitionConfig, PartitionError, PartitionGraph, Pin,
+        PreparedDeployment, PreparedMultiTier, PreparedPartition, RateSearchResult, Site, SiteId,
+        TierSpec,
     };
     pub use wishbone_dataflow::{
         Graph, GraphBuilder, Namespace, OperatorId, OperatorKind, OperatorSpec, Value, WorkFn,
@@ -75,8 +78,20 @@ pub mod prelude {
     pub use wishbone_net::{profile_network, Channel, ChannelParams, PacketFormat};
     pub use wishbone_profile::{profile, GraphProfile, Platform, SourceTrace};
     pub use wishbone_runtime::{
-        simulate_deployment, simulate_deployment_multi, simulate_tiered_deployment,
-        DeploymentConfig, DeploymentReport, RelayExecutor, SourceFeed, TaskModel,
-        TieredDeploymentReport,
+        simulate_deployment, simulate_deployment_multi, simulate_deployment_tree,
+        simulate_tiered_deployment, DeploymentReport, LeafFlowReport, LeafRoute, RelayExecutor,
+        SimulationConfig, SourceFeed, TaskModel, TieredDeploymentReport, TreeDeploymentReport,
+        TreeTopology,
     };
+}
+
+/// One consistent solver-statistics line for the examples: which simplex
+/// backend ran, how many branch-and-bound nodes it took, and the
+/// warm/cold node-LP split (the numbers a `BENCH_solver.json` regression
+/// should be explainable from).
+pub fn report_stats(stats: &ilp::IlpStats) -> String {
+    format!(
+        "{:?} backend, {} B&B nodes ({} warm / {} cold LPs)",
+        stats.backend, stats.nodes, stats.warm_starts, stats.cold_starts
+    )
 }

@@ -127,9 +127,9 @@ fn seizure_detected_through_partitioned_deployment() {
             rate_hz: t.rate_hz,
         })
         .collect();
-    let dcfg = DeploymentConfig {
+    let dcfg = SimulationConfig {
         duration_s: 32.0, // 16 windows at 0.5 windows/s
-        ..DeploymentConfig::motes(1, 3)
+        ..SimulationConfig::motes(1, 3)
     };
     let rep = simulate_deployment_multi(
         &app2.graph,

@@ -131,10 +131,10 @@ fn overload_deployment_recommendation_matches_simulation() {
     let elems = app.trace_elements(200, 11);
     let mut goods: Vec<(String, f64, bool)> = Vec::new();
     for (name, node_set) in app.cutpoints() {
-        let dcfg = DeploymentConfig {
+        let dcfg = SimulationConfig {
             duration_s: 20.0,
             rate_multiplier: result.rate,
-            ..DeploymentConfig::motes(1, 17)
+            ..SimulationConfig::motes(1, 17)
         };
         let report = simulate_deployment(
             &app.graph, &node_set, app.source, &elems, 40.0, &mote, channel, &dcfg,

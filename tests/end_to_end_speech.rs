@@ -47,10 +47,10 @@ fn optimal_cut_beats_endpoint_partitions_in_deployment() {
     let elems = app.trace_elements(200, 9);
     let channel = ChannelParams::mote();
     let run = |node_set: &std::collections::HashSet<OperatorId>| -> f64 {
-        let dcfg = DeploymentConfig {
+        let dcfg = SimulationConfig {
             duration_s: 20.0,
             rate_multiplier: 1.0, // full rate: the overload case
-            ..DeploymentConfig::motes(1, 33)
+            ..SimulationConfig::motes(1, 33)
         };
         simulate_deployment(
             &app.graph, node_set, app.source, &elems, 40.0, &mote, channel, &dcfg,
@@ -101,10 +101,10 @@ fn recommended_cut_matches_empirical_peak() {
     let mut best: Option<(usize, f64)> = None;
     let mut recommended_good = None;
     for (i, (_name, node_set)) in app.cutpoints().into_iter().enumerate() {
-        let dcfg = DeploymentConfig {
+        let dcfg = SimulationConfig {
             duration_s: 30.0,
             rate_multiplier: r.rate,
-            ..DeploymentConfig::motes(1, 77)
+            ..SimulationConfig::motes(1, 77)
         };
         let rep = simulate_deployment(
             &app.graph, &node_set, app.source, &elems, 40.0, &mote, channel, &dcfg,
@@ -130,10 +130,10 @@ fn recommended_cut_matches_empirical_peak() {
     );
     let mut all_goods: Vec<f64> = Vec::new();
     for (_n, node_set) in app.cutpoints() {
-        let dcfg = DeploymentConfig {
+        let dcfg = SimulationConfig {
             duration_s: 30.0,
             rate_multiplier: r.rate,
-            ..DeploymentConfig::motes(1, 77)
+            ..SimulationConfig::motes(1, 77)
         };
         let rep = simulate_deployment(
             &app.graph, &node_set, app.source, &elems, 40.0, &mote, channel, &dcfg,
@@ -157,11 +157,11 @@ fn predicted_cpu_close_to_simulated_cpu() {
     let part = partition(&app.graph, &prof, &gumstix, &cfg).expect("gumstix fits");
 
     let elems = app.trace_elements(200, 21);
-    let dcfg = DeploymentConfig {
+    let dcfg = SimulationConfig {
         duration_s: 20.0,
         task_model: TaskModel::threaded(),
         per_packet_cpu_s: 20e-6,
-        ..DeploymentConfig::motes(1, 5)
+        ..SimulationConfig::motes(1, 5)
     };
     let rep = simulate_deployment(
         &app.graph,
@@ -236,11 +236,11 @@ fn meraki_ships_raw_data() {
     // Cross-check with the deployment simulator: shipping raw over WiFi
     // delivers essentially everything at the full 8 kHz rate.
     let elems = app.trace_elements(200, 31);
-    let dcfg = DeploymentConfig {
+    let dcfg = SimulationConfig {
         duration_s: 10.0,
         task_model: TaskModel::threaded(),
         per_packet_cpu_s: 50e-6,
-        ..DeploymentConfig::motes(1, 41)
+        ..SimulationConfig::motes(1, 41)
     };
     let rep = simulate_deployment(
         &app.graph,

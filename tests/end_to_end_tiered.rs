@@ -155,10 +155,10 @@ fn tiered_deployment_simulates_goodput_across_both_hops() {
     )
     .expect("feasible at 1/8 rate");
 
-    let cfg = DeploymentConfig {
+    let cfg = SimulationConfig {
         duration_s: 5.0,
         rate_multiplier: rate,
-        ..DeploymentConfig::motes(2, 3)
+        ..SimulationConfig::motes(2, 3)
     };
     let feeds = vec![SourceFeed {
         source: app.source,

@@ -1,0 +1,478 @@
+//! Property tests for the topology-first `Deployment` encoding over
+//! random DAGs and random tree shapes. The parity anchors (ISSUE 5
+//! acceptance):
+//!
+//! * (a) a **path** deployment produces `encode_multitier`'s rows
+//!   bit-for-bit (and a 2-site star produces the binary restricted
+//!   encoding bit-for-bit) — the old encoders stay alive as independent
+//!   oracles precisely so this comparison means something now that
+//!   `partition()`/`partition_multitier()` delegate to the deployment
+//!   path;
+//! * (b) a **star** of heterogeneous leaf classes reproduces
+//!   `partition_mixed`'s per-class partitions from one joint ILP;
+//! * (c) on genuine **trees**, every per-gateway CPU and uplink budget
+//!   holds at the returned placement, identically on both simplex
+//!   backends.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+use wishbone::core::{
+    encode, encode_deployment, encode_multitier, partition_deployment, partition_mixed, Deployment,
+    DeploymentConfig, DeploymentObjective, Encoding, LeafChain, LinkSpec, NodeClass,
+    ObjectiveConfig, PEdge, PVertex, PartitionConfig, PartitionGraph, Pin, Site, SiteId,
+    TierObjective, TieredGraph,
+};
+use wishbone::dataflow::OperatorId;
+use wishbone::ilp::{IlpOptions, Problem, SolverBackend, VarId};
+use wishbone::prelude::{profile, GraphBuilder, Platform, SourceTrace, Value};
+
+/// Random layered DAG: vertex 0 pinned Node, last pinned Server, edges
+/// only forward (guaranteeing acyclicity and source/sink reachability).
+fn pg_strategy() -> impl Strategy<Value = PartitionGraph> {
+    (3usize..9).prop_flat_map(|n| {
+        let cpus = prop::collection::vec(0.0f64..0.4, n);
+        let edge_picks = prop::collection::vec(prop::bool::ANY, n * (n - 1) / 2);
+        let bws = prop::collection::vec(1.0f64..100.0, n * (n - 1) / 2);
+        (cpus, edge_picks, bws).prop_map(move |(cpus, picks, bws)| {
+            let vertices: Vec<PVertex> = (0..n)
+                .map(|i| PVertex {
+                    ops: vec![OperatorId(i)],
+                    cpu_cost: cpus[i],
+                    pin: if i == 0 {
+                        Pin::Node
+                    } else if i == n - 1 {
+                        Pin::Server
+                    } else {
+                        Pin::Movable
+                    },
+                })
+                .collect();
+            let mut edges = Vec::new();
+            let mut k = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if j == i + 1 || picks[k] {
+                        edges.push(PEdge {
+                            src: i,
+                            dst: j,
+                            bandwidth: bws[k],
+                            graph_edges: vec![],
+                        });
+                    }
+                    k += 1;
+                }
+            }
+            PartitionGraph { vertices, edges }
+        })
+    })
+}
+
+/// Bit-level problem identity: same variables (bounds, integrality,
+/// objective bits), same rows (terms in order, sense, rhs bits).
+fn assert_problems_identical(a: &Problem, b: &Problem) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.num_vars(), b.num_vars(), "variable count");
+    prop_assert_eq!(a.num_constraints(), b.num_constraints(), "row count");
+    for j in 0..a.num_vars() {
+        let v = VarId(j);
+        prop_assert_eq!(
+            a.objective_coeff(v).to_bits(),
+            b.objective_coeff(v).to_bits(),
+            "objective bits of var {}",
+            j
+        );
+        prop_assert_eq!(a.lower_bounds()[j].to_bits(), b.lower_bounds()[j].to_bits());
+        prop_assert_eq!(a.upper_bounds()[j].to_bits(), b.upper_bounds()[j].to_bits());
+        prop_assert_eq!(a.is_integer(v), b.is_integer(v));
+    }
+    for i in 0..a.num_constraints() {
+        let (ca, cb) = (a.constraint(i), b.constraint(i));
+        prop_assert_eq!(ca.sense, cb.sense, "sense of row {}", i);
+        prop_assert_eq!(ca.rhs.to_bits(), cb.rhs.to_bits(), "rhs bits of row {}", i);
+        prop_assert_eq!(ca.terms.len(), cb.terms.len(), "terms of row {}", i);
+        for (ta, tb) in ca.terms.iter().zip(&cb.terms) {
+            prop_assert_eq!(ta.0, tb.0, "term variable in row {}", i);
+            prop_assert_eq!(ta.1.to_bits(), tb.1.to_bits(), "term bits in row {}", i);
+        }
+    }
+    Ok(())
+}
+
+/// Lift a binary graph into a 3-tier one (gateway at 1/8 cost, both hops
+/// the same bandwidth), as in `proptest_multitier`.
+fn lift_k3(pg: &PartitionGraph) -> TieredGraph {
+    let mut tg = TieredGraph::from_binary(pg);
+    tg.tiers = 3;
+    for v in &mut tg.vertices {
+        let mote = v.cpu_cost[0];
+        v.cpu_cost = vec![mote, mote / 8.0, 0.0];
+    }
+    for e in &mut tg.edges {
+        let bw = e.bandwidth[0];
+        e.bandwidth = vec![bw, bw];
+    }
+    tg
+}
+
+/// Random reducing pipeline as a real (profilable) dataflow graph.
+fn random_app(
+    stages: usize,
+    costs: &[u64],
+    keeps: &[usize],
+) -> (wishbone::dataflow::Graph, OperatorId) {
+    let mut b = GraphBuilder::new();
+    b.enter_node_namespace();
+    let src = b.source("src");
+    let mut prev = src;
+    for s in 0..stages {
+        let cost = costs[s];
+        let keep = keeps[s].max(1);
+        prev = b.transform(
+            format!("stage{s}"),
+            Box::new(wishbone::dataflow::FnWork(
+                move |_p: usize, v: &Value, cx: &mut wishbone::dataflow::ExecCtx| {
+                    let w = v.as_i16s().unwrap();
+                    cx.meter().loop_scope(cost, |m| {
+                        m.int(cost);
+                        m.fadd(cost / 2);
+                    });
+                    cx.emit(Value::VecI16(w.iter().step_by(keep).copied().collect()));
+                },
+            )),
+            prev,
+        );
+    }
+    b.exit_namespace();
+    b.sink("out", prev);
+    (b.finish().unwrap(), src.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (a) 2-site star ≡ binary restricted encoding, bit for bit.
+    #[test]
+    fn two_site_star_is_the_binary_encoding_bit_for_bit(
+        pg in pg_strategy(),
+        budget in 0.1f64..1.0,
+        net_pick in 1e2f64..2e4,
+    ) {
+        // The top fifth of the range means "unconstrained": the
+        // row-omission contract must hold bit-for-bit too.
+        let net = if net_pick > 1e4 { f64::INFINITY } else { net_pick };
+        let binary = encode(
+            &pg,
+            Encoding::Restricted,
+            &ObjectiveConfig::bandwidth_only(budget, net),
+        );
+        // Sites: 0 = server (root), 1 = the leaf class.
+        let lifted = TieredGraph::from_binary(&pg);
+        let ep = encode_deployment(
+            &[LeafChain {
+                graph: &lifted,
+                path: vec![1, 0],
+                count: 1.0,
+            }],
+            &DeploymentObjective {
+                alpha: vec![0.0, 0.0],
+                cpu_budget: vec![f64::INFINITY, budget],
+                count: vec![1.0, 1.0],
+                beta: vec![0.0, 1.0],
+                net_budget: vec![f64::INFINITY, net],
+                row_order: vec![1, 0],
+            },
+        );
+        assert_problems_identical(&binary.problem, &ep.problem)?;
+    }
+
+    /// (a) k = 3 path ≡ `encode_multitier`, bit for bit — and the
+    /// infinite-budget row-omission contract carries over.
+    #[test]
+    fn path_deployment_is_the_multitier_encoding_bit_for_bit(
+        pg in pg_strategy(),
+        mote_budget in 0.05f64..0.8,
+        relay_pick in 0.01f64..0.25,
+        link_pick in 1e2f64..2e4,
+    ) {
+        let tg = lift_k3(&pg);
+        // Top-of-range picks mean "unconstrained" (omitted rows).
+        let relay = if relay_pick > 0.2 { f64::INFINITY } else { relay_pick };
+        let link = if link_pick > 1e4 { f64::INFINITY } else { link_pick };
+        let tobj = TierObjective::bandwidth_only(
+            vec![mote_budget, relay, f64::INFINITY],
+            vec![link, 1e9],
+        );
+        let oracle = encode_multitier(&tg, &tobj);
+        // Sites: 0 = server, 1 = gateway, 2 = motes (path 2 → 1 → 0).
+        let ep = encode_deployment(
+            &[LeafChain {
+                graph: &tg,
+                path: vec![2, 1, 0],
+                count: 1.0,
+            }],
+            &DeploymentObjective {
+                alpha: vec![0.0; 3],
+                cpu_budget: vec![f64::INFINITY, relay, mote_budget],
+                count: vec![1.0; 3],
+                beta: vec![0.0, 1.0, 1.0],
+                net_budget: vec![f64::INFINITY, 1e9, link],
+                row_order: vec![2, 1, 0],
+            },
+        );
+        assert_problems_identical(&oracle.problem, &ep.problem)?;
+        // Bit-identical problems must decode identically through both
+        // variable maps on both backends.
+        for backend in [SolverBackend::Dense, SolverBackend::Sparse] {
+            let opts = IlpOptions { backend, ..Default::default() };
+            match (oracle.problem.solve_ilp(&opts), ep.problem.solve_ilp(&opts)) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(oracle.decode(&a.values), ep.decode(&b.values)[0].clone());
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (a, b) => prop_assert!(false, "verdict mismatch: {:?} vs {:?}", a.is_ok(), b.is_ok()),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// (b) star of heterogeneous leaf classes ≡ `partition_mixed`: the
+    /// joint block-diagonal ILP reproduces every per-class partition.
+    #[test]
+    fn star_reproduces_mixed_per_class_partitions(
+        stages in 2usize..5,
+        costs in prop::collection::vec(100u64..4000, 4),
+        keeps in prop::collection::vec(1usize..5, 4),
+        weak_budget in 0.05f64..1.0,
+        weak_rate in 0.02f64..0.5,
+        strong_budget in 0.05f64..1.0,
+    ) {
+        let (mut g, src) = random_app(stages, &costs, &keeps);
+        let trace = SourceTrace {
+            source: src,
+            elements: (0..10).map(|i| Value::VecI16(vec![i as i16; 128])).collect(),
+            rate_hz: 20.0,
+        };
+        let prof = match profile(&mut g, &[trace]) {
+            Ok(p) => p,
+            Err(_) => return Ok(()), // degenerate trace: skip
+        };
+        let mote = Platform::tmote_sky();
+        let strong = Platform::gumstix();
+        let mut weak_cfg = PartitionConfig::for_platform(&mote).at_rate(weak_rate);
+        weak_cfg.cpu_budget = weak_budget;
+        weak_cfg.net_budget = 1e9;
+        let mut strong_cfg = PartitionConfig::for_platform(&strong);
+        strong_cfg.cpu_budget = strong_budget;
+        strong_cfg.net_budget = 1e9;
+
+        let mixed = match partition_mixed(
+            &g,
+            &prof,
+            &[
+                NodeClass { platform: mote.clone(), count: 1, config: weak_cfg.clone() },
+                NodeClass { platform: strong.clone(), count: 1, config: strong_cfg.clone() },
+            ],
+        ) {
+            Ok(m) => m,
+            Err(_) => return Ok(()), // a class may genuinely not fit
+        };
+
+        let mut dep = Deployment::new(Site::server("server", &Platform::server()));
+        let root = dep.root();
+        dep.attach(
+            root,
+            Site::new("motes", &mote)
+                .with_cpu_budget(weak_budget)
+                .at_rate(weak_rate),
+            LinkSpec { beta: 1.0, net_budget: 1e9 },
+        );
+        dep.attach(
+            root,
+            Site::new("microservers", &strong).with_cpu_budget(strong_budget),
+            LinkSpec { beta: 1.0, net_budget: 1e9 },
+        );
+        for backend in [SolverBackend::Dense, SolverBackend::Sparse] {
+            let mut cfg = DeploymentConfig::default();
+            cfg.ilp.backend = backend;
+            let part = partition_deployment(&g, &prof, &dep, &cfg)
+                .expect("mixed succeeded, so the joint star must too");
+            for (leaf, class) in part.leaves.iter().zip(&mixed.classes) {
+                prop_assert_eq!(
+                    &leaf.site_ops[0],
+                    &class.partition.node_ops,
+                    "{:?}: class {} diverged from partition_mixed",
+                    backend,
+                    class.platform_name
+                );
+            }
+        }
+    }
+
+    /// (c) genuine trees: every per-gateway CPU and uplink budget holds
+    /// at the returned placement, on both backends, with matching
+    /// objectives.
+    #[test]
+    fn tree_budgets_hold_on_both_backends(
+        stages in 2usize..5,
+        costs in prop::collection::vec(100u64..4000, 4),
+        keeps in prop::collection::vec(1usize..5, 4),
+        gw_budgets in ((0.01f64..0.5), (0.01f64..0.5)),
+        uplink_rate in ((50.0f64..5000.0), (0.05f64..0.5)),
+        count_a in 1usize..4,
+    ) {
+        let (gw_budget_a, gw_budget_b) = gw_budgets;
+        let (uplink_a, rate) = uplink_rate;
+        let (mut g, src) = random_app(stages, &costs, &keeps);
+        let trace = SourceTrace {
+            source: src,
+            elements: (0..10).map(|i| Value::VecI16(vec![i as i16; 128])).collect(),
+            rate_hz: 20.0,
+        };
+        let prof = match profile(&mut g, &[trace]) {
+            Ok(p) => p,
+            Err(_) => return Ok(()),
+        };
+        let mote = Platform::tmote_sky();
+        let phone = Platform::iphone();
+        let mut dep = Deployment::new(Site::server("server", &Platform::server()));
+        let root = dep.root();
+        let gw_a = dep.attach(
+            root,
+            Site::new("gw-a", &phone).with_cpu_budget(gw_budget_a),
+            LinkSpec { beta: 1.0, net_budget: uplink_a },
+        );
+        let gw_b = dep.attach(
+            root,
+            Site::new("gw-b", &phone).with_cpu_budget(gw_budget_b),
+            LinkSpec { beta: 1.0, net_budget: 1e9 },
+        );
+        dep.attach(
+            gw_a,
+            Site::new("motes-a", &mote).with_count(count_a),
+            LinkSpec { beta: 1.0, net_budget: 1e9 },
+        );
+        dep.attach(
+            gw_b,
+            Site::new("motes-b", &mote),
+            LinkSpec { beta: 1.0, net_budget: 1e9 },
+        );
+
+        let mut objectives: Vec<Option<f64>> = Vec::new();
+        for backend in [SolverBackend::Dense, SolverBackend::Sparse] {
+            let mut cfg = DeploymentConfig::default().at_rate(rate);
+            cfg.ilp.backend = backend;
+            match partition_deployment(&g, &prof, &dep, &cfg) {
+                Ok(part) => {
+                    for s in dep.site_ids() {
+                        let site = dep.site(s);
+                        if site.cpu_budget.is_finite() {
+                            prop_assert!(
+                                part.site_cpu[s.0] <= site.cpu_budget + 1e-6,
+                                "{:?}: site {} cpu {} over {}",
+                                backend, site.name, part.site_cpu[s.0], site.cpu_budget
+                            );
+                        }
+                        if let Some(l) = dep.uplink(s) {
+                            if l.net_budget.is_finite() {
+                                prop_assert!(
+                                    part.link_net[s.0] <= l.net_budget + 1e-6,
+                                    "{:?}: site {} uplink {} over {}",
+                                    backend, site.name, part.link_net[s.0], l.net_budget
+                                );
+                            }
+                        }
+                    }
+                    // Structure: positions are monotone along every edge
+                    // of every leaf's program instance.
+                    for leaf in &part.leaves {
+                        for eid in g.edge_ids() {
+                            let e = g.edge(eid);
+                            let (ps, pd) = (
+                                leaf.position_of(e.src).unwrap(),
+                                leaf.position_of(e.dst).unwrap(),
+                            );
+                            prop_assert!(ps <= pd, "edge goes backwards");
+                        }
+                    }
+                    objectives.push(Some(part.objective));
+                }
+                Err(_) => objectives.push(None),
+            }
+        }
+        match (objectives[0], objectives[1]) {
+            (Some(a), Some(b)) => prop_assert!(
+                (a - b).abs() < 1e-6 * (1.0 + a.abs()),
+                "backends disagree: dense {} vs sparse {}", a, b
+            ),
+            (None, None) => {}
+            (a, b) => prop_assert!(false, "feasibility flipped: {:?} vs {:?}", a, b),
+        }
+    }
+}
+
+/// Sanity outside proptest: the star's server must still catch every
+/// operator some class leaves off-leaf (the mixed "stages of partial
+/// processing" contract, via the joint solve).
+#[test]
+fn star_server_side_union_matches_mixed() {
+    let (mut g, src) = random_app(3, &[500, 2000, 900, 100], &[2, 3, 2, 1]);
+    let trace = SourceTrace {
+        source: src,
+        elements: (0..10)
+            .map(|i| Value::VecI16(vec![i as i16; 128]))
+            .collect(),
+        rate_hz: 20.0,
+    };
+    let prof = profile(&mut g, &[trace]).unwrap();
+    let mote = Platform::tmote_sky();
+    let strong = Platform::gumstix();
+    let weak_cfg = PartitionConfig::for_platform(&mote).at_rate(0.1);
+    let strong_cfg = PartitionConfig::for_platform(&strong);
+    let mixed = partition_mixed(
+        &g,
+        &prof,
+        &[
+            NodeClass {
+                platform: mote.clone(),
+                count: 8,
+                config: weak_cfg.clone(),
+            },
+            NodeClass {
+                platform: strong.clone(),
+                count: 2,
+                config: strong_cfg.clone(),
+            },
+        ],
+    )
+    .unwrap();
+
+    let mut dep = Deployment::new(Site::server("server", &Platform::server()));
+    let root = dep.root();
+    dep.attach(
+        root,
+        Site::new("motes", &mote)
+            .with_count(8)
+            .with_cpu_budget(weak_cfg.cpu_budget)
+            .at_rate(0.1),
+        LinkSpec {
+            beta: 1.0,
+            // Aggregate uplink: 8 motes sharing a channel budgeted at the
+            // per-class (per-node) figure each.
+            net_budget: 8.0 * weak_cfg.net_budget,
+        },
+    );
+    dep.attach(
+        root,
+        Site::new("microservers", &strong).with_cpu_budget(strong_cfg.cpu_budget),
+        LinkSpec {
+            beta: 1.0,
+            net_budget: 2.0 * strong_cfg.net_budget,
+        },
+    );
+    let part = partition_deployment(&g, &prof, &dep, &DeploymentConfig::default()).unwrap();
+    let server_union: HashSet<OperatorId> = part.ops_at(SiteId(0));
+    assert_eq!(server_union, mixed.server_side_union(&g));
+}
