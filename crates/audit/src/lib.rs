@@ -1,0 +1,989 @@
+//! # wishbone-audit
+//!
+//! Static analysis for encoded Wishbone ILPs. The partitioner's
+//! correctness story rests on three generations of encoders kept alive
+//! as bit-for-bit oracles, but a malformed monotonicity block or a
+//! mis-scaled budget row is only caught if a differential test happens
+//! to trip on it. This crate checks the *structure* of a
+//! [`Problem`] before it hits the simplex — zero solver iterations —
+//! and returns a structured [`AuditReport`].
+//!
+//! Two entry points:
+//!
+//! - [`audit_problem`] runs the encoding-agnostic checks any LP should
+//!   pass: no empty or duplicate rows, no dangling columns, finite
+//!   values, sane per-row conditioning, and cheap row-singleton /
+//!   interval-arithmetic infeasibility pre-certificates.
+//! - [`audit_model`] additionally takes a [`ModelSpec`] describing what
+//!   the encoder *meant* — its monotone-indicator blocks and registered
+//!   budget rows — and verifies every row of the problem is accounted
+//!   for: monotonicity rows present for every `(boundary, vertex)`
+//!   pair, precedence rows well-formed, budget rows `≤` with finite
+//!   rhs, uplink rows telescoping to zero, and nothing else.
+//!
+//! Severity semantics: `Error` means an invariant every well-formed
+//! Wishbone encoding satisfies is violated (the encoder has a bug);
+//! `Warn` covers conditions that are legitimate on some inputs — most
+//! notably [`AuditCode::ProvablyInfeasible`], because rate searches
+//! intentionally probe infeasible rates. The `debug_assertions` hooks
+//! in `wishbone-core` assert only that no `Error` is present.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod report;
+
+pub use report::{AuditCode, AuditReport, Diagnostic, Severity};
+
+use std::collections::HashMap;
+use wishbone_ilp::{Problem, Sense};
+
+/// A row's nonzero coefficients may span at most this ratio before the
+/// dynamic-range warning fires.
+pub const DYNAMIC_RANGE_LIMIT: f64 = 1e8;
+/// Coefficients smaller than this fraction of the row's largest are
+/// flagged as pivot risks.
+pub const TINY_COEFF_RATIO: f64 = 1e-9;
+/// A rhs larger than this multiple of the row's largest coefficient is
+/// flagged as a scale mismatch.
+pub const RHS_SCALE_LIMIT: f64 = 1e9;
+/// Relative tolerance for the uplink-row telescoping check: the
+/// coefficients of a conserved net row must sum to zero within this
+/// fraction of their absolute sum.
+pub const CONSERVATION_TOL: f64 = 1e-6;
+
+/// One monotone-indicator block: the `y_v^b` grid of a single leaf
+/// class (or the `f` vector of a binary encoding, which is a one-
+/// boundary block).
+///
+/// `columns[b][v]` is the variable index of the indicator "vertex `v`
+/// sits at path position ≤ `b`". Every row of the grid must have the
+/// same length.
+#[derive(Debug, Clone)]
+pub struct IndicatorBlock {
+    /// Boundary-major indicator grid.
+    pub columns: Vec<Vec<usize>>,
+}
+
+/// What the encoder claims about its output: which columns are
+/// placement indicators (grouped into per-leaf monotone blocks) and
+/// which rows are budget rows. [`audit_model`] verifies the problem
+/// against this and flags anything unexplained.
+#[derive(Debug, Clone, Default)]
+pub struct ModelSpec {
+    /// Monotone-indicator blocks, one per leaf class.
+    pub blocks: Vec<IndicatorBlock>,
+    /// Constraint indices of CPU-budget rows (one per site/tier).
+    pub cpu_rows: Vec<usize>,
+    /// Constraint indices of uplink/net-budget rows (one per tree edge
+    /// or link).
+    pub net_rows: Vec<usize>,
+    /// Net rows telescope: their coefficients are per-vertex
+    /// `Σ_out r − Σ_in r` flow deltas and must sum to ~0. True for every
+    /// indicator-variable encoding; false for the general edge-variable
+    /// encoding, whose net row is a positive sum over edge variables.
+    pub conserved_net: bool,
+    /// Allow the general encoding's 3-term `f_u − f_v + e ≥ 0` rows
+    /// (and net rows over continuous edge columns instead of
+    /// indicators).
+    pub general_edge_rows: bool,
+}
+
+/// Encoding-agnostic audit: structural hygiene, numeric conditioning,
+/// and infeasibility pre-certificates. See the crate docs for the
+/// check list.
+pub fn audit_problem(problem: &Problem) -> AuditReport {
+    let mut report = AuditReport::default();
+    generic_checks(problem, &[], &mut report);
+    report
+}
+
+/// Full audit: everything [`audit_problem`] checks, plus verification
+/// that the problem matches the encoder's [`ModelSpec`] — every row
+/// classified, every required monotonicity row present, budget rows
+/// well-formed.
+pub fn audit_model(problem: &Problem, spec: &ModelSpec) -> AuditReport {
+    let mut report = AuditReport::default();
+    let budget_rows: Vec<usize> = spec
+        .cpu_rows
+        .iter()
+        .chain(&spec.net_rows)
+        .copied()
+        .collect();
+    generic_checks(problem, &budget_rows, &mut report);
+    if let Some(cells) = validate_spec(problem, spec, &mut report) {
+        structural_checks(problem, spec, &cells, &mut report);
+    }
+    report
+}
+
+/// Where one indicator column sits inside its spec: `(block, boundary,
+/// vertex)`.
+type Cell = (usize, usize, usize);
+
+/// Duplicate-row fingerprint: sorted `(column, coefficient bits)` terms,
+/// a sense tag, and the rhs bits.
+type RowKey = (Vec<(usize, u64)>, u8, u64);
+
+/// Check the spec itself is consistent with the problem; on success
+/// return the column → cell map. A broken spec is an encoder wiring
+/// bug ([`AuditCode::InvalidSpec`], `Error`) and structural checks are
+/// skipped to avoid cascading nonsense.
+fn validate_spec(
+    problem: &Problem,
+    spec: &ModelSpec,
+    report: &mut AuditReport,
+) -> Option<HashMap<usize, Cell>> {
+    let n = problem.num_vars();
+    let m = problem.num_constraints();
+    let mut ok = true;
+    let mut cells: HashMap<usize, Cell> = HashMap::new();
+    for (bi, block) in spec.blocks.iter().enumerate() {
+        let width = block.columns.first().map_or(0, Vec::len);
+        for (b, row) in block.columns.iter().enumerate() {
+            if row.len() != width {
+                report.push(
+                    AuditCode::InvalidSpec,
+                    Severity::Error,
+                    None,
+                    None,
+                    format!(
+                        "block {bi} boundary {b} has {} columns, expected {width}",
+                        row.len()
+                    ),
+                );
+                ok = false;
+            }
+            for (v, &col) in row.iter().enumerate() {
+                if col >= n {
+                    report.push(
+                        AuditCode::InvalidSpec,
+                        Severity::Error,
+                        None,
+                        Some(col),
+                        format!("block {bi} boundary {b} vertex {v}: column out of range"),
+                    );
+                    ok = false;
+                } else if let Some(prev) = cells.insert(col, (bi, b, v)) {
+                    report.push(
+                        AuditCode::InvalidSpec,
+                        Severity::Error,
+                        None,
+                        Some(col),
+                        format!(
+                            "column registered twice: cells {prev:?} and {:?}",
+                            (bi, b, v)
+                        ),
+                    );
+                    ok = false;
+                }
+            }
+        }
+    }
+    let mut seen_rows: HashMap<usize, &'static str> = HashMap::new();
+    for (kind, rows) in [("cpu", &spec.cpu_rows), ("net", &spec.net_rows)] {
+        for &row in rows {
+            if row >= m {
+                report.push(
+                    AuditCode::InvalidSpec,
+                    Severity::Error,
+                    Some(row),
+                    None,
+                    format!("{kind} budget row index out of range ({m} rows)"),
+                );
+                ok = false;
+            } else if let Some(prev) = seen_rows.insert(row, kind) {
+                report.push(
+                    AuditCode::InvalidSpec,
+                    Severity::Error,
+                    Some(row),
+                    None,
+                    format!("row registered as both {prev} and {kind} budget"),
+                );
+                ok = false;
+            }
+        }
+    }
+    ok.then_some(cells)
+}
+
+fn generic_checks(problem: &Problem, budget_rows: &[usize], report: &mut AuditReport) {
+    use wishbone_ilp::VarId;
+    let n = problem.num_vars();
+    let m = problem.num_constraints();
+
+    // Column-level: non-finite objective entries, dangling columns.
+    let mut used = vec![false; n];
+    for row in 0..m {
+        for &(v, _) in &problem.constraint(row).terms {
+            used[v.0] = true;
+        }
+    }
+    for (j, &col_used) in used.iter().enumerate() {
+        let obj = problem.objective_coeff(VarId(j));
+        if obj.is_nan() || obj.is_infinite() {
+            report.push(
+                AuditCode::NonFiniteValue,
+                Severity::Error,
+                None,
+                Some(j),
+                format!("objective coefficient is {obj}"),
+            );
+        }
+        let (lo, hi) = (problem.lower_bounds()[j], problem.upper_bounds()[j]);
+        if lo.is_nan() || hi.is_nan() || lo.is_infinite() {
+            report.push(
+                AuditCode::NonFiniteValue,
+                Severity::Error,
+                None,
+                Some(j),
+                format!("bounds [{lo}, {hi}] are not a finite-below interval"),
+            );
+        }
+        if !col_used && obj == 0.0 && lo < hi {
+            report.push(
+                AuditCode::DanglingColumn,
+                Severity::Warn,
+                None,
+                Some(j),
+                "column appears in no constraint and carries no objective weight".to_string(),
+            );
+        }
+    }
+
+    // Row-level hygiene and conditioning.
+    let mut row_keys: HashMap<RowKey, usize> = HashMap::new();
+    for row in 0..m {
+        let c = problem.constraint(row);
+        if c.rhs.is_nan() || c.rhs.is_infinite() {
+            report.push(
+                AuditCode::NonFiniteValue,
+                Severity::Error,
+                Some(row),
+                None,
+                format!("rhs is {}", c.rhs),
+            );
+        }
+        if c.terms.is_empty() {
+            report.push(
+                AuditCode::EmptyRow,
+                Severity::Error,
+                Some(row),
+                None,
+                "constraint has no terms".to_string(),
+            );
+            continue;
+        }
+        let mut seen_cols: HashMap<usize, f64> = HashMap::new();
+        let mut amax = 0.0f64;
+        let mut amin = f64::INFINITY;
+        for &(v, a) in &c.terms {
+            if a.is_nan() || a.is_infinite() {
+                report.push(
+                    AuditCode::NonFiniteValue,
+                    Severity::Error,
+                    Some(row),
+                    Some(v.0),
+                    format!("coefficient is {a}"),
+                );
+                continue;
+            }
+            if let Some(prev) = seen_cols.insert(v.0, a) {
+                report.push(
+                    AuditCode::DuplicateTerm,
+                    Severity::Warn,
+                    Some(row),
+                    Some(v.0),
+                    format!("column appears twice (coefficients {prev} and {a})"),
+                );
+            }
+            let mag = a.abs();
+            if mag > 0.0 {
+                amax = amax.max(mag);
+                amin = amin.min(mag);
+            } else {
+                report.push(
+                    AuditCode::TinyCoefficient,
+                    Severity::Warn,
+                    Some(row),
+                    Some(v.0),
+                    "exact-zero coefficient stored instead of filtered".to_string(),
+                );
+            }
+        }
+        if amax > 0.0 && amax / amin > DYNAMIC_RANGE_LIMIT {
+            report.push(
+                AuditCode::CoefficientRange,
+                Severity::Warn,
+                Some(row),
+                None,
+                format!(
+                    "coefficient magnitudes span [{amin:.3e}, {amax:.3e}] \
+                     ({:.1e}x > {DYNAMIC_RANGE_LIMIT:.0e} limit)",
+                    amax / amin
+                ),
+            );
+        }
+        if amax > 0.0 && amin < TINY_COEFF_RATIO * amax {
+            report.push(
+                AuditCode::TinyCoefficient,
+                Severity::Warn,
+                Some(row),
+                None,
+                format!("smallest coefficient {amin:.3e} is a pivot risk next to {amax:.3e}"),
+            );
+        }
+        if amax > 0.0 && c.rhs.is_finite() && c.rhs != 0.0 && c.rhs.abs() > RHS_SCALE_LIMIT * amax {
+            report.push(
+                AuditCode::RhsScaleMismatch,
+                Severity::Warn,
+                Some(row),
+                None,
+                format!(
+                    "rhs {:.3e} dwarfs the largest coefficient {amax:.3e}",
+                    c.rhs
+                ),
+            );
+        }
+
+        // Duplicate-row detection over a canonical key.
+        let mut key_terms: Vec<(usize, u64)> =
+            c.terms.iter().map(|&(v, a)| (v.0, a.to_bits())).collect();
+        key_terms.sort_unstable();
+        let sense_tag = match c.sense {
+            Sense::Le => 0u8,
+            Sense::Ge => 1,
+            Sense::Eq => 2,
+        };
+        let key = (key_terms, sense_tag, c.rhs.to_bits());
+        if let Some(&first) = row_keys.get(&key) {
+            let is_budget = budget_rows.contains(&row) || budget_rows.contains(&first);
+            report.push(
+                AuditCode::DuplicateRow,
+                if is_budget {
+                    Severity::Error
+                } else {
+                    Severity::Warn
+                },
+                Some(row),
+                None,
+                format!(
+                    "identical to row {first}{}",
+                    if is_budget {
+                        " — a budget row must be unique (duplicating one doubles nothing \
+                         but hides a lost row elsewhere)"
+                    } else {
+                        ""
+                    }
+                ),
+            );
+        } else {
+            row_keys.insert(key, row);
+        }
+    }
+
+    infeasibility_certificates(problem, report);
+}
+
+/// Row-singleton bound propagation plus one interval-arithmetic
+/// activity pass: anything caught here is infeasible before a single
+/// simplex iteration. `Warn`, not `Error` — Wishbone's rate searches
+/// intentionally probe infeasible rates.
+fn infeasibility_certificates(problem: &Problem, report: &mut AuditReport) {
+    let n = problem.num_vars();
+    let m = problem.num_constraints();
+    let mut lo = problem.lower_bounds().to_vec();
+    let mut hi = problem.upper_bounds().to_vec();
+    let mut contradicted = vec![false; n];
+
+    // Two propagation passes let a chain of two singletons contradict.
+    for _ in 0..2 {
+        for row in 0..m {
+            let c = problem.constraint(row);
+            let [(v, a)] = c.terms[..] else { continue };
+            if a == 0.0 || !a.is_finite() || !c.rhs.is_finite() {
+                continue;
+            }
+            let bound = c.rhs / a;
+            let (tighten_hi, tighten_lo) = match (c.sense, a > 0.0) {
+                (Sense::Le, true) | (Sense::Ge, false) => (true, false),
+                (Sense::Ge, true) | (Sense::Le, false) => (false, true),
+                (Sense::Eq, _) => (true, true),
+            };
+            if tighten_hi && bound < hi[v.0] {
+                hi[v.0] = bound;
+            }
+            if tighten_lo && bound > lo[v.0] {
+                lo[v.0] = bound;
+            }
+            let tol = 1e-9 * (1.0 + lo[v.0].abs() + hi[v.0].abs());
+            if lo[v.0] > hi[v.0] + tol && !contradicted[v.0] {
+                contradicted[v.0] = true;
+                report.push(
+                    AuditCode::ProvablyInfeasible,
+                    Severity::Warn,
+                    Some(row),
+                    Some(v.0),
+                    format!(
+                        "singleton propagation empties the column's domain \
+                         [{:.6}, {:.6}]",
+                        lo[v.0], hi[v.0]
+                    ),
+                );
+            }
+        }
+    }
+
+    // Min/max-activity per row against the propagated bounds.
+    for row in 0..m {
+        let c = problem.constraint(row);
+        if c.terms.len() < 2 || !c.rhs.is_finite() {
+            continue;
+        }
+        let mut min_act = 0.0f64;
+        let mut max_act = 0.0f64;
+        for &(v, a) in &c.terms {
+            if !a.is_finite() {
+                return; // already reported as NonFiniteValue
+            }
+            let (l, h) = (lo[v.0], hi[v.0]);
+            if a >= 0.0 {
+                min_act += a * l;
+                max_act += a * h; // may be +inf
+            } else {
+                min_act += a * h; // may be -inf
+                max_act += a * l;
+            }
+        }
+        let tol = 1e-9 * (1.0 + c.rhs.abs() + min_act.abs().min(1e300) + max_act.abs().min(1e300));
+        let infeasible = match c.sense {
+            Sense::Le => min_act.is_finite() && min_act > c.rhs + tol,
+            Sense::Ge => max_act.is_finite() && max_act < c.rhs - tol,
+            Sense::Eq => {
+                (min_act.is_finite() && min_act > c.rhs + tol)
+                    || (max_act.is_finite() && max_act < c.rhs - tol)
+            }
+        };
+        if infeasible {
+            report.push(
+                AuditCode::ProvablyInfeasible,
+                Severity::Warn,
+                Some(row),
+                None,
+                format!(
+                    "activity bounds [{min_act:.6}, {max_act:.6}] cannot reach rhs {}",
+                    c.rhs
+                ),
+            );
+        }
+    }
+}
+
+fn structural_checks(
+    problem: &Problem,
+    spec: &ModelSpec,
+    cells: &HashMap<usize, Cell>,
+    report: &mut AuditReport,
+) {
+    use wishbone_ilp::VarId;
+    let n = problem.num_vars();
+    let m = problem.num_constraints();
+
+    // Indicator columns: integer with {0, 1} bounds (pinned vertices are
+    // fixed at 0 or 1, still within the lattice). Integer columns
+    // outside every block have no business in a Wishbone encoding.
+    for j in 0..n {
+        let (lo, hi) = (problem.lower_bounds()[j], problem.upper_bounds()[j]);
+        if let Some(&(bi, b, v)) = cells.get(&j) {
+            if !problem.is_integer(VarId(j)) {
+                report.push(
+                    AuditCode::NonBinaryIndicator,
+                    Severity::Error,
+                    None,
+                    Some(j),
+                    format!("indicator (block {bi}, boundary {b}, vertex {v}) is continuous"),
+                );
+            }
+            let binary = |x: f64| x == 0.0 || x == 1.0;
+            if !binary(lo) || !binary(hi) {
+                report.push(
+                    AuditCode::NonBinaryIndicator,
+                    Severity::Error,
+                    None,
+                    Some(j),
+                    format!(
+                        "indicator (block {bi}, boundary {b}, vertex {v}) has bounds \
+                         [{lo}, {hi}], expected a sub-interval of {{0, 1}}"
+                    ),
+                );
+            }
+        } else if problem.is_integer(VarId(j)) {
+            report.push(
+                AuditCode::StrayIntegerColumn,
+                Severity::Error,
+                None,
+                Some(j),
+                "integer column is not registered in any indicator block".to_string(),
+            );
+        }
+    }
+
+    // Classify every row: registered budget row, monotonicity,
+    // precedence, or (if allowed) general edge row. Anything else is an
+    // encoder bug.
+    let cpu_rows: Vec<usize> = spec.cpu_rows.clone();
+    let net_rows: Vec<usize> = spec.net_rows.clone();
+    let mut mono_seen: HashMap<(usize, usize, usize), usize> = HashMap::new();
+    for row in 0..m {
+        if cpu_rows.contains(&row) {
+            check_budget_row(problem, row, cells, false, spec, report);
+            continue;
+        }
+        if net_rows.contains(&row) {
+            check_budget_row(problem, row, cells, true, spec, report);
+            continue;
+        }
+        classify_structural_row(problem, row, cells, spec, &mut mono_seen, report);
+    }
+
+    // Every (boundary, vertex) pair of every multi-boundary block needs
+    // its monotonicity row, or a k ≥ 3 cut can become non-monotone.
+    for (bi, block) in spec.blocks.iter().enumerate() {
+        let boundaries = block.columns.len();
+        for b in 0..boundaries.saturating_sub(1) {
+            for v in 0..block.columns[b].len() {
+                if !mono_seen.contains_key(&(bi, b, v)) {
+                    report.push(
+                        AuditCode::MissingMonotonicityRow,
+                        Severity::Error,
+                        None,
+                        Some(block.columns[b + 1][v]),
+                        format!(
+                            "no row enforces y[{}][{v}] ≥ y[{b}][{v}] in block {bi}",
+                            b + 1
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn check_budget_row(
+    problem: &Problem,
+    row: usize,
+    cells: &HashMap<usize, Cell>,
+    is_net: bool,
+    spec: &ModelSpec,
+    report: &mut AuditReport,
+) {
+    let c = problem.constraint(row);
+    let kind = if is_net { "uplink" } else { "CPU" };
+    if c.sense != Sense::Le || !c.rhs.is_finite() || c.terms.is_empty() {
+        report.push(
+            AuditCode::BadBudgetRow,
+            Severity::Error,
+            Some(row),
+            None,
+            format!(
+                "{kind} budget row must be a non-empty ≤ with finite rhs \
+                 (got {:?} with rhs {} over {} terms)",
+                c.sense,
+                c.rhs,
+                c.terms.len()
+            ),
+        );
+        return;
+    }
+    // The general encoding's net row lives on continuous edge columns;
+    // every other budget row is a combination of indicators.
+    let expect_indicators = !(is_net && spec.general_edge_rows);
+    for &(v, _) in &c.terms {
+        let on_indicator = cells.contains_key(&v.0);
+        if expect_indicators != on_indicator {
+            report.push(
+                AuditCode::BadBudgetRow,
+                Severity::Error,
+                Some(row),
+                Some(v.0),
+                format!(
+                    "{kind} budget row touches {} column",
+                    if on_indicator {
+                        "an indicator"
+                    } else {
+                        "a non-indicator"
+                    }
+                ),
+            );
+        } else if !expect_indicators && problem.is_integer(v) {
+            report.push(
+                AuditCode::BadBudgetRow,
+                Severity::Error,
+                Some(row),
+                Some(v.0),
+                format!("{kind} budget row touches an integer edge column"),
+            );
+        }
+    }
+    if is_net && spec.conserved_net {
+        let sum: f64 = c.terms.iter().map(|&(_, a)| a).sum();
+        let abs_sum: f64 = c.terms.iter().map(|&(_, a)| a.abs()).sum();
+        if abs_sum > 0.0 && sum.abs() > CONSERVATION_TOL * abs_sum {
+            report.push(
+                AuditCode::UnbalancedUplinkRow,
+                Severity::Error,
+                Some(row),
+                None,
+                format!(
+                    "uplink coefficients sum to {sum:.6e} (|Σ| = {:.3e} of Σ|a| = \
+                     {abs_sum:.6e}) — transmit/receive rates no longer telescope; \
+                     a term was flipped or dropped",
+                    sum.abs() / abs_sum
+                ),
+            );
+        }
+    }
+}
+
+fn classify_structural_row(
+    problem: &Problem,
+    row: usize,
+    cells: &HashMap<usize, Cell>,
+    spec: &ModelSpec,
+    mono_seen: &mut HashMap<(usize, usize, usize), usize>,
+    report: &mut AuditReport,
+) {
+    let c = problem.constraint(row);
+    let unknown = |report: &mut AuditReport, why: &str| {
+        report.push(
+            AuditCode::UnknownRow,
+            Severity::Error,
+            Some(row),
+            None,
+            format!("row is not a registered budget row and {why}"),
+        );
+    };
+    if c.sense != Sense::Ge || c.rhs != 0.0 {
+        unknown(
+            report,
+            &format!(
+                "structural rows are ≥ 0 (got {:?} with rhs {})",
+                c.sense, c.rhs
+            ),
+        );
+        return;
+    }
+    match c.terms[..] {
+        [(u, pa), (v, na)] => {
+            // Monotonicity y[b+1][w] − y[b][w] ≥ 0 or precedence
+            // y[b][src] − y[b][dst] ≥ 0: a ±1 pair inside one block.
+            let (pos, neg) = if pa == 1.0 && na == -1.0 {
+                (u.0, v.0)
+            } else if pa == -1.0 && na == 1.0 {
+                (v.0, u.0)
+            } else {
+                unknown(report, "its two coefficients are not the ±1 pair");
+                return;
+            };
+            let (Some(&(pb, pbound, pv)), Some(&(nb, nbound, nv))) =
+                (cells.get(&pos), cells.get(&neg))
+            else {
+                unknown(report, "it touches a column outside every indicator block");
+                return;
+            };
+            if pb != nb {
+                unknown(report, "it couples two different leaf-class blocks");
+            } else if pbound == nbound + 1 && pv == nv {
+                mono_seen.insert((pb, nbound, nv), row);
+            } else if pbound == nbound {
+                // Precedence along an edge at this boundary; edges are
+                // the encoder's business, any pair is structurally fine.
+            } else {
+                unknown(
+                    report,
+                    &format!(
+                        "it relates boundary {pbound} vertex {pv} to boundary \
+                         {nbound} vertex {nv}, which is neither a monotonicity \
+                         nor a precedence shape"
+                    ),
+                );
+            }
+        }
+        [(a, ca), (b, cb), (d, cd)] if spec.general_edge_rows => {
+            // General encoding (3): f_u − f_v + e ≥ 0. Two +1 terms
+            // (one indicator, one continuous edge var) and one −1
+            // indicator.
+            let terms = [(a, ca), (b, cb), (d, cd)];
+            let plus: Vec<usize> = terms
+                .iter()
+                .filter(|&&(_, w)| w == 1.0)
+                .map(|&(x, _)| x.0)
+                .collect();
+            let minus: Vec<usize> = terms
+                .iter()
+                .filter(|&&(_, w)| w == -1.0)
+                .map(|&(x, _)| x.0)
+                .collect();
+            if plus.len() != 2 || minus.len() != 1 {
+                unknown(report, "its three coefficients are not {+1, +1, −1}");
+                return;
+            }
+            let edge_cols: Vec<usize> = plus
+                .iter()
+                .copied()
+                .filter(|x| !cells.contains_key(x))
+                .collect();
+            let ok = cells.contains_key(&minus[0])
+                && edge_cols.len() == 1
+                && !problem.is_integer(wishbone_ilp::VarId(edge_cols[0]));
+            if !ok {
+                unknown(
+                    report,
+                    "it does not match f_u − f_v + e ≥ 0 (one continuous edge \
+                     column, two indicators)",
+                );
+            }
+        }
+        _ => unknown(
+            report,
+            &format!("its {}-term shape matches no known row kind", c.terms.len()),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wishbone_ilp::{Problem, Sense};
+
+    /// A well-formed 2-boundary block over 3 chain vertices with cpu +
+    /// net rows, mirroring a k = 3 multitier encoding.
+    fn good_model() -> (Problem, ModelSpec) {
+        let mut p = Problem::new();
+        let y: Vec<Vec<_>> = (0..2)
+            .map(|_| (0..3).map(|_| p.add_binary(0.5)).collect())
+            .collect();
+        // Monotonicity y[1][v] − y[0][v] ≥ 0.
+        for (hi, lo) in y[1].iter().zip(&y[0]) {
+            p.add_constraint(&[(*hi, 1.0), (*lo, -1.0)], Sense::Ge, 0.0);
+        }
+        // Precedence along the chain 0 → 1 → 2 at both boundaries.
+        for row in &y {
+            for e in 0..2 {
+                p.add_constraint(&[(row[e], 1.0), (row[e + 1], -1.0)], Sense::Ge, 0.0);
+            }
+        }
+        let cpu = p.num_constraints();
+        p.add_constraint(&[(y[0][0], 0.3), (y[0][1], 0.4)], Sense::Le, 0.9);
+        let net = p.num_constraints();
+        // Telescoping flow deltas: +10, (−10 + 4) = −6, −4.
+        p.add_constraint(
+            &[(y[0][0], 10.0), (y[0][1], -6.0), (y[0][2], -4.0)],
+            Sense::Le,
+            25.0,
+        );
+        let spec = ModelSpec {
+            blocks: vec![IndicatorBlock {
+                columns: y
+                    .iter()
+                    .map(|row| row.iter().map(|v| v.0).collect())
+                    .collect(),
+            }],
+            cpu_rows: vec![cpu],
+            net_rows: vec![net],
+            conserved_net: true,
+            general_edge_rows: false,
+        };
+        (p, spec)
+    }
+
+    #[test]
+    fn clean_model_audits_clean() {
+        let (p, spec) = good_model();
+        let report = audit_model(&p, &spec);
+        assert!(!report.has_errors(), "{report}");
+    }
+
+    #[test]
+    fn empty_row_is_an_error() {
+        let mut p = Problem::new();
+        let _x = p.add_binary(1.0);
+        p.add_constraint(&[], Sense::Le, 1.0);
+        let report = audit_problem(&p);
+        assert!(report.has_code(AuditCode::EmptyRow));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn duplicate_budget_row_is_an_error_plain_duplicate_a_warning() {
+        let (mut p, spec) = good_model();
+        let net = spec.net_rows[0];
+        let dup = p.constraint(net).clone();
+        p.add_constraint(&dup.terms, dup.sense, dup.rhs);
+        let report = audit_model(&p, &spec);
+        assert!(
+            report.errors().any(|d| d.code == AuditCode::DuplicateRow),
+            "{report}"
+        );
+
+        // The same duplication of a *precedence* row only warns.
+        let (mut p, spec) = good_model();
+        let dup = p.constraint(3).clone();
+        p.add_constraint(&dup.terms, dup.sense, dup.rhs);
+        let report = audit_model(&p, &spec);
+        assert!(report.has_code(AuditCode::DuplicateRow));
+        assert!(
+            !report.errors().any(|d| d.code == AuditCode::DuplicateRow),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn dangling_column_warns() {
+        let mut p = Problem::new();
+        let x = p.add_var(0.0, 1.0, 1.0, false);
+        let _dangling = p.add_var(0.0, 1.0, 0.0, false);
+        p.add_constraint(&[(x, 1.0)], Sense::Le, 1.0);
+        let report = audit_problem(&p);
+        assert!(report.has_code(AuditCode::DanglingColumn));
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn missing_monotonicity_row_is_detected() {
+        let (mut p, spec) = good_model();
+        // Overwrite the vertex-1 monotonicity row (index 1) in place so
+        // budget-row indices stay valid.
+        let y11 = spec.blocks[0].columns[1][1];
+        p.replace_constraint(1, &[(wishbone_ilp::VarId(y11), 1.0)], Sense::Ge, 0.0);
+        let report = audit_model(&p, &spec);
+        assert!(
+            report
+                .errors()
+                .any(|d| d.code == AuditCode::MissingMonotonicityRow),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn sign_flipped_uplink_coefficient_is_detected() {
+        let (mut p, spec) = good_model();
+        let net = spec.net_rows[0];
+        let mut terms = p.constraint(net).terms.clone();
+        terms[0].1 = -terms[0].1;
+        let (sense, rhs) = (p.constraint(net).sense, p.constraint(net).rhs);
+        p.replace_constraint(net, &terms, sense, rhs);
+        let report = audit_model(&p, &spec);
+        assert!(
+            report
+                .errors()
+                .any(|d| d.code == AuditCode::UnbalancedUplinkRow && d.row == Some(net)),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn non_binary_indicator_and_stray_integer_are_errors() {
+        let mut p = Problem::new();
+        let y = p.add_var(0.0, 2.0, 1.0, true); // bounds exceed {0, 1}
+        let _stray = p.add_var(0.0, 1.0, 1.0, true);
+        p.add_constraint(&[(y, 1.0)], Sense::Le, 1.0);
+        let spec = ModelSpec {
+            blocks: vec![IndicatorBlock {
+                columns: vec![vec![y.0]],
+            }],
+            cpu_rows: vec![0],
+            net_rows: vec![],
+            conserved_net: true,
+            general_edge_rows: false,
+        };
+        let report = audit_model(&p, &spec);
+        assert!(
+            report
+                .errors()
+                .any(|d| d.code == AuditCode::NonBinaryIndicator),
+            "{report}"
+        );
+        assert!(
+            report
+                .errors()
+                .any(|d| d.code == AuditCode::StrayIntegerColumn),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn unknown_row_is_an_error() {
+        let (mut p, spec) = good_model();
+        let y00 = spec.blocks[0].columns[0][0];
+        // A ≥ row with a coefficient outside ±1 matches nothing.
+        p.add_constraint(&[(wishbone_ilp::VarId(y00), 2.0)], Sense::Ge, 0.0);
+        let report = audit_model(&p, &spec);
+        assert!(
+            report.errors().any(|d| d.code == AuditCode::UnknownRow),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn singleton_contradiction_is_a_warning_certificate() {
+        let mut p = Problem::new();
+        let x = p.add_var(0.0, 1.0, 1.0, false);
+        p.add_constraint(&[(x, 1.0)], Sense::Ge, 2.0); // x ≥ 2 vs x ≤ 1
+        let report = audit_problem(&p);
+        assert!(report.has_code(AuditCode::ProvablyInfeasible));
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn activity_bounds_catch_multi_term_infeasibility() {
+        let mut p = Problem::new();
+        let x = p.add_var(0.0, 1.0, 1.0, false);
+        let y = p.add_var(0.0, 1.0, 1.0, false);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Sense::Ge, 3.0); // max 2
+        let report = audit_problem(&p);
+        assert!(report.has_code(AuditCode::ProvablyInfeasible));
+    }
+
+    #[test]
+    fn conditioning_warnings_fire() {
+        let mut p = Problem::new();
+        let x = p.add_var(0.0, 1.0, 1.0, false);
+        let y = p.add_var(0.0, 1.0, 1.0, false);
+        p.add_constraint(&[(x, 1e9), (y, 1e-3)], Sense::Le, 1e9);
+        p.add_constraint(&[(x, 1.0)], Sense::Le, 1e12);
+        let report = audit_problem(&p);
+        assert!(report.has_code(AuditCode::CoefficientRange));
+        assert!(report.has_code(AuditCode::RhsScaleMismatch));
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn invalid_spec_short_circuits_structural_checks() {
+        let (p, mut spec) = good_model();
+        spec.cpu_rows.push(999);
+        let report = audit_model(&p, &spec);
+        assert!(
+            report.errors().any(|d| d.code == AuditCode::InvalidSpec),
+            "{report}"
+        );
+        // Structural findings are suppressed; generic ones remain.
+        assert!(!report.has_code(AuditCode::UnknownRow));
+    }
+
+    #[test]
+    fn report_display_lists_findings() {
+        let (p, spec) = good_model();
+        let clean = audit_model(&p, &spec);
+        assert!(format!("{clean}").contains("clean"));
+        let mut p2 = Problem::new();
+        let _ = p2.add_binary(1.0);
+        p2.add_constraint(&[], Sense::Le, 0.0);
+        let dirty = audit_problem(&p2);
+        let text = format!("{dirty}");
+        assert!(
+            text.contains("error") && text.contains("EmptyRow"),
+            "{text}"
+        );
+    }
+}

@@ -12,7 +12,7 @@
 //! `Σ (f_u − f_v)·r_uv` — only `|V|` variables and `|E| + |V| + 1`
 //! constraints. This is the formulation Wishbone's prototype uses.
 
-use wishbone_ilp::{Problem, Sense, VarId};
+use wishbone_ilp::{is_exact_zero, Problem, Sense, VarId};
 
 use crate::cost_graph::{PartitionGraph, Pin};
 use crate::multitier::TieredGraph;
@@ -139,7 +139,7 @@ fn encode_restricted(pg: &PartitionGraph, obj: &ObjectiveConfig) -> EncodedProbl
         .vertices
         .iter()
         .enumerate()
-        .filter(|(_, vert)| vert.cpu_cost != 0.0)
+        .filter(|(_, vert)| !is_exact_zero(vert.cpu_cost))
         .map(|(v, vert)| (f_vars[v], vert.cpu_cost))
         .collect();
     let mut cpu_row_idx = None;
@@ -151,7 +151,7 @@ fn encode_restricted(pg: &PartitionGraph, obj: &ObjectiveConfig) -> EncodedProbl
     let net_row: Vec<(VarId, f64)> = net_coeff
         .iter()
         .enumerate()
-        .filter(|(_, &c)| c != 0.0)
+        .filter(|(_, &c)| !is_exact_zero(c))
         .map(|(v, &c)| (f_vars[v], c))
         .collect();
     let mut net_row_idx = None;
@@ -160,13 +160,16 @@ fn encode_restricted(pg: &PartitionGraph, obj: &ObjectiveConfig) -> EncodedProbl
         p.add_constraint(&net_row, Sense::Le, obj.net_budget);
     }
 
-    EncodedProblem {
+    let ep = EncodedProblem {
         problem: p,
         f_vars,
         encoding: Encoding::Restricted,
         cpu_row: cpu_row_idx,
         net_row: net_row_idx,
-    }
+    };
+    #[cfg(debug_assertions)]
+    crate::audit::debug_assert_audit_clean(&crate::audit::audit_binary(&ep), "encode_restricted");
+    ep
 }
 
 fn encode_general(pg: &PartitionGraph, obj: &ObjectiveConfig) -> EncodedProblem {
@@ -208,7 +211,7 @@ fn encode_general(pg: &PartitionGraph, obj: &ObjectiveConfig) -> EncodedProblem 
         .vertices
         .iter()
         .enumerate()
-        .filter(|(_, vert)| vert.cpu_cost != 0.0)
+        .filter(|(_, vert)| !is_exact_zero(vert.cpu_cost))
         .map(|(v, vert)| (f_vars[v], vert.cpu_cost))
         .collect();
     let mut cpu_row_idx = None;
@@ -223,13 +226,16 @@ fn encode_general(pg: &PartitionGraph, obj: &ObjectiveConfig) -> EncodedProblem 
         p.add_constraint(&net_row, Sense::Le, obj.net_budget);
     }
 
-    EncodedProblem {
+    let ep = EncodedProblem {
         problem: p,
         f_vars,
         encoding: Encoding::General,
         cpu_row: cpu_row_idx,
         net_row: net_row_idx,
-    }
+    };
+    #[cfg(debug_assertions)]
+    crate::audit::debug_assert_audit_clean(&crate::audit::audit_binary(&ep), "encode_general");
+    ep
 }
 
 // ---------------------------------------------------------------------------
@@ -388,7 +394,7 @@ pub fn encode_multitier(tg: &TieredGraph, obj: &TierObjective) -> EncodedMultiTi
                         Pin::Server => (0.0, 0.0), // tier k−1: every y is 0
                     };
                     let mut c = obj.alpha[b] * vert.cpu_cost[b] + obj.beta[b] * net_coeff[b][v];
-                    if obj.alpha[b + 1] != 0.0 {
+                    if !is_exact_zero(obj.alpha[b + 1]) {
                         c -= obj.alpha[b + 1] * vert.cpu_cost[b + 1];
                     }
                     p.add_var(lo, hi, c, true)
@@ -421,7 +427,7 @@ pub fn encode_multitier(tg: &TieredGraph, obj: &TierObjective) -> EncodedMultiTi
         let mut shift = 0.0f64;
         for (v, vert) in tg.vertices.iter().enumerate() {
             let c = vert.cpu_cost[t];
-            if c == 0.0 {
+            if is_exact_zero(c) {
                 continue;
             }
             if t < k - 1 {
@@ -453,7 +459,7 @@ pub fn encode_multitier(tg: &TieredGraph, obj: &TierObjective) -> EncodedMultiTi
         let terms: Vec<(VarId, f64)> = net_coeff[b]
             .iter()
             .enumerate()
-            .filter(|(_, &c)| c != 0.0)
+            .filter(|(_, &c)| !is_exact_zero(c))
             .map(|(v, &c)| (y_vars[b][v], c))
             .collect();
         if terms.is_empty() {
@@ -463,7 +469,7 @@ pub fn encode_multitier(tg: &TieredGraph, obj: &TierObjective) -> EncodedMultiTi
         p.add_constraint(&terms, Sense::Le, obj.net_budget[b]);
     }
 
-    let objective_offset: f64 = if obj.alpha[k - 1] != 0.0 {
+    let objective_offset: f64 = if !is_exact_zero(obj.alpha[k - 1]) {
         obj.alpha[k - 1]
             * tg.vertices
                 .iter()
@@ -473,14 +479,17 @@ pub fn encode_multitier(tg: &TieredGraph, obj: &TierObjective) -> EncodedMultiTi
         0.0
     };
 
-    EncodedMultiTier {
+    let ep = EncodedMultiTier {
         problem: p,
         y_vars,
         tiers: k,
         cpu_rows,
         net_rows,
         objective_offset,
-    }
+    };
+    #[cfg(debug_assertions)]
+    crate::audit::debug_assert_audit_clean(&crate::audit::audit_multitier(&ep), "encode_multitier");
+    ep
 }
 
 // ---------------------------------------------------------------------------
@@ -659,7 +668,7 @@ pub fn encode_deployment(leaves: &[LeafChain<'_>], obj: &DeploymentObjective) ->
                             };
                             let mut c = obj.alpha[sb] * (cpu_scale * vert.cpu_cost[b])
                                 + obj.beta[sb] * (leaf.count * net_coeff[l][b][v]);
-                            if obj.alpha[sb1] != 0.0 {
+                            if !is_exact_zero(obj.alpha[sb1]) {
                                 c -= obj.alpha[sb1] * (cpu_scale1 * vert.cpu_cost[b + 1]);
                             }
                             p.add_var(lo, hi, c, true)
@@ -702,7 +711,7 @@ pub fn encode_deployment(leaves: &[LeafChain<'_>], obj: &DeploymentObjective) ->
             let scale = leaf.count / obj.count[s];
             for (v, vert) in leaf.graph.vertices.iter().enumerate() {
                 let c = scale * vert.cpu_cost[t];
-                if c == 0.0 {
+                if is_exact_zero(c) {
                     continue;
                 }
                 if t < k - 1 {
@@ -742,7 +751,7 @@ pub fn encode_deployment(leaves: &[LeafChain<'_>], obj: &DeploymentObjective) ->
             debug_assert!(b < leaf.path.len() - 1, "non-root site at root position");
             for (v, &nc) in net_coeff[l][b].iter().enumerate() {
                 let c = leaf.count * nc;
-                if c != 0.0 {
+                if !is_exact_zero(c) {
                     terms.push((y_vars[l][b][v], c));
                 }
             }
@@ -759,7 +768,7 @@ pub fn encode_deployment(leaves: &[LeafChain<'_>], obj: &DeploymentObjective) ->
     let mut objective_offset = 0.0f64;
     for leaf in leaves {
         let root = *leaf.path.last().expect("non-empty path");
-        if obj.alpha[root] != 0.0 {
+        if !is_exact_zero(obj.alpha[root]) {
             let k = leaf.path.len();
             let scale = leaf.count / obj.count[root];
             objective_offset += obj.alpha[root]
@@ -772,13 +781,19 @@ pub fn encode_deployment(leaves: &[LeafChain<'_>], obj: &DeploymentObjective) ->
         }
     }
 
-    EncodedDeployment {
+    let ep = EncodedDeployment {
         problem: p,
         y_vars,
         cpu_rows,
         net_rows,
         objective_offset,
-    }
+    };
+    #[cfg(debug_assertions)]
+    crate::audit::debug_assert_audit_clean(
+        &crate::audit::audit_deployment(&ep),
+        "encode_deployment",
+    );
+    ep
 }
 
 #[cfg(test)]

@@ -27,11 +27,16 @@
 //!    gateways, servers) whose path, star, and 2-site special cases are
 //!    the multi-tier, mixed, and binary partitioners — and whose genuine
 //!    trees (many motes per gateway, per-gateway uplink budgets) are new
-//!    capability.
+//!    capability;
+//! 10. [`audit`] — a static-analysis bridge: every encoder's output is
+//!     checked against its implied [`wishbone_audit::ModelSpec`] under
+//!     `debug_assertions`, so the whole test suite doubles as an audit
+//!     corpus.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod baselines;
 pub mod cost_graph;
 pub mod encodings;
@@ -42,6 +47,9 @@ pub mod preprocess;
 pub mod rate_search;
 pub mod topology;
 
+pub use audit::{
+    audit_binary, audit_deployment, audit_multitier, binary_spec, deployment_spec, multitier_spec,
+};
 pub use baselines::{
     all_node, all_server, evaluate, exhaustive, greedy, local_search, pipeline_cutpoints,
     CutMetrics,

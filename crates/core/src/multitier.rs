@@ -27,7 +27,7 @@
 use std::collections::{HashMap, HashSet};
 
 use wishbone_dataflow::{EdgeId, Graph, OperatorId};
-use wishbone_ilp::{IlpOptions, IlpStats, SolverBackend};
+use wishbone_ilp::{is_exact_zero, IlpOptions, IlpStats, SolverBackend};
 use wishbone_net::ChannelParams;
 use wishbone_profile::{GraphProfile, Platform};
 
@@ -216,7 +216,7 @@ pub fn preprocess_tiered(
 
     // Tiers that may charge `v` for being moved onto them.
     let charging_tiers: Vec<usize> = (1..tg.tiers)
-        .filter(|&t| obj.alpha[t] != 0.0 || obj.cpu_budget[t].is_finite())
+        .filter(|&t| !is_exact_zero(obj.alpha[t]) || obj.cpu_budget[t].is_finite())
         .collect();
 
     let mut out_deg = vec![0usize; n];
@@ -229,7 +229,9 @@ pub fn preprocess_tiered(
         }
         let safe_on_every_link =
             (0..links).all(|b| out_bw[b][v] + 1e-12 >= in_bw[b][v] && out_bw[b][v] > 0.0);
-        let free_on_every_charging_tier = charging_tiers.iter().all(|&t| vert.cpu_cost[t] == 0.0);
+        let free_on_every_charging_tier = charging_tiers
+            .iter()
+            .all(|&t| is_exact_zero(vert.cpu_cost[t]));
         if safe_on_every_link && free_on_every_charging_tier {
             for e in tg.edges.iter().filter(|e| e.src == v) {
                 dsu.union(v, e.dst);
@@ -603,6 +605,12 @@ impl<'a> PreparedMultiTier<'a> {
     /// ILP size: (variables, constraints).
     pub fn problem_size(&self) -> (usize, usize) {
         self.inner.problem_size()
+    }
+
+    /// Statically audit the encoded ILP (structure, conditioning,
+    /// infeasibility pre-certificates) without solving it.
+    pub fn audit(&self) -> wishbone_audit::AuditReport {
+        self.inner.audit()
     }
 
     /// Solve the prepared instance at `rate` (a multiplier on the

@@ -306,6 +306,15 @@ impl<'a> PreparedPartition<'a> {
         }
     }
 
+    /// Statically audit the encoded ILP (structure, conditioning,
+    /// infeasibility pre-certificates) without solving it.
+    pub fn audit(&self) -> wishbone_audit::AuditReport {
+        match &self.inner {
+            PreparedInner::Tree(prep) => prep.audit(),
+            PreparedInner::General(prep) => crate::audit::audit_binary(&prep.ep),
+        }
+    }
+
     /// Solve the prepared instance at `rate` (a multiplier on the
     /// profile's reference input rate).
     pub fn solve_at(&mut self, rate: f64) -> Result<Partition, PartitionError> {

@@ -624,6 +624,15 @@ impl<'a> PreparedDeployment<'a> {
         &self.ep.problem
     }
 
+    /// Statically audit the encoded ILP — structure, conditioning, and
+    /// infeasibility pre-certificates — without a simplex iteration.
+    /// Reflects the problem as currently rescaled (rate re-targeting
+    /// rewrites objective and budget right-hand sides in place, which
+    /// never changes the structure the auditor checks).
+    pub fn audit(&self) -> wishbone_audit::AuditReport {
+        crate::audit::audit_deployment(&self.ep)
+    }
+
     /// Solve the prepared instance at `rate` (a global multiplier on the
     /// profile's reference input rate, composed with each leaf's
     /// `rate_factor`).

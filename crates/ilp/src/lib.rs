@@ -52,6 +52,7 @@
 pub mod branch_bound;
 pub mod instances;
 mod lu;
+pub mod num;
 pub mod presolve;
 pub mod problem;
 mod revised;
@@ -60,6 +61,7 @@ mod sparse;
 pub mod workspace;
 
 pub use branch_bound::{solve_ilp, solve_ilp_in, Branching, IlpOptions, IlpSolution, IlpStats};
+pub use num::is_exact_zero;
 pub use presolve::{presolve, quick_infeasible, PresolveOutcome};
 pub use problem::{Constraint, LpSolution, Problem, Sense, SolveError, VarId};
 pub use simplex::{solve_lp, solve_lp_in, solve_lp_with_bounds};

@@ -18,6 +18,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::num::is_exact_zero;
 use crate::sparse::CscMatrix;
 
 /// Hard cap on eta updates between refactorizations. Each eta costs
@@ -91,7 +92,7 @@ impl Eta {
     /// FTRAN update: replace `w` by `E⁻¹·w` (chronological order).
     pub(crate) fn apply_ftran(&self, w: &mut [f64]) {
         let wr = w[self.r] / self.pivot;
-        if wr != 0.0 {
+        if !is_exact_zero(wr) {
             for &(i, a) in &self.entries {
                 w[i] -= a * wr;
             }
@@ -111,7 +112,7 @@ impl Eta {
     ) {
         let live_r = stamp[self.r] == epoch;
         let wr = if live_r { w[self.r] / self.pivot } else { 0.0 };
-        if wr != 0.0 {
+        if !is_exact_zero(wr) {
             for &(i, a) in &self.entries {
                 if stamp[i] != epoch {
                     stamp[i] = epoch;
@@ -238,7 +239,7 @@ impl LuFactors {
             for (&i, &a) in rows.iter().zip(vals) {
                 let was = self.work[i];
                 self.work[i] = was + a; // duplicate terms accumulate
-                if was == 0.0 {
+                if is_exact_zero(was) {
                     if self.ppos[i] == usize::MAX {
                         self.cand.push(i);
                     } else if no_fill_yet {
@@ -256,7 +257,7 @@ impl LuFactors {
                 for idx in 0..self.hit.len() {
                     let i = self.hit[idx];
                     let v = self.work[i];
-                    if v != 0.0 {
+                    if !is_exact_zero(v) {
                         self.work[i] = 0.0;
                         self.u_steps.push(self.ppos[i]);
                         self.u_vals.push(v);
@@ -270,7 +271,7 @@ impl LuFactors {
             // elimination order.
             while let Some(Reverse(t)) = self.pending.pop() {
                 let v = self.work[self.prow[t]];
-                if v == 0.0 {
+                if is_exact_zero(v) {
                     continue; // duplicate queue entry, already consumed
                 }
                 self.work[self.prow[t]] = 0.0;
@@ -280,7 +281,7 @@ impl LuFactors {
                     let i = self.l_rows[idx];
                     let was = self.work[i];
                     self.work[i] = was - self.l_vals[idx] * v;
-                    if was == 0.0 {
+                    if is_exact_zero(was) {
                         if self.ppos[i] == usize::MAX {
                             self.cand.push(i);
                         } else {
@@ -315,7 +316,7 @@ impl LuFactors {
                 let i = self.cand[idx];
                 let v = self.work[i];
                 // Zero-valued or duplicate candidates drop out here.
-                if v != 0.0 {
+                if !is_exact_zero(v) {
                     self.l_rows.push(i);
                     self.l_vals.push(v / piv);
                     self.work[i] = 0.0;
@@ -423,7 +424,7 @@ impl LuFactors {
         // basis position factored at step s.
         for s in (0..self.m).rev() {
             let num = w[self.prow[s]];
-            if num == 0.0 {
+            if is_exact_zero(num) {
                 out[self.pcol[s]] = 0.0;
                 continue;
             }
@@ -444,7 +445,7 @@ impl LuFactors {
         self.ftran_forward(w);
         for s in (0..self.m).rev() {
             let num = w[self.prow[s]];
-            if num == 0.0 {
+            if is_exact_zero(num) {
                 continue;
             }
             w[self.prow[s]] = 0.0;
@@ -462,7 +463,7 @@ impl LuFactors {
     fn ftran_forward(&self, w: &mut [f64]) {
         for t in 0..self.m {
             let v = w[self.prow[t]];
-            if v != 0.0 {
+            if !is_exact_zero(v) {
                 for idx in self.l_ptr[t]..self.l_ptr[t + 1] {
                     w[self.l_rows[idx]] -= self.l_vals[idx] * v;
                 }
@@ -481,7 +482,11 @@ impl LuFactors {
             for idx in self.u_ptr[s]..self.u_ptr[s + 1] {
                 v -= self.u_vals[idx] * self.zwork[self.u_steps[idx]];
             }
-            self.zwork[s] = if v == 0.0 { 0.0 } else { v / self.u_diag[s] };
+            self.zwork[s] = if is_exact_zero(v) {
+                0.0
+            } else {
+                v / self.u_diag[s]
+            };
         }
         // Lᵀ·(P_r·y) = z by backward substitution onto original rows.
         for s in (0..self.m).rev() {

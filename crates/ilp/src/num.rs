@@ -1,0 +1,50 @@
+//! Named numeric predicates, so intent survives the repo's
+//! float-equality lint.
+//!
+//! `xtask lint` rejects raw `f64` `==`/`!=` comparisons in the solver
+//! and encoder sources: most of them are bugs waiting for roundoff.
+//! The survivors all mean the same thing — "this value is *exactly*
+//! zero because nothing ever wrote to it, or because it was produced
+//! by an operation that is exact in IEEE 754 (`x − x`, multiplying by
+//! zero, copying)" — and that intent deserves a name instead of an
+//! allowlist annotation at every site.
+
+/// Is `x` exactly `±0.0` at full precision?
+///
+/// This is a *sparsity* test, not a tolerance test: use it where a
+/// value is either untouched/exactly cancelled by construction (a
+/// never-written accumulator, a structurally absent coefficient, a
+/// reduced cost of a basic variable) or meaningfully nonzero. For
+/// "close enough to zero" comparisons use an explicit epsilon —
+/// `EPS`/`PIVOT_TOL` in the simplex — never this.
+///
+/// `NaN` is not exact zero; `-0.0` is.
+///
+/// ```
+/// use wishbone_ilp::is_exact_zero;
+/// assert!(is_exact_zero(0.0));
+/// assert!(is_exact_zero(-0.0));
+/// assert!(is_exact_zero(1.5 - 1.5));
+/// assert!(!is_exact_zero(1e-300));
+/// assert!(!is_exact_zero(f64::NAN));
+/// ```
+#[inline(always)]
+pub fn is_exact_zero(x: f64) -> bool {
+    x == 0.0 // audit:allow(float-eq): the one definition site of the exact-zero predicate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_zero_semantics() {
+        assert!(is_exact_zero(0.0));
+        assert!(is_exact_zero(-0.0));
+        assert!(is_exact_zero(2.5 * 0.0));
+        assert!(!is_exact_zero(f64::MIN_POSITIVE));
+        assert!(!is_exact_zero(-1e-308));
+        assert!(!is_exact_zero(f64::NAN));
+        assert!(!is_exact_zero(f64::INFINITY));
+    }
+}

@@ -13,6 +13,7 @@
 //! branch-and-bound tree (the paper's 2100-solve Fig 6 sweep spends most
 //! of its worst-case time exactly here).
 
+use crate::num::is_exact_zero;
 use crate::problem::{Problem, Sense};
 
 /// Maximum fixpoint passes; propagation almost always stabilizes in 2–3.
@@ -115,7 +116,7 @@ pub fn presolve(problem: &Problem, lower: &mut [f64], upper: &mut [f64]) -> Pres
             // Implied bound for each variable from the rest of the row.
             for &(v, raw) in terms {
                 let a = sign * raw;
-                if a == 0.0 {
+                if is_exact_zero(a) {
                     continue;
                 }
                 let j = v.0;

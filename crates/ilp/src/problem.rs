@@ -112,6 +112,33 @@ impl Problem {
         self.constraints[row].rhs = rhs;
     }
 
+    /// Overwrite constraint `row` in place, keeping every other row's
+    /// index stable. Removing a row instead would shift all later
+    /// indices and stale any recorded budget-row positions, so in-place
+    /// replacement is how the audit mutation tests seed a corrupted
+    /// model (and how a caller would neutralize a row: replace it with
+    /// a vacuous one).
+    pub fn replace_constraint(
+        &mut self,
+        row: usize,
+        terms: &[(VarId, f64)],
+        sense: Sense,
+        rhs: f64,
+    ) {
+        assert!(row < self.constraints.len(), "no constraint at row {row}");
+        for &(v, _) in terms {
+            assert!(
+                v.0 < self.objective.len(),
+                "constraint references unknown variable"
+            );
+        }
+        self.constraints[row] = Constraint {
+            terms: terms.to_vec(),
+            sense,
+            rhs,
+        };
+    }
+
     /// Lower bounds of all variables (indexed by `VarId`). Useful with
     /// [`solve_lp_in`](crate::solve_lp_in), whose per-call bound slices
     /// default to these.

@@ -24,6 +24,7 @@
 //! holds them to byte-equivalent verdicts differentially.
 
 use crate::lu::{Eta, LuFactors, ETA_NNZ_FACTOR, REFACTOR_PERIOD};
+use crate::num::is_exact_zero;
 use crate::problem::{LpSolution, Problem, SolveError};
 use crate::simplex::{DualOutcome, WarmOutcome, DEGENERATE_LIMIT, DUAL_FEAS_TOL, EPS, PIVOT_TOL};
 use crate::sparse::CscMatrix;
@@ -117,7 +118,7 @@ impl SparseState {
     /// `worig` is clean here by invariant: `ftran` consumes its input
     /// back to zero, and every other writer restores it.
     fn ftran_col(&mut self, j: usize) {
-        debug_assert!(self.worig.iter().all(|&v| v == 0.0));
+        debug_assert!(self.worig.iter().all(|&v| is_exact_zero(v)));
         self.matrix.axpy_col(j, 1.0, &mut self.worig);
         self.alpha_epoch += 1;
         self.alpha_nnz.clear();
@@ -414,7 +415,7 @@ impl SimplexWorkspace {
             self.sparse.worig[i] = self.sparse.b[i];
         }
         for j in 0..self.n {
-            if self.status[j] == VarStatus::Basic || self.x[j] == 0.0 {
+            if self.status[j] == VarStatus::Basic || is_exact_zero(self.x[j]) {
                 continue;
             }
             self.sparse

@@ -23,6 +23,7 @@
 //! certifies optimality. Any numerical doubt falls back to a cold start,
 //! so warm and cold solves always agree on the answer.
 
+use crate::num::is_exact_zero;
 use crate::problem::{LpSolution, Problem, SolveError};
 use crate::workspace::{SimplexWorkspace, SolverBackend, VarStatus};
 
@@ -54,7 +55,7 @@ impl SimplexWorkspace {
         self.obj_row.copy_from_slice(&self.cost);
         for i in 0..self.m {
             let cb = self.cost[self.basis[i]];
-            if cb == 0.0 {
+            if is_exact_zero(cb) {
                 continue;
             }
             let row = &self.t[i * self.n..i * self.n + live];
@@ -215,13 +216,13 @@ impl SimplexWorkspace {
     /// Move entering variable `e` by `t` in direction `dir`, updating all
     /// basic values.
     fn apply_move(&mut self, e: usize, dir: f64, t: f64) {
-        if t == 0.0 {
+        if is_exact_zero(t) {
             return;
         }
         self.x[e] += dir * t;
         for i in 0..self.m {
             let coef = self.t[i * self.n + e];
-            if coef != 0.0 {
+            if !is_exact_zero(coef) {
                 let xb = self.basis[i];
                 self.x[xb] -= dir * t * coef;
             }
@@ -251,7 +252,7 @@ impl SimplexWorkspace {
         let prow = &prow[..live];
         for (i, chunk) in before.chunks_exact_mut(n).enumerate() {
             let f = chunk[e];
-            if f != 0.0 {
+            if !is_exact_zero(f) {
                 for (a, &p) in chunk.iter_mut().zip(prow.iter()) {
                     *a -= f * p;
                 }
@@ -262,7 +263,7 @@ impl SimplexWorkspace {
         for (k, chunk) in after.chunks_exact_mut(n).enumerate() {
             let i = r + 1 + k;
             let f = chunk[e];
-            if f != 0.0 {
+            if !is_exact_zero(f) {
                 for (a, &p) in chunk.iter_mut().zip(prow.iter()) {
                     *a -= f * p;
                 }
@@ -271,7 +272,7 @@ impl SimplexWorkspace {
             }
         }
         let f = self.obj_row[e];
-        if f != 0.0 {
+        if !is_exact_zero(f) {
             for (a, &p) in self.obj_row.iter_mut().zip(prow.iter()) {
                 *a -= f * p;
             }

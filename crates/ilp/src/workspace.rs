@@ -15,6 +15,7 @@
 //! all-artificial basis — the warm-started-child strategy production MILP
 //! solvers use.
 
+use crate::num::is_exact_zero;
 use crate::problem::{Problem, Sense};
 use crate::revised::SparseState;
 
@@ -367,7 +368,7 @@ impl SimplexWorkspace {
         self.work.clear();
         self.work.extend_from_slice(&self.rhs);
         for j in 0..self.n {
-            if self.status[j] == VarStatus::Basic || self.x[j] == 0.0 {
+            if self.status[j] == VarStatus::Basic || is_exact_zero(self.x[j]) {
                 continue;
             }
             let xj = self.x[j];

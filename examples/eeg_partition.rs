@@ -69,6 +69,13 @@ fn main() {
     cfg_n80.ilp.time_limit = Some(std::time::Duration::from_secs(2));
     let mut prep_n80 =
         PreparedPartition::new(&app.graph, &prof, &n80, &cfg_n80).expect("pin analysis succeeds");
+    if std::env::args().any(|a| a == "--audit") {
+        for (prep, name) in [(&prep_mote, "TMoteSky"), (&prep_n80, "NokiaN80")] {
+            let report = prep.audit();
+            println!("audit[{name}]: {}", report.summary());
+            assert!(!report.has_errors(), "static audit found errors:\n{report}");
+        }
+    }
     let mut sweep_stats: Vec<(String, u64, u64)> = Vec::new();
     for mult in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
         let mut count = |prep: &mut PreparedPartition, name: &str| -> String {

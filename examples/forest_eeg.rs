@@ -90,6 +90,11 @@ fn main() {
         cons,
         prep.solver_backend()
     );
+    if std::env::args().any(|a| a == "--audit") {
+        let report = prep.audit();
+        println!("audit: {}", report.summary());
+        assert!(!report.has_errors(), "static audit found errors:\n{report}");
+    }
     drop(prep);
 
     // §4.3 on the whole forest: the starved backhaul caps the deployment.

@@ -53,6 +53,11 @@ fn main() {
         SolverBackend::Sparse,
         "Auto must pick the sparse revised simplex at this size"
     );
+    if std::env::args().any(|a| a == "--audit") {
+        let report = prep.audit();
+        println!("audit: {}", report.summary());
+        assert!(!report.has_errors(), "static audit found errors:\n{report}");
+    }
 
     println!(
         "\n{:>6} {:>6} {:>6} {:>7} {:>12} {:>12} {:>9}",

@@ -23,6 +23,7 @@
 //! | [`runtime`] | `wishbone-runtime` | TinyOS-style executors, deployment sim |
 //! | [`core`] | `wishbone-core` | the partitioner itself |
 //! | [`apps`] | `wishbone-apps` | speech-MFCC and EEG applications |
+//! | [`audit`] | `wishbone-audit` | static analyzer for encoded ILPs |
 //!
 //! ## Quickstart
 //!
@@ -46,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub use wishbone_apps as apps;
+pub use wishbone_audit as audit;
 pub use wishbone_core as core;
 pub use wishbone_dataflow as dataflow;
 pub use wishbone_dsp as dsp;
@@ -61,6 +63,7 @@ pub mod prelude {
         build_eeg_app, build_eeg_channel, build_speech_app, heuristic_svm, EegApp, EegParams,
         LinearSvm, SpeechApp, SpeechParams,
     };
+    pub use wishbone_audit::{AuditCode, AuditReport, Diagnostic, Severity};
     pub use wishbone_core::{
         all_node, all_server, build_partition_graph, evaluate, greedy, max_sustainable_rate,
         max_sustainable_rate_deployment, max_sustainable_rate_multitier, partition,
