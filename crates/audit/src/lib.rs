@@ -65,6 +65,25 @@ pub struct IndicatorBlock {
     pub columns: Vec<Vec<usize>>,
 }
 
+/// An exact snapshot of one budget row's intended contents, compared
+/// bitwise (coefficient and rhs bit patterns) by [`audit_model`].
+///
+/// Pinning lets an encoder freeze the *numbers* of its most delicate
+/// rows — robustness-priced `count − 1` budgets, delta-rescaled
+/// coefficients — so any later in-place surgery that silently re-prices
+/// them is flagged as [`AuditCode::PinnedRowDrift`], not waved through
+/// as a structurally valid budget row.
+#[derive(Debug, Clone)]
+pub struct PinnedRow {
+    /// Constraint index the snapshot pins.
+    pub row: usize,
+    /// Expected `(column, coefficient)` terms. Order-insensitive; the
+    /// coefficients themselves are compared bit for bit.
+    pub terms: Vec<(usize, f64)>,
+    /// Expected right-hand side, compared bit for bit.
+    pub rhs: f64,
+}
+
 /// What the encoder claims about its output: which columns are
 /// placement indicators (grouped into per-leaf monotone blocks) and
 /// which rows are budget rows. [`audit_model`] verifies the problem
@@ -87,6 +106,9 @@ pub struct ModelSpec {
     /// (and net rows over continuous edge columns instead of
     /// indicators).
     pub general_edge_rows: bool,
+    /// Exact-value snapshots of budget rows to hold the problem to
+    /// (empty = no pinning).
+    pub pinned_rows: Vec<PinnedRow>,
 }
 
 /// Encoding-agnostic audit: structural hygiene, numeric conditioning,
@@ -114,7 +136,58 @@ pub fn audit_model(problem: &Problem, spec: &ModelSpec) -> AuditReport {
     if let Some(cells) = validate_spec(problem, spec, &mut report) {
         structural_checks(problem, spec, &cells, &mut report);
     }
+    check_pinned_rows(problem, spec, &mut report);
     report
+}
+
+/// Hold every pinned budget row to its registered snapshot, bit for
+/// bit. Term order is canonicalized by column; coefficient and rhs
+/// values are compared via their bit patterns, so even a
+/// sign-preserving ULP drift is caught.
+fn check_pinned_rows(problem: &Problem, spec: &ModelSpec, report: &mut AuditReport) {
+    let m = problem.num_constraints();
+    for pin in &spec.pinned_rows {
+        if pin.row >= m {
+            report.push(
+                AuditCode::InvalidSpec,
+                Severity::Error,
+                Some(pin.row),
+                None,
+                format!("pinned row index out of range ({m} rows)"),
+            );
+            continue;
+        }
+        let canonical = |terms: &[(usize, f64)]| {
+            let mut t: Vec<(usize, u64)> = terms.iter().map(|&(v, a)| (v, a.to_bits())).collect();
+            t.sort_unstable();
+            t
+        };
+        let c = problem.constraint(pin.row);
+        let actual: Vec<(usize, f64)> = c.terms.iter().map(|&(v, a)| (v.0, a)).collect();
+        if canonical(&actual) != canonical(&pin.terms) {
+            report.push(
+                AuditCode::PinnedRowDrift,
+                Severity::Error,
+                Some(pin.row),
+                None,
+                format!(
+                    "row coefficients drifted from their pinned snapshot \
+                     (pinned {} terms, found {})",
+                    pin.terms.len(),
+                    c.terms.len()
+                ),
+            );
+        }
+        if c.rhs.to_bits() != pin.rhs.to_bits() {
+            report.push(
+                AuditCode::PinnedRowDrift,
+                Severity::Error,
+                Some(pin.row),
+                None,
+                format!("rhs {} drifted from its pinned snapshot {}", c.rhs, pin.rhs),
+            );
+        }
+    }
 }
 
 /// Where one indicator column sits inside its spec: `(block, boundary,
@@ -793,6 +866,7 @@ mod tests {
             net_rows: vec![net],
             conserved_net: true,
             general_edge_rows: false,
+            pinned_rows: vec![],
         };
         (p, spec)
     }
@@ -896,6 +970,7 @@ mod tests {
             net_rows: vec![],
             conserved_net: true,
             general_edge_rows: false,
+            pinned_rows: vec![],
         };
         let report = audit_model(&p, &spec);
         assert!(
@@ -969,6 +1044,46 @@ mod tests {
         );
         // Structural findings are suppressed; generic ones remain.
         assert!(!report.has_code(AuditCode::UnknownRow));
+    }
+
+    #[test]
+    fn pinned_row_drift_is_detected_bit_for_bit() {
+        let (mut p, mut spec) = good_model();
+        let cpu = spec.cpu_rows[0];
+        let snapshot = p.constraint(cpu).clone();
+        spec.pinned_rows = vec![PinnedRow {
+            row: cpu,
+            terms: snapshot.terms.iter().map(|&(v, a)| (v.0, a)).collect(),
+            rhs: snapshot.rhs,
+        }];
+        assert!(!audit_model(&p, &spec).has_errors());
+
+        // Re-price one coefficient by a relative 1e-12 — structurally
+        // still a perfect budget row, but the pin catches it.
+        let mut terms = snapshot.terms.clone();
+        terms[0].1 *= 1.0 + 1e-12;
+        p.replace_constraint(cpu, &terms, snapshot.sense, snapshot.rhs);
+        let report = audit_model(&p, &spec);
+        assert!(
+            report
+                .errors()
+                .any(|d| d.code == AuditCode::PinnedRowDrift && d.row == Some(cpu)),
+            "{report}"
+        );
+
+        // Rhs drift alone is caught too.
+        p.replace_constraint(cpu, &snapshot.terms, snapshot.sense, snapshot.rhs * 0.5);
+        let report = audit_model(&p, &spec);
+        assert!(
+            report.errors().any(|d| d.code == AuditCode::PinnedRowDrift),
+            "{report}"
+        );
+
+        // An out-of-range pin is a spec bug, not drift.
+        spec.pinned_rows[0].row = 999;
+        assert!(audit_model(&p, &spec)
+            .errors()
+            .any(|d| d.code == AuditCode::InvalidSpec));
     }
 
     #[test]

@@ -81,6 +81,11 @@ pub enum AuditCode {
     /// the problem (out-of-range column/row indices, overlapping
     /// registrations) — an encoder wiring bug, not a model property.
     InvalidSpec,
+    /// A budget row pinned by the spec no longer carries the exact
+    /// coefficients or rhs it was registered with — an in-place rescale
+    /// re-priced the row against the encoder's declared intent (e.g. a
+    /// robust `count − 1` row silently re-priced at full count).
+    PinnedRowDrift,
 }
 
 impl fmt::Display for AuditCode {

@@ -26,9 +26,9 @@ use criterion::{criterion_group, BenchmarkId, Criterion};
 use wishbone_apps::{build_eeg_app, EegParams};
 use wishbone_core::{
     build_partition_graph, build_tiered_graph, encode, encode_multitier, partition, preprocess,
-    preprocess_tiered, Deployment, DeploymentConfig, Encoding, LinkSpec, Mode, MultiTierConfig,
-    ObjectiveConfig, PartitionConfig, PartitionError, PartitionGraph, PreparedDeployment,
-    PreparedMultiTier, Site, TierObjective,
+    preprocess_tiered, Deployment, DeploymentConfig, DeploymentDelta, Encoding, LinkSpec, Mode,
+    MultiTierConfig, ObjectiveConfig, PartitionConfig, PartitionError, PartitionGraph,
+    PreparedDeployment, PreparedMultiTier, Site, SiteId, TierObjective,
 };
 use wishbone_ilp::instances::chain_ilp;
 use wishbone_ilp::{Branching, IlpOptions, IlpStats, Problem, SolverBackend};
@@ -466,6 +466,108 @@ fn rate_search(c: &mut Criterion) {
     );
 }
 
+/// The churn bench forest: ward-a's device count and gw-a's CPU budget
+/// are the two knobs the delta stream turns, so both are parameters
+/// here and everything else — in particular the ward uplink budgets —
+/// is held constant (a [`DeploymentDelta::SetLeafCount`] does not touch
+/// link budgets, and the cold-rebuild arm must match it exactly).
+fn churn_dep(count_a: usize, gw_budget_a: f64) -> Deployment {
+    let mote = Platform::tmote_sky();
+    let phone = Platform::iphone();
+    let mut dep = Deployment::new(Site::server("server", &Platform::server()));
+    let root = dep.root();
+    let gw_a = dep.attach(
+        root,
+        Site::new("gw-a", &phone).with_cpu_budget(gw_budget_a),
+        LinkSpec {
+            beta: 1.0,
+            net_budget: 1e9,
+        },
+    );
+    let gw_b = dep.attach(
+        root,
+        Site::new("gw-b", &phone),
+        LinkSpec {
+            beta: 1.0,
+            net_budget: 1e9,
+        },
+    );
+    let ward_uplink = LinkSpec {
+        beta: 1.0,
+        net_budget: 4.0 * mote.radio.goodput_bytes_per_sec,
+    };
+    dep.attach(
+        gw_a,
+        Site::new("ward-a", &mote).with_count(count_a),
+        ward_uplink,
+    );
+    dep.attach(gw_b, Site::new("ward-b", &mote).with_count(4), ward_uplink);
+    dep
+}
+
+/// The `i`-th churn event: re-provision ward-a and re-budget gw-a.
+fn churn_event(i: usize) -> (usize, f64) {
+    (2 + (i % 5), 0.20 + 0.02 * ((i % 8) as f64))
+}
+
+const CHURN_RATE: f64 = 0.5;
+
+/// Topology churn: a stream of N re-provision/re-budget events against
+/// one 2-ward EEG forest. The warm arm prepares once and absorbs each
+/// event with `apply_delta` (in-place row rescales on the encoding it
+/// already has); the cold arm rebuilds the leaf graphs, re-runs the
+/// §4.1 merge, and re-encodes from scratch per event — the pre-delta
+/// behaviour. Both arms end at bit-identical problems (pinned by the
+/// `apply_delta_parity_with_cold_rebuild` proptest and the `--smoke`
+/// churn check), so the solve itself is the same on either side and is
+/// deliberately *not* inside the timed region: this group isolates the
+/// per-event cost of keeping the encoding current, which is what the
+/// incremental path exists for.
+fn churn_scaling(c: &mut Criterion) {
+    let (graph, prof) = eeg_app(2);
+    let cfg = DeploymentConfig::default();
+    let mut group = c.benchmark_group("churn_scaling");
+    group.sample_size(10);
+    for n in [1usize, 10, 100] {
+        group.bench_function(BenchmarkId::new("delta_apply", n), |b| {
+            let (count0, budget0) = churn_event(0);
+            let mut prep =
+                PreparedDeployment::new(&graph, &prof, &churn_dep(count0, budget0), &cfg)
+                    .expect("pins ok");
+            b.iter(|| {
+                for i in 0..n {
+                    let (count, budget) = churn_event(i);
+                    prep.apply_delta(&[
+                        DeploymentDelta::SetLeafCount {
+                            leaf: SiteId(3),
+                            count,
+                        },
+                        DeploymentDelta::SetCpuBudget {
+                            site: SiteId(1),
+                            cpu_budget: budget,
+                        },
+                    ]);
+                }
+                prep.problem_size()
+            })
+        });
+        group.bench_function(BenchmarkId::new("cold_rebuild", n), |b| {
+            b.iter(|| {
+                let mut size = (0, 0);
+                for i in 0..n {
+                    let (count, budget) = churn_event(i);
+                    let prep =
+                        PreparedDeployment::new(&graph, &prof, &churn_dep(count, budget), &cfg)
+                            .expect("pins ok");
+                    size = prep.problem_size();
+                }
+                size
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     solver_scaling,
@@ -477,6 +579,7 @@ criterion_group!(
     ablation_branching,
     ablation_warm_start,
     rate_search,
+    churn_scaling,
 );
 
 /// One `BENCH_solver.json` record.
@@ -630,6 +733,56 @@ fn emit_json(reps: usize) {
                 warm_starts,
             });
         }
+
+        // Topology churn: one re-provision/re-budget event against the
+        // 2-ward 2ch forest, warm (apply_delta on the standing
+        // encoding) vs cold (rebuild + merge + re-encode). Both arms
+        // end at bit-identical problems, so the (common) solve is not
+        // timed; the delta arm must stay an order of magnitude faster
+        // at pure maintenance — that ratio is what the incremental
+        // path exists for.
+        let (graph, prof) = eeg_app(2);
+        let cfg = DeploymentConfig::default();
+        let (count0, budget0) = churn_event(0);
+        let mut prep = PreparedDeployment::new(&graph, &prof, &churn_dep(count0, budget0), &cfg)
+            .expect("pins ok");
+        let mut i = 0usize;
+        let (median_ns, _, _) = measure(reps.max(5), || {
+            i += 1;
+            let (count, budget) = churn_event(i);
+            prep.apply_delta(&[
+                DeploymentDelta::SetLeafCount {
+                    leaf: SiteId(3),
+                    count,
+                },
+                DeploymentDelta::SetCpuBudget {
+                    site: SiteId(1),
+                    cpu_budget: budget,
+                },
+            ]);
+            (0, 0)
+        });
+        records.push(JsonRecord {
+            bench: "churn_delta_apply_per_event".into(),
+            median_ns,
+            nodes: 0,
+            warm_starts: 0,
+        });
+        let mut i = 0usize;
+        let (median_ns, _, _) = measure(reps.max(5), || {
+            i += 1;
+            let (count, budget) = churn_event(i);
+            let cold = PreparedDeployment::new(&graph, &prof, &churn_dep(count, budget), &cfg)
+                .expect("pins ok");
+            let _ = cold.problem_size();
+            (0, 0)
+        });
+        records.push(JsonRecord {
+            bench: "churn_cold_rebuild_per_event".into(),
+            median_ns,
+            nodes: 0,
+            warm_starts: 0,
+        });
     }
 
     let (graph, prof) = eeg_app(2);
@@ -756,10 +909,51 @@ fn smoke(backend: SolverBackend) {
         .expect("no solver error")
         .expect("feasible");
     assert_eq!(r.encodes, 1, "rate search must encode exactly once");
+
+    // One churn instance per smoke: a delta'd prepared forest must
+    // agree with a cold rebuild of the same delta'd deployment on this
+    // backend, without re-encoding.
+    let mut dcfg = DeploymentConfig::default();
+    dcfg.ilp.backend = backend;
+    let (count0, budget0) = churn_event(0);
+    let (count1, budget1) = churn_event(1);
+    let mut warm = PreparedDeployment::new(&graph, &prof, &churn_dep(count0, budget0), &dcfg)
+        .expect("pins ok");
+    warm.apply_delta(&[
+        DeploymentDelta::SetLeafCount {
+            leaf: SiteId(3),
+            count: count1,
+        },
+        DeploymentDelta::SetCpuBudget {
+            site: SiteId(1),
+            cpu_budget: budget1,
+        },
+    ]);
+    assert_eq!(warm.encodes(), 1, "[{label}] deltas must not re-encode");
+    let mut cold = PreparedDeployment::new(&graph, &prof, &churn_dep(count1, budget1), &dcfg)
+        .expect("pins ok");
+    let churn_obj = match (warm.solve_at(CHURN_RATE), cold.solve_at(CHURN_RATE)) {
+        (Ok(w), Ok(c)) => {
+            assert!(
+                (w.objective - c.objective).abs() < 1e-6 * (1.0 + c.objective.abs()),
+                "[{label}] delta re-solve {} vs cold rebuild {}",
+                w.objective,
+                c.objective
+            );
+            w.objective
+        }
+        (Err(_), Err(_)) => f64::NAN,
+        (w, c) => panic!(
+            "[{label}] churn feasibility flipped: warm {:?} vs cold {:?}",
+            w.is_ok(),
+            c.is_ok()
+        ),
+    };
+
     println!(
         "smoke[{label}] OK: {} nodes ({} warm) on 1ch EEG; chain_972 obj {:.1} \
          in {} nodes; multitier k3 obj {:.1}; forest obj {:.1}; rate search found \
-         x{:.3} in {} probes / {} encode",
+         x{:.3} in {} probes / {} encode; churn delta obj {:.3}",
         warm_stats.nodes,
         warm_stats.warm_starts,
         mine.objective,
@@ -768,7 +962,8 @@ fn smoke(backend: SolverBackend) {
         f_mine.objective,
         r.rate,
         r.evaluations,
-        r.encodes
+        r.encodes,
+        churn_obj
     );
 }
 

@@ -12,7 +12,7 @@
 //! path.
 
 use crate::encodings::{EncodedDeployment, EncodedMultiTier, EncodedProblem, Encoding};
-use wishbone_audit::{audit_model, AuditReport, IndicatorBlock, ModelSpec};
+use wishbone_audit::{audit_model, AuditReport, IndicatorBlock, ModelSpec, PinnedRow};
 
 /// The [`ModelSpec`] of a binary (2-way) encoding: the `f` vector is a
 /// single one-boundary indicator block. The general encoding's net row
@@ -27,6 +27,7 @@ pub fn binary_spec(ep: &EncodedProblem) -> ModelSpec {
         net_rows: ep.net_row.into_iter().collect(),
         conserved_net: ep.encoding == Encoding::Restricted,
         general_edge_rows: ep.encoding == Encoding::General,
+        pinned_rows: vec![],
     }
 }
 
@@ -45,12 +46,17 @@ pub fn multitier_spec(ep: &EncodedMultiTier) -> ModelSpec {
         net_rows: ep.net_rows.iter().flatten().copied().collect(),
         conserved_net: true,
         general_edge_rows: false,
+        pinned_rows: vec![],
     }
 }
 
 /// The [`ModelSpec`] of a deployment-tree encoding: one block per leaf
 /// class, exactly one CPU row per site and one uplink row per tree
-/// edge (where finite and non-empty).
+/// edge (where finite and non-empty). Every budget row's current
+/// coefficients and rhs are pinned bit for bit, so an in-place rescale
+/// that silently re-prices a row against this snapshot — e.g. a robust
+/// `count − 1` row restated at full count — is flagged as
+/// [`wishbone_audit::AuditCode::PinnedRowDrift`].
 pub fn deployment_spec(ep: &EncodedDeployment) -> ModelSpec {
     ModelSpec {
         blocks: ep
@@ -67,6 +73,21 @@ pub fn deployment_spec(ep: &EncodedDeployment) -> ModelSpec {
         net_rows: ep.net_rows.iter().flatten().copied().collect(),
         conserved_net: true,
         general_edge_rows: false,
+        pinned_rows: ep
+            .cpu_rows
+            .iter()
+            .flatten()
+            .map(|r| r.row)
+            .chain(ep.net_rows.iter().flatten().copied())
+            .map(|row| {
+                let c = ep.problem.constraint(row);
+                PinnedRow {
+                    row,
+                    terms: c.terms.iter().map(|&(v, a)| (v.0, a)).collect(),
+                    rhs: c.rhs,
+                }
+            })
+            .collect(),
     }
 }
 

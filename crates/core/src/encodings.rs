@@ -575,6 +575,156 @@ pub struct EncodedDeployment {
 }
 
 impl EncodedDeployment {
+    /// Recompute every count-, weight-, and budget-dependent coefficient
+    /// of this encoding in place — the same arithmetic as
+    /// [`encode_deployment`], written through
+    /// [`Problem::replace_constraint`] and
+    /// [`Problem::set_objective_coeff`] so variable and row indices stay
+    /// stable and a branch-and-bound incumbent warm start survives.
+    ///
+    /// `leaves` must have the structure this encoding was built from
+    /// (same chain graphs, same paths); device counts and `obj` entries
+    /// may differ. A removed leaf class is expressed as `count = 0.0`,
+    /// which zeroes its traffic in every shared CPU and uplink row; its
+    /// indicator block stays in the problem with zero weight. Budget
+    /// finiteness must match the original encoding — a budget row cannot
+    /// be added or removed in place (callers flipping a budget between
+    /// finite and infinite must re-encode).
+    pub fn rescale_in_place(&mut self, leaves: &[LeafChain<'_>], obj: &DeploymentObjective) {
+        let n_sites = obj.alpha.len();
+        assert_eq!(leaves.len(), self.y_vars.len(), "leaf set must match");
+        assert_eq!(obj.cpu_budget.len(), n_sites);
+        assert_eq!(obj.count.len(), n_sites);
+        assert_eq!(obj.beta.len(), n_sites);
+        assert_eq!(obj.net_budget.len(), n_sites);
+        for (l, leaf) in leaves.iter().enumerate() {
+            assert_eq!(leaf.graph.tiers, leaf.path.len());
+            assert_eq!(self.y_vars[l].len(), leaf.path.len() - 1, "path drift");
+            assert!(leaf.count >= 0.0);
+        }
+
+        let net_coeff = deployment_net_coeffs(leaves);
+
+        // Objective coefficients: same formula as encoding time.
+        for (l, leaf) in leaves.iter().enumerate() {
+            let k = leaf.path.len();
+            for (b, net_b) in net_coeff[l].iter().enumerate().take(k - 1) {
+                let (sb, sb1) = (leaf.path[b], leaf.path[b + 1]);
+                let cpu_scale = leaf.count / obj.count[sb];
+                let cpu_scale1 = leaf.count / obj.count[sb1];
+                for (v, vert) in leaf.graph.vertices.iter().enumerate() {
+                    let mut c = obj.alpha[sb] * (cpu_scale * vert.cpu_cost[b])
+                        + obj.beta[sb] * (leaf.count * net_b[v]);
+                    if !is_exact_zero(obj.alpha[sb1]) {
+                        c -= obj.alpha[sb1] * (cpu_scale1 * vert.cpu_cost[b + 1]);
+                    }
+                    self.problem.set_objective_coeff(self.y_vars[l][b][v], c);
+                }
+            }
+        }
+
+        // CPU budget rows: same terms, rewritten at the new scales. A row
+        // whose every contribution vanished (all crossing classes
+        // removed) keeps one zero-weight term so it stays a well-formed,
+        // trivially slack budget row.
+        for s in 0..n_sites {
+            let Some(CpuRow { row, .. }) = self.cpu_rows[s] else {
+                continue;
+            };
+            assert!(
+                obj.cpu_budget[s].is_finite(),
+                "cannot drop the CPU row of site {s} in place"
+            );
+            let mut terms: Vec<(VarId, f64)> = Vec::new();
+            let mut shift = 0.0f64;
+            let mut fallback = None;
+            for (l, leaf) in leaves.iter().enumerate() {
+                let Some(t) = leaf.path.iter().position(|&site| site == s) else {
+                    continue;
+                };
+                let k = leaf.path.len();
+                fallback.get_or_insert(self.y_vars[l][t.min(k - 2)][0]);
+                let scale = leaf.count / obj.count[s];
+                for (v, vert) in leaf.graph.vertices.iter().enumerate() {
+                    let c = scale * vert.cpu_cost[t];
+                    if is_exact_zero(c) {
+                        continue;
+                    }
+                    if t < k - 1 {
+                        terms.push((self.y_vars[l][t][v], c));
+                    }
+                    if t > 0 {
+                        terms.push((self.y_vars[l][t - 1][v], -c));
+                    }
+                    if t == k - 1 {
+                        shift += c;
+                    }
+                }
+            }
+            if terms.is_empty() {
+                terms.push((fallback.expect("an encoded row has a crossing leaf"), 0.0));
+            }
+            self.problem
+                .replace_constraint(row, &terms, Sense::Le, obj.cpu_budget[s] - shift);
+            self.cpu_rows[s] = Some(CpuRow { row, shift });
+        }
+
+        // Uplink budget rows, likewise.
+        for s in 0..n_sites {
+            let Some(row) = self.net_rows[s] else {
+                continue;
+            };
+            assert!(
+                obj.net_budget[s].is_finite(),
+                "cannot drop the uplink row of site {s} in place"
+            );
+            let mut terms: Vec<(VarId, f64)> = Vec::new();
+            let mut fallback = None;
+            for (l, leaf) in leaves.iter().enumerate() {
+                let Some(b) = leaf.path.iter().position(|&site| site == s) else {
+                    continue;
+                };
+                debug_assert!(b < leaf.path.len() - 1, "non-root site at root position");
+                fallback.get_or_insert(self.y_vars[l][b][0]);
+                for (v, &nc) in net_coeff[l][b].iter().enumerate() {
+                    let c = leaf.count * nc;
+                    if !is_exact_zero(c) {
+                        terms.push((self.y_vars[l][b][v], c));
+                    }
+                }
+            }
+            if terms.is_empty() {
+                terms.push((fallback.expect("an encoded row has a crossing leaf"), 0.0));
+            }
+            self.problem
+                .replace_constraint(row, &terms, Sense::Le, obj.net_budget[s]);
+        }
+
+        // Constant root-CPU term, per leaf, count-scaled.
+        let mut objective_offset = 0.0f64;
+        for leaf in leaves {
+            let root = *leaf.path.last().expect("non-empty path");
+            if !is_exact_zero(obj.alpha[root]) {
+                let k = leaf.path.len();
+                let scale = leaf.count / obj.count[root];
+                objective_offset += obj.alpha[root]
+                    * leaf
+                        .graph
+                        .vertices
+                        .iter()
+                        .map(|vert| scale * vert.cpu_cost[k - 1])
+                        .sum::<f64>();
+            }
+        }
+        self.objective_offset = objective_offset;
+
+        #[cfg(debug_assertions)]
+        crate::audit::debug_assert_audit_clean(
+            &crate::audit::audit_deployment(self),
+            "rescale_in_place",
+        );
+    }
+
     /// Decode a solver assignment into per-leaf vertex path positions.
     pub fn decode(&self, values: &[f64]) -> Vec<Vec<usize>> {
         self.y_vars
@@ -592,6 +742,27 @@ impl EncodedDeployment {
             })
             .collect()
     }
+}
+
+/// Per-leaf per-boundary per-vertex net coefficients (leaf-local,
+/// unscaled — counts are applied at the point of use so a count of 1
+/// reproduces the chain encoding bit for bit).
+fn deployment_net_coeffs(leaves: &[LeafChain<'_>]) -> Vec<Vec<Vec<f64>>> {
+    leaves
+        .iter()
+        .map(|leaf| {
+            let k = leaf.path.len();
+            let n = leaf.graph.vertices.len();
+            let mut nc = vec![vec![0.0f64; n]; k - 1];
+            for e in &leaf.graph.edges {
+                for (b, &r) in e.bandwidth.iter().enumerate() {
+                    nc[b][e.src] += r;
+                    nc[b][e.dst] -= r;
+                }
+            }
+            nc
+        })
+        .collect()
 }
 
 /// Build the coupled monotone-cut ILP for a tree deployment.
@@ -623,24 +794,7 @@ pub fn encode_deployment(leaves: &[LeafChain<'_>], obj: &DeploymentObjective) ->
 
     let mut p = Problem::new();
 
-    // Per-leaf per-boundary per-vertex net coefficients (leaf-local,
-    // unscaled — counts are applied at the point of use so a count of 1
-    // reproduces the chain encoding bit for bit).
-    let net_coeff: Vec<Vec<Vec<f64>>> = leaves
-        .iter()
-        .map(|leaf| {
-            let k = leaf.path.len();
-            let n = leaf.graph.vertices.len();
-            let mut nc = vec![vec![0.0f64; n]; k - 1];
-            for e in &leaf.graph.edges {
-                for (b, &r) in e.bandwidth.iter().enumerate() {
-                    nc[b][e.src] += r;
-                    nc[b][e.dst] -= r;
-                }
-            }
-            nc
-        })
-        .collect();
+    let net_coeff = deployment_net_coeffs(leaves);
 
     // Variables: leaf-major, boundary-major, vertex within — so a single
     // leaf reproduces encode_multitier's VarIds exactly. Objective of

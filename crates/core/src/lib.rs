@@ -72,5 +72,6 @@ pub use preprocess::{preprocess, PreprocessResult};
 pub use rate_search::{max_sustainable_rate, RateSearchResult};
 pub use topology::{
     max_sustainable_rate_deployment, partition_deployment, Deployment, DeploymentConfig,
-    DeploymentPartition, DeploymentRateResult, LeafPartition, PreparedDeployment, Site, SiteId,
+    DeploymentDelta, DeploymentPartition, DeploymentRateResult, LeafPartition, PreparedDeployment,
+    RobustnessMode, Site, SiteId,
 };

@@ -579,6 +579,7 @@ impl<'a> PreparedMultiTier<'a> {
             mode: cfg.mode,
             preprocess: cfg.preprocess,
             rate_multiplier: 1.0,
+            robustness: crate::topology::RobustnessMode::Nominal,
             ilp: cfg.ilp.clone(),
         };
         Ok(PreparedMultiTier {

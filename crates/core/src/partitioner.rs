@@ -231,6 +231,7 @@ impl<'a> PreparedPartition<'a> {
                 mode: cfg.mode,
                 preprocess: cfg.preprocess,
                 rate_multiplier: 1.0,
+                robustness: crate::topology::RobustnessMode::Nominal,
                 ilp: cfg.ilp.clone(),
             };
             return Ok(PreparedPartition {

@@ -334,9 +334,19 @@ impl Deployment {
         }
     }
 
-    /// The per-site objective handed to the encoder.
-    fn objective(&self) -> DeploymentObjective {
-        DeploymentObjective {
+    /// The per-site objective handed to the encoder, priced under
+    /// `robustness`.
+    ///
+    /// [`RobustnessMode::SingleGatewayFailure`] re-prices every interior
+    /// site with `count ≥ 2`: CPU denominators drop to `count − 1` (the
+    /// site's traffic rebalanced onto the survivors of one device
+    /// failure) and the uplink budget scales by `(count − 1)/count` (one
+    /// device's share of aggregate uplink capacity gone). Budget
+    /// *finiteness* is untouched, and the §4.1 merge reads only
+    /// finiteness — so nominal and robust pricings share one merged
+    /// graph and one encoding structure.
+    fn objective_with(&self, robustness: RobustnessMode) -> DeploymentObjective {
+        let mut obj = DeploymentObjective {
             alpha: self.sites.iter().map(|s| s.alpha).collect(),
             cpu_budget: self.sites.iter().map(|s| s.cpu_budget).collect(),
             count: self.sites.iter().map(|s| s.count as f64).collect(),
@@ -351,7 +361,20 @@ impl Deployment {
                 .map(|u| u.map_or(f64::INFINITY, |l| l.net_budget))
                 .collect(),
             row_order: self.site_order().iter().map(|s| s.0).collect(),
+        };
+        if robustness == RobustnessMode::SingleGatewayFailure {
+            let root = self.root();
+            let leaves = self.leaves();
+            for (i, s) in self.sites.iter().enumerate() {
+                let interior = SiteId(i) != root && !leaves.contains(&SiteId(i));
+                if interior && s.count >= 2 {
+                    let c = s.count as f64;
+                    obj.count[i] = c - 1.0;
+                    obj.net_budget[i] *= (c - 1.0) / c;
+                }
+            }
         }
+        obj
     }
 
     /// The chain view of one leaf's root path, as a [`TierObjective`]
@@ -377,6 +400,23 @@ impl Deployment {
     }
 }
 
+/// Failure-robustness pricing applied when the deployment objective is
+/// built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RobustnessMode {
+    /// Price every site at its nominal device count and uplink budget.
+    #[default]
+    Nominal,
+    /// Price every interior (gateway) site as if one of its devices had
+    /// already failed: CPU rows divide by `count − 1` and uplink rows
+    /// keep `(count − 1)/count` of their budget, so the optimal
+    /// partition stays feasible when any single gateway device dies and
+    /// its load rebalances onto the survivors. An interior site with a
+    /// single device stays at nominal pricing — losing the only gateway
+    /// severs the subtree, which no placement can compensate.
+    SingleGatewayFailure,
+}
+
 /// Solver-side configuration of [`partition_deployment`] — the topology
 /// itself lives in [`Deployment`]. (The simulation-side sibling is
 /// `wishbone_runtime::SimulationConfig`.)
@@ -389,6 +429,8 @@ pub struct DeploymentConfig {
     /// Global input-rate multiplier relative to the profile's reference
     /// rate (composed with each leaf site's `rate_factor`).
     pub rate_multiplier: f64,
+    /// Failure-robustness pricing of the budget rows.
+    pub robustness: RobustnessMode,
     /// Branch-and-bound options (backend selection included).
     pub ilp: IlpOptions,
 }
@@ -399,6 +441,7 @@ impl Default for DeploymentConfig {
             mode: Mode::Permissive,
             preprocess: true,
             rate_multiplier: 1.0,
+            robustness: RobustnessMode::Nominal,
             ilp: IlpOptions::default(),
         }
     }
@@ -410,6 +453,45 @@ impl DeploymentConfig {
         self.rate_multiplier = rate_multiplier;
         self
     }
+
+    /// Override the robustness pricing (builder style).
+    pub fn with_robustness(mut self, robustness: RobustnessMode) -> Self {
+        self.robustness = robustness;
+        self
+    }
+}
+
+/// One incremental topology change, applied by
+/// [`PreparedDeployment::apply_delta`] without rebuilding graphs,
+/// re-running the merge, or re-encoding the ILP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeploymentDelta {
+    /// Re-provision a leaf class to `count` devices (≥ 1). Also revives
+    /// a leaf previously taken out of service by
+    /// [`DeploymentDelta::RemoveLeaf`].
+    SetLeafCount {
+        /// The leaf site to re-provision.
+        leaf: SiteId,
+        /// New device count (must be ≥ 1).
+        count: usize,
+    },
+    /// Re-budget a site's per-device CPU. The new budget must be on the
+    /// same side of infinity as the old one — a budget row cannot be
+    /// added or dropped in place (re-prepare for that).
+    SetCpuBudget {
+        /// The site whose CPU budget changes.
+        site: SiteId,
+        /// New per-device CPU budget.
+        cpu_budget: f64,
+    },
+    /// Take a leaf class out of service: its routed traffic is zeroed in
+    /// every shared CPU and uplink row while its indicator block idles
+    /// in the encoding, ready for revival by
+    /// [`DeploymentDelta::SetLeafCount`].
+    RemoveLeaf {
+        /// The leaf site to remove.
+        leaf: SiteId,
+    },
 }
 
 /// One leaf class's share of a computed [`DeploymentPartition`]: where
@@ -518,6 +600,13 @@ pub struct PreparedDeployment<'a> {
     dep: Deployment,
     cfg: DeploymentConfig,
     leaves: Vec<PreparedLeaf>,
+    /// Per-leaf out-of-service flags, [`Deployment::leaves`] order
+    /// ([`DeploymentDelta::RemoveLeaf`]).
+    removed: Vec<bool>,
+    /// The objective the encoding currently carries — the stored
+    /// topology priced under `cfg.robustness`, refreshed by
+    /// [`apply_delta`](Self::apply_delta).
+    obj: DeploymentObjective,
     vertices_before: usize,
     vertices_after: usize,
     ep: EncodedDeployment,
@@ -573,15 +662,19 @@ impl<'a> PreparedDeployment<'a> {
                 count: dep.site(l.leaf).count as f64,
             })
             .collect();
-        let ep = encode_deployment(&chains, &dep.objective());
+        let obj = dep.objective_with(cfg.robustness);
+        let ep = encode_deployment(&chains, &obj);
         let base_objective: Vec<f64> = (0..ep.problem.num_vars())
             .map(|j| ep.problem.objective_coeff(VarId(j)))
             .collect();
+        let removed = vec![false; leaves.len()];
         Ok(PreparedDeployment {
             graph,
             profile,
             dep: dep.clone(),
             cfg: cfg.clone(),
+            removed,
+            obj,
             leaves,
             vertices_before,
             vertices_after,
@@ -592,6 +685,67 @@ impl<'a> PreparedDeployment<'a> {
             solves: 0,
             last_values: None,
         })
+    }
+
+    /// Apply a batch of topology deltas in place: mutate the stored
+    /// topology, rewrite every count- and budget-dependent coefficient
+    /// of the prepared ILP through index-stable row surgery
+    /// (`EncodedDeployment::rescale_in_place`), and keep the previous
+    /// incumbent as a warm start. No graph rebuild, no §4.1 merge, no
+    /// re-encode — `encodes()` stays 1. The next
+    /// [`solve_at`](Self::solve_at) is equivalent to a cold
+    /// [`new`](Self::new) on the edited deployment (pinned by proptest)
+    /// at a fraction of the cost.
+    pub fn apply_delta(&mut self, deltas: &[DeploymentDelta]) {
+        let leaf_ordinal = |leaves: &[PreparedLeaf], leaf: SiteId| {
+            leaves
+                .iter()
+                .position(|l| l.leaf == leaf)
+                .unwrap_or_else(|| panic!("site {:?} is not a leaf of this deployment", leaf))
+        };
+        for d in deltas {
+            match *d {
+                DeploymentDelta::SetLeafCount { leaf, count } => {
+                    let ord = leaf_ordinal(&self.leaves, leaf);
+                    assert!(count >= 1, "use RemoveLeaf to take a class out of service");
+                    self.dep.sites[leaf.0].count = count;
+                    self.removed[ord] = false;
+                }
+                DeploymentDelta::SetCpuBudget { site, cpu_budget } => {
+                    assert!(site.0 < self.dep.len(), "unknown site {site:?}");
+                    let old = self.dep.sites[site.0].cpu_budget;
+                    assert_eq!(
+                        cpu_budget.is_finite(),
+                        old.is_finite(),
+                        "a CPU budget row cannot be added or dropped in place"
+                    );
+                    self.dep.sites[site.0].cpu_budget = cpu_budget;
+                }
+                DeploymentDelta::RemoveLeaf { leaf } => {
+                    let ord = leaf_ordinal(&self.leaves, leaf);
+                    self.removed[ord] = true;
+                }
+            }
+        }
+        self.obj = self.dep.objective_with(self.cfg.robustness);
+        let chains: Vec<LeafChain<'_>> = self
+            .leaves
+            .iter()
+            .enumerate()
+            .map(|(i, l)| LeafChain {
+                graph: &l.graph,
+                path: l.path.iter().map(|s| s.0).collect(),
+                count: if self.removed[i] {
+                    0.0
+                } else {
+                    self.dep.sites[l.leaf.0].count as f64
+                },
+            })
+            .collect();
+        self.ep.rescale_in_place(&chains, &self.obj);
+        self.base_objective = (0..self.ep.problem.num_vars())
+            .map(|j| self.ep.problem.objective_coeff(VarId(j)))
+            .collect();
     }
 
     /// How many times the ILP has been encoded (always 1).
@@ -624,6 +778,14 @@ impl<'a> PreparedDeployment<'a> {
         &self.ep.problem
     }
 
+    /// The full encoding with its variable and row maps — read-only,
+    /// for audits that pin the current budget rows (e.g. via
+    /// [`crate::audit::deployment_spec`]) before deltas or a
+    /// differently-priced re-encode could drift them.
+    pub fn encoded(&self) -> &crate::encodings::EncodedDeployment {
+        &self.ep
+    }
+
     /// Statically audit the encoded ILP — structure, conditioning, and
     /// infeasibility pre-certificates — without a simplex iteration.
     /// Reflects the problem as currently rescaled (rate re-targeting
@@ -645,20 +807,14 @@ impl<'a> PreparedDeployment<'a> {
         }
         for (s, row) in self.ep.cpu_rows.iter().enumerate() {
             if let Some(cr) = row {
-                self.ep.problem.set_rhs(
-                    cr.row,
-                    self.dep.site(SiteId(s)).cpu_budget / rate - cr.shift,
-                );
+                self.ep
+                    .problem
+                    .set_rhs(cr.row, self.obj.cpu_budget[s] / rate - cr.shift);
             }
         }
         for (s, row) in self.ep.net_rows.iter().enumerate() {
             if let Some(r) = row {
-                let budget = self
-                    .dep
-                    .uplink(SiteId(s))
-                    .expect("net row only on uplinked sites")
-                    .net_budget;
-                self.ep.problem.set_rhs(*r, budget / rate);
+                self.ep.problem.set_rhs(*r, self.obj.net_budget[s] / rate);
             }
         }
 
@@ -730,8 +886,14 @@ impl<'a> PreparedDeployment<'a> {
         let n_sites = self.dep.len();
         let mut site_cpu = vec![0.0f64; n_sites];
         let mut link_net = vec![0.0f64; n_sites];
-        for leaf in &leaves {
-            let count = self.dep.site(leaf.leaf).count as f64;
+        for (l, leaf) in leaves.iter().enumerate() {
+            // A removed leaf still reports its (per-device) placement but
+            // routes no traffic, so it contributes nothing here.
+            let count = if self.removed[l] {
+                0.0
+            } else {
+                self.dep.site(leaf.leaf).count as f64
+            };
             for (t, &s) in leaf.path.iter().enumerate() {
                 site_cpu[s.0] += leaf.predicted_cpu[t] * count / self.dep.site(s).count as f64;
                 if t < leaf.path.len() - 1 {
@@ -1155,5 +1317,153 @@ mod tests {
             part.leaves[1].site_ops[0],
             mixed.classes[1].partition.node_ops
         );
+    }
+
+    #[test]
+    fn apply_delta_matches_cold_rebuild() {
+        let (g, prof) = profiled();
+        let cfg = DeploymentConfig::default();
+        let rate = 0.2;
+        let dep = forest(1e5, 1e6);
+        let mut warm = PreparedDeployment::new(&g, &prof, &dep, &cfg).unwrap();
+        warm.solve_at(rate).expect("baseline feasible");
+
+        // Re-provision motes-a to 5 devices and tighten gw-a's CPU.
+        let new_budget = 0.5 * dep.site(SiteId(1)).cpu_budget;
+        warm.apply_delta(&[
+            DeploymentDelta::SetLeafCount {
+                leaf: SiteId(3),
+                count: 5,
+            },
+            DeploymentDelta::SetCpuBudget {
+                site: SiteId(1),
+                cpu_budget: new_budget,
+            },
+        ]);
+        let a = warm.solve_at(rate).expect("edited deployment feasible");
+
+        let mut cold_dep = forest(1e5, 1e6);
+        cold_dep.sites[3].count = 5;
+        cold_dep.sites[1].cpu_budget = new_budget;
+        let mut cold = PreparedDeployment::new(&g, &prof, &cold_dep, &cfg).unwrap();
+        let b = cold.solve_at(rate).expect("cold rebuild feasible");
+
+        assert_eq!(warm.encodes(), 1, "deltas must not re-encode");
+        assert_eq!(warm.problem_size(), cold.problem_size());
+        for (la, lb) in a.leaves.iter().zip(&b.leaves) {
+            assert_eq!(la.site_ops, lb.site_ops);
+        }
+        assert!(
+            (a.objective - b.objective).abs() < 1e-9 * (1.0 + b.objective.abs()),
+            "warm {} vs cold {}",
+            a.objective,
+            b.objective
+        );
+        // Aggregates sum over hash sets, so allow summation-order noise.
+        for (x, y) in a.site_cpu.iter().zip(&b.site_cpu) {
+            assert!((x - y).abs() < 1e-9 * (1.0 + y.abs()));
+        }
+        for (x, y) in a.link_net.iter().zip(&b.link_net) {
+            assert!((x - y).abs() < 1e-9 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn remove_leaf_zeroes_routed_classes_and_revives() {
+        let (g, prof) = profiled();
+        let cfg = DeploymentConfig::default();
+        let rate = 0.2;
+        let dep = forest(1e5, 1e6);
+        let mut prep = PreparedDeployment::new(&g, &prof, &dep, &cfg).unwrap();
+        let before = prep.solve_at(rate).expect("baseline feasible");
+
+        prep.apply_delta(&[DeploymentDelta::RemoveLeaf { leaf: SiteId(3) }]);
+        let gone = prep.solve_at(rate).expect("still feasible");
+        assert_eq!(gone.site_cpu[1], 0.0, "gw-a hosts no routed class");
+        assert_eq!(gone.link_net[1], 0.0, "gw-a uplink is silent");
+        assert_eq!(gone.link_net[3], 0.0, "motes-a uplink is silent");
+        assert_eq!(
+            gone.leaves[1].site_ops, before.leaves[1].site_ops,
+            "ward B is untouched by ward A's removal"
+        );
+
+        prep.apply_delta(&[DeploymentDelta::SetLeafCount {
+            leaf: SiteId(3),
+            count: 1,
+        }]);
+        let back = prep.solve_at(rate).expect("revived deployment feasible");
+        assert_eq!(prep.encodes(), 1);
+        for (la, lb) in back.leaves.iter().zip(&before.leaves) {
+            assert_eq!(la.site_ops, lb.site_ops, "revival restores the baseline");
+        }
+        assert!((back.objective - before.objective).abs() < 1e-9 * (1.0 + before.objective.abs()));
+    }
+
+    #[test]
+    fn robust_pricing_survives_any_single_gateway_failure() {
+        let (g, prof) = profiled();
+        let rate = 0.2;
+        // One ward: gw with 3 devices relaying 6 motes that can only
+        // afford their pinned source. The gateway CPU budget fits the
+        // pipeline balanced across 3 devices but not across 2 — nominal
+        // pricing parks work on the gateway that a single failure
+        // overloads; robust pricing must not.
+        let phone = Platform::iphone();
+        let mote = Platform::tmote_sky();
+        let one_class: f64 = [OperatorId(1), OperatorId(2)]
+            .iter()
+            .map(|&op| prof.cpu_fraction(op, &phone) * rate)
+            .sum();
+        let src_cost = prof.cpu_fraction(OperatorId(0), &mote) * rate;
+        let mut dep = Deployment::new(Site::server("server", &Platform::server()));
+        let root = dep.root();
+        // 6 leaf devices over 3 gateways: per-device load is 2x a class;
+        // over 2 survivors it is 3x. Budget between the two.
+        let gw = dep.attach(
+            root,
+            Site::new("gw", &phone)
+                .with_count(3)
+                .with_cpu_budget(2.5 * one_class),
+            LinkSpec {
+                beta: 1.0,
+                net_budget: 1e6,
+            },
+        );
+        dep.attach(
+            gw,
+            Site::new("motes", &mote)
+                .with_count(6)
+                .with_cpu_budget(1.0001 * src_cost),
+            LinkSpec {
+                beta: 1.0,
+                net_budget: 1e12,
+            },
+        );
+
+        let nominal =
+            partition_deployment(&g, &prof, &dep, &DeploymentConfig::default().at_rate(rate))
+                .expect("nominal feasible");
+        let robust = partition_deployment(
+            &g,
+            &prof,
+            &dep,
+            &DeploymentConfig::default()
+                .at_rate(rate)
+                .with_robustness(RobustnessMode::SingleGatewayFailure),
+        )
+        .expect("robust feasible");
+
+        // Nominal pricing uses the gateway; with one of 3 devices gone
+        // the survivors' per-device CPU exceeds the budget.
+        let (c, budget) = (3.0, dep.site(SiteId(1)).cpu_budget);
+        assert!(
+            nominal.site_cpu[1] * c / (c - 1.0) > budget + 1e-9,
+            "nominal placement must be fragile for this test to bite: {} vs {budget}",
+            nominal.site_cpu[1] * c / (c - 1.0)
+        );
+        // The robust placement stays within every failed-over budget row.
+        assert!(robust.site_cpu[1] * c / (c - 1.0) <= budget + 1e-9);
+        let uplink = dep.uplink(SiteId(1)).unwrap().net_budget;
+        assert!(robust.link_net[1] <= uplink * (c - 1.0) / c + 1e-9);
     }
 }

@@ -162,6 +162,7 @@ pub fn simulate_deployment_multi(
         busy_total,
         sends,
         on_air_total,
+        ..
     } = np;
 
     // ---- Pass 2: channel + server --------------------------------------
@@ -199,6 +200,16 @@ pub(crate) struct NodePass {
     pub(crate) busy_total: f64,
     /// (node, cut edge, element) transmissions in send order.
     pub(crate) sends: Vec<(usize, EdgeId, Value)>,
+    /// Production time of each send (aligned with `sends`): when the
+    /// node's CPU finished the cascade that emitted it. The tree
+    /// simulator uses these to place elements inside failure windows.
+    pub(crate) send_times: Vec<f64>,
+    /// Events missed because the node's battery had died.
+    pub(crate) events_lost_to_death: u64,
+    /// Per-death accounting aligned with the `deaths` parameter of
+    /// [`run_node_pass_failing`]: `(events lost, events processed by the
+    /// dying node, death wall-clock time)`.
+    pub(crate) death_outcomes: Vec<(u64, u64, f64)>,
     pub(crate) on_air_total: f64,
 }
 
@@ -212,6 +223,23 @@ pub(crate) fn run_node_pass(
     node_platform: &Platform,
     channel: &ChannelParams,
     cfg: &SimulationConfig,
+) -> NodePass {
+    run_node_pass_failing(graph, node_ops, feeds, node_platform, channel, cfg, &[])
+}
+
+/// [`run_node_pass`] with battery deaths: `deaths` lists
+/// `(node, after_events)` pairs — node `node` stops processing (and
+/// transmitting) once `after_events` source events have been offered to
+/// it; later arrivals count as offered but are lost to the outage. With
+/// an empty list this is byte-for-byte `run_node_pass`.
+pub(crate) fn run_node_pass_failing(
+    graph: &Graph,
+    node_ops: &HashSet<OperatorId>,
+    feeds: &[SourceFeed],
+    node_platform: &Platform,
+    channel: &ChannelParams,
+    cfg: &SimulationConfig,
+    deaths: &[(usize, u64)],
 ) -> NodePass {
     assert!(
         !feeds.is_empty(),
@@ -243,10 +271,23 @@ pub(crate) fn run_node_pass(
         events_processed: 0,
         busy_total: 0.0,
         sends: Vec::new(),
+        send_times: Vec::new(),
+        events_lost_to_death: 0,
+        death_outcomes: vec![(0, 0, cfg.duration_s); deaths.len()],
         on_air_total: 0.0,
     };
 
     for (node, ne) in executors.iter_mut().enumerate() {
+        // Battery death threshold for this node (events offered before
+        // the node goes dark), if the failure plan names it.
+        let my_deaths: Vec<usize> = deaths
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(n, _))| n == node)
+            .map(|(i, _)| i)
+            .collect();
+        let dead_after: Option<u64> = my_deaths.iter().map(|&i| deaths[i].1).min();
+        let mut offered_here = 0u64;
         // When the CPU finishes its current queue.
         let mut free_at = 0.0f64;
         // Each source has its own buffer (TinyOS ReadStream double
@@ -255,6 +296,18 @@ pub(crate) fn run_node_pass(
         let mut queued = vec![0usize; feeds.len()];
         for &(t, fi, k) in &schedule {
             pass.events_offered += 1;
+            offered_here += 1;
+            if let Some(after) = dead_after {
+                if offered_here > after {
+                    pass.events_lost_to_death += 1;
+                    for &i in &my_deaths {
+                        let o = &mut pass.death_outcomes[i];
+                        o.0 += 1;
+                        o.2 = o.2.min(t);
+                    }
+                    continue; // the node is dead
+                }
+            }
             // Drain the queues virtually: everything queued completes
             // before `free_at`; arrivals when a source's backlog exceeds
             // its buffer are missed (the ReadStream has nowhere to put
@@ -280,9 +333,13 @@ pub(crate) fn run_node_pass(
             free_at = free_at.max(t) + service;
             queued[fi] += 1;
             pass.events_processed += 1;
+            for &i in &my_deaths {
+                pass.death_outcomes[i].1 += 1;
+            }
             for (eid, v) in cascade.transmissions {
                 pass.on_air_total += channel.format.on_air_bytes(v.wire_size()) as f64;
                 pass.sends.push((node, eid, v));
+                pass.send_times.push(free_at);
             }
         }
     }

@@ -141,6 +141,11 @@ pub struct RelayExecutor {
     is_node_ns: Vec<bool>,
     hosted: Vec<bool>,
     platform: Platform,
+    /// Elements delivered into this relay (processed or forwarded).
+    elements_delivered: u64,
+    /// Elements handed back for the next hop (store-and-forward plus
+    /// hosted-operator output).
+    elements_forwarded: u64,
 }
 
 impl RelayExecutor {
@@ -169,12 +174,24 @@ impl RelayExecutor {
             is_node_ns,
             hosted,
             platform,
+            elements_delivered: 0,
+            elements_forwarded: 0,
         }
     }
 
     /// Is `op` assigned to this relay tier?
     pub fn hosts(&self, op: OperatorId) -> bool {
         self.hosted[op.0]
+    }
+
+    /// Elements delivered into this relay so far (processed or relayed).
+    pub fn elements_delivered(&self) -> u64 {
+        self.elements_delivered
+    }
+
+    /// Elements this relay has handed on towards the next hop so far.
+    pub fn elements_forwarded(&self) -> u64 {
+        self.elements_forwarded
     }
 
     /// Deliver an element that arrived from `node` over cut edge `edge`.
@@ -196,6 +213,8 @@ impl RelayExecutor {
             // Pure store-and-forward: the destination is on a later tier.
             cascade.forwards.push((edge, value.clone()));
         }
+        self.elements_delivered += 1;
+        self.elements_forwarded += cascade.forwards.len() as u64;
         cascade
     }
 

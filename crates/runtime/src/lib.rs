@@ -18,7 +18,11 @@
 //! * [`simulate_deployment_tree`] — the topology-first generalization: a
 //!   [`TreeTopology`] of leaf classes, gateways, and a server with one
 //!   channel per tree edge, shared gateway CPU, and per-route goodput —
-//!   the runtime mirror of `wishbone-core`'s `Deployment` partitioner.
+//!   the runtime mirror of `wishbone-core`'s `Deployment` partitioner;
+//! * [`simulate_deployment_tree_with_failures`] — the same simulation
+//!   under a seeded [`FailurePlan`] (mote battery deaths, gateway reboot
+//!   windows, fading uplinks) with per-window outage accounting
+//!   ([`OutageReport`]) and aggregate [`SimStats`] counters.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,5 +39,6 @@ pub use deployment::{
 pub use exec::{NodeCascade, NodeExecutor, RelayCascade, RelayExecutor, ServerExecutor};
 pub use task::TaskModel;
 pub use tree::{
-    simulate_deployment_tree, LeafFlowReport, LeafRoute, TreeDeploymentReport, TreeTopology,
+    simulate_deployment_tree, simulate_deployment_tree_with_failures, Failure, FailurePlan,
+    LeafFlowReport, LeafRoute, OutageReport, SimStats, TreeDeploymentReport, TreeTopology,
 };

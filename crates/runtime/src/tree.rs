@@ -19,11 +19,13 @@
 
 use std::collections::{HashMap, HashSet};
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use wishbone_dataflow::{EdgeId, Graph, OperatorId, Value};
 use wishbone_net::{Channel, ChannelParams};
 use wishbone_profile::Platform;
 
-use crate::deployment::{run_node_pass, SimulationConfig, SourceFeed};
+use crate::deployment::{run_node_pass_failing, SimulationConfig, SourceFeed};
 use crate::exec::{RelayExecutor, ServerExecutor};
 
 /// A rooted tree of deployment sites, runtime view: platforms, device
@@ -109,6 +111,139 @@ impl TreeTopology {
             assert!(self.counts[s] >= 1);
         }
     }
+}
+
+/// One failure process in a [`FailurePlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Failure {
+    /// Battery death: node `node` of the leaf class at `leaf` stops
+    /// processing (and transmitting) once `after_events` source events
+    /// have been offered to it; later arrivals are lost to the outage.
+    MoteDeath {
+        /// Leaf site whose class loses a node.
+        leaf: usize,
+        /// Node index within the class (`0..counts[leaf]`).
+        node: usize,
+        /// Events the node survives before going dark.
+        after_events: u64,
+    },
+    /// Gateway reboot: the site drops every element that arrives during
+    /// `[start_s, end_s)` (its relays hold no state across the window's
+    /// losses — elements are simply gone, like a saturation drop).
+    GatewayReboot {
+        /// The rebooting interior site.
+        site: usize,
+        /// Window start, seconds.
+        start_s: f64,
+        /// Window end, seconds.
+        end_s: f64,
+    },
+    /// Fading uplink: elements crossing the tree edge out of `site`
+    /// during `[start_s, end_s)` suffer an extra independent loss with
+    /// probability `loss_prob`, on top of the channel's congestion model.
+    LossyUplink {
+        /// Child site whose uplink fades.
+        site: usize,
+        /// Window start, seconds.
+        start_s: f64,
+        /// Window end, seconds.
+        end_s: f64,
+        /// Per-element extra loss probability in the window.
+        loss_prob: f64,
+    },
+}
+
+/// A seeded set of failure processes applied during
+/// [`simulate_deployment_tree_with_failures`]. The default (empty) plan
+/// perturbs nothing: the simulation is byte-for-byte identical to
+/// [`simulate_deployment_tree`], and the failure RNG — seeded from
+/// `seed`, independent of the channel seeds — is never drawn.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FailurePlan {
+    /// The failure processes, in the order their outage windows are
+    /// reported.
+    pub failures: Vec<Failure>,
+    /// Seed of the failure RNG (only [`Failure::LossyUplink`] draws).
+    pub seed: u64,
+}
+
+impl FailurePlan {
+    /// Does this plan perturb anything?
+    pub fn is_empty(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    fn validate(&self, topo: &TreeTopology) {
+        for f in &self.failures {
+            match *f {
+                Failure::MoteDeath { leaf, node, .. } => {
+                    assert!(leaf < topo.len(), "unknown leaf site {leaf}");
+                    assert!(node < topo.counts[leaf], "no node {node} at site {leaf}");
+                }
+                Failure::GatewayReboot {
+                    site,
+                    start_s,
+                    end_s,
+                } => {
+                    assert!(site < topo.len() && site != 0, "reboots hit non-root sites");
+                    assert!(start_s < end_s, "empty reboot window");
+                }
+                Failure::LossyUplink {
+                    site,
+                    start_s,
+                    end_s,
+                    loss_prob,
+                } => {
+                    assert!(
+                        site < topo.len() && topo.parent[site].is_some(),
+                        "lossy uplink must name a non-root site"
+                    );
+                    assert!(start_s < end_s, "empty loss window");
+                    assert!((0.0..=1.0).contains(&loss_prob), "loss_prob in [0, 1]");
+                }
+            }
+        }
+    }
+}
+
+/// Accounting for one failure window of a [`FailurePlan`], in plan
+/// order: elements lost to the window vs elements the same site or link
+/// carried successfully outside (or, for a fading uplink, inside) it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutageReport {
+    /// Site (for deaths and reboots) or child site of the edge (for a
+    /// lossy uplink) the failure hit.
+    pub site: usize,
+    /// `[start, end)` of the outage, seconds. For a mote death this is
+    /// `[death time, duration)`.
+    pub window: (f64, f64),
+    /// Elements (or source events, for a death) lost to the window.
+    pub elements_dropped: u64,
+    /// Elements the site or link still carried: outside the window for
+    /// deaths and reboots, survivors inside it for a fading uplink.
+    pub elements_delivered: u64,
+}
+
+/// Aggregate drop/outage counters of one tree simulation — the
+/// simulator-side companion of the solver's `IlpStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Source events offered across all leaf classes.
+    pub events_offered: u64,
+    /// Source events processed at the leaves.
+    pub events_processed: u64,
+    /// Elements submitted to tree edges, summed over every hop.
+    pub elements_sent: u64,
+    /// Elements lost to channel congestion (sent but not delivered,
+    /// excluding failure-window losses).
+    pub channel_lost: u64,
+    /// Elements dropped by saturated gateway CPUs.
+    pub saturation_dropped: u64,
+    /// Elements and events lost to failure windows (deaths, reboots,
+    /// fading uplinks).
+    pub outage_dropped: u64,
+    /// Elements that reached a sink on the server.
+    pub sink_arrivals: u64,
 }
 
 /// One leaf class's program instance: its root path, the operator set at
@@ -199,6 +334,16 @@ pub struct TreeDeploymentReport {
     pub site_cpu_utilization: Vec<f64>,
     /// Elements dropped by each site's saturated CPU (gateways only).
     pub site_elements_dropped: Vec<u64>,
+    /// Elements (and source events, at leaves) lost to failure windows
+    /// at each site: reboot drops at gateways, battery-death misses at
+    /// leaves. All zero without a [`FailurePlan`].
+    pub site_outage_dropped: Vec<u64>,
+    /// Elements lost to fading-uplink windows per child site's edge.
+    /// All zero without a [`FailurePlan`].
+    pub edge_outage_dropped: Vec<u64>,
+    /// Per-failure-window accounting, in [`FailurePlan`] order (empty
+    /// without a plan).
+    pub outages: Vec<OutageReport>,
     /// Elements that reached a sink on the server, all routes.
     pub sink_arrivals: u64,
 }
@@ -215,6 +360,33 @@ impl TreeDeploymentReport {
             .map(|l| l.goodput_ratio() * l.events_offered as f64)
             .sum::<f64>()
             / offered as f64
+    }
+
+    /// Aggregate drop/outage counters of this run.
+    pub fn stats(&self) -> SimStats {
+        let events_offered = self.leaves.iter().map(|l| l.events_offered).sum();
+        let events_processed = self.leaves.iter().map(|l| l.events_processed).sum();
+        let elements_sent: u64 = self
+            .leaves
+            .iter()
+            .flat_map(|l| l.hop_elements_sent.iter())
+            .sum();
+        let elements_delivered: u64 = self
+            .leaves
+            .iter()
+            .flat_map(|l| l.hop_elements_delivered.iter())
+            .sum();
+        let lossy: u64 = self.edge_outage_dropped.iter().sum();
+        let site_outage: u64 = self.site_outage_dropped.iter().sum();
+        SimStats {
+            events_offered,
+            events_processed,
+            elements_sent,
+            channel_lost: elements_sent - elements_delivered - lossy,
+            saturation_dropped: self.site_elements_dropped.iter().sum(),
+            outage_dropped: site_outage + lossy,
+            sink_arrivals: self.sink_arrivals,
+        }
     }
 }
 
@@ -235,7 +407,25 @@ pub fn simulate_deployment_tree(
     routes: &[LeafRoute],
     cfg: &SimulationConfig,
 ) -> TreeDeploymentReport {
+    simulate_deployment_tree_with_failures(graph, topo, routes, cfg, &FailurePlan::default())
+}
+
+/// [`simulate_deployment_tree`] under a seeded [`FailurePlan`]: motes
+/// die on battery, gateways reboot, uplinks fade. Failure windows are
+/// evaluated against each element's production time at its leaf
+/// (propagation delay is not modeled); the plan's RNG is independent of
+/// the channel seeds, so adding a failure never reshuffles congestion
+/// losses. An empty plan reproduces the failure-free simulation
+/// byte for byte.
+pub fn simulate_deployment_tree_with_failures(
+    graph: &Graph,
+    topo: &TreeTopology,
+    routes: &[LeafRoute],
+    cfg: &SimulationConfig,
+    plan: &FailurePlan,
+) -> TreeDeploymentReport {
     topo.validate();
+    plan.validate(topo);
     assert!(!routes.is_empty(), "a tree deployment needs a route");
     for route in routes {
         assert!(route.path.len() >= 2, "a route spans at least two sites");
@@ -257,8 +447,42 @@ pub fn simulate_deployment_tree(
         edge_packet_delivery_ratio: vec![1.0; n_sites],
         site_cpu_utilization: vec![0.0; n_sites],
         site_elements_dropped: vec![0; n_sites],
+        site_outage_dropped: vec![0; n_sites],
+        edge_outage_dropped: vec![0; n_sites],
+        outages: plan
+            .failures
+            .iter()
+            .map(|f| match *f {
+                Failure::MoteDeath { leaf, .. } => OutageReport {
+                    site: leaf,
+                    // Tightened to the actual death time in pass 1.
+                    window: (cfg.duration_s, cfg.duration_s),
+                    elements_dropped: 0,
+                    elements_delivered: 0,
+                },
+                Failure::GatewayReboot {
+                    site,
+                    start_s,
+                    end_s,
+                }
+                | Failure::LossyUplink {
+                    site,
+                    start_s,
+                    end_s,
+                    ..
+                } => OutageReport {
+                    site,
+                    window: (start_s, end_s),
+                    elements_dropped: 0,
+                    elements_delivered: 0,
+                },
+            })
+            .collect(),
         sink_arrivals: 0,
     };
+    // The failure RNG: drawn only inside fading-uplink windows, so a
+    // plan without them stays deterministic no matter the seed.
+    let mut frng = StdRng::seed_from_u64(plan.seed);
 
     // Pass 1: every leaf class's nodes, independently (they share only
     // the channels and gateways above them). Per-site busy time goes into
@@ -266,6 +490,7 @@ pub fn simulate_deployment_tree(
     // another spends the same CPU on both.
     let mut site_busy = vec![0.0f64; n_sites];
     let mut traffic: Vec<Vec<(usize, EdgeId, Value)>> = Vec::with_capacity(routes.len());
+    let mut times: Vec<Vec<f64>> = Vec::with_capacity(routes.len());
     for route in routes {
         let leaf = route.path[0];
         let count = topo.counts[leaf];
@@ -273,15 +498,42 @@ pub fn simulate_deployment_tree(
             n_nodes: count,
             ..cfg.clone()
         };
-        let np = run_node_pass(
+        // Battery deaths hitting this class, with their plan indices.
+        let mut death_idx: Vec<usize> = Vec::new();
+        let deaths: Vec<(usize, u64)> = plan
+            .failures
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| match *f {
+                Failure::MoteDeath {
+                    leaf: l,
+                    node,
+                    after_events,
+                } if l == leaf => {
+                    death_idx.push(i);
+                    Some((node, after_events))
+                }
+                _ => None,
+            })
+            .collect();
+        let np = run_node_pass_failing(
             graph,
             &route.site_ops[0],
             &route.feeds,
             &topo.platforms[leaf],
             topo.uplink[leaf].as_ref().expect("leaf has an uplink"),
             &leaf_cfg,
+            &deaths,
         );
         site_busy[leaf] += np.busy_total;
+        report.site_outage_dropped[leaf] += np.events_lost_to_death;
+        for (k, &pi) in death_idx.iter().enumerate() {
+            let (lost, processed, died_at) = np.death_outcomes[k];
+            let o = &mut report.outages[pi];
+            o.elements_dropped += lost;
+            o.elements_delivered += processed;
+            o.window.0 = o.window.0.min(died_at);
+        }
         report.leaves.push(LeafFlowReport {
             leaf,
             events_offered: np.events_offered,
@@ -292,6 +544,7 @@ pub fn simulate_deployment_tree(
             sink_arrivals: 0,
         });
         traffic.push(np.sends);
+        times.push(np.send_times);
     }
 
     // Gateway state: per (site, route) one RelayExecutor (per-node state
@@ -356,18 +609,70 @@ pub fn simulate_deployment_tree(
         let mut ch = Channel::new(params, cfg.seed.wrapping_add(ordinal as u64));
         ch.set_offered_load(offered);
 
+        // Failure windows touching this edge: fading intervals on the
+        // uplink itself, reboot windows on the receiving gateway.
+        let lossy: Vec<(usize, f64, f64, f64)> = plan
+            .failures
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| match *f {
+                Failure::LossyUplink {
+                    site,
+                    start_s,
+                    end_s,
+                    loss_prob,
+                } if site == child => Some((i, start_s, end_s, loss_prob)),
+                _ => None,
+            })
+            .collect();
+        let reboots: Vec<(usize, f64, f64)> = plan
+            .failures
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| match *f {
+                Failure::GatewayReboot {
+                    site,
+                    start_s,
+                    end_s,
+                } if site == parent => Some((i, start_s, end_s)),
+                _ => None,
+            })
+            .collect();
+
         // Gateway CPU capacity scales with its device count (perfect
         // balancing, mirroring the partitioner's count-balanced rows).
         let relay_capacity = topo.counts[parent] as f64 * cfg.duration_s;
         for (r, h) in crossing {
             let flow = std::mem::take(&mut traffic[r]);
+            let flow_times = std::mem::take(&mut times[r]);
             let mut next: Vec<(usize, EdgeId, Value)> = Vec::new();
-            for (node, eid, v) in &flow {
+            let mut next_times: Vec<f64> = Vec::new();
+            for ((node, eid, v), &t) in flow.iter().zip(flow_times.iter()) {
                 report.leaves[r].hop_elements_sent[h] += 1;
                 if !ch.try_deliver(v.wire_size()) {
                     continue;
                 }
+                // A fading window on this uplink adds an independent
+                // loss on top of the channel's congestion model.
+                if let Some(&(pi, _, _, loss_prob)) =
+                    lossy.iter().find(|&&(_, ws, we, _)| t >= ws && t < we)
+                {
+                    if frng.gen::<f64>() < loss_prob {
+                        report.outages[pi].elements_dropped += 1;
+                        report.edge_outage_dropped[child] += 1;
+                        continue;
+                    }
+                    report.outages[pi].elements_delivered += 1;
+                }
                 report.leaves[r].hop_elements_delivered[h] += 1;
+                // A rebooting gateway loses everything that arrives
+                // inside its window.
+                if let Some(&(pi, _, _)) = reboots.iter().find(|&&(_, ws, we)| t >= ws && t < we) {
+                    report.outages[pi].elements_dropped += 1;
+                    report.site_outage_dropped[parent] += 1;
+                    report.leaves[r].hop_elements_dropped[h] += 1;
+                    continue;
+                }
                 if parent == 0 {
                     servers[r].deliver(graph, *node, *eid, v);
                 } else {
@@ -394,10 +699,17 @@ pub fn simulate_deployment_tree(
                     site_busy[parent] += cascade.cpu_seconds + tx_cpu;
                     for (fe, fv) in cascade.forwards {
                         next.push((*node, fe, fv));
+                        next_times.push(t);
+                    }
+                }
+                for &(pi, ws, we) in &reboots {
+                    if t < ws || t >= we {
+                        report.outages[pi].elements_delivered += 1;
                     }
                 }
             }
             traffic[r] = next;
+            times[r] = next_times;
         }
         report.edge_packet_delivery_ratio[child] = ch.packet_delivery_ratio();
     }
@@ -617,6 +929,153 @@ mod tests {
             "two classes must overrun the shared gateway CPU"
         );
         assert!(two.site_cpu_utilization[1] >= 0.99);
+    }
+
+    /// Chain server <- gateway <- motes with roomy links and a light
+    /// program, plus the route running source-only on the motes.
+    fn light_chain(
+        n_nodes: usize,
+        rate_hz: f64,
+    ) -> (Graph, TreeTopology, LeafRoute, SimulationConfig) {
+        let (g, src, squeeze) = pipeline(200);
+        let node: HashSet<_> = [src].into_iter().collect();
+        let relay: HashSet<_> = [squeeze].into_iter().collect();
+        let server: HashSet<_> = g
+            .operator_ids()
+            .filter(|id| !node.contains(id) && !relay.contains(id))
+            .collect();
+        let platforms = [
+            Platform::tmote_sky(),
+            Platform::gumstix(),
+            Platform::server(),
+        ];
+        let channels = [ChannelParams::wifi(1e6), ChannelParams::wifi(1e6)];
+        let topo = TreeTopology::chain(&platforms, &channels, n_nodes);
+        let route = LeafRoute {
+            path: vec![2, 1, 0],
+            site_ops: vec![node, relay, server],
+            feeds: feeds(src, rate_hz),
+        };
+        let cfg = SimulationConfig {
+            duration_s: 10.0,
+            ..SimulationConfig::motes(n_nodes, 17)
+        };
+        (g, topo, route, cfg)
+    }
+
+    #[test]
+    fn empty_failure_plan_is_byte_identical() {
+        let (g, topo, route, cfg) = light_chain(2, 10.0);
+        let bare = simulate_deployment_tree(&g, &topo, std::slice::from_ref(&route), &cfg);
+        let planned = simulate_deployment_tree_with_failures(
+            &g,
+            &topo,
+            &[route],
+            &cfg,
+            &FailurePlan {
+                failures: vec![],
+                seed: 999, // an unused failure seed must not matter
+            },
+        );
+        assert_eq!(bare, planned);
+        assert_eq!(bare.stats(), planned.stats());
+    }
+
+    #[test]
+    fn mote_death_silences_the_tail() {
+        let (g, topo, route, cfg) = light_chain(1, 10.0);
+        let plan = FailurePlan {
+            failures: vec![Failure::MoteDeath {
+                leaf: 2,
+                node: 0,
+                after_events: 10,
+            }],
+            seed: 0,
+        };
+        let r = simulate_deployment_tree_with_failures(&g, &topo, &[route], &cfg, &plan);
+        let leaf = &r.leaves[0];
+        assert_eq!(leaf.events_offered, 100);
+        assert_eq!(leaf.events_processed, 10, "the node dies after 10 events");
+        assert_eq!(r.site_outage_dropped[2], 90);
+        let o = &r.outages[0];
+        assert_eq!(
+            (o.site, o.elements_dropped, o.elements_delivered),
+            (2, 90, 10)
+        );
+        assert!(
+            (o.window.0 - 1.0).abs() < 1e-9,
+            "the 11th event arrives at t = 1.0 s, got {}",
+            o.window.0
+        );
+        assert!(leaf.goodput_ratio() < 0.15);
+        assert_eq!(r.stats().outage_dropped, 90);
+    }
+
+    #[test]
+    fn gateway_reboot_drops_only_the_window() {
+        let (g, topo, route, cfg) = light_chain(1, 10.0);
+        let baseline = simulate_deployment_tree(&g, &topo, std::slice::from_ref(&route), &cfg);
+        let plan = FailurePlan {
+            failures: vec![Failure::GatewayReboot {
+                site: 1,
+                start_s: 2.0,
+                end_s: 4.0,
+            }],
+            seed: 0,
+        };
+        let r = simulate_deployment_tree_with_failures(&g, &topo, &[route], &cfg, &plan);
+        // The channel's congestion losses on the leaf uplink are
+        // untouched (same seeds, same offered load); the reboot only
+        // thins what the gateway forwards to later hops.
+        assert_eq!(
+            r.leaves[0].hop_elements_delivered[0],
+            baseline.leaves[0].hop_elements_delivered[0]
+        );
+        // A ~2 s window of a 10 s run at a steady rate loses about a
+        // fifth of the gateway's traffic.
+        let o = &r.outages[0];
+        assert!(o.elements_dropped > 0, "the window must drop something");
+        assert!(o.elements_delivered > 2 * o.elements_dropped);
+        assert_eq!(r.site_outage_dropped[1], o.elements_dropped);
+        assert_eq!(r.site_elements_dropped[1], 0, "reboot drops are outages");
+        assert!(r.goodput_ratio() < baseline.goodput_ratio());
+        assert_eq!(
+            r.stats().saturation_dropped,
+            0,
+            "no saturation in a light run"
+        );
+    }
+
+    #[test]
+    fn fading_uplink_adds_losses_only_in_its_window() {
+        let (g, topo, route, cfg) = light_chain(1, 10.0);
+        let baseline = simulate_deployment_tree(&g, &topo, std::slice::from_ref(&route), &cfg);
+        let plan = FailurePlan {
+            failures: vec![Failure::LossyUplink {
+                site: 2,
+                start_s: 0.0,
+                end_s: 5.0,
+                loss_prob: 1.0,
+            }],
+            seed: 42,
+        };
+        let r = simulate_deployment_tree_with_failures(&g, &topo, &[route], &cfg, &plan);
+        let o = &r.outages[0];
+        assert!(o.elements_dropped > 0);
+        assert_eq!(o.elements_delivered, 0, "loss_prob 1.0 spares nothing");
+        assert_eq!(r.edge_outage_dropped[2], o.elements_dropped);
+        assert!(
+            r.leaves[0].hop_delivery_ratio(0) < 0.6 * baseline.leaves[0].hop_delivery_ratio(0),
+            "half the run fades to nothing"
+        );
+        let stats = r.stats();
+        assert_eq!(stats.outage_dropped, o.elements_dropped);
+        // The leaves keep producing through the fade: first-hop
+        // submissions match the failure-free run exactly.
+        assert_eq!(
+            r.leaves[0].hop_elements_sent[0],
+            baseline.leaves[0].hop_elements_sent[0]
+        );
     }
 
     #[test]

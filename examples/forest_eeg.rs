@@ -189,27 +189,24 @@ fn main() {
             rate_hz: t.rate_hz,
         })
         .collect();
-    let sim = simulate_deployment_tree(
-        &app.graph,
-        &topo,
-        &[
-            LeafRoute {
-                path: vec![3, 1, 0],
-                site_ops: roomy.partition.leaf(cap_a).unwrap().site_ops.clone(),
-                feeds: feeds.clone(),
-            },
-            LeafRoute {
-                path: vec![4, 2, 0],
-                site_ops: roomy.partition.leaf(cap_b).unwrap().site_ops.clone(),
-                feeds,
-            },
-        ],
-        &SimulationConfig {
-            duration_s: 20.0,
-            rate_multiplier: sim_rate,
-            ..SimulationConfig::motes(1, 7)
+    let routes = [
+        LeafRoute {
+            path: vec![3, 1, 0],
+            site_ops: roomy.partition.leaf(cap_a).unwrap().site_ops.clone(),
+            feeds: feeds.clone(),
         },
-    );
+        LeafRoute {
+            path: vec![4, 2, 0],
+            site_ops: roomy.partition.leaf(cap_b).unwrap().site_ops.clone(),
+            feeds,
+        },
+    ];
+    let sim_cfg = SimulationConfig {
+        duration_s: 20.0,
+        rate_multiplier: sim_rate,
+        ..SimulationConfig::motes(1, 7)
+    };
+    let sim = simulate_deployment_tree(&app.graph, &topo, &routes, &sim_cfg);
     println!("\ndriving both subtrees at x{sim_rate:.3} over the real channels:");
     println!(
         "{:>8} {:>10} {:>12} {:>12} {:>10}",
@@ -226,19 +223,69 @@ fn main() {
             sim.site_cpu_utilization[i + 1] * 100.0
         );
     }
+    println!("sim: {}", report_sim_stats(&sim.stats()));
     let (a, b) = (&sim.leaves[0], &sim.leaves[1]);
-    assert!(
-        a.goodput_ratio() < 0.5 * b.goodput_ratio() && b.goodput_ratio() > 0.6,
-        "goodput must collapse only on the saturated gateway's subtree \
-         (a {:.2} vs b {:.2})",
-        a.goodput_ratio(),
-        b.goodput_ratio()
-    );
+    // A hard gate, not an assert: CI smoke runs this example and must
+    // fail on a regression even under panic handlers or `panic=abort`
+    // quirks — exit non-zero explicitly.
+    if !(a.goodput_ratio() < 0.5 * b.goodput_ratio() && b.goodput_ratio() > 0.6) {
+        eprintln!(
+            "FAIL: goodput must collapse only on the saturated gateway's subtree \
+             (a {:.2} vs b {:.2})",
+            a.goodput_ratio(),
+            b.goodput_ratio()
+        );
+        std::process::exit(1);
+    }
     println!(
         "\ngw-a saturates (its uplink sheds {:.0}% of subtree A's stream) while \
          gw-b has headroom — per-gateway budgets, not one shared pool",
         (1.0 - a.hop_delivery_ratio(1)) * 100.0
     );
+
+    // Replay the identical run under a seeded failure plan: ward B's
+    // gateway reboots mid-experiment and its ward link fades for the
+    // first half. Outages are accounted per failure window.
+    let plan = FailurePlan {
+        failures: vec![
+            Failure::GatewayReboot {
+                site: 2,
+                start_s: 8.0,
+                end_s: 12.0,
+            },
+            Failure::LossyUplink {
+                site: 4,
+                start_s: 0.0,
+                end_s: 10.0,
+                loss_prob: 0.25,
+            },
+        ],
+        seed: 1,
+    };
+    let failed =
+        simulate_deployment_tree_with_failures(&app.graph, &topo, &routes, &sim_cfg, &plan);
+    println!("\nsame run under failures (gw-b reboot 8-12s, ward-b fade 0-10s @25%):");
+    for (f, o) in plan.failures.iter().zip(&failed.outages) {
+        println!(
+            "  {f:?}: {} elements dropped, {} delivered outside/through the window [{:.1}s, {:.1}s)",
+            o.elements_dropped, o.elements_delivered, o.window.0, o.window.1
+        );
+    }
+    println!("sim: {}", report_sim_stats(&failed.stats()));
+    let fb = &failed.leaves[1];
+    println!(
+        "ward-b goodput under failures: {:.1}% (was {:.1}%)",
+        fb.goodput_ratio() * 100.0,
+        b.goodput_ratio() * 100.0
+    );
+    if fb.goodput_ratio() >= b.goodput_ratio() {
+        eprintln!(
+            "FAIL: failure windows must cost ward B goodput ({:.3} vs {:.3})",
+            fb.goodput_ratio(),
+            b.goodput_ratio()
+        );
+        std::process::exit(1);
+    }
 
     // The deployment visualization: one cluster per site; cap-a's and
     // cap-b's pipelines meet only in the server cluster.

@@ -58,7 +58,7 @@ pub use wishbone_runtime as runtime;
 
 /// The names most programs need, re-exported flat.
 pub mod prelude {
-    pub use crate::report_stats;
+    pub use crate::{report_sim_stats, report_stats};
     pub use wishbone_apps::{
         build_eeg_app, build_eeg_channel, build_speech_app, heuristic_svm, EegApp, EegParams,
         LinearSvm, SpeechApp, SpeechParams,
@@ -68,11 +68,11 @@ pub mod prelude {
         all_node, all_server, build_partition_graph, evaluate, greedy, max_sustainable_rate,
         max_sustainable_rate_deployment, max_sustainable_rate_multitier, partition,
         partition_deployment, partition_multitier, pin_analysis, pipeline_cutpoints, preprocess,
-        Deployment, DeploymentConfig, DeploymentPartition, DeploymentRateResult, Encoding,
-        LeafPartition, LinkSpec, Mode, MultiTierConfig, MultiTierPartition, MultiTierRateResult,
-        ObjectiveConfig, Partition, PartitionConfig, PartitionError, PartitionGraph, Pin,
-        PreparedDeployment, PreparedMultiTier, PreparedPartition, RateSearchResult, Site, SiteId,
-        TierSpec,
+        Deployment, DeploymentConfig, DeploymentDelta, DeploymentPartition, DeploymentRateResult,
+        Encoding, LeafPartition, LinkSpec, Mode, MultiTierConfig, MultiTierPartition,
+        MultiTierRateResult, ObjectiveConfig, Partition, PartitionConfig, PartitionError,
+        PartitionGraph, Pin, PreparedDeployment, PreparedMultiTier, PreparedPartition,
+        RateSearchResult, RobustnessMode, Site, SiteId, TierSpec,
     };
     pub use wishbone_dataflow::{
         Graph, GraphBuilder, Namespace, OperatorId, OperatorKind, OperatorSpec, Value, WorkFn,
@@ -82,7 +82,8 @@ pub mod prelude {
     pub use wishbone_profile::{profile, GraphProfile, Platform, SourceTrace};
     pub use wishbone_runtime::{
         simulate_deployment, simulate_deployment_multi, simulate_deployment_tree,
-        simulate_tiered_deployment, DeploymentReport, LeafFlowReport, LeafRoute, RelayExecutor,
+        simulate_deployment_tree_with_failures, simulate_tiered_deployment, DeploymentReport,
+        Failure, FailurePlan, LeafFlowReport, LeafRoute, OutageReport, RelayExecutor, SimStats,
         SimulationConfig, SourceFeed, TaskModel, TieredDeploymentReport, TreeDeploymentReport,
         TreeTopology,
     };
@@ -96,5 +97,22 @@ pub fn report_stats(stats: &ilp::IlpStats) -> String {
     format!(
         "{:?} backend, {} B&B nodes ({} warm / {} cold LPs)",
         stats.backend, stats.nodes, stats.warm_starts, stats.cold_starts
+    )
+}
+
+/// One consistent simulation-statistics line for the examples: what the
+/// tree simulator offered, processed, and delivered, and where the rest
+/// went (channel contention, relay saturation, failure outages).
+pub fn report_sim_stats(stats: &runtime::SimStats) -> String {
+    format!(
+        "{} events offered / {} processed; {} elements sent, {} lost on-air, \
+         {} saturation-dropped, {} outage-dropped, {} reached the sink",
+        stats.events_offered,
+        stats.events_processed,
+        stats.elements_sent,
+        stats.channel_lost,
+        stats.saturation_dropped,
+        stats.outage_dropped,
+        stats.sink_arrivals
     )
 }

@@ -15,10 +15,11 @@
 
 use proptest::prelude::*;
 
+use wishbone::audit::audit_model;
 use wishbone::core::{
-    audit_binary, audit_deployment, audit_multitier, encode, encode_deployment, encode_multitier,
-    DeploymentObjective, EncodedDeployment, EncodedMultiTier, Encoding, LeafChain, ObjectiveConfig,
-    PEdge, PVertex, PartitionGraph, Pin, TierObjective, TieredGraph,
+    audit_binary, audit_deployment, audit_multitier, deployment_spec, encode, encode_deployment,
+    encode_multitier, DeploymentObjective, EncodedDeployment, EncodedMultiTier, Encoding,
+    LeafChain, ObjectiveConfig, PEdge, PVertex, PartitionGraph, Pin, TierObjective, TieredGraph,
 };
 use wishbone::dataflow::OperatorId;
 use wishbone::prelude::AuditCode;
@@ -320,5 +321,59 @@ fn flipped_cpu_budget_sense_is_flagged() {
     assert!(
         report.errors().any(|d| d.code == AuditCode::BadBudgetRow),
         "expected a BadBudgetRow error, got:\n{report}"
+    );
+}
+
+/// Corruption (e): silently re-pricing a single-failure-robust forest
+/// at full device count. The robust objective prices the shared
+/// 3-device gateway's CPU and uplink rows as if one device were
+/// already gone (`count − 1`, uplink budget scaled by `2/3`). Pin
+/// those rows, rescale the encoding in place with the nominal
+/// full-count objective — a well-formed model in its own right — and
+/// the auditor must still flag every re-priced budget row as drifted
+/// from the encoder's declared intent.
+#[test]
+fn robust_rows_repriced_at_full_count_drift_from_the_pinned_spec() {
+    let tg = lift_k3(&chain_pg());
+    let chains = [
+        LeafChain {
+            graph: &tg,
+            path: vec![2, 1, 0],
+            count: 4.0,
+        },
+        LeafChain {
+            graph: &tg,
+            path: vec![3, 1, 0],
+            count: 2.0,
+        },
+    ];
+    let nominal = DeploymentObjective {
+        alpha: vec![0.0; 4],
+        cpu_budget: vec![f64::INFINITY, 0.3, 0.5, 0.6],
+        count: vec![1.0, 3.0, 4.0, 2.0],
+        beta: vec![0.0, 1.0, 1.0, 1.0],
+        net_budget: vec![f64::INFINITY, 800.0, 300.0, 300.0],
+        row_order: vec![2, 3, 1, 0],
+    };
+    let mut robust = nominal.clone();
+    robust.count[1] = 2.0;
+    robust.net_budget[1] *= 2.0 / 3.0;
+
+    let mut ep = encode_deployment(&chains, &robust);
+    let pinned = deployment_spec(&ep);
+    assert!(
+        !audit_model(&ep.problem, &pinned).has_errors(),
+        "pristine robust forest must audit clean against its own pins"
+    );
+
+    ep.rescale_in_place(&chains, &nominal);
+    assert!(
+        !audit_deployment(&ep).has_errors(),
+        "nominal pricing is well-formed, so a fresh spec must accept it"
+    );
+    let report = audit_model(&ep.problem, &pinned);
+    assert!(
+        report.errors().any(|d| d.code == AuditCode::PinnedRowDrift),
+        "expected PinnedRowDrift against the robust pins, got:\n{report}"
     );
 }

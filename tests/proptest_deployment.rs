@@ -19,9 +19,9 @@ use std::collections::HashSet;
 
 use wishbone::core::{
     encode, encode_deployment, encode_multitier, partition_deployment, partition_mixed, Deployment,
-    DeploymentConfig, DeploymentObjective, Encoding, LeafChain, LinkSpec, NodeClass,
-    ObjectiveConfig, PEdge, PVertex, PartitionConfig, PartitionGraph, Pin, Site, SiteId,
-    TierObjective, TieredGraph,
+    DeploymentConfig, DeploymentDelta, DeploymentObjective, Encoding, LeafChain, LinkSpec,
+    NodeClass, ObjectiveConfig, PEdge, PVertex, PartitionConfig, PartitionGraph, Pin,
+    PreparedDeployment, Site, SiteId, TierObjective, TieredGraph,
 };
 use wishbone::dataflow::OperatorId;
 use wishbone::ilp::{IlpOptions, Problem, SolverBackend, VarId};
@@ -475,4 +475,110 @@ fn star_server_side_union_matches_mixed() {
     let part = partition_deployment(&g, &prof, &dep, &DeploymentConfig::default()).unwrap();
     let server_union: HashSet<OperatorId> = part.ops_at(SiteId(0));
     assert_eq!(server_union, mixed.server_side_union(&g));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// PR-7 churn parity: a batch of [`DeploymentDelta`]s applied to a
+    /// prepared instance (re-provision one leaf class, re-budget its
+    /// gateway, and take the sibling leaf out of service and back)
+    /// must solve exactly like a cold rebuild of the delta'd
+    /// deployment — same feasibility verdict, same objective and
+    /// placements — on both simplex backends, without re-encoding.
+    #[test]
+    fn apply_delta_parity_with_cold_rebuild(
+        stages in 2usize..5,
+        costs in prop::collection::vec(100u64..4000, 4),
+        keeps in prop::collection::vec(1usize..5, 4),
+        gw_budgets in ((0.01f64..0.5), (0.01f64..0.5), (0.5f64..1.5)),
+        uplink_rate in ((50.0f64..5000.0), (0.05f64..0.5)),
+        counts in (1usize..4, 1usize..6),
+    ) {
+        let (gw_budget_a, gw_budget_b, budget_scale) = gw_budgets;
+        let (count_a, new_count_a) = counts;
+        let (uplink_a, rate) = uplink_rate;
+        let (mut g, src) = random_app(stages, &costs, &keeps);
+        let trace = SourceTrace {
+            source: src,
+            elements: (0..10).map(|i| Value::VecI16(vec![i as i16; 128])).collect(),
+            rate_hz: 20.0,
+        };
+        let prof = match profile(&mut g, &[trace]) {
+            Ok(p) => p,
+            Err(_) => return Ok(()),
+        };
+        let mote = Platform::tmote_sky();
+        let phone = Platform::iphone();
+        // Sites: 0 = server, 1 = gw-a, 2 = gw-b, 3 = motes-a, 4 = motes-b.
+        let mk_dep = |count_a: usize, budget_a: f64| {
+            let mut dep = Deployment::new(Site::server("server", &Platform::server()));
+            let root = dep.root();
+            let gw_a = dep.attach(
+                root,
+                Site::new("gw-a", &phone).with_cpu_budget(budget_a),
+                LinkSpec { beta: 1.0, net_budget: uplink_a },
+            );
+            let gw_b = dep.attach(
+                root,
+                Site::new("gw-b", &phone).with_cpu_budget(gw_budget_b),
+                LinkSpec { beta: 1.0, net_budget: 1e9 },
+            );
+            dep.attach(
+                gw_a,
+                Site::new("motes-a", &mote).with_count(count_a),
+                LinkSpec { beta: 1.0, net_budget: 1e9 },
+            );
+            dep.attach(
+                gw_b,
+                Site::new("motes-b", &mote),
+                LinkSpec { beta: 1.0, net_budget: 1e9 },
+            );
+            dep
+        };
+        let new_budget_a = gw_budget_a * budget_scale;
+
+        for backend in [SolverBackend::Dense, SolverBackend::Sparse] {
+            let mut cfg = DeploymentConfig::default();
+            cfg.ilp.backend = backend;
+            let dep = mk_dep(count_a, gw_budget_a);
+            let mut warm = match PreparedDeployment::new(&g, &prof, &dep, &cfg) {
+                Ok(p) => p,
+                Err(_) => return Ok(()),
+            };
+            // Two delta batches (two in-place rescales): an outage for
+            // motes-b, then its revival riding along with the churn.
+            warm.apply_delta(&[DeploymentDelta::RemoveLeaf { leaf: SiteId(4) }]);
+            warm.apply_delta(&[
+                DeploymentDelta::SetLeafCount { leaf: SiteId(3), count: new_count_a },
+                DeploymentDelta::SetCpuBudget { site: SiteId(1), cpu_budget: new_budget_a },
+                DeploymentDelta::SetLeafCount { leaf: SiteId(4), count: 1 },
+            ]);
+            prop_assert_eq!(warm.encodes(), 1, "deltas must not re-encode");
+
+            let cold_dep = mk_dep(new_count_a, new_budget_a);
+            let mut cold = PreparedDeployment::new(&g, &prof, &cold_dep, &cfg)
+                .expect("same graph prepared once already");
+            match (warm.solve_at(rate), cold.solve_at(rate)) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert!(
+                        (a.objective - b.objective).abs() < 1e-6 * (1.0 + b.objective.abs()),
+                        "{:?}: warm {} vs cold {}", backend, a.objective, b.objective
+                    );
+                    for (la, lb) in a.leaves.iter().zip(b.leaves.iter()) {
+                        prop_assert_eq!(
+                            &la.site_ops, &lb.site_ops,
+                            "{:?}: placements diverged after deltas", backend
+                        );
+                    }
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => prop_assert!(
+                    false,
+                    "{:?}: feasibility flipped: warm {:?} vs cold {:?}",
+                    backend, a.is_ok(), b.is_ok()
+                ),
+            }
+        }
+    }
 }
