@@ -140,6 +140,128 @@ pub fn audit_model(problem: &Problem, spec: &ModelSpec) -> AuditReport {
     report
 }
 
+/// Relative feasibility tolerance for [`audit_assignment`], matching
+/// the solver's own integer-feasibility check.
+pub const ASSIGNMENT_TOL: f64 = 1e-6;
+
+/// Assignment-level feasibility audit: verify that a *proposed
+/// placement* (a full variable assignment, e.g. the y-vector an
+/// approximate partitioner emits) really is integer-feasible for the
+/// encoded problem, and structurally sane for the spec's indicator
+/// blocks.
+///
+/// Where [`audit_model`] checks the *model* an encoder built,
+/// `audit_assignment` checks a *point* a heuristic claims lies inside
+/// it — the static half of the "feasible by construction" contract:
+///
+/// * every indicator column holds a (near-)integral 0/1 value
+///   ([`AuditCode::FractionalIndicator`] otherwise);
+/// * every block's per-vertex staircase is monotone, `y^{b+1} ≥ y^b`,
+///   so the assignment decodes to a well-defined tier per vertex
+///   ([`AuditCode::NonMonotoneAssignment`]);
+/// * every variable bound and every constraint row of the problem holds
+///   within [`ASSIGNMENT_TOL`] ([`AuditCode::AssignmentInfeasible`],
+///   reported per offending row with the concrete activity and rhs).
+///
+/// All findings are `Error`-severity: a producer that claims
+/// feasibility by construction has a bug if any of them fire.
+pub fn audit_assignment(problem: &Problem, spec: &ModelSpec, values: &[f64]) -> AuditReport {
+    let mut report = AuditReport::default();
+    if values.len() != problem.num_vars() {
+        report.push(
+            AuditCode::AssignmentInfeasible,
+            Severity::Error,
+            None,
+            None,
+            format!(
+                "assignment has {} values for {} variables",
+                values.len(),
+                problem.num_vars()
+            ),
+        );
+        return report;
+    }
+
+    // Indicator integrality and per-block staircases.
+    for (bi, block) in spec.blocks.iter().enumerate() {
+        for (b, row) in block.columns.iter().enumerate() {
+            for (v, &col) in row.iter().enumerate() {
+                let Some(&x) = values.get(col) else { continue };
+                // A rounded value outside {0, 1} is caught by the bound
+                // check below; fractional is caught here.
+                if (x - x.round()).abs() > ASSIGNMENT_TOL {
+                    report.push(
+                        AuditCode::FractionalIndicator,
+                        Severity::Error,
+                        None,
+                        Some(col),
+                        format!("block {bi} boundary {b} vertex {v}: indicator value {x}"),
+                    );
+                }
+            }
+        }
+        for b in 0..block.columns.len().saturating_sub(1) {
+            let (lo, hi) = (&block.columns[b], &block.columns[b + 1]);
+            for (v, (&cl, &ch)) in lo.iter().zip(hi.iter()).enumerate() {
+                let (Some(&xl), Some(&xh)) = (values.get(cl), values.get(ch)) else {
+                    continue;
+                };
+                if xh < xl - ASSIGNMENT_TOL {
+                    report.push(
+                        AuditCode::NonMonotoneAssignment,
+                        Severity::Error,
+                        None,
+                        Some(ch),
+                        format!("block {bi} vertex {v}: y^{} = {xh} < y^{b} = {xl}", b + 1),
+                    );
+                }
+            }
+        }
+    }
+
+    // Variable bounds.
+    let lower = problem.lower_bounds();
+    let upper = problem.upper_bounds();
+    for (j, &x) in values.iter().enumerate() {
+        if x < lower[j] - ASSIGNMENT_TOL || x > upper[j] + ASSIGNMENT_TOL {
+            report.push(
+                AuditCode::AssignmentInfeasible,
+                Severity::Error,
+                None,
+                Some(j),
+                format!("value {x} outside bounds [{}, {}]", lower[j], upper[j]),
+            );
+        }
+    }
+
+    // Every constraint row, with the concrete activity in the message.
+    for row in 0..problem.num_constraints() {
+        let c = problem.constraint(row);
+        let activity: f64 = c.terms.iter().map(|&(v, a)| a * values[v.0]).sum();
+        let tol = ASSIGNMENT_TOL * (1.0 + c.rhs.abs());
+        let violated = match c.sense {
+            Sense::Le => activity > c.rhs + tol,
+            Sense::Ge => activity < c.rhs - tol,
+            Sense::Eq => (activity - c.rhs).abs() > tol,
+        };
+        if violated {
+            report.push(
+                AuditCode::AssignmentInfeasible,
+                Severity::Error,
+                Some(row),
+                None,
+                format!(
+                    "row activity {activity} violates {:?} {} by {:e}",
+                    c.sense,
+                    c.rhs,
+                    (activity - c.rhs).abs()
+                ),
+            );
+        }
+    }
+    report
+}
+
 /// Hold every pinned budget row to its registered snapshot, bit for
 /// bit. Term order is canonicalized by column; coefficient and rhs
 /// values are compared via their bit patterns, so even a
@@ -1100,5 +1222,75 @@ mod tests {
             text.contains("error") && text.contains("EmptyRow"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn feasible_assignment_audits_clean() {
+        let (p, spec) = good_model();
+        // Tiers t = [0, 1, 2]: y^0 = [1,0,0], y^1 = [1,1,0] — monotone,
+        // precedence-legal, cpu 0.3 ≤ 0.9, net 10 ≤ 25.
+        let values = [1.0, 0.0, 0.0, 1.0, 1.0, 0.0];
+        let report = audit_assignment(&p, &spec, &values);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn fractional_indicator_is_flagged() {
+        let (p, spec) = good_model();
+        let values = [1.0, 0.0, 0.0, 1.0, 0.5, 0.0];
+        let report = audit_assignment(&p, &spec, &values);
+        assert!(report.has_code(AuditCode::FractionalIndicator), "{report}");
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn broken_staircase_is_flagged() {
+        let (p, spec) = good_model();
+        // Vertex 0 claims tier ≤ 0 but not tier ≤ 1: y^1 < y^0.
+        let values = [1.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let report = audit_assignment(&p, &spec, &values);
+        assert!(
+            report.has_code(AuditCode::NonMonotoneAssignment),
+            "{report}"
+        );
+        // The monotonicity *row* is violated too.
+        assert!(report.has_code(AuditCode::AssignmentInfeasible), "{report}");
+    }
+
+    #[test]
+    fn violated_budget_row_is_flagged() {
+        let (p, spec) = good_model();
+        // Integral and monotone, but breaks the chain precedence rows
+        // (vertex 1 placed below vertex 0).
+        let values = [0.0, 1.0, 0.0, 1.0, 1.0, 0.0];
+        let report = audit_assignment(&p, &spec, &values);
+        assert!(report.has_code(AuditCode::AssignmentInfeasible), "{report}");
+        assert!(
+            report
+                .errors()
+                .any(|d| d.code == AuditCode::AssignmentInfeasible && d.row.is_some()),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_value_is_flagged() {
+        let (p, spec) = good_model();
+        let values = [2.0, 0.0, 0.0, 1.0, 1.0, 0.0];
+        let report = audit_assignment(&p, &spec, &values);
+        assert!(
+            report
+                .errors()
+                .any(|d| d.code == AuditCode::AssignmentInfeasible && d.column == Some(0)),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn wrong_length_assignment_is_flagged() {
+        let (p, spec) = good_model();
+        let report = audit_assignment(&p, &spec, &[1.0, 0.0]);
+        assert!(report.has_code(AuditCode::AssignmentInfeasible), "{report}");
+        assert_eq!(report.diagnostics.len(), 1);
     }
 }

@@ -86,6 +86,16 @@ pub enum AuditCode {
     /// re-priced the row against the encoder's declared intent (e.g. a
     /// robust `count − 1` row silently re-priced at full count).
     PinnedRowDrift,
+    /// A proposed assignment's indicator column is not (near-)integral
+    /// 0/1 — the placement it claims to encode does not exist.
+    FractionalIndicator,
+    /// A proposed assignment breaks a block's `y^{b+1} ≥ y^b` staircase:
+    /// the per-vertex tier it implies is not well-defined.
+    NonMonotoneAssignment,
+    /// A proposed assignment violates a variable bound or constraint row
+    /// of the problem — it is not the integer-feasible placement its
+    /// producer (e.g. `partition_approx`) claims by construction.
+    AssignmentInfeasible,
 }
 
 impl fmt::Display for AuditCode {

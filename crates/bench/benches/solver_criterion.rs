@@ -310,6 +310,53 @@ fn deployment_scaling(c: &mut Criterion) {
     );
 }
 
+/// Rate just under the tight forest's feasibility cliff (calibrated in
+/// `tests/approx_nearcliff.rs`): the instance where exact search used
+/// to starve for an incumbent and now adopts the multilevel cut.
+const NEAR_CLIFF_RATE: f64 = 3.15;
+
+/// Anytime approximate partitioning vs exact branch-and-bound on the
+/// same prepared forest deployments, up to the 22-channel kilooperator
+/// forest. Both arms are prepared once and re-solved per iteration (the
+/// exact arm warm-starts from its own previous solve, the approx arm
+/// re-runs coarsen + cut + refine + the root-LP certificate each time).
+fn approx_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approx_scaling");
+    group.sample_size(10);
+    for (label, channels, count) in [
+        ("forest_eeg2_2x4", 2usize, 4usize),
+        ("forest_eeg4_2x4", 4, 4),
+        ("forest_eeg22_2x4", 22, 4),
+    ] {
+        let (graph, prof, dep) = eeg_forest(channels, count, 500.0, 400_000.0);
+        let mut exact = PreparedDeployment::new(&graph, &prof, &dep, &DeploymentConfig::default())
+            .expect("pins ok");
+        let mut approx =
+            PreparedDeployment::new(&graph, &prof, &dep, &DeploymentConfig::default().approx())
+                .expect("pins ok");
+        group.bench_function(BenchmarkId::new(label, "exact"), |b| {
+            b.iter(|| exact.solve_at(1.0).expect("feasible").objective)
+        });
+        group.bench_function(BenchmarkId::new(label, "approx"), |b| {
+            b.iter(|| approx.solve_at(1.0).expect("feasible").objective)
+        });
+        // Certificate honesty, outside the timing loops: the heuristic
+        // placement's true distance from the exact optimum is within
+        // its own certified gap.
+        let e = exact.solve_at(1.0).expect("feasible").objective;
+        let a = approx.solve_at(1.0).expect("feasible");
+        let gap = a
+            .certified_gap
+            .expect("approx placements carry a certificate");
+        assert!(
+            (a.objective - e) / a.objective.abs().max(f64::EPSILON) <= gap + 1e-9,
+            "{label}: approx {} vs exact {e} exceeds certificate {gap}",
+            a.objective
+        );
+    }
+    group.finish();
+}
+
 fn ablation_preprocess(c: &mut Criterion) {
     let pg = eeg_partition_graph(2);
     let mut group = c.benchmark_group("ablation_preprocess");
@@ -580,6 +627,7 @@ criterion_group!(
     ablation_warm_start,
     rate_search,
     churn_scaling,
+    approx_scaling,
 );
 
 /// One `BENCH_solver.json` record.
@@ -783,6 +831,43 @@ fn emit_json(reps: usize) {
             nodes: 0,
             warm_starts: 0,
         });
+
+        // Near-cliff incumbent starvation: the seeded exact solve and the
+        // standalone multilevel heuristic on the tight asymmetric forest
+        // at x3.15 (just under its x3.1614 cliff) — the PR 8 instance.
+        let (graph, prof, dep) = eeg_forest(4, 4, 500.0, 400_000.0);
+        let mut dcfg = DeploymentConfig::default();
+        dcfg.ilp.rel_gap = 0.025;
+        let mut prep = PreparedDeployment::new(&graph, &prof, &dep, &dcfg).expect("pins ok");
+        let (median_ns, nodes, warm_starts) = measure(reps, || {
+            let part = prep.solve_at(NEAR_CLIFF_RATE).expect("near-cliff feasible");
+            assert!(
+                part.ilp_stats.seeded,
+                "exact arm adopts the multilevel seed"
+            );
+            (part.ilp_stats.nodes, part.ilp_stats.warm_starts)
+        });
+        records.push(JsonRecord {
+            bench: "nearcliff_forest_eeg4_seeded_exact".into(),
+            median_ns,
+            nodes,
+            warm_starts,
+        });
+        let mut prep =
+            PreparedDeployment::new(&graph, &prof, &dep, &DeploymentConfig::default().approx())
+                .expect("pins ok");
+        let (median_ns, _, _) = measure(reps, || {
+            let part = prep.solve_at(NEAR_CLIFF_RATE).expect("near-cliff feasible");
+            let gap = part.certified_gap.expect("approx carries a certificate");
+            assert!(gap <= 0.025, "near-cliff certificate blew up: {gap}");
+            (0, 0)
+        });
+        records.push(JsonRecord {
+            bench: "nearcliff_forest_eeg4_approx".into(),
+            median_ns,
+            nodes: 0,
+            warm_starts: 0,
+        });
     }
 
     let (graph, prof) = eeg_app(2);
@@ -950,10 +1035,43 @@ fn smoke(backend: SolverBackend) {
         ),
     };
 
+    // One near-cliff instance per smoke: on the tight asymmetric forest
+    // just under its feasibility cliff, the exact solve must adopt the
+    // multilevel seed and the standalone approximate mode must hold its
+    // certified gap — on this backend.
+    let (graph4, prof4, dep4) = eeg_forest(4, 4, 500.0, 400_000.0);
+    let mut ncfg = DeploymentConfig::default();
+    ncfg.ilp.backend = backend;
+    ncfg.ilp.rel_gap = 0.025;
+    let mut prep = PreparedDeployment::new(&graph4, &prof4, &dep4, &ncfg).expect("pins ok");
+    let seeded = prep.solve_at(NEAR_CLIFF_RATE).expect("near-cliff feasible");
+    assert!(
+        seeded.ilp_stats.seeded,
+        "[{label}] near-cliff exact solve must adopt the multilevel seed"
+    );
+    let mut acfg = DeploymentConfig::default().approx();
+    acfg.ilp.backend = backend;
+    let mut prep = PreparedDeployment::new(&graph4, &prof4, &dep4, &acfg).expect("pins ok");
+    let approx = prep.solve_at(NEAR_CLIFF_RATE).expect("near-cliff feasible");
+    let cliff_gap = approx
+        .certified_gap
+        .expect("approx placements carry a certificate");
+    assert!(
+        cliff_gap <= 0.025,
+        "[{label}] near-cliff certified gap blew up: {cliff_gap}"
+    );
+    assert!(
+        approx.objective >= seeded.objective - 1e-9 * (1.0 + seeded.objective.abs()),
+        "[{label}] heuristic beat the exact optimum: {} vs {}",
+        approx.objective,
+        seeded.objective
+    );
+
     println!(
         "smoke[{label}] OK: {} nodes ({} warm) on 1ch EEG; chain_972 obj {:.1} \
          in {} nodes; multitier k3 obj {:.1}; forest obj {:.1}; rate search found \
-         x{:.3} in {} probes / {} encode; churn delta obj {:.3}",
+         x{:.3} in {} probes / {} encode; churn delta obj {:.3}; near-cliff \
+         seeded obj {:.3}, approx gap {:.4}",
         warm_stats.nodes,
         warm_stats.warm_starts,
         mine.objective,
@@ -963,7 +1081,9 @@ fn smoke(backend: SolverBackend) {
         r.rate,
         r.evaluations,
         r.encodes,
-        churn_obj
+        churn_obj,
+        seeded.objective,
+        cliff_gap
     );
 }
 

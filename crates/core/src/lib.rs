@@ -41,6 +41,7 @@ pub mod baselines;
 pub mod cost_graph;
 pub mod encodings;
 pub mod mixed;
+pub mod multilevel;
 pub mod multitier;
 pub mod partitioner;
 pub mod preprocess;
@@ -62,6 +63,7 @@ pub use encodings::{
     EncodedMultiTier, EncodedProblem, Encoding, LeafChain, ObjectiveConfig, TierObjective,
 };
 pub use mixed::{partition_mixed, ClassPartition, MixedPartition, NodeClass};
+pub use multilevel::{approx_cut, partition_approx, ApproxCut};
 pub use multitier::{
     build_tiered_graph, max_sustainable_rate_multitier, partition_multitier, preprocess_tiered,
     LinkSpec, MultiTierConfig, MultiTierPartition, MultiTierRateResult, PreparedMultiTier, TEdge,
@@ -69,9 +71,9 @@ pub use multitier::{
 };
 pub use partitioner::{partition, Partition, PartitionConfig, PartitionError, PreparedPartition};
 pub use preprocess::{preprocess, PreprocessResult};
-pub use rate_search::{max_sustainable_rate, RateSearchResult};
+pub use rate_search::{max_sustainable_rate, RateSearchResult, UnprovenRate};
 pub use topology::{
     max_sustainable_rate_deployment, partition_deployment, Deployment, DeploymentConfig,
-    DeploymentDelta, DeploymentPartition, DeploymentRateResult, LeafPartition, PreparedDeployment,
-    RobustnessMode, Site, SiteId,
+    DeploymentDelta, DeploymentPartition, DeploymentRateResult, LeafPartition, PlacementEngine,
+    PreparedDeployment, RobustnessMode, Site, SiteId,
 };

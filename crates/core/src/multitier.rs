@@ -581,6 +581,7 @@ impl<'a> PreparedMultiTier<'a> {
             rate_multiplier: 1.0,
             robustness: crate::topology::RobustnessMode::Nominal,
             ilp: cfg.ilp.clone(),
+            ..Default::default()
         };
         Ok(PreparedMultiTier {
             inner: crate::topology::PreparedDeployment::new(graph, profile, &dep, &dcfg)?,
@@ -649,6 +650,11 @@ pub struct MultiTierRateResult {
     pub encodes: u32,
     /// The simplex backend every probe ran on (resolved, never `Auto`).
     pub backend: SolverBackend,
+    /// The lowest probed rate whose solve timed out without proving
+    /// anything — when `Some`, [`MultiTierRateResult::rate`] is only a
+    /// proven lower bound on the sustainable rate (see
+    /// [`crate::rate_search::UnprovenRate`]).
+    pub unproven: Option<crate::rate_search::UnprovenRate>,
 }
 
 /// Binary-search the maximum sustainable rate multiplier of a k-tier
@@ -664,25 +670,39 @@ pub fn max_sustainable_rate_multitier(
     hi_limit: f64,
     tol: f64,
 ) -> Result<Option<MultiTierRateResult>, PartitionError> {
+    use crate::rate_search::{ProbeOutcome, SearchOutcome};
     let mut prep = PreparedMultiTier::new(graph, profile, cfg)?;
-    let found = crate::rate_search::search_max_rate(
+    let outcome = crate::rate_search::search_max_rate(
         |rate| match prep.solve_at(rate) {
-            Ok(p) => Ok(Some(p)),
-            Err(PartitionError::Infeasible) => Ok(None),
+            Ok(p) => Ok(ProbeOutcome::Feasible(p)),
+            Err(PartitionError::Infeasible) => Ok(ProbeOutcome::Infeasible),
+            Err(PartitionError::Unproven { best_bound }) => {
+                Ok(ProbeOutcome::Unproven { best_bound })
+            }
             Err(e) => Err(e),
         },
         hi_limit,
         tol,
     )?;
-    Ok(
-        found.map(|(rate, partition, evaluations)| MultiTierRateResult {
+    match outcome {
+        SearchOutcome::Found {
             rate,
-            partition,
+            best,
+            evaluations,
+            unproven,
+        } => Ok(Some(MultiTierRateResult {
+            rate,
+            partition: best,
             evaluations,
             encodes: prep.encodes(),
             backend: prep.solver_backend(),
+            unproven,
+        })),
+        SearchOutcome::Infeasible => Ok(None),
+        SearchOutcome::FloorUnproven(u) => Err(PartitionError::Unproven {
+            best_bound: u.best_bound,
         }),
-    )
+    }
 }
 
 #[cfg(test)]

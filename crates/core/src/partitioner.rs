@@ -121,6 +121,18 @@ pub enum PartitionError {
     /// No partition satisfies the CPU/network budgets — the program does
     /// not "fit"; callers typically fall back to the §4.3 rate search.
     Infeasible,
+    /// The branch-and-bound node/time budget ran out before *any*
+    /// integer placement was found: the solve proved neither feasibility
+    /// nor infeasibility. `best_bound` is the lower bound on the optimal
+    /// objective the truncated search established, when it got far
+    /// enough to have one. Distinct from [`PartitionError::Infeasible`]
+    /// so rate searches report an unproven range instead of silently
+    /// shrinking the feasible one.
+    Unproven {
+        /// Lower bound on the optimal objective from the open tree
+        /// (offset-adjusted to the same frame as reported objectives).
+        best_bound: Option<f64>,
+    },
     /// Solver failure (iteration limits / numerical trouble).
     Solver(SolveError),
 }
@@ -134,6 +146,16 @@ impl std::fmt::Display for PartitionError {
                     f,
                     "no feasible partition within the CPU and network budgets"
                 )
+            }
+            PartitionError::Unproven { best_bound } => {
+                write!(
+                    f,
+                    "search budget exhausted before any integer placement was found"
+                )?;
+                if let Some(b) = best_bound {
+                    write!(f, " (objective lower bound {b})")?;
+                }
+                Ok(())
             }
             PartitionError::Solver(e) => write!(f, "solver: {e}"),
         }
@@ -233,6 +255,7 @@ impl<'a> PreparedPartition<'a> {
                 rate_multiplier: 1.0,
                 robustness: crate::topology::RobustnessMode::Nominal,
                 ilp: cfg.ilp.clone(),
+                ..Default::default()
             };
             return Ok(PreparedPartition {
                 inner: PreparedInner::Tree(crate::topology::PreparedDeployment::new(
@@ -369,10 +392,15 @@ impl PreparedGeneral<'_> {
         if opts.warm_solution.is_none() {
             opts.warm_solution = self.last_values.clone();
         }
-        let (result, _stats) = solve_ilp_in(&self.ep.problem, &opts, &mut self.workspace);
+        let (result, stats) = solve_ilp_in(&self.ep.problem, &opts, &mut self.workspace);
         let sol = match result {
             Ok(s) => s,
             Err(SolveError::Infeasible) => return Err(PartitionError::Infeasible),
+            Err(SolveError::IterationLimit) if stats.timed_out => {
+                return Err(PartitionError::Unproven {
+                    best_bound: stats.best_bound,
+                })
+            }
             Err(e) => return Err(PartitionError::Solver(e)),
         };
         self.last_values = Some(sol.values.clone());

@@ -33,64 +33,149 @@ pub struct RateSearchResult {
     /// sparse revised on kilooperator encodings, dense tableau on small
     /// ones.
     pub backend: SolverBackend,
+    /// The lowest probed rate whose solve timed out *without proving
+    /// anything* (no incumbent, no infeasibility certificate). When
+    /// `Some`, [`RateSearchResult::rate`] is only a proven *lower* bound
+    /// on the sustainable rate — the true maximum may lie anywhere up to
+    /// the unproven rate. `None` means every probe was decisive and the
+    /// result is exact to the requested tolerance.
+    pub unproven: Option<UnprovenRate>,
 }
 
-/// The §4.3 search skeleton shared by the binary and multi-tier rate
-/// searches: establish a feasible lower bound at a vanishing rate, double
-/// until infeasible (or the cap is hit), then bisect to relative
-/// precision `tol`. `probe` returns `Ok(Some(_))` when a rate is
-/// feasible, `Ok(None)` when infeasible; errors abort the search. On
-/// success yields `(rate, best_solution, evaluations)`.
+/// A probed rate whose branch-and-bound hit its node/time budget before
+/// finding any integer point: neither feasible nor infeasible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnprovenRate {
+    /// The rate multiplier that was probed.
+    pub rate: f64,
+    /// Lower bound on the probe's optimal objective from the truncated
+    /// search tree, if it got far enough to establish one.
+    pub best_bound: Option<f64>,
+}
+
+/// What one rate probe learned.
+pub(crate) enum ProbeOutcome<P> {
+    /// A placement exists at this rate (and here it is).
+    Feasible(P),
+    /// Proven: no placement exists at this rate.
+    Infeasible,
+    /// The probe's search budget ran out before any integer point was
+    /// found — nothing is proven either way.
+    Unproven {
+        /// Objective lower bound from the truncated tree, if any.
+        best_bound: Option<f64>,
+    },
+}
+
+/// How a [`search_max_rate`] run ended.
+pub(crate) enum SearchOutcome<P> {
+    /// A feasible rate was found (and possibly an unproven probe above
+    /// it).
+    Found {
+        /// Highest proven-feasible rate.
+        rate: f64,
+        /// The placement at that rate.
+        best: P,
+        /// Probes consumed.
+        evaluations: u32,
+        /// Lowest unproven probe above `rate`, if any probe timed out.
+        unproven: Option<UnprovenRate>,
+    },
+    /// Proven infeasible even at the vanishing floor rate.
+    Infeasible,
+    /// The floor probe itself was unproven: the search learned nothing.
+    FloorUnproven(UnprovenRate),
+}
+
+/// The §4.3 search skeleton shared by the binary, multi-tier, and
+/// deployment rate searches: establish a feasible lower bound at a
+/// vanishing rate, double until infeasible (or the cap is hit), then
+/// bisect to relative precision `tol`. An
+/// [`ProbeOutcome::Unproven`] probe is treated as an upper bound for the
+/// bisection (conservative) but recorded and reported, so callers can
+/// tell a proven ceiling from a search that merely ran out of budget —
+/// the range above the result is *unproven*, not infeasible.
 pub(crate) fn search_max_rate<P, E>(
-    mut probe: impl FnMut(f64) -> Result<Option<P>, E>,
+    mut probe: impl FnMut(f64) -> Result<ProbeOutcome<P>, E>,
     hi_limit: f64,
     tol: f64,
-) -> Result<Option<(f64, P, u32)>, E> {
+) -> Result<SearchOutcome<P>, E> {
     assert!(hi_limit > 0.0 && tol > 0.0);
     let mut evals = 0u32;
+    let mut unproven: Option<UnprovenRate> = None;
+    let note_unproven = |u: &mut Option<UnprovenRate>, rate: f64, best_bound| {
+        if u.is_none_or(|prev| rate < prev.rate) {
+            *u = Some(UnprovenRate { rate, best_bound });
+        }
+    };
 
     // Establish a feasible lower bound.
     let mut lo = hi_limit * 2f64.powi(-24);
     evals += 1;
     let mut best = match probe(lo)? {
-        Some(p) => p,
-        None => return Ok(None),
+        ProbeOutcome::Feasible(p) => p,
+        ProbeOutcome::Infeasible => return Ok(SearchOutcome::Infeasible),
+        ProbeOutcome::Unproven { best_bound } => {
+            return Ok(SearchOutcome::FloorUnproven(UnprovenRate {
+                rate: lo,
+                best_bound,
+            }))
+        }
     };
 
-    // Grow until infeasible or the cap is hit.
+    // Grow until infeasible/unproven or the cap is hit.
     let mut hi = lo;
     loop {
         let next = (hi * 2.0).min(hi_limit);
         evals += 1;
         match probe(next)? {
-            Some(p) => {
+            ProbeOutcome::Feasible(p) => {
                 lo = next;
                 best = p;
                 hi = next;
                 if (next - hi_limit).abs() < f64::EPSILON * hi_limit {
-                    return Ok(Some((lo, best, evals)));
+                    return Ok(SearchOutcome::Found {
+                        rate: lo,
+                        best,
+                        evaluations: evals,
+                        unproven,
+                    });
                 }
             }
-            None => {
+            ProbeOutcome::Infeasible => {
+                hi = next;
+                break;
+            }
+            ProbeOutcome::Unproven { best_bound } => {
+                note_unproven(&mut unproven, next, best_bound);
                 hi = next;
                 break;
             }
         }
     }
 
-    // Bisect (lo feasible, hi infeasible).
+    // Bisect (lo feasible; hi infeasible or unproven).
     while (hi - lo) / lo > tol {
         let mid = 0.5 * (lo + hi);
         evals += 1;
         match probe(mid)? {
-            Some(p) => {
+            ProbeOutcome::Feasible(p) => {
                 lo = mid;
                 best = p;
             }
-            None => hi = mid,
+            ProbeOutcome::Infeasible => hi = mid,
+            ProbeOutcome::Unproven { best_bound } => {
+                note_unproven(&mut unproven, mid, best_bound);
+                hi = mid;
+            }
         }
     }
-    Ok(Some((lo, best, evals)))
+    Ok(SearchOutcome::Found {
+        rate: lo,
+        best,
+        evaluations: evals,
+        unproven,
+    })
 }
 
 /// Binary-search the maximum sustainable rate multiplier in
@@ -115,24 +200,37 @@ pub fn max_sustainable_rate(
     tol: f64,
 ) -> Result<Option<RateSearchResult>, PartitionError> {
     let mut prep = PreparedPartition::new(graph, profile, platform, cfg)?;
-    let found = search_max_rate(
+    let outcome = search_max_rate(
         |rate| match prep.solve_at(rate) {
-            Ok(p) => Ok(Some(p)),
-            Err(PartitionError::Infeasible) => Ok(None),
+            Ok(p) => Ok(ProbeOutcome::Feasible(p)),
+            Err(PartitionError::Infeasible) => Ok(ProbeOutcome::Infeasible),
+            Err(PartitionError::Unproven { best_bound }) => {
+                Ok(ProbeOutcome::Unproven { best_bound })
+            }
             Err(e) => Err(e),
         },
         hi_limit,
         tol,
     )?;
-    Ok(
-        found.map(|(rate, partition, evaluations)| RateSearchResult {
+    match outcome {
+        SearchOutcome::Found {
             rate,
-            partition,
+            best,
+            evaluations,
+            unproven,
+        } => Ok(Some(RateSearchResult {
+            rate,
+            partition: best,
             evaluations,
             encodes: prep.encodes(),
             backend: prep.solver_backend(),
+            unproven,
+        })),
+        SearchOutcome::Infeasible => Ok(None),
+        SearchOutcome::FloorUnproven(u) => Err(PartitionError::Unproven {
+            best_bound: u.best_bound,
         }),
-    )
+    }
 }
 
 #[cfg(test)]

@@ -417,6 +417,21 @@ pub enum RobustnessMode {
     SingleGatewayFailure,
 }
 
+/// Which engine computes placements for a [`DeploymentConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementEngine {
+    /// Exact branch-and-bound over the encoded ILP (optimal, or a
+    /// [`PartitionError::Unproven`] signal when the node/time budget
+    /// runs out before any integer point is found).
+    #[default]
+    Exact,
+    /// The multilevel coarsen–partition–refine heuristic
+    /// ([`crate::multilevel`]): always fast, feasible by construction,
+    /// and certified against the root LP bound
+    /// ([`DeploymentPartition::certified_gap`]).
+    Approx,
+}
+
 /// Solver-side configuration of [`partition_deployment`] — the topology
 /// itself lives in [`Deployment`]. (The simulation-side sibling is
 /// `wishbone_runtime::SimulationConfig`.)
@@ -431,6 +446,13 @@ pub struct DeploymentConfig {
     pub rate_multiplier: f64,
     /// Failure-robustness pricing of the budget rows.
     pub robustness: RobustnessMode,
+    /// Exact branch-and-bound, or the multilevel anytime heuristic.
+    pub engine: PlacementEngine,
+    /// Seed exact branch-and-bound with the multilevel heuristic's cut
+    /// as its initial incumbent when no warmer start is available — the
+    /// near-cliff fix: feasibility is *discovered* by the heuristic in
+    /// milliseconds and merely *proved* optimal by the exact search.
+    pub seed_incumbent: bool,
     /// Branch-and-bound options (backend selection included).
     pub ilp: IlpOptions,
 }
@@ -442,6 +464,8 @@ impl Default for DeploymentConfig {
             preprocess: true,
             rate_multiplier: 1.0,
             robustness: RobustnessMode::Nominal,
+            engine: PlacementEngine::Exact,
+            seed_incumbent: true,
             ilp: IlpOptions::default(),
         }
     }
@@ -457,6 +481,14 @@ impl DeploymentConfig {
     /// Override the robustness pricing (builder style).
     pub fn with_robustness(mut self, robustness: RobustnessMode) -> Self {
         self.robustness = robustness;
+        self
+    }
+
+    /// Switch to the multilevel anytime engine (builder style): every
+    /// solve returns the heuristic placement with a certified optimality
+    /// gap instead of running exact branch-and-bound.
+    pub fn approx(mut self) -> Self {
+        self.engine = PlacementEngine::Approx;
         self
     }
 }
@@ -543,6 +575,13 @@ pub struct DeploymentPartition {
     pub problem_size: (usize, usize),
     /// Summed per-leaf chain-graph vertices before and after the merge.
     pub merge_stats: (usize, usize),
+    /// Certified relative optimality gap against the root LP bound —
+    /// `Some` only for [`PlacementEngine::Approx`] placements:
+    /// `(objective − lp_bound) / |objective|`, an *upper* bound on the
+    /// true distance from optimal (the ILP optimum sits between the LP
+    /// bound and this placement). Exact solves report `None`; their gap
+    /// story lives in [`IlpStats`].
+    pub certified_gap: Option<f64>,
 }
 
 impl DeploymentPartition {
@@ -795,13 +834,10 @@ impl<'a> PreparedDeployment<'a> {
         crate::audit::audit_deployment(&self.ep)
     }
 
-    /// Solve the prepared instance at `rate` (a global multiplier on the
-    /// profile's reference input rate, composed with each leaf's
-    /// `rate_factor`).
-    pub fn solve_at(&mut self, rate: f64) -> Result<DeploymentPartition, PartitionError> {
-        assert!(rate > 0.0, "rate multiplier must be positive");
-        self.solves += 1;
-
+    /// Rescale the prepared ILP in place for a probe at `rate`:
+    /// objective × rate, budget right-hand sides ÷ rate (with each CPU
+    /// row's folded root constant re-applied).
+    fn retarget(&mut self, rate: f64) {
         for (j, &base) in self.base_objective.iter().enumerate() {
             self.ep.problem.set_objective_coeff(VarId(j), base * rate);
         }
@@ -817,20 +853,149 @@ impl<'a> PreparedDeployment<'a> {
                 self.ep.problem.set_rhs(*r, self.obj.net_budget[s] / rate);
             }
         }
+    }
+
+    /// The current leaf-chain view of this preparation (a removed leaf
+    /// carries `count = 0`), as [`encode_deployment`] and the multilevel
+    /// heuristic consume it.
+    fn chains(&self) -> Vec<LeafChain<'_>> {
+        self.leaves
+            .iter()
+            .enumerate()
+            .map(|(i, l)| LeafChain {
+                graph: &l.graph,
+                path: l.path.iter().map(|s| s.0).collect(),
+                count: if self.removed[i] {
+                    0.0
+                } else {
+                    self.dep.sites[l.leaf.0].count as f64
+                },
+            })
+            .collect()
+    }
+
+    /// Expand a per-leaf tier assignment into the encoding's full
+    /// indicator vector (`y[l][b][v] = 1 ⇔ tier ≤ b`).
+    fn y_values(&self, tiers: &[Vec<usize>]) -> Vec<f64> {
+        let mut values = vec![0.0f64; self.ep.problem.num_vars()];
+        for (l, leaf) in self.ep.y_vars.iter().enumerate() {
+            for (b, row) in leaf.iter().enumerate() {
+                for (v, &var) in row.iter().enumerate() {
+                    if tiers[l][v] <= b {
+                        values[var.0] = 1.0;
+                    }
+                }
+            }
+        }
+        values
+    }
+
+    /// Run the multilevel heuristic on the current instance and return
+    /// its cut as an encoding-level assignment, verified against the
+    /// (already retargeted) encoded problem. `None` when the heuristic
+    /// finds no budget-feasible placement.
+    fn approx_values(&self, rate: f64) -> Option<(Vec<f64>, f64)> {
+        let chains = self.chains();
+        let cut = crate::multilevel::approx_cut(&chains, &self.obj, rate)?;
+        let values = self.y_values(&cut.tiers);
+        if !self.ep.problem.is_feasible(&values, 1e-6) {
+            debug_assert!(
+                false,
+                "multilevel cut broke its feasible-by-construction contract"
+            );
+            return None;
+        }
+        #[cfg(debug_assertions)]
+        {
+            let spec = crate::audit::deployment_spec(&self.ep);
+            let report = wishbone_audit::audit_assignment(&self.ep.problem, &spec, &values);
+            crate::audit::debug_assert_audit_clean(&report, "approx_cut assignment");
+        }
+        Some((values, cut.objective))
+    }
+
+    /// Solve the prepared instance at `rate` via the multilevel anytime
+    /// engine: heuristic placement plus a certified gap from the root LP
+    /// bound. The instance must already be retargeted to `rate`.
+    fn approx_at(&mut self, rate: f64) -> Result<DeploymentPartition, PartitionError> {
+        let cut = self.approx_values(rate);
+        let lp = match wishbone_ilp::solve_lp(&self.ep.problem) {
+            Ok(s) => Some(s.objective + self.ep.objective_offset * rate),
+            Err(SolveError::Infeasible) => None,
+            Err(e) => return Err(PartitionError::Solver(e)),
+        };
+        let Some((values, objective)) = cut else {
+            // The heuristic is one-sided: failure to find a placement
+            // proves nothing unless the LP relaxation is itself empty.
+            return match lp {
+                None => Err(PartitionError::Infeasible),
+                Some(bound) => Err(PartitionError::Unproven {
+                    best_bound: Some(bound),
+                }),
+            };
+        };
+        let certified_gap =
+            lp.map(|bound| ((objective - bound) / objective.abs().max(f64::EPSILON)).max(0.0));
+        let stats = IlpStats {
+            best_bound: lp.map(|b| b - self.ep.objective_offset * rate),
+            backend: self.solver_backend(),
+            ..IlpStats::default()
+        };
+        self.last_values = Some(values.clone());
+        Ok(self.decode_partition(&values, rate, objective, stats, certified_gap))
+    }
+
+    /// Solve the prepared instance at `rate` (a global multiplier on the
+    /// profile's reference input rate, composed with each leaf's
+    /// `rate_factor`).
+    pub fn solve_at(&mut self, rate: f64) -> Result<DeploymentPartition, PartitionError> {
+        assert!(rate > 0.0, "rate multiplier must be positive");
+        self.solves += 1;
+        self.retarget(rate);
+
+        if self.cfg.engine == PlacementEngine::Approx {
+            return self.approx_at(rate);
+        }
 
         let mut opts = self.cfg.ilp.clone();
         if opts.warm_solution.is_none() {
             opts.warm_solution = self.last_values.clone();
         }
-        let (result, _stats) = solve_ilp_in(&self.ep.problem, &opts, &mut self.workspace);
+        if opts.warm_solution.is_none() && self.cfg.seed_incumbent {
+            opts.warm_solution = self.approx_values(rate).map(|(values, _)| values);
+        }
+        let (result, stats) = solve_ilp_in(&self.ep.problem, &opts, &mut self.workspace);
         let sol = match result {
             Ok(s) => s,
             Err(SolveError::Infeasible) => return Err(PartitionError::Infeasible),
+            Err(SolveError::IterationLimit) if stats.timed_out => {
+                // Hit the node/time budget with no incumbent: the probe
+                // is unproven, not infeasible.
+                return Err(PartitionError::Unproven {
+                    best_bound: stats
+                        .best_bound
+                        .map(|b| b + self.ep.objective_offset * rate),
+                });
+            }
             Err(e) => return Err(PartitionError::Solver(e)),
         };
         self.last_values = Some(sol.values.clone());
+        let objective = sol.objective + self.ep.objective_offset * rate;
+        Ok(self.decode_partition(&sol.values, rate, objective, sol.stats, None))
+    }
 
-        let decoded = self.ep.decode(&sol.values);
+    /// Decode an encoding-level assignment into the public
+    /// [`DeploymentPartition`] view: per-leaf placements, per-hop cut
+    /// edges, and aggregate per-site loads.
+    fn decode_partition(
+        &self,
+        values: &[f64],
+        rate: f64,
+        objective: f64,
+        ilp_stats: IlpStats,
+        certified_gap: Option<f64>,
+    ) -> DeploymentPartition {
+        let decoded = self.ep.decode(values);
         let mut leaves = Vec::with_capacity(self.leaves.len());
         for (l, prep) in self.leaves.iter().enumerate() {
             let k = prep.path.len();
@@ -902,18 +1067,19 @@ impl<'a> PreparedDeployment<'a> {
             }
         }
 
-        Ok(DeploymentPartition {
+        DeploymentPartition {
             leaves,
             site_cpu,
             link_net,
-            objective: sol.objective + self.ep.objective_offset * rate,
-            ilp_stats: sol.stats,
+            objective,
+            ilp_stats,
             problem_size: (
                 self.ep.problem.num_vars(),
                 self.ep.problem.num_constraints(),
             ),
             merge_stats: (self.vertices_before, self.vertices_after),
-        })
+            certified_gap,
+        }
     }
 }
 
@@ -930,6 +1096,11 @@ pub struct DeploymentRateResult {
     pub encodes: u32,
     /// The simplex backend every probe ran on (resolved, never `Auto`).
     pub backend: SolverBackend,
+    /// The lowest probed rate whose solve timed out without proving
+    /// anything — when `Some`, [`DeploymentRateResult::rate`] is only a
+    /// proven lower bound on the sustainable rate (see
+    /// [`crate::rate_search::UnprovenRate`]).
+    pub unproven: Option<crate::rate_search::UnprovenRate>,
 }
 
 /// Binary-search the maximum sustainable global rate multiplier of a
@@ -947,25 +1118,39 @@ pub fn max_sustainable_rate_deployment(
     hi_limit: f64,
     tol: f64,
 ) -> Result<Option<DeploymentRateResult>, PartitionError> {
+    use crate::rate_search::{ProbeOutcome, SearchOutcome};
     let mut prep = PreparedDeployment::new(graph, profile, dep, cfg)?;
-    let found = crate::rate_search::search_max_rate(
+    let outcome = crate::rate_search::search_max_rate(
         |rate| match prep.solve_at(rate) {
-            Ok(p) => Ok(Some(p)),
-            Err(PartitionError::Infeasible) => Ok(None),
+            Ok(p) => Ok(ProbeOutcome::Feasible(p)),
+            Err(PartitionError::Infeasible) => Ok(ProbeOutcome::Infeasible),
+            Err(PartitionError::Unproven { best_bound }) => {
+                Ok(ProbeOutcome::Unproven { best_bound })
+            }
             Err(e) => Err(e),
         },
         hi_limit,
         tol,
     )?;
-    Ok(
-        found.map(|(rate, partition, evaluations)| DeploymentRateResult {
+    match outcome {
+        SearchOutcome::Found {
             rate,
-            partition,
+            best,
+            evaluations,
+            unproven,
+        } => Ok(Some(DeploymentRateResult {
+            rate,
+            partition: best,
             evaluations,
             encodes: prep.encodes(),
             backend: prep.solver_backend(),
+            unproven,
+        })),
+        SearchOutcome::Infeasible => Ok(None),
+        SearchOutcome::FloorUnproven(u) => Err(PartitionError::Unproven {
+            best_bound: u.best_bound,
         }),
-    )
+    }
 }
 
 #[cfg(test)]

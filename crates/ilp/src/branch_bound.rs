@@ -121,6 +121,20 @@ pub struct IlpStats {
     pub proved: bool,
     /// Relative gap at termination.
     pub final_gap: f64,
+    /// True if the node or wall-clock budget ran out before the tree was
+    /// exhausted. Combined with an `Err(IterationLimit)` result this is
+    /// the *timed-out-without-incumbent* signal: the probe proved
+    /// nothing, and [`IlpStats::best_bound`] is all it learned.
+    pub timed_out: bool,
+    /// Lower bound on the optimal objective over the open tree at
+    /// termination (the best-first heap top, merged with an interrupted
+    /// plunge child). `None` when the search ended before any node LP
+    /// bounded the tree, or when infeasibility was proved outright.
+    /// For a proved run this equals the incumbent objective.
+    pub best_bound: Option<f64>,
+    /// True if [`IlpOptions::warm_solution`] checked out feasible and was
+    /// adopted as the initial incumbent (seeded cutoff from node one).
+    pub seeded: bool,
     /// The simplex backend that solved the node LPs (resolved — never
     /// `Auto`).
     pub backend: SolverBackend,
@@ -227,9 +241,19 @@ pub fn solve_ilp_in(
                 let obj = problem.objective_value(&vals);
                 stats.incumbents.push((start.elapsed(), obj));
                 incumbent = Some((obj, vals));
+                stats.seeded = true;
             }
         }
     }
+
+    // The floor-and-lift rounding heuristic below assumes a chain-shaped
+    // precedence structure (one indicator component, as in the binary and
+    // single-chain encodings). A branching deployment encodes several
+    // disjoint per-leaf components coupled only through shared budget
+    // rows; there the floored candidate keeps violating the tight coupled
+    // rows and is discarded at every node, so detect the shape once and
+    // skip the heuristic for the whole solve.
+    let try_rounding = precedence_components(problem) < 2;
 
     let mut heap: BinaryHeap<Node> = BinaryHeap::new();
     // One child of the just-solved node is explored immediately
@@ -343,23 +367,25 @@ pub fn solve_ilp_in(
                 // nonnegative knapsack rows are preserved by thresholding).
                 // A good early incumbent is what makes the discover-time
                 // curve of Fig 6 sit far left of the prove-time curve.
-                let mut rounded = lp.values.clone();
-                for (k, v) in rounded.iter_mut().enumerate() {
-                    if problem.integer[k] {
-                        *v = v
-                            .floor()
-                            .clamp(problem.lower[k].ceil(), problem.upper[k].floor());
+                if try_rounding {
+                    let mut rounded = lp.values.clone();
+                    for (k, v) in rounded.iter_mut().enumerate() {
+                        if problem.integer[k] {
+                            *v = v
+                                .floor()
+                                .clamp(problem.lower[k].ceil(), problem.upper[k].floor());
+                        }
                     }
-                }
-                if problem.is_feasible(&rounded, 1e-6) {
-                    greedy_lift(problem, &mut rounded);
-                    let obj = problem.objective_value(&rounded);
-                    let improves = incumbent
-                        .as_ref()
-                        .is_none_or(|(best, _)| obj < best - 1e-12);
-                    if improves {
-                        stats.incumbents.push((start.elapsed(), obj));
-                        incumbent = Some((obj, rounded));
+                    if problem.is_feasible(&rounded, 1e-6) {
+                        greedy_lift(problem, &mut rounded);
+                        let obj = problem.objective_value(&rounded);
+                        let improves = incumbent
+                            .as_ref()
+                            .is_none_or(|(best, _)| obj < best - 1e-12);
+                        if improves {
+                            stats.incumbents.push((start.elapsed(), obj));
+                            incumbent = Some((obj, rounded));
+                        }
                     }
                 }
 
@@ -407,10 +433,25 @@ pub fn solve_ilp_in(
     stats.warm_starts = ws.warm_starts();
     stats.cold_starts = ws.cold_starts();
     stats.total_time = start.elapsed();
+    stats.timed_out = hit_limit;
 
     if let Some(e) = fatal {
         return (Err(e), stats);
     }
+
+    // The heap top is the residual lower bound over the open tree
+    // (best-first keeps it the minimum); an interrupted plunge child is
+    // open too.
+    let open_bound = heap
+        .peek()
+        .map(|n| n.parent_bound)
+        .unwrap_or(f64::INFINITY)
+        .min(
+            plunge
+                .as_ref()
+                .map(|n| n.parent_bound)
+                .unwrap_or(f64::INFINITY),
+        );
 
     let result = match incumbent {
         Some((obj, values)) => {
@@ -422,24 +463,13 @@ pub fn solve_ilp_in(
                 .find(|&&(_, o)| o <= obj + discover_tol)
                 .map(|&(t, _)| t)
                 .unwrap_or_default();
-            // The heap top is the residual lower bound over the open tree
-            // (best-first keeps it the minimum); an interrupted plunge
-            // child is open too.
-            let open_bound = heap
-                .peek()
-                .map(|n| n.parent_bound)
-                .unwrap_or(f64::INFINITY)
-                .min(
-                    plunge
-                        .as_ref()
-                        .map(|n| n.parent_bound)
-                        .unwrap_or(f64::INFINITY),
-                );
             stats.final_gap = if open_bound < obj {
                 (obj - open_bound) / obj.abs().max(1.0)
             } else {
                 0.0
             };
+            let lower = open_bound.min(obj);
+            stats.best_bound = lower.is_finite().then_some(lower);
             Ok(IlpSolution {
                 objective: obj,
                 values,
@@ -448,6 +478,12 @@ pub fn solve_ilp_in(
         }
         None => {
             if hit_limit {
+                // Timed out with no integer point: neither feasibility nor
+                // infeasibility is proved. All the search learned is the
+                // open-tree bound, carried in the stats so callers (e.g. a
+                // rate search) can report "unproven" instead of reading
+                // this as plain infeasibility.
+                stats.best_bound = open_bound.is_finite().then_some(open_bound);
                 Err(SolveError::IterationLimit)
             } else {
                 stats.proved = true;
@@ -456,6 +492,52 @@ pub fn solve_ilp_in(
         }
     };
     (result, stats)
+}
+
+/// Number of weakly-connected components among integer variables linked
+/// by two-term precedence-shaped `≥` rows — the structural signature the
+/// rounding heuristic keys on. A binary or single-chain encoding is one
+/// component; a branching `Deployment` encodes one disjoint component per
+/// leaf class.
+fn precedence_components(problem: &Problem) -> usize {
+    let n = problem.num_vars();
+    // Union-find over variable indices; usize::MAX marks "not seen in any
+    // precedence row".
+    const UNSEEN: usize = usize::MAX;
+    let mut parent: Vec<usize> = vec![UNSEEN; n];
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for c in &problem.constraints {
+        if c.sense != Sense::Ge || c.terms.len() != 2 {
+            continue;
+        }
+        let (a, ca) = c.terms[0];
+        let (b, cb) = c.terms[1];
+        if !(problem.integer[a.0] && problem.integer[b.0]) || ca * cb >= 0.0 {
+            continue;
+        }
+        for v in [a.0, b.0] {
+            if parent[v] == UNSEEN {
+                parent[v] = v;
+            }
+        }
+        let (ra, rb) = (find(&mut parent, a.0), find(&mut parent, b.0));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    }
+    let mut roots = 0usize;
+    for v in 0..n {
+        if parent[v] != UNSEEN && find(&mut parent, v) == v {
+            roots += 1;
+        }
+    }
+    roots
 }
 
 /// Absolute slack implied by the relative-gap termination rule.
@@ -726,6 +808,93 @@ mod tests {
             Err(SolveError::IterationLimit) => {}
             Err(e) => panic!("unexpected error {e:?}"),
         }
+    }
+
+    #[test]
+    fn timeout_without_incumbent_carries_best_bound() {
+        // min x + y s.t. x + y >= 1.5 over binaries: the root LP is
+        // fractional and flooring it is infeasible, so one node cannot
+        // produce an incumbent (presolve is off — bound propagation would
+        // solve this toy outright). The limit-hit return must be
+        // distinguishable from proven infeasibility: timed_out set,
+        // proved unset, and the open-tree bound (1.5 after the root
+        // branches) reported.
+        let mut p = Problem::new();
+        let x = p.add_binary(1.0);
+        let y = p.add_binary(1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Sense::Ge, 1.5);
+        let opts = IlpOptions {
+            max_nodes: 1,
+            presolve: false,
+            ..Default::default()
+        };
+        let mut ws = SimplexWorkspace::new();
+        let (result, stats) = solve_ilp_in(&p, &opts, &mut ws);
+        assert_eq!(result, Err(SolveError::IterationLimit));
+        assert!(stats.timed_out, "limit hit must be flagged");
+        assert!(!stats.proved);
+        let bound = stats.best_bound.expect("root LP bounded the tree");
+        assert!((bound - 1.5).abs() < 1e-6, "open bound {bound}");
+        // The same instance without the limit solves fine — the timeout
+        // signal never fires on a completed search.
+        let full_opts = IlpOptions {
+            presolve: false,
+            ..Default::default()
+        };
+        let (full, full_stats) = solve_ilp_in(&p, &full_opts, &mut ws);
+        let full = full.expect("feasible");
+        assert!(!full_stats.timed_out);
+        assert!(full_stats.proved);
+        assert_close(full.objective, 2.0);
+        assert_close(full_stats.best_bound.expect("proved bound"), 2.0);
+    }
+
+    #[test]
+    fn adopted_warm_solution_is_flagged_seeded() {
+        let mut p = Problem::new();
+        let vals = [10.0, 13.0, 4.0, 8.0];
+        let wts = [3.0, 4.0, 2.0, 3.0];
+        let vars: Vec<_> = vals.iter().map(|&v| p.add_binary(-v)).collect();
+        let row: Vec<_> = vars.iter().zip(wts).map(|(&v, w)| (v, w)).collect();
+        p.add_constraint(&row, Sense::Le, 7.0);
+        let opts = IlpOptions {
+            warm_solution: Some(vec![0.0, 0.0, 1.0, 1.0]),
+            ..Default::default()
+        };
+        let mut ws = SimplexWorkspace::new();
+        let (result, stats) = solve_ilp_in(&p, &opts, &mut ws);
+        let s = result.expect("feasible");
+        assert!(stats.seeded, "feasible warm solution must seed the search");
+        assert_close(s.objective, -23.0);
+        // The seed is the first recorded incumbent.
+        assert_close(stats.incumbents[0].1, -12.0);
+        // An infeasible seed is ignored, not adopted.
+        let bad = IlpOptions {
+            warm_solution: Some(vec![1.0, 1.0, 1.0, 1.0]),
+            ..Default::default()
+        };
+        let (_, stats) = solve_ilp_in(&p, &bad, &mut ws);
+        assert!(!stats.seeded);
+    }
+
+    #[test]
+    fn precedence_components_sees_branching_shapes() {
+        // One chain: x0 -> x1 -> x2 (rows x_i - x_{i+1} >= 0).
+        let mut p = Problem::new();
+        let v: Vec<_> = (0..3).map(|_| p.add_binary(-1.0)).collect();
+        p.add_constraint(&[(v[0], 1.0), (v[1], -1.0)], Sense::Ge, 0.0);
+        p.add_constraint(&[(v[1], 1.0), (v[2], -1.0)], Sense::Ge, 0.0);
+        assert_eq!(precedence_components(&p), 1);
+        // A second, disjoint chain — the branching-deployment signature.
+        let w: Vec<_> = (0..2).map(|_| p.add_binary(-1.0)).collect();
+        p.add_constraint(&[(w[0], 1.0), (w[1], -1.0)], Sense::Ge, 0.0);
+        assert_eq!(precedence_components(&p), 2);
+        // Budget rows and non-precedence shapes never count.
+        let mut q = Problem::new();
+        let a = q.add_binary(-1.0);
+        let b = q.add_binary(-1.0);
+        q.add_constraint(&[(a, 1.0), (b, 1.0)], Sense::Le, 1.0);
+        assert_eq!(precedence_components(&q), 0);
     }
 
     #[test]

@@ -67,12 +67,13 @@ pub mod prelude {
     pub use wishbone_core::{
         all_node, all_server, build_partition_graph, evaluate, greedy, max_sustainable_rate,
         max_sustainable_rate_deployment, max_sustainable_rate_multitier, partition,
-        partition_deployment, partition_multitier, pin_analysis, pipeline_cutpoints, preprocess,
-        Deployment, DeploymentConfig, DeploymentDelta, DeploymentPartition, DeploymentRateResult,
-        Encoding, LeafPartition, LinkSpec, Mode, MultiTierConfig, MultiTierPartition,
-        MultiTierRateResult, ObjectiveConfig, Partition, PartitionConfig, PartitionError,
-        PartitionGraph, Pin, PreparedDeployment, PreparedMultiTier, PreparedPartition,
-        RateSearchResult, RobustnessMode, Site, SiteId, TierSpec,
+        partition_approx, partition_deployment, partition_multitier, pin_analysis,
+        pipeline_cutpoints, preprocess, ApproxCut, Deployment, DeploymentConfig, DeploymentDelta,
+        DeploymentPartition, DeploymentRateResult, Encoding, LeafPartition, LinkSpec, Mode,
+        MultiTierConfig, MultiTierPartition, MultiTierRateResult, ObjectiveConfig, Partition,
+        PartitionConfig, PartitionError, PartitionGraph, Pin, PlacementEngine, PreparedDeployment,
+        PreparedMultiTier, PreparedPartition, RateSearchResult, RobustnessMode, Site, SiteId,
+        TierSpec, UnprovenRate,
     };
     pub use wishbone_dataflow::{
         Graph, GraphBuilder, Namespace, OperatorId, OperatorKind, OperatorSpec, Value, WorkFn,

@@ -1,0 +1,431 @@
+//! PR-8 near-cliff regression: the tight-gateway forest from the PR-5
+//! asymmetric-backhaul sweep, solved at a rate just under its
+//! feasibility cliff. Before the multilevel heuristic landed, exact
+//! branch-and-bound *starved* here — the LP relaxation stays fractional
+//! on the saturated gateway's uplink row, plunging keeps producing
+//! infeasible roundings, and the search could run out its budget with
+//! no incumbent, which `max_sustainable_rate_deployment` then misread
+//! as "infeasible".
+//!
+//! The anchors:
+//!
+//! * seeded exact search (`seed_incumbent`, the default) discovers its
+//!   first incumbent in well under a second — the heuristic's cut is
+//!   adopted as the incumbent before node one;
+//! * `partition_approx` returns an integer-feasible placement whose
+//!   certified optimality gap (vs the root LP bound) is ≤ 2.5%, and
+//!   whose *actual* gap vs the exact optimum is within the certificate,
+//!   on both simplex backends;
+//! * random tree deployments (proptest): every `partition_approx`
+//!   placement respects all budgets and its certificate, and it never
+//!   claims feasibility where the exact solver proves there is none.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use wishbone::core::{partition_approx, PlacementEngine};
+use wishbone::ilp::SolverBackend;
+use wishbone::prelude::*;
+
+/// The profiled EEG app of the bench forest.
+fn eeg_profiled(channels: usize) -> (wishbone::dataflow::Graph, GraphProfile) {
+    let mut app = build_eeg_app(EegParams {
+        n_channels: channels,
+        ..Default::default()
+    });
+    let traces = app.traces(4, 1..3, 7);
+    let prof = profile(&mut app.graph, &traces).expect("profiling succeeds");
+    (app.graph, prof)
+}
+
+/// The PR-5 two-ward forest: `count_{a,b}` motes per ward behind two
+/// gateways, gw-a's backhaul (optionally) starved, gw-b's roomy.
+/// Sites: 0 = server, 1 = gw-a, 2 = gw-b, 3 = ward-a, 4 = ward-b.
+fn forest(
+    count_a: usize,
+    count_b: usize,
+    backhaul_a: f64,
+    backhaul_b: f64,
+    gw_budget_a: f64,
+) -> Deployment {
+    let mote = Platform::tmote_sky();
+    let phone = Platform::iphone();
+    let mut dep = Deployment::new(Site::server("server", &Platform::server()));
+    let root = dep.root();
+    let gw_a = dep.attach(
+        root,
+        Site::new("gw-a", &phone).with_cpu_budget(gw_budget_a),
+        LinkSpec {
+            beta: 1.0,
+            net_budget: backhaul_a,
+        },
+    );
+    let gw_b = dep.attach(
+        root,
+        Site::new("gw-b", &phone),
+        LinkSpec {
+            beta: 1.0,
+            net_budget: backhaul_b,
+        },
+    );
+    let uplink = |count: usize| LinkSpec {
+        beta: 1.0,
+        net_budget: count as f64 * mote.radio.goodput_bytes_per_sec,
+    };
+    dep.attach(
+        gw_a,
+        Site::new("ward-a", &mote).with_count(count_a),
+        uplink(count_a),
+    );
+    dep.attach(
+        gw_b,
+        Site::new("ward-b", &mote).with_count(count_b),
+        uplink(count_b),
+    );
+    dep
+}
+
+/// The calibrated near-cliff instance: 4-channel EEG, two 4-mote wards,
+/// gw-a's backhaul starved to 500 B/s.
+fn tight_forest() -> (wishbone::dataflow::Graph, GraphProfile, Deployment) {
+    let (graph, prof) = eeg_profiled(4);
+    let dep = forest(4, 4, 500.0, 400_000.0, f64::INFINITY);
+    (graph, prof, dep)
+}
+
+/// Rate multiplier just under the tight forest's feasibility cliff
+/// (calibrated by `probe_cliff` below: the cliff sits at x3.1614).
+const NEAR_CLIFF_RATE: f64 = 3.15;
+
+/// Near-cliff rate for the harder 8-channel ward (cliff at x3.6102,
+/// per `probe_cliff`): LP-feasible, but an unseeded search needs
+/// hundreds of nodes to stumble on its first integer point.
+const STARVED_RATE: f64 = 3.5;
+
+/// Manual calibration probe — run with
+/// `cargo test -q probe_cliff -- --ignored --nocapture` when re-tuning
+/// the instance; not part of the suite.
+#[test]
+#[ignore = "calibration probe, not a regression test"]
+fn probe_cliff() {
+    let mut cfg = DeploymentConfig {
+        seed_incumbent: false,
+        ..Default::default()
+    };
+    // Cap each unseeded probe so a starving search reads as Unproven
+    // instead of hanging the calibration.
+    cfg.ilp.time_limit = Some(Duration::from_secs(5));
+    for (channels, count_a, count_b, bk_a, bk_b, gw_budget) in [
+        (
+            4usize,
+            4usize,
+            4usize,
+            500.0f64,
+            400_000.0f64,
+            f64::INFINITY,
+        ),
+        (4, 4, 4, 500.0, 2_000.0, f64::INFINITY),
+        (4, 4, 4, 500.0, 2_000.0, 0.3),
+        (4, 8, 2, 500.0, 1_000.0, 0.2),
+        (8, 4, 4, 800.0, 1_500.0, 0.25),
+        (4, 4, 4, 300.0, 900.0, 0.15),
+    ] {
+        let (graph, prof) = eeg_profiled(channels);
+        let dep = forest(count_a, count_b, bk_a, bk_b, gw_budget);
+        let mut prep = match PreparedDeployment::new(&graph, &prof, &dep, &cfg) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("ch{channels} {count_a}x{count_b} bk({bk_a},{bk_b}) gw{gw_budget}: {e}");
+                continue;
+            }
+        };
+        let mut lo = 0.05f64;
+        let mut hi = 64.0f64;
+        if prep.solve_at(lo).is_err() {
+            println!("ch{channels} {count_a}x{count_b} bk({bk_a},{bk_b}) gw{gw_budget}: dead");
+            continue;
+        }
+        while hi / lo > 1.005 {
+            let mid = (lo * hi).sqrt();
+            match prep.solve_at(mid) {
+                Ok(_) => lo = mid,
+                Err(_) => hi = mid,
+            }
+        }
+        let unseeded_cliff = lo;
+        // Seeded bisection: below the cliff the heuristic hands
+        // branch-and-bound an incumbent; above it no cut exists, so the
+        // probe still needs the cap to step over the Unproven band.
+        let mut seeded_cfg = DeploymentConfig::default();
+        seeded_cfg.ilp.time_limit = Some(Duration::from_secs(5));
+        let mut prep = PreparedDeployment::new(&graph, &prof, &dep, &seeded_cfg).expect("pins ok");
+        let mut lo = 0.05f64;
+        let mut hi = 64.0f64;
+        while hi / lo > 1.005 {
+            let mid = (lo * hi).sqrt();
+            match prep.solve_at(mid) {
+                Ok(_) => lo = mid,
+                Err(_) => hi = mid,
+            }
+        }
+        println!(
+            "ch{channels} {count_a}x{count_b} bk({bk_a},{bk_b}) gw{gw_budget}: \
+             unseeded-solvable up to x{unseeded_cliff:.4}, true cliff x{lo:.4}"
+        );
+        // Inside the band: cold unseeded (5s cap) vs cold seeded.
+        for rate in [unseeded_cliff * 1.005, (unseeded_cliff * lo).sqrt(), lo] {
+            if rate > lo {
+                continue;
+            }
+            let mut cold = PreparedDeployment::new(&graph, &prof, &dep, &cfg).expect("pins ok");
+            let t = std::time::Instant::now();
+            let r = cold.solve_at(rate);
+            let unseeded = match &r {
+                Ok(p) => format!(
+                    "ok ({} nodes, first {:?})",
+                    p.ilp_stats.nodes,
+                    p.ilp_stats.incumbents.first().map(|i| i.0)
+                ),
+                Err(e) => format!("{e}"),
+            };
+            let unseeded_t = t.elapsed();
+            let mut warm =
+                PreparedDeployment::new(&graph, &prof, &dep, &seeded_cfg).expect("pins ok");
+            let t = std::time::Instant::now();
+            let r = warm.solve_at(rate);
+            let seeded = match &r {
+                Ok(p) => format!(
+                    "ok (seeded {}, first {:?})",
+                    p.ilp_stats.seeded,
+                    p.ilp_stats.incumbents.first().map(|i| i.0)
+                ),
+                Err(e) => format!("{e}"),
+            };
+            println!(
+                "  x{rate:.4}: unseeded {unseeded} in {unseeded_t:?}; seeded {seeded} in {:?}",
+                t.elapsed()
+            );
+        }
+    }
+}
+
+/// Second manual probe: map the Unproven band (LP-feasible,
+/// IP-infeasible or undiscoverable) just above the cliff.
+#[test]
+#[ignore = "calibration probe, not a regression test"]
+fn probe_unproven_band() {
+    let (graph, prof) = eeg_profiled(8);
+    let dep = forest(4, 4, 800.0, 1_500.0, 0.25);
+    for rate in [3.4, 3.5, 3.6] {
+        let mut cfg = DeploymentConfig {
+            seed_incumbent: false,
+            ..Default::default()
+        };
+        cfg.ilp.max_nodes = 20;
+        let mut prep = PreparedDeployment::new(&graph, &prof, &dep, &cfg).expect("pins ok");
+        let t = std::time::Instant::now();
+        let verdict = match prep.solve_at(rate) {
+            Ok(p) => format!("ok obj {} ({} nodes)", p.objective, p.ilp_stats.nodes),
+            Err(e) => format!("{e}"),
+        };
+        println!("unseeded/20-node x{rate}: {verdict} in {:?}", t.elapsed());
+        let mut cfg = DeploymentConfig::default();
+        cfg.ilp.rel_gap = 0.025;
+        cfg.ilp.max_nodes = 2_000;
+        let mut prep = PreparedDeployment::new(&graph, &prof, &dep, &cfg).expect("pins ok");
+        let t = std::time::Instant::now();
+        let verdict = match prep.solve_at(rate) {
+            Ok(p) => format!(
+                "ok obj {} (seeded {}, timed_out {}, nodes {}, first {:?})",
+                p.objective,
+                p.ilp_stats.seeded,
+                p.ilp_stats.timed_out,
+                p.ilp_stats.nodes,
+                p.ilp_stats.incumbents.first().map(|i| i.0)
+            ),
+            Err(e) => format!("{e}"),
+        };
+        println!("seeded/2.5%-gap x{rate}: {verdict} in {:?}", t.elapsed());
+    }
+}
+
+#[test]
+fn seeded_search_finds_an_incumbent_fast_near_the_cliff() {
+    let (graph, prof, dep) = tight_forest();
+    let cfg = DeploymentConfig::default();
+    assert!(cfg.seed_incumbent, "seeding is the default");
+    let mut prep = PreparedDeployment::new(&graph, &prof, &dep, &cfg).expect("pins ok");
+    let part = prep
+        .solve_at(NEAR_CLIFF_RATE)
+        .expect("feasible just under the cliff");
+    assert!(
+        part.ilp_stats.seeded,
+        "the multilevel cut must be adopted as the initial incumbent"
+    );
+    let (first_at, _) = *part
+        .ilp_stats
+        .incumbents
+        .first()
+        .expect("a solved instance records its incumbents");
+    assert!(
+        first_at < Duration::from_secs(1),
+        "first incumbent took {first_at:?}; the near-cliff starvation is back"
+    );
+}
+
+#[test]
+fn approx_certificate_holds_near_the_cliff_on_both_backends() {
+    let (graph, prof, dep) = tight_forest();
+    for backend in [SolverBackend::Dense, SolverBackend::Sparse] {
+        let mut cfg = DeploymentConfig::default().at_rate(NEAR_CLIFF_RATE);
+        cfg.ilp.backend = backend;
+        let exact =
+            partition_deployment(&graph, &prof, &dep, &cfg).expect("feasible just under the cliff");
+        let approx = partition_approx(&graph, &prof, &dep, &cfg).expect("heuristic placement");
+        let gap = approx
+            .certified_gap
+            .expect("approx placements carry a certificate");
+        assert!(
+            gap <= 0.025,
+            "[{backend:?}] certified gap {gap} exceeds the 2.5% acceptance bar"
+        );
+        // The certificate must be honest: the true distance from the
+        // exact optimum is within the certified bound.
+        let true_gap =
+            (approx.objective - exact.objective) / approx.objective.abs().max(f64::EPSILON);
+        assert!(
+            true_gap <= gap + 1e-9,
+            "[{backend:?}] true gap {true_gap} exceeds certificate {gap}"
+        );
+        assert!(
+            approx.objective >= exact.objective - 1e-9 * (1.0 + exact.objective.abs()),
+            "[{backend:?}] heuristic {} beat the exact optimum {}",
+            approx.objective,
+            exact.objective
+        );
+        // Feasibility of the emitted placement, at the budget-row level.
+        for s in dep.site_ids() {
+            if let Some(l) = dep.uplink(s) {
+                if l.net_budget.is_finite() {
+                    assert!(
+                        approx.link_net[s.0] <= l.net_budget + 1e-6,
+                        "[{backend:?}] site {} over uplink budget",
+                        dep.site(s).name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn starved_probe_past_the_cliff_reports_unproven_not_infeasible() {
+    let (graph, prof) = eeg_profiled(8);
+    let dep = forest(4, 4, 800.0, 1_500.0, 0.25);
+
+    // Unseeded with a 20-node budget: enough for a root-LP
+    // infeasibility proof (one solve, zero nodes), nowhere near the
+    // hundreds of nodes the starving search needs for its first
+    // incumbent — pre-PR-8 this outcome was indistinguishable from
+    // `Infeasible`.
+    let mut cfg = DeploymentConfig {
+        seed_incumbent: false,
+        ..Default::default()
+    };
+    cfg.ilp.max_nodes = 20;
+    let mut prep = PreparedDeployment::new(&graph, &prof, &dep, &cfg).expect("pins ok");
+    match prep.solve_at(STARVED_RATE) {
+        Err(PartitionError::Unproven { best_bound }) => {
+            let bound = best_bound.expect("an unproven verdict carries the root LP bound");
+            assert!(bound.is_finite());
+        }
+        other => panic!(
+            "a starved near-cliff probe must surface as Unproven, got {:?}",
+            other.map(|p| p.objective)
+        ),
+    }
+
+    // The multilevel seed rescues the very same instance under an even
+    // tighter budget: with seeding on, 50 nodes is plenty to return a
+    // placement (the proof phase is cut short — `timed_out` stays
+    // honest about that — but the incumbent is there from millisecond
+    // one).
+    let mut cfg = DeploymentConfig::default();
+    cfg.ilp.max_nodes = 50;
+    let mut prep = PreparedDeployment::new(&graph, &prof, &dep, &cfg).expect("pins ok");
+    let part = prep.solve_at(STARVED_RATE).expect("seeded solve succeeds");
+    assert!(part.ilp_stats.seeded, "incumbent came from the seed");
+}
+
+#[test]
+fn approx_config_builder_sets_the_engine() {
+    let cfg = DeploymentConfig::default().approx();
+    assert_eq!(cfg.engine, PlacementEngine::Approx);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random tree deployments: `partition_approx` placements respect
+    /// every budget, never beat the exact optimum, and stay within
+    /// their own certificate — on both backends.
+    #[test]
+    fn approx_respects_budgets_and_certificates_on_random_trees(
+        channels in 1usize..3,
+        counts in (1usize..5, 1usize..5),
+        backhaul_a in 200.0f64..4000.0,
+        gw_budget in 0.05f64..0.8,
+        rate in 0.1f64..2.0,
+    ) {
+        let (count_a, count_b) = counts;
+        let (graph, prof) = eeg_profiled(channels);
+        let dep = forest(count_a, count_b, backhaul_a, 400_000.0, gw_budget);
+        for backend in [SolverBackend::Dense, SolverBackend::Sparse] {
+            let mut cfg = DeploymentConfig::default().at_rate(rate);
+            cfg.ilp.backend = backend;
+            let exact = partition_deployment(&graph, &prof, &dep, &cfg);
+            let approx = partition_approx(&graph, &prof, &dep, &cfg);
+            match (exact, approx) {
+                (Ok(e), Ok(a)) => {
+                    let gap = a.certified_gap.expect("certificate present");
+                    prop_assert!(gap >= 0.0);
+                    let true_gap =
+                        (a.objective - e.objective) / a.objective.abs().max(f64::EPSILON);
+                    prop_assert!(
+                        true_gap <= gap + 1e-9,
+                        "{:?}: true gap {} exceeds certificate {}", backend, true_gap, gap
+                    );
+                    for s in dep.site_ids() {
+                        let site = dep.site(s);
+                        if site.cpu_budget.is_finite() {
+                            prop_assert!(
+                                a.site_cpu[s.0] <= site.cpu_budget + 1e-6,
+                                "{:?}: site {} over CPU budget", backend, site.name
+                            );
+                        }
+                        if let Some(l) = dep.uplink(s) {
+                            if l.net_budget.is_finite() {
+                                prop_assert!(
+                                    a.link_net[s.0] <= l.net_budget + 1e-6,
+                                    "{:?}: site {} over uplink budget", backend, site.name
+                                );
+                            }
+                        }
+                    }
+                }
+                // The heuristic is incomplete: it may fail to find a cut
+                // on a feasible instance (reported as Unproven, never as
+                // a silent Infeasible). It must not claim feasibility
+                // the exact solver refutes.
+                (Ok(_), Err(PartitionError::Unproven { .. })) => {}
+                (Err(_), Err(_)) => {}
+                (e, a) => prop_assert!(
+                    false,
+                    "{:?}: exact {:?} vs approx {:?} disagree on feasibility",
+                    backend, e.map(|p| p.objective), a.map(|p| p.objective)
+                ),
+            }
+        }
+    }
+}

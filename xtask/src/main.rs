@@ -46,7 +46,7 @@ const LINTED_DIRS: [&str; 2] = ["crates/ilp/src", "crates/core/src"];
 
 /// `(needle, why it must survive)` — each must appear in at least one
 /// test file.
-const ORACLE_ANCHORS: [(&str, &str); 3] = [
+const ORACLE_ANCHORS: [(&str, &str); 4] = [
     (
         "encode_multitier",
         "the k-way chain encoder is the parity oracle for deployments",
@@ -58,6 +58,10 @@ const ORACLE_ANCHORS: [(&str, &str); 3] = [
     (
         "SolverBackend::Dense",
         "the dense tableau is the differential oracle for the sparse backend",
+    ),
+    (
+        "partition_approx",
+        "the multilevel heuristic's certificates are pinned against the exact ILP",
     ),
 ];
 
