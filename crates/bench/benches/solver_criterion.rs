@@ -7,7 +7,12 @@
 //! * `ablation_branching`: most-fractional vs first-fractional branching;
 //! * `ablation_warm_start`: workspace warm starts vs all-cold node LPs;
 //! * `rate_search`: §4.3 end-to-end, prepared (one encode, rescale per
-//!   probe) vs rebuild-per-probe (the pre-workspace behaviour).
+//!   probe) vs rebuild-per-probe (the pre-workspace behaviour);
+//! * `trace_overhead`: the tree simulator untraced vs traced with a
+//!   `NullSink` (must be free) vs a buffering `MemorySink`;
+//! * `drift_resolve`: a flagged profile drift absorbed by the standing
+//!   encoding (in-place budget rescale + warm re-solve) vs rebuilding
+//!   and re-encoding the drifted deployment from scratch.
 //!
 //! Modes (custom harness, so extra flags pass straight through):
 //!
@@ -19,20 +24,28 @@
 //!   `{"bench", "median_ns", "nodes", "warm_starts"}` records (see the
 //!   README "Solver" section) so future PRs can track solver perf.
 
+use std::collections::HashSet;
 use std::time::Instant;
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 
 use wishbone_apps::{build_eeg_app, EegParams};
 use wishbone_core::{
-    build_partition_graph, build_tiered_graph, encode, encode_multitier, partition, preprocess,
-    preprocess_tiered, Deployment, DeploymentConfig, DeploymentDelta, Encoding, LinkSpec, Mode,
-    MultiTierConfig, ObjectiveConfig, PartitionConfig, PartitionError, PartitionGraph,
-    PreparedDeployment, PreparedMultiTier, Site, SiteId, TierObjective,
+    build_partition_graph, build_tiered_graph, drift_to_deltas, encode, encode_multitier,
+    partition, preprocess, preprocess_tiered, Deployment, DeploymentConfig, DeploymentDelta,
+    Encoding, LinkSpec, Mode, MultiTierConfig, ObjectiveConfig, PartitionConfig, PartitionError,
+    PartitionGraph, PreparedDeployment, PreparedMultiTier, Site, SiteId, TierObjective,
 };
+use wishbone_dataflow::OperatorId;
 use wishbone_ilp::instances::chain_ilp;
 use wishbone_ilp::{Branching, IlpOptions, IlpStats, Problem, SolverBackend};
+use wishbone_net::ChannelParams;
 use wishbone_profile::{profile, GraphProfile, Platform};
+use wishbone_runtime::{
+    attribute_tree, simulate_deployment_tree, simulate_deployment_tree_traced, FailurePlan,
+    LeafRoute, SimulationConfig, SourceFeed, TreeTopology,
+};
+use wishbone_trace::{DriftReport, LossCause, MemorySink, NullSink, OperatorDrift};
 
 fn eeg_partition_graph(channels: usize) -> PartitionGraph {
     let mut app = build_eeg_app(EegParams {
@@ -615,6 +628,222 @@ fn churn_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// The traced-simulation fixture of the trace benches and smokes: the
+/// 2-ward EEG forest as a runtime tree. The caps host only their
+/// sources (gateways pure store-and-forward, the rest at the server),
+/// so the full raw streams cross both hops and gw-a's starved 100 B/s
+/// backhaul sheds load deterministically — the instance
+/// `tests/observability.rs` pins attribution on.
+fn forest_sim() -> (
+    wishbone_dataflow::Graph,
+    TreeTopology,
+    Vec<LeafRoute>,
+    SimulationConfig,
+) {
+    let mut app = build_eeg_app(EegParams {
+        n_channels: 2,
+        ..Default::default()
+    });
+    let traces = app.traces(8, 3..6, 5);
+    profile(&mut app.graph, &traces).expect("profiling succeeds");
+    let mote = Platform::tmote_sky();
+    let relay = Platform::iphone();
+    let topo = TreeTopology {
+        parent: vec![None, Some(0), Some(0), Some(1), Some(2)],
+        platforms: vec![Platform::server(), relay.clone(), relay, mote.clone(), mote],
+        counts: vec![1, 1, 1, 4, 4],
+        uplink: vec![
+            None,
+            Some(ChannelParams::wifi(100.0)),
+            Some(ChannelParams::wifi(400_000.0)),
+            Some(ChannelParams::wifi(1_000_000.0)),
+            Some(ChannelParams::wifi(1_000_000.0)),
+        ],
+    };
+    let feeds: Vec<SourceFeed> = app
+        .sources
+        .iter()
+        .zip(&traces)
+        .map(|(&src, t)| SourceFeed {
+            source: src,
+            trace: t.elements.clone(),
+            rate_hz: t.rate_hz,
+        })
+        .collect();
+    let sources: HashSet<OperatorId> = app.sources.iter().copied().collect();
+    let rest: HashSet<OperatorId> = app
+        .graph
+        .operator_ids()
+        .filter(|id| !sources.contains(id))
+        .collect();
+    let routes = vec![
+        LeafRoute {
+            path: vec![3, 1, 0],
+            site_ops: vec![sources.clone(), HashSet::new(), rest.clone()],
+            feeds: feeds.clone(),
+        },
+        LeafRoute {
+            path: vec![4, 2, 0],
+            site_ops: vec![sources, HashSet::new(), rest],
+            feeds,
+        },
+    ];
+    let cfg = SimulationConfig {
+        duration_s: 5.0,
+        rate_multiplier: 1.0,
+        ..SimulationConfig::motes(1, 7)
+    };
+    (app.graph, topo, routes, cfg)
+}
+
+/// Telemetry must be free when off: the untraced entry point vs the
+/// traced one with a [`NullSink`] (its `enabled()` is a monomorphized
+/// constant `false`, so every emission site folds away) vs a
+/// [`MemorySink`] actually buffering the stream (the honest cost of
+/// turning tracing on). The `--smoke` run asserts the null arm lands
+/// within 5% of untraced; this group puts numbers on all three.
+fn trace_overhead(c: &mut Criterion) {
+    let (graph, topo, routes, cfg) = forest_sim();
+    let mut group = c.benchmark_group("trace_overhead");
+    group.bench_function("untraced", |b| {
+        b.iter(|| simulate_deployment_tree(&graph, &topo, &routes, &cfg))
+    });
+    group.bench_function("null_sink", |b| {
+        b.iter(|| {
+            let mut off = NullSink;
+            simulate_deployment_tree_traced(
+                &graph,
+                &topo,
+                &routes,
+                &cfg,
+                &FailurePlan::default(),
+                &mut off,
+            )
+        })
+    });
+    group.bench_function("memory_sink", |b| {
+        b.iter(|| {
+            let mut sink = MemorySink::new();
+            simulate_deployment_tree_traced(
+                &graph,
+                &topo,
+                &routes,
+                &cfg,
+                &FailurePlan::default(),
+                &mut sink,
+            );
+            sink.events.len()
+        })
+    });
+    group.finish();
+}
+
+/// The solve rate of the drift benches and smokes (comfortably inside
+/// the 2×4 forest's feasible region even after a 2× budget cut).
+const DRIFT_RATE: f64 = 0.25;
+
+/// A synthetic one-operator drift report (the detector's output shape,
+/// without needing a live stream in the timed region).
+fn drift_report(victim: OperatorId, ratio: f64) -> DriftReport {
+    DriftReport {
+        operators: vec![OperatorDrift {
+            op: victim,
+            expected_s: 1.0,
+            observed_s: ratio,
+            ratio,
+        }],
+        edges: vec![],
+    }
+}
+
+/// The drift loop's repair step on the 2×4 forest: a flagged 2× operator
+/// inflation mapped through `drift_to_deltas` onto the standing encoding
+/// (in-place budget-row rescale + warm re-solve; `encodes()` stays 1) vs
+/// rebuilding and re-encoding the drifted deployment from scratch — the
+/// gap that makes reacting to drift online viable at all. The warm arm
+/// alternates drifted/recovered so both rewrite directions are timed.
+fn drift_resolve(c: &mut Criterion) {
+    let (graph, prof, dep) = eeg_forest(2, 4, 1e9, 1e9);
+    let cfg = DeploymentConfig::default();
+    let mut group = c.benchmark_group("drift_resolve");
+    group.sample_size(10);
+    group.bench_function("warm_rescale", |b| {
+        let mut prep = PreparedDeployment::new(&graph, &prof, &dep, &cfg).expect("pins ok");
+        let base = prep.solve_at(DRIFT_RATE).expect("baseline solve");
+        let victim = base.leaves[0].site_ops[0]
+            .iter()
+            .copied()
+            .min()
+            .expect("the leaf hosts its sources");
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            let ratio = if i.is_multiple_of(2) { 1.0 } else { 2.0 };
+            let deltas = drift_to_deltas(&drift_report(victim, ratio), &dep, &base);
+            prep.apply_delta(&deltas);
+            prep.solve_at(DRIFT_RATE).expect("warm re-solve").objective
+        });
+        assert_eq!(prep.encodes(), 1, "drift re-solves must not re-encode");
+    });
+    group.bench_function("cold_rebuild", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            let ratio = if i.is_multiple_of(2) { 1.0 } else { 2.0 };
+            let drifted = drifted_forest(ratio);
+            let mut prep = PreparedDeployment::new(&graph, &prof, &drifted, &cfg).expect("pins ok");
+            prep.solve_at(DRIFT_RATE).expect("cold solve").objective
+        });
+    });
+    group.finish();
+}
+
+/// The 2×4 forest with both ward budgets cut by `ratio` — what a cold
+/// rebuild has to reconstruct to absorb the same drift the warm arm
+/// handles with a `SetCpuBudget` delta.
+fn drifted_forest(ratio: f64) -> Deployment {
+    let mote = Platform::tmote_sky();
+    let phone = Platform::iphone();
+    let ward_budget = mote.cpu_budget_fraction / ratio;
+    let mut dep = Deployment::new(Site::server("server", &Platform::server()));
+    let root = dep.root();
+    let gw_a = dep.attach(
+        root,
+        Site::new("gw-a", &phone),
+        LinkSpec {
+            beta: 1.0,
+            net_budget: 1e9,
+        },
+    );
+    let gw_b = dep.attach(
+        root,
+        Site::new("gw-b", &phone),
+        LinkSpec {
+            beta: 1.0,
+            net_budget: 1e9,
+        },
+    );
+    let ward_uplink = LinkSpec {
+        beta: 1.0,
+        net_budget: 4.0 * mote.radio.goodput_bytes_per_sec,
+    };
+    dep.attach(
+        gw_a,
+        Site::new("ward-a", &mote)
+            .with_count(4)
+            .with_cpu_budget(ward_budget),
+        ward_uplink,
+    );
+    dep.attach(
+        gw_b,
+        Site::new("ward-b", &mote)
+            .with_count(4)
+            .with_cpu_budget(ward_budget),
+        ward_uplink,
+    );
+    dep
+}
+
 criterion_group!(
     benches,
     solver_scaling,
@@ -628,6 +857,8 @@ criterion_group!(
     rate_search,
     churn_scaling,
     approx_scaling,
+    trace_overhead,
+    drift_resolve,
 );
 
 /// One `BENCH_solver.json` record.
@@ -897,6 +1128,105 @@ fn emit_json(reps: usize) {
         warm_starts: 0,
     });
 
+    // Trace overhead: the forest tree simulation untraced vs traced with
+    // a NullSink (must coincide up to noise) vs a buffering MemorySink.
+    {
+        let (sgraph, stopo, sroutes, scfg) = forest_sim();
+        let (median_ns, _, _) = measure(reps.max(5), || {
+            let r = simulate_deployment_tree(&sgraph, &stopo, &sroutes, &scfg);
+            (r.stats().events_processed, 0)
+        });
+        records.push(JsonRecord {
+            bench: "trace_overhead_untraced".into(),
+            median_ns,
+            nodes: 0,
+            warm_starts: 0,
+        });
+        let (median_ns, _, _) = measure(reps.max(5), || {
+            let mut off = NullSink;
+            let r = simulate_deployment_tree_traced(
+                &sgraph,
+                &stopo,
+                &sroutes,
+                &scfg,
+                &FailurePlan::default(),
+                &mut off,
+            );
+            (r.stats().events_processed, 0)
+        });
+        records.push(JsonRecord {
+            bench: "trace_overhead_null_sink".into(),
+            median_ns,
+            nodes: 0,
+            warm_starts: 0,
+        });
+        let (median_ns, _, _) = measure(reps.max(5), || {
+            let mut sink = MemorySink::new();
+            let _ = simulate_deployment_tree_traced(
+                &sgraph,
+                &stopo,
+                &sroutes,
+                &scfg,
+                &FailurePlan::default(),
+                &mut sink,
+            );
+            (sink.events.len() as u64, 0)
+        });
+        records.push(JsonRecord {
+            bench: "trace_overhead_memory_sink".into(),
+            median_ns,
+            nodes: 0,
+            warm_starts: 0,
+        });
+    }
+
+    // Drift re-solve: a flagged 2× inflation absorbed by the standing
+    // encoding (delta + warm solve, encodes() stays 1) vs a full rebuild
+    // + re-encode + cold solve of the drifted deployment.
+    {
+        let (dgraph, dprof, ddep) = eeg_forest(2, 4, 1e9, 1e9);
+        let dcfg = DeploymentConfig::default();
+        let mut prep = PreparedDeployment::new(&dgraph, &dprof, &ddep, &dcfg).expect("pins ok");
+        let base = prep.solve_at(DRIFT_RATE).expect("baseline solve");
+        let victim = base.leaves[0].site_ops[0]
+            .iter()
+            .copied()
+            .min()
+            .expect("the leaf hosts its sources");
+        let mut i = 0usize;
+        let (median_ns, nodes, warm_starts) = measure(reps.max(5), || {
+            i += 1;
+            let ratio = if i.is_multiple_of(2) { 1.0 } else { 2.0 };
+            let deltas = drift_to_deltas(&drift_report(victim, ratio), &ddep, &base);
+            prep.apply_delta(&deltas);
+            let part = prep.solve_at(DRIFT_RATE).expect("warm re-solve");
+            (part.ilp_stats.nodes, part.ilp_stats.warm_starts)
+        });
+        assert_eq!(prep.encodes(), 1, "drift re-solves must not re-encode");
+        records.push(JsonRecord {
+            bench: "drift_resolve_warm_rescale".into(),
+            median_ns,
+            nodes,
+            warm_starts,
+        });
+        let mut i = 0usize;
+        let (median_ns, nodes, warm_starts) = measure(reps.max(5), || {
+            i += 1;
+            let ratio = if i.is_multiple_of(2) { 1.0 } else { 2.0 };
+            let drifted = drifted_forest(ratio);
+            let mut cold =
+                PreparedDeployment::new(&dgraph, &dprof, &drifted, &dcfg).expect("pins ok");
+            let part = cold.solve_at(DRIFT_RATE).expect("cold solve");
+            (part.ilp_stats.nodes, part.ilp_stats.warm_starts)
+        });
+        records.push(JsonRecord {
+            bench: "drift_resolve_cold_rebuild".into(),
+            median_ns,
+            nodes,
+            warm_starts,
+        });
+    }
+
     let body: Vec<String> = records
         .iter()
         .map(|r| {
@@ -1067,11 +1397,104 @@ fn smoke(backend: SolverBackend) {
         seeded.objective
     );
 
+    // One traced simulation per smoke: the NullSink run must reproduce
+    // the untraced entry point byte for byte and cost nothing (min-of-N
+    // within 5% plus scheduling slack), a MemorySink must capture the
+    // stream, and attribution must blame the starved gateway uplink.
+    let (sgraph, stopo, sroutes, scfg) = forest_sim();
+    let bare = simulate_deployment_tree(&sgraph, &stopo, &sroutes, &scfg);
+    let mut off = NullSink;
+    let traced = simulate_deployment_tree_traced(
+        &sgraph,
+        &stopo,
+        &sroutes,
+        &scfg,
+        &FailurePlan::default(),
+        &mut off,
+    );
+    assert_eq!(
+        bare, traced,
+        "[{label}] NullSink run must be byte-identical"
+    );
+    let mut mem = MemorySink::new();
+    let _ = simulate_deployment_tree_traced(
+        &sgraph,
+        &stopo,
+        &sroutes,
+        &scfg,
+        &FailurePlan::default(),
+        &mut mem,
+    );
+    assert!(!mem.events.is_empty(), "[{label}] MemorySink saw no events");
+    let attr = attribute_tree(&bare, &stopo);
+    let top = attr.top().expect("the starved forest sheds load");
+    assert_eq!(
+        (top.cause, top.site),
+        (LossCause::ChannelLoss, 1),
+        "[{label}] attribution must blame gw-a's uplink:\n{attr}"
+    );
+    let mut best_untraced = u128::MAX;
+    let mut best_null = u128::MAX;
+    for _ in 0..7 {
+        let t = Instant::now();
+        let _ = simulate_deployment_tree(&sgraph, &stopo, &sroutes, &scfg);
+        best_untraced = best_untraced.min(t.elapsed().as_nanos());
+        let t = Instant::now();
+        let mut off = NullSink;
+        let _ = simulate_deployment_tree_traced(
+            &sgraph,
+            &stopo,
+            &sroutes,
+            &scfg,
+            &FailurePlan::default(),
+            &mut off,
+        );
+        best_null = best_null.min(t.elapsed().as_nanos());
+    }
+    assert!(
+        best_null as f64 <= best_untraced as f64 * 1.05 + 2e6,
+        "[{label}] NullSink tracing is not free: {best_null}ns vs {best_untraced}ns untraced"
+    );
+
+    // One drift re-solve per smoke: a flagged 2× inflation maps to
+    // budget deltas the standing encoding absorbs in place — the warm
+    // re-solve completes without a re-encode, on this backend.
+    let (dgraph, dprof, ddep) = eeg_forest(2, 4, 1e9, 1e9);
+    let mut dcfg = DeploymentConfig::default();
+    dcfg.ilp.backend = backend;
+    let mut prep = PreparedDeployment::new(&dgraph, &dprof, &ddep, &dcfg).expect("pins ok");
+    let dbase = prep.solve_at(DRIFT_RATE).expect("baseline solve");
+    assert!(
+        dbase.ilp_stats.phase_times.encode_s > 0.0,
+        "[{label}] the encode span must be timed"
+    );
+    let victim = dbase.leaves[0].site_ops[0]
+        .iter()
+        .copied()
+        .min()
+        .expect("the leaf hosts its sources");
+    let deltas = drift_to_deltas(&drift_report(victim, 2.0), &ddep, &dbase);
+    assert!(!deltas.is_empty(), "[{label}] drift must map to deltas");
+    prep.apply_delta(&deltas);
+    let drifted = prep.solve_at(DRIFT_RATE).expect("drift re-solve");
+    assert_eq!(
+        prep.encodes(),
+        1,
+        "[{label}] the drift re-solve must not re-encode"
+    );
+    assert!(
+        drifted.objective >= dbase.objective - 1e-9 * (1.0 + dbase.objective.abs()),
+        "[{label}] a tighter budget cannot improve the objective: {} vs {}",
+        drifted.objective,
+        dbase.objective
+    );
+
     println!(
         "smoke[{label}] OK: {} nodes ({} warm) on 1ch EEG; chain_972 obj {:.1} \
          in {} nodes; multitier k3 obj {:.1}; forest obj {:.1}; rate search found \
          x{:.3} in {} probes / {} encode; churn delta obj {:.3}; near-cliff \
-         seeded obj {:.3}, approx gap {:.4}",
+         seeded obj {:.3}, approx gap {:.4}; traced sim {} events, top blame \
+         {}, null-sink overhead {:+.1}%; drift re-solve obj {:.3} in 1 encode",
         warm_stats.nodes,
         warm_stats.warm_starts,
         mine.objective,
@@ -1083,7 +1506,11 @@ fn smoke(backend: SolverBackend) {
         r.encodes,
         churn_obj,
         seeded.objective,
-        cliff_gap
+        cliff_gap,
+        mem.events.len(),
+        top.label,
+        (best_null as f64 / best_untraced as f64 - 1.0) * 100.0,
+        drifted.objective
     );
 }
 

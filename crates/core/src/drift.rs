@@ -1,0 +1,65 @@
+//! Map a detected profile drift onto the standing encoding's in-place
+//! rescale path.
+//!
+//! When a [`DriftReport`] says an operator runs `f×` hotter than the
+//! [`GraphProfile`](wishbone_profile::GraphProfile) the cut was priced
+//! on, every site hosting that operator effectively has `1/f` of the CPU
+//! the solver believed in. [`drift_to_deltas`] turns that observation
+//! into [`DeploymentDelta::SetCpuBudget`] rewrites, which
+//! [`PreparedDeployment::apply_delta`](crate::PreparedDeployment::apply_delta)
+//! absorbs as index-stable row surgery on the standing ILP — no graph
+//! rebuild, no merge, no re-encode — so the warm re-solve that follows
+//! costs milliseconds (the `drift_resolve` bench group measures it).
+
+use wishbone_trace::DriftReport;
+
+use crate::topology::{Deployment, DeploymentDelta, DeploymentPartition, SiteId};
+
+/// Translate a drift report into in-place deployment deltas against the
+/// partition the drift was measured under.
+///
+/// Per drifted operator, every site hosting it (in any leaf class's
+/// placement) takes the operator's inflation ratio; a site hit by
+/// several drifted operators takes the **largest** ratio — shrinking the
+/// whole budget by the worst single inflation over-corrects for the
+/// non-drifted operators sharing the site, which is the conservative
+/// direction (the re-solve sheds load it maybe could have kept, never
+/// keeps load it cannot carry). A uniform speedup (ratio < 1) relaxes
+/// the budget symmetrically.
+///
+/// Sites with an infinite CPU budget (the server) are skipped: they have
+/// no budget row to rescale, and more observed CPU there is free by
+/// assumption. Edge drift is reported for visibility but not mapped —
+/// uplink budgets have no in-place delta today (re-prepare for that).
+pub fn drift_to_deltas(
+    report: &DriftReport,
+    dep: &Deployment,
+    part: &DeploymentPartition,
+) -> Vec<DeploymentDelta> {
+    let mut worst_ratio: Vec<Option<f64>> = vec![None; dep.len()];
+    for od in &report.operators {
+        for leaf in &part.leaves {
+            let Some(pos) = leaf.position_of(od.op) else {
+                continue;
+            };
+            let site = leaf.path[pos];
+            let w = &mut worst_ratio[site.0];
+            *w = Some(w.map_or(od.ratio, |r: f64| r.max(od.ratio)));
+        }
+    }
+    worst_ratio
+        .iter()
+        .enumerate()
+        .filter_map(|(s, ratio)| {
+            let ratio = (*ratio)?;
+            let old = dep.site(SiteId(s)).cpu_budget;
+            if !old.is_finite() {
+                return None;
+            }
+            Some(DeploymentDelta::SetCpuBudget {
+                site: SiteId(s),
+                cpu_budget: old / ratio,
+            })
+        })
+        .collect()
+}

@@ -39,6 +39,7 @@
 pub mod audit;
 pub mod baselines;
 pub mod cost_graph;
+pub mod drift;
 pub mod encodings;
 pub mod mixed;
 pub mod multilevel;
@@ -58,6 +59,7 @@ pub use baselines::{
 pub use cost_graph::{
     build_partition_graph, pin_analysis, Mode, PEdge, PVertex, PartitionGraph, Pin, PinError,
 };
+pub use drift::drift_to_deltas;
 pub use encodings::{
     encode, encode_deployment, encode_multitier, DeploymentObjective, EncodedDeployment,
     EncodedMultiTier, EncodedProblem, Encoding, LeafChain, ObjectiveConfig, TierObjective,

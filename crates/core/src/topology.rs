@@ -32,10 +32,12 @@
 //! `search_max_rate` skeleton.
 
 use std::collections::HashSet;
+use std::time::Instant;
 
 use wishbone_dataflow::{EdgeId, Graph, OperatorId};
 use wishbone_ilp::{
-    solve_ilp_in, IlpOptions, IlpStats, SimplexWorkspace, SolveError, SolverBackend, VarId,
+    solve_ilp_in, IlpOptions, IlpStats, PhaseTimes, SimplexWorkspace, SolveError, SolverBackend,
+    VarId,
 };
 use wishbone_profile::{GraphProfile, Platform};
 
@@ -654,6 +656,10 @@ pub struct PreparedDeployment<'a> {
     encodes: u32,
     solves: u32,
     last_values: Option<Vec<f64>>,
+    /// Wall-clock cost of the one-time build (graph build, §4.1 merge,
+    /// encoding), stamped into every solve's
+    /// [`PhaseTimes::encode_s`].
+    encode_s: f64,
 }
 
 impl<'a> PreparedDeployment<'a> {
@@ -667,6 +673,7 @@ impl<'a> PreparedDeployment<'a> {
         cfg: &DeploymentConfig,
     ) -> Result<Self, PartitionError> {
         dep.validate();
+        let encode_t = Instant::now();
         let mut leaves = Vec::new();
         let mut vertices_before = 0;
         let mut vertices_after = 0;
@@ -723,6 +730,7 @@ impl<'a> PreparedDeployment<'a> {
             encodes: 1,
             solves: 0,
             last_values: None,
+            encode_s: encode_t.elapsed().as_secs_f64(),
         })
     }
 
@@ -790,6 +798,13 @@ impl<'a> PreparedDeployment<'a> {
     /// How many times the ILP has been encoded (always 1).
     pub fn encodes(&self) -> u32 {
         self.encodes
+    }
+
+    /// Wall-clock cost of the one-time build (graph build, merge,
+    /// encoding), seconds — the `encode_s` phase every solve from this
+    /// instance reports.
+    pub fn encode_seconds(&self) -> f64 {
+        self.encode_s
     }
 
     /// How many rate probes this instance has solved.
@@ -939,6 +954,10 @@ impl<'a> PreparedDeployment<'a> {
         let stats = IlpStats {
             best_bound: lp.map(|b| b - self.ep.objective_offset * rate),
             backend: self.solver_backend(),
+            phase_times: PhaseTimes {
+                encode_s: self.encode_s,
+                ..PhaseTimes::default()
+            },
             ..IlpStats::default()
         };
         self.last_values = Some(values.clone());
@@ -981,7 +1000,9 @@ impl<'a> PreparedDeployment<'a> {
         };
         self.last_values = Some(sol.values.clone());
         let objective = sol.objective + self.ep.objective_offset * rate;
-        Ok(self.decode_partition(&sol.values, rate, objective, sol.stats, None))
+        let mut stats = sol.stats;
+        stats.phase_times.encode_s = self.encode_s;
+        Ok(self.decode_partition(&sol.values, rate, objective, stats, None))
     }
 
     /// Decode an encoding-level assignment into the public

@@ -93,6 +93,22 @@ pub enum Branching {
     FirstFractional,
 }
 
+/// Span-style wall-clock breakdown of one solve, seconds. The branch-
+/// and-bound phases are timed by [`solve_ilp_in`] itself; `encode_s` is
+/// stamped in by prepared pipelines that own the encoding (zero for a
+/// direct [`solve_ilp`] call, where the caller encoded separately).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimes {
+    /// Building the encoded problem (graph build, merge, row emission).
+    pub encode_s: f64,
+    /// Root bound propagation (presolve).
+    pub presolve_s: f64,
+    /// Checking and adopting the warm incumbent seed.
+    pub warm_start_s: f64,
+    /// The node loop: every LP solve, branching, and heap bookkeeping.
+    pub nodes_s: f64,
+}
+
 /// Search statistics, including the discover-vs-prove timeline (Fig 6).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct IlpStats {
@@ -138,6 +154,8 @@ pub struct IlpStats {
     /// The simplex backend that solved the node LPs (resolved — never
     /// `Auto`).
     pub backend: SolverBackend,
+    /// Wall-clock breakdown of the solve by phase.
+    pub phase_times: PhaseTimes,
 }
 
 /// An integer-feasible solution plus statistics.
@@ -217,7 +235,10 @@ pub fn solve_ilp_in(
     let mut root_lower = problem.lower.clone();
     let mut root_upper = problem.upper.clone();
     if opts.presolve {
-        if let PresolveOutcome::Infeasible = presolve(problem, &mut root_lower, &mut root_upper) {
+        let presolve_start = Instant::now();
+        let outcome = presolve(problem, &mut root_lower, &mut root_upper);
+        stats.phase_times.presolve_s = presolve_start.elapsed().as_secs_f64();
+        if let PresolveOutcome::Infeasible = outcome {
             stats.proved = true;
             stats.total_time = start.elapsed();
             return (Err(SolveError::Infeasible), stats);
@@ -229,6 +250,7 @@ pub fn solve_ilp_in(
         .unwrap_or_else(|| default_iteration_limit(problem));
 
     let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    let warm_start_t = Instant::now();
     if let Some(seed) = &opts.warm_solution {
         if seed.len() == problem.num_vars() {
             let mut vals = seed.clone();
@@ -245,6 +267,7 @@ pub fn solve_ilp_in(
             }
         }
     }
+    stats.phase_times.warm_start_s = warm_start_t.elapsed().as_secs_f64();
 
     // The floor-and-lift rounding heuristic below assumes a chain-shaped
     // precedence structure (one indicator component, as in the binary and
@@ -272,6 +295,7 @@ pub fn solve_ilp_in(
     let mut hit_limit = false;
     let mut fatal: Option<SolveError> = None;
 
+    let node_loop_t = Instant::now();
     loop {
         if stats.nodes >= opts.max_nodes {
             hit_limit = true;
@@ -430,6 +454,7 @@ pub fn solve_ilp_in(
         }
     }
 
+    stats.phase_times.nodes_s = node_loop_t.elapsed().as_secs_f64();
     stats.warm_starts = ws.warm_starts();
     stats.cold_starts = ws.cold_starts();
     stats.total_time = start.elapsed();

@@ -60,7 +60,9 @@ pub mod simplex;
 mod sparse;
 pub mod workspace;
 
-pub use branch_bound::{solve_ilp, solve_ilp_in, Branching, IlpOptions, IlpSolution, IlpStats};
+pub use branch_bound::{
+    solve_ilp, solve_ilp_in, Branching, IlpOptions, IlpSolution, IlpStats, PhaseTimes,
+};
 pub use num::is_exact_zero;
 pub use presolve::{presolve, quick_infeasible, PresolveOutcome};
 pub use problem::{Constraint, LpSolution, Problem, Sense, SolveError, VarId};

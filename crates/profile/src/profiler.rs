@@ -154,6 +154,22 @@ impl GraphProfile {
     pub fn operator_count(&self) -> usize {
         self.per_op.len()
     }
+
+    /// Number of profiled edges.
+    pub fn edge_count(&self) -> usize {
+        self.per_edge.len()
+    }
+
+    /// Mean marshalled element size on an edge, bytes (0 if nothing
+    /// crossed it on the profiling trace).
+    pub fn mean_element_bytes(&self, id: EdgeId) -> f64 {
+        let e = &self.per_edge[id.0];
+        if e.elements == 0 {
+            0.0
+        } else {
+            e.bytes as f64 / e.elements as f64
+        }
+    }
 }
 
 /// Execute `graph` over `traces` and collect a [`GraphProfile`].

@@ -1,0 +1,102 @@
+//! Critical-path attribution over a finished tree simulation.
+//!
+//! Walks the per-route hop ledgers and per-site loss counters of a
+//! [`TreeDeploymentReport`] and buckets every lost element by cause and
+//! responsible site/link, producing the ranked
+//! [`AttributionReport`] the examples print instead of raw goodput
+//! ratios.
+
+use wishbone_trace::{AttributionReport, Blame, LossCause};
+
+use crate::tree::{TreeDeploymentReport, TreeTopology};
+
+/// Attribute every loss in `report` to the site/link responsible.
+///
+/// Loss buckets, per site `s` of `topo`:
+///
+/// - **input overrun** at leaf sites: source events the class's own CPU
+///   missed (offered − processed, minus battery-death losses) — counted
+///   in events, every other bucket in elements;
+/// - **outage**: battery deaths at leaves, reboot windows at gateways,
+///   fade windows on the uplink out of `s`;
+/// - **CPU saturation** at gateways: elements shed after the relay
+///   burned its whole busy-time capacity;
+/// - **channel loss** on the uplink out of `s`: elements lost to
+///   shared-channel contention on the air.
+///
+/// Ranked by loss count; `share` is each bucket's fraction of all
+/// attributed losses. The split between input overrun and deaths at a
+/// site that both hosts a route and relays others is best-effort (the
+/// aggregate counters cannot tell those causes apart per element).
+pub fn attribute_tree(report: &TreeDeploymentReport, topo: &TreeTopology) -> AttributionReport {
+    let n = topo.len();
+    let mut sent = vec![0u64; n];
+    let mut delivered = vec![0u64; n];
+    let mut leaf_missed = vec![0u64; n];
+    let mut hosts_route = vec![false; n];
+    for l in &report.leaves {
+        hosts_route[l.leaf] = true;
+        leaf_missed[l.leaf] += l.events_offered - l.events_processed;
+        let mut site = l.leaf;
+        for h in 0..l.hop_elements_sent.len() {
+            sent[site] += l.hop_elements_sent[h];
+            delivered[site] += l.hop_elements_delivered[h];
+            site = topo.parent[site].expect("route reaches the root");
+        }
+    }
+
+    let mut blames = Vec::new();
+    for s in 0..n {
+        if hosts_route[s] {
+            let overrun = leaf_missed[s].saturating_sub(report.site_outage_dropped[s]);
+            blames.push(Blame {
+                cause: LossCause::InputOverrun,
+                site: s,
+                label: format!("leaf site {s} CPU"),
+                lost: overrun,
+                share: 0.0,
+            });
+        }
+        if report.site_outage_dropped[s] > 0 {
+            let what = if hosts_route[s] {
+                "battery deaths"
+            } else {
+                "reboot windows"
+            };
+            blames.push(Blame {
+                cause: LossCause::Outage,
+                site: s,
+                label: format!("site {s} {what}"),
+                lost: report.site_outage_dropped[s],
+                share: 0.0,
+            });
+        }
+        blames.push(Blame {
+            cause: LossCause::Saturation,
+            site: s,
+            label: format!("site {s} relay CPU"),
+            lost: report.site_elements_dropped[s],
+            share: 0.0,
+        });
+        if let Some(parent) = topo.parent[s] {
+            let contended = sent[s]
+                .saturating_sub(delivered[s])
+                .saturating_sub(report.edge_outage_dropped[s]);
+            blames.push(Blame {
+                cause: LossCause::ChannelLoss,
+                site: s,
+                label: format!("uplink {s}->{parent}"),
+                lost: contended,
+                share: 0.0,
+            });
+            blames.push(Blame {
+                cause: LossCause::Outage,
+                site: s,
+                label: format!("uplink {s}->{parent} fades"),
+                lost: report.edge_outage_dropped[s],
+                share: 0.0,
+            });
+        }
+    }
+    AttributionReport::from_blames(blames, report.goodput_ratio())
+}

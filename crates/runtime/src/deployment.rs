@@ -13,6 +13,7 @@ use std::collections::HashSet;
 use wishbone_dataflow::{EdgeId, Graph, OperatorId, Value};
 use wishbone_net::{Channel, ChannelParams};
 use wishbone_profile::Platform;
+use wishbone_trace::{NullSink, TraceEvent, TraceSink};
 
 use crate::exec::{NodeExecutor, RelayExecutor, ServerExecutor};
 use crate::task::TaskModel;
@@ -224,7 +225,17 @@ pub(crate) fn run_node_pass(
     channel: &ChannelParams,
     cfg: &SimulationConfig,
 ) -> NodePass {
-    run_node_pass_failing(graph, node_ops, feeds, node_platform, channel, cfg, &[])
+    run_node_pass_failing(
+        graph,
+        node_ops,
+        feeds,
+        node_platform,
+        channel,
+        cfg,
+        &[],
+        0,
+        &mut NullSink,
+    )
 }
 
 /// [`run_node_pass`] with battery deaths: `deaths` lists
@@ -232,7 +243,11 @@ pub(crate) fn run_node_pass(
 /// transmitting) once `after_events` source events have been offered to
 /// it; later arrivals count as offered but are lost to the outage. With
 /// an empty list this is byte-for-byte `run_node_pass`.
-pub(crate) fn run_node_pass_failing(
+///
+/// `site` labels the emitted [`TraceEvent::OperatorCost`] samples;
+/// with a [`NullSink`] the instrumentation compiles away entirely.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_node_pass_failing<S: TraceSink>(
     graph: &Graph,
     node_ops: &HashSet<OperatorId>,
     feeds: &[SourceFeed],
@@ -240,6 +255,8 @@ pub(crate) fn run_node_pass_failing(
     channel: &ChannelParams,
     cfg: &SimulationConfig,
     deaths: &[(usize, u64)],
+    site: usize,
+    sink: &mut S,
 ) -> NodePass {
     assert!(
         !feeds.is_empty(),
@@ -321,6 +338,11 @@ pub(crate) fn run_node_pass_failing(
             let feed = &feeds[fi];
             let elem = &feed.trace[k % feed.trace.len()];
             let cascade = ne.process_event(graph, feed.source, elem);
+            if sink.enabled() {
+                for &(op, cpu_s) in &cascade.op_costs {
+                    sink.record(TraceEvent::OperatorCost { site, op, cpu_s });
+                }
+            }
             let tx_cpu = cascade
                 .transmissions
                 .iter()

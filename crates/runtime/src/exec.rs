@@ -25,6 +25,10 @@ pub struct NodeCascade {
     pub tasks: u64,
     /// Elements that must cross the network: `(cut edge, element)`.
     pub transmissions: Vec<(EdgeId, Value)>,
+    /// Per-operator CPU charge of this cascade, `(operator, seconds)` in
+    /// execution order — the telemetry source for per-operator cost
+    /// samples.
+    pub op_costs: Vec<(OperatorId, f64)>,
 }
 
 /// Executes the node partition of a graph on one simulated embedded node.
@@ -95,7 +99,9 @@ impl NodeExecutor {
 
         let busy = self.platform.seconds_for(&counts) * self.platform.os_overhead;
         let lf = counts.loop_fraction();
-        cascade.cpu_seconds += self.task_model.total_time(busy, lf);
+        let charged = self.task_model.total_time(busy, lf);
+        cascade.cpu_seconds += charged;
+        cascade.op_costs.push((op, charged));
         cascade.longest_task_s = cascade
             .longest_task_s
             .max(self.task_model.longest_task(busy, lf));
@@ -124,6 +130,9 @@ pub struct RelayCascade {
     /// `(cut edge, element)`. Includes unmodified pass-through traffic
     /// whose destination lives beyond this tier.
     pub forwards: Vec<(EdgeId, Value)>,
+    /// Per-operator CPU charge of this cascade, `(operator, seconds)` in
+    /// execution order (empty for pure store-and-forward deliveries).
+    pub op_costs: Vec<(OperatorId, f64)>,
 }
 
 /// Executes an intermediate tier (a gateway) of a multi-tier partition.
@@ -241,7 +250,9 @@ impl RelayExecutor {
             .unwrap_or_else(|| panic!("operator {op} has no work function"))
             .process(port, input, &mut cx);
         let (outputs, counts) = cx.finish();
-        cascade.cpu_seconds += self.platform.seconds_for(&counts) * self.platform.os_overhead;
+        let charged = self.platform.seconds_for(&counts) * self.platform.os_overhead;
+        cascade.cpu_seconds += charged;
+        cascade.op_costs.push((op, charged));
         let out_edges: Vec<EdgeId> = graph.out_edges(op).to_vec();
         for v in &outputs {
             for &eid in &out_edges {

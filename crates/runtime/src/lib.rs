@@ -22,16 +22,24 @@
 //! * [`simulate_deployment_tree_with_failures`] — the same simulation
 //!   under a seeded [`FailurePlan`] (mote battery deaths, gateway reboot
 //!   windows, fading uplinks) with per-window outage accounting
-//!   ([`OutageReport`]) and aggregate [`SimStats`] counters.
+//!   ([`OutageReport`]) and aggregate [`SimStats`] counters;
+//! * [`simulate_deployment_tree_traced`] — the same simulation emitting
+//!   streaming [`wishbone_trace::TraceEvent`] telemetry through a
+//!   [`wishbone_trace::TraceSink`] (zero-cost when off — the untraced
+//!   entry points delegate here with the null sink), and
+//!   [`attribute_tree`] — snailtrail-style ranked blame over a finished
+//!   run, naming the site/link responsible for lost goodput.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod deployment;
 pub mod exec;
 pub mod task;
 pub mod tree;
 
+pub use attribution::attribute_tree;
 pub use deployment::{
     simulate_deployment, simulate_deployment_multi, simulate_tiered_deployment, DeploymentReport,
     SimulationConfig, SourceFeed, TieredDeploymentReport,
@@ -39,6 +47,7 @@ pub use deployment::{
 pub use exec::{NodeCascade, NodeExecutor, RelayCascade, RelayExecutor, ServerExecutor};
 pub use task::TaskModel;
 pub use tree::{
-    simulate_deployment_tree, simulate_deployment_tree_with_failures, Failure, FailurePlan,
-    LeafFlowReport, LeafRoute, OutageReport, SimStats, TreeDeploymentReport, TreeTopology,
+    simulate_deployment_tree, simulate_deployment_tree_traced,
+    simulate_deployment_tree_with_failures, Failure, FailurePlan, LeafFlowReport, LeafRoute,
+    OutageReport, SimStats, TreeDeploymentReport, TreeTopology,
 };

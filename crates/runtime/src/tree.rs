@@ -25,6 +25,8 @@ use wishbone_dataflow::{EdgeId, Graph, OperatorId, Value};
 use wishbone_net::{Channel, ChannelParams};
 use wishbone_profile::Platform;
 
+use wishbone_trace::{NullSink, TraceEvent, TraceSink};
+
 use crate::deployment::{run_node_pass_failing, SimulationConfig, SourceFeed};
 use crate::exec::{RelayExecutor, ServerExecutor};
 
@@ -424,6 +426,25 @@ pub fn simulate_deployment_tree_with_failures(
     cfg: &SimulationConfig,
     plan: &FailurePlan,
 ) -> TreeDeploymentReport {
+    simulate_deployment_tree_traced(graph, topo, routes, cfg, plan, &mut NullSink)
+}
+
+/// [`simulate_deployment_tree_with_failures`] with streaming telemetry:
+/// every per-operator invocation cost, per-edge element fate, per-site
+/// busy fraction, and failure-outage window is emitted through `sink` as
+/// a structured [`TraceEvent`]. All event construction is gated on
+/// [`TraceSink::enabled`], so running with
+/// [`NullSink`] is byte-identical to (and
+/// within measurement noise of) the untraced entry points — which in
+/// fact delegate here.
+pub fn simulate_deployment_tree_traced<S: TraceSink>(
+    graph: &Graph,
+    topo: &TreeTopology,
+    routes: &[LeafRoute],
+    cfg: &SimulationConfig,
+    plan: &FailurePlan,
+    sink: &mut S,
+) -> TreeDeploymentReport {
     topo.validate();
     plan.validate(topo);
     assert!(!routes.is_empty(), "a tree deployment needs a route");
@@ -524,6 +545,8 @@ pub fn simulate_deployment_tree_with_failures(
             topo.uplink[leaf].as_ref().expect("leaf has an uplink"),
             &leaf_cfg,
             &deaths,
+            leaf,
+            sink,
         );
         site_busy[leaf] += np.busy_total;
         report.site_outage_dropped[leaf] += np.events_lost_to_death;
@@ -649,7 +672,16 @@ pub fn simulate_deployment_tree_with_failures(
             let mut next_times: Vec<f64> = Vec::new();
             for ((node, eid, v), &t) in flow.iter().zip(flow_times.iter()) {
                 report.leaves[r].hop_elements_sent[h] += 1;
-                if !ch.try_deliver(v.wire_size()) {
+                let wire_bytes = v.wire_size();
+                if !ch.try_deliver(wire_bytes) {
+                    if sink.enabled() {
+                        sink.record(TraceEvent::EdgeElement {
+                            site: child,
+                            edge: *eid,
+                            wire_bytes,
+                            delivered: false,
+                        });
+                    }
                     continue;
                 }
                 // A fading window on this uplink adds an independent
@@ -660,11 +692,27 @@ pub fn simulate_deployment_tree_with_failures(
                     if frng.gen::<f64>() < loss_prob {
                         report.outages[pi].elements_dropped += 1;
                         report.edge_outage_dropped[child] += 1;
+                        if sink.enabled() {
+                            sink.record(TraceEvent::EdgeElement {
+                                site: child,
+                                edge: *eid,
+                                wire_bytes,
+                                delivered: false,
+                            });
+                        }
                         continue;
                     }
                     report.outages[pi].elements_delivered += 1;
                 }
                 report.leaves[r].hop_elements_delivered[h] += 1;
+                if sink.enabled() {
+                    sink.record(TraceEvent::EdgeElement {
+                        site: child,
+                        edge: *eid,
+                        wire_bytes,
+                        delivered: true,
+                    });
+                }
                 // A rebooting gateway loses everything that arrives
                 // inside its window.
                 if let Some(&(pi, _, _)) = reboots.iter().find(|&&(_, ws, we)| t >= ws && t < we) {
@@ -687,6 +735,15 @@ pub fn simulate_deployment_tree_with_failures(
                     }
                     let relay = relays.get_mut(&(parent, r)).expect("relay exists");
                     let cascade = relay.deliver(graph, *node, *eid, v);
+                    if sink.enabled() {
+                        for &(op, cpu_s) in &cascade.op_costs {
+                            sink.record(TraceEvent::OperatorCost {
+                                site: parent,
+                                op,
+                                cpu_s,
+                            });
+                        }
+                    }
                     let next_hop = topo.uplink[parent].expect("gateway has an uplink");
                     let tx_cpu = cascade
                         .forwards
@@ -712,14 +769,38 @@ pub fn simulate_deployment_tree_with_failures(
             times[r] = next_times;
         }
         report.edge_packet_delivery_ratio[child] = ch.packet_delivery_ratio();
+        if sink.enabled() {
+            sink.record(TraceEvent::EdgeSummary {
+                site: child,
+                offered_bytes_per_sec: offered,
+                delivery_ratio: report.edge_packet_delivery_ratio[child],
+            });
+        }
     }
 
     for (s, &busy) in site_busy.iter().enumerate() {
         report.site_cpu_utilization[s] = (busy / (topo.counts[s] as f64 * cfg.duration_s)).min(1.0);
+        if sink.enabled() {
+            sink.record(TraceEvent::SiteBusy {
+                site: s,
+                busy_fraction: report.site_cpu_utilization[s],
+            });
+        }
     }
     for (r, server) in servers.iter().enumerate() {
         report.leaves[r].sink_arrivals = server.sink_arrivals;
         report.sink_arrivals += server.sink_arrivals;
+    }
+    if sink.enabled() {
+        for o in &report.outages {
+            sink.record(TraceEvent::Outage {
+                site: o.site,
+                start_s: o.window.0,
+                end_s: o.window.1,
+                dropped: o.elements_dropped,
+                delivered: o.elements_delivered,
+            });
+        }
     }
     report
 }

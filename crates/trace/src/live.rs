@@ -1,0 +1,361 @@
+//! Online profile accumulation and drift detection.
+//!
+//! A [`LiveProfile`] folds a stream of [`TraceEvent`]s into per-operator
+//! CPU and per-edge size/selectivity estimates (EWMA + count). A
+//! [`DriftDetector`] snapshots the expectations implied by the
+//! [`GraphProfile`](wishbone_profile::GraphProfile) a standing cut was
+//! solved against and flags operators/edges whose live estimate leaves a
+//! configurable relative band — the signal that the cut should be
+//! re-solved (warm, via the in-place rescale path).
+
+use std::fmt;
+
+use wishbone_dataflow::{EdgeId, OperatorId};
+use wishbone_profile::{GraphProfile, Platform};
+
+use crate::sink::{TraceEvent, TraceSink};
+
+/// Streaming estimate of one operator's per-invocation CPU cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OperatorEstimate {
+    /// Number of cost samples folded in.
+    pub samples: u64,
+    /// EWMA of the charged CPU time per invocation, seconds.
+    pub ewma_cpu_s: f64,
+    /// Sum of all charged CPU time, seconds.
+    pub total_cpu_s: f64,
+}
+
+/// Streaming estimate of one edge's element size and delivery behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EdgeEstimate {
+    /// Elements offered to the edge.
+    pub samples: u64,
+    /// EWMA of the marshalled element size, bytes.
+    pub ewma_bytes: f64,
+    /// Sum of marshalled bytes offered.
+    pub total_bytes: u64,
+    /// Elements that survived the channel.
+    pub delivered: u64,
+}
+
+impl EdgeEstimate {
+    /// Observed delivery ratio (1 when nothing was offered).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.samples == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.samples as f64
+        }
+    }
+}
+
+/// An online profile accumulated from a live event stream.
+///
+/// `LiveProfile` is itself a [`TraceSink`], so it can be handed straight
+/// to a traced simulation; it also exposes [`observe`](Self::observe) /
+/// [`fold`](Self::fold) for replaying a buffered
+/// [`MemorySink`](crate::MemorySink).
+///
+/// Estimates are keyed by dataflow id and are platform-relative: the CPU
+/// samples are whatever the emitting site's cost model charged. When
+/// sites run different platforms, keep one `LiveProfile` per site (or
+/// per platform class) so the EWMAs stay comparable to one expectation.
+#[derive(Debug, Clone)]
+pub struct LiveProfile {
+    alpha: f64,
+    ops: Vec<OperatorEstimate>,
+    edges: Vec<EdgeEstimate>,
+}
+
+impl LiveProfile {
+    /// A fresh profile. `alpha` is the EWMA weight of the newest sample
+    /// (`0 < alpha <= 1`); 1 means "latest sample only", small values
+    /// smooth harder and react slower.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must be in (0, 1]");
+        LiveProfile {
+            alpha,
+            ops: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// The EWMA weight this profile was built with.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Fold one event in. Only [`TraceEvent::OperatorCost`] and
+    /// [`TraceEvent::EdgeElement`] carry samples; other events are
+    /// ignored.
+    pub fn observe(&mut self, event: &TraceEvent) {
+        match event {
+            TraceEvent::OperatorCost { op, cpu_s, .. } => {
+                if self.ops.len() <= op.0 {
+                    self.ops.resize(op.0 + 1, OperatorEstimate::default());
+                }
+                let e = &mut self.ops[op.0];
+                e.ewma_cpu_s = if e.samples == 0 {
+                    *cpu_s
+                } else {
+                    self.alpha * cpu_s + (1.0 - self.alpha) * e.ewma_cpu_s
+                };
+                e.samples += 1;
+                e.total_cpu_s += cpu_s;
+            }
+            TraceEvent::EdgeElement {
+                edge,
+                wire_bytes,
+                delivered,
+                ..
+            } => {
+                if self.edges.len() <= edge.0 {
+                    self.edges.resize(edge.0 + 1, EdgeEstimate::default());
+                }
+                let e = &mut self.edges[edge.0];
+                let bytes = *wire_bytes as f64;
+                e.ewma_bytes = if e.samples == 0 {
+                    bytes
+                } else {
+                    self.alpha * bytes + (1.0 - self.alpha) * e.ewma_bytes
+                };
+                e.samples += 1;
+                e.total_bytes += *wire_bytes as u64;
+                e.delivered += u64::from(*delivered);
+            }
+            _ => {}
+        }
+    }
+
+    /// Replay a batch of events (e.g. a drained
+    /// [`MemorySink`](crate::MemorySink)).
+    pub fn fold<'a>(&mut self, events: impl IntoIterator<Item = &'a TraceEvent>) {
+        for e in events {
+            self.observe(e);
+        }
+    }
+
+    /// The estimate for one operator, if any sample arrived.
+    pub fn operator(&self, op: OperatorId) -> Option<&OperatorEstimate> {
+        self.ops.get(op.0).filter(|e| e.samples > 0)
+    }
+
+    /// The estimate for one edge, if any element was offered.
+    pub fn edge(&self, edge: EdgeId) -> Option<&EdgeEstimate> {
+        self.edges.get(edge.0).filter(|e| e.samples > 0)
+    }
+}
+
+impl TraceSink for LiveProfile {
+    fn record(&mut self, event: TraceEvent) {
+        self.observe(&event);
+    }
+}
+
+/// Sensitivity of a [`DriftDetector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// Relative band an estimate may leave before it is flagged: a
+    /// ratio outside `[1/(1+rel_band), 1+rel_band]` is drift. The
+    /// default (0.5) flags a 1.5× slowdown or a 33% speedup.
+    pub rel_band: f64,
+    /// Minimum samples before an estimate is trusted at all (EWMAs of a
+    /// handful of samples are still mostly the first sample).
+    pub min_samples: u64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            rel_band: 0.5,
+            min_samples: 8,
+        }
+    }
+}
+
+/// One operator whose live CPU estimate left the band.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatorDrift {
+    /// The operator.
+    pub op: OperatorId,
+    /// Per-invocation cost the cut was priced on, seconds.
+    pub expected_s: f64,
+    /// Live EWMA estimate, seconds.
+    pub observed_s: f64,
+    /// `observed / expected` (> 1 means the operator runs hot).
+    pub ratio: f64,
+}
+
+/// One edge whose live element-size estimate left the band.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeDrift {
+    /// The edge.
+    pub edge: EdgeId,
+    /// Mean element size the cut was priced on, bytes.
+    pub expected_bytes: f64,
+    /// Live EWMA estimate, bytes.
+    pub observed_bytes: f64,
+    /// `observed / expected` (> 1 means elements got bigger).
+    pub ratio: f64,
+}
+
+/// Everything a [`DriftDetector`] flagged.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DriftReport {
+    /// Operators running outside the band, hottest first.
+    pub operators: Vec<OperatorDrift>,
+    /// Edges whose element sizes left the band, largest ratio first.
+    pub edges: Vec<EdgeDrift>,
+}
+
+impl DriftReport {
+    /// Whether nothing drifted.
+    pub fn is_clean(&self) -> bool {
+        self.operators.is_empty() && self.edges.is_empty()
+    }
+}
+
+impl fmt::Display for DriftReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "no drift");
+        }
+        let mut first = true;
+        for od in &self.operators {
+            if !first {
+                writeln!(f)?;
+            }
+            first = false;
+            write!(
+                f,
+                "op {} drifted {:.2}x ({:.3e}s -> {:.3e}s per invocation)",
+                od.op.0, od.ratio, od.expected_s, od.observed_s
+            )?;
+        }
+        for ed in &self.edges {
+            if !first {
+                writeln!(f)?;
+            }
+            first = false;
+            write!(
+                f,
+                "edge {} drifted {:.2}x ({:.1}B -> {:.1}B per element)",
+                ed.edge.0, ed.ratio, ed.expected_bytes, ed.observed_bytes
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Compares a [`LiveProfile`] against the expectations of the
+/// [`GraphProfile`] a standing cut was solved against.
+///
+/// The expectations are snapshotted at construction: per-operator
+/// seconds-per-invocation on `platform` (optionally scaled by a known
+/// runtime CPU overhead factor, see
+/// [`with_cpu_overhead`](Self::with_cpu_overhead)) and per-edge mean
+/// element bytes.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    cfg: DriftConfig,
+    expected_op_s: Vec<f64>,
+    expected_edge_bytes: Vec<f64>,
+}
+
+impl DriftDetector {
+    /// Snapshot expectations from `profile` as priced on `platform`.
+    pub fn new(profile: &GraphProfile, platform: &Platform, cfg: DriftConfig) -> Self {
+        assert!(cfg.rel_band > 0.0, "drift band must be positive");
+        let expected_op_s = (0..profile.operator_count())
+            .map(|i| profile.seconds_per_invocation(OperatorId(i), platform))
+            .collect();
+        let expected_edge_bytes = (0..profile.edge_count())
+            .map(|i| profile.mean_element_bytes(EdgeId(i)))
+            .collect();
+        DriftDetector {
+            cfg,
+            expected_op_s,
+            expected_edge_bytes,
+        }
+    }
+
+    /// Scale every per-operator expectation by `factor`. The runtime
+    /// charges task-model and OS overheads on top of the raw profiled
+    /// cycle cost; when live samples come from the simulator, pass the
+    /// platform's known overhead factor here so the band measures
+    /// genuine drift rather than the constant bookkeeping markup.
+    pub fn with_cpu_overhead(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0);
+        for e in &mut self.expected_op_s {
+            *e *= factor;
+        }
+        self
+    }
+
+    /// The configured band.
+    pub fn config(&self) -> &DriftConfig {
+        &self.cfg
+    }
+
+    /// Compare `live` against the snapshotted expectations. Estimates
+    /// with fewer than [`DriftConfig::min_samples`] samples, and
+    /// operators/edges the profile priced at zero (never invoked on the
+    /// profiling trace), are skipped.
+    pub fn detect(&self, live: &LiveProfile) -> DriftReport {
+        let hi = 1.0 + self.cfg.rel_band;
+        let lo = 1.0 / hi;
+        let mut report = DriftReport::default();
+        for (i, &expected) in self.expected_op_s.iter().enumerate() {
+            if expected <= 0.0 {
+                continue;
+            }
+            let Some(est) = live.operator(OperatorId(i)) else {
+                continue;
+            };
+            if est.samples < self.cfg.min_samples {
+                continue;
+            }
+            let ratio = est.ewma_cpu_s / expected;
+            if ratio > hi || ratio < lo {
+                report.operators.push(OperatorDrift {
+                    op: OperatorId(i),
+                    expected_s: expected,
+                    observed_s: est.ewma_cpu_s,
+                    ratio,
+                });
+            }
+        }
+        for (i, &expected) in self.expected_edge_bytes.iter().enumerate() {
+            if expected <= 0.0 {
+                continue;
+            }
+            let Some(est) = live.edge(EdgeId(i)) else {
+                continue;
+            };
+            if est.samples < self.cfg.min_samples {
+                continue;
+            }
+            let ratio = est.ewma_bytes / expected;
+            if ratio > hi || ratio < lo {
+                report.edges.push(EdgeDrift {
+                    edge: EdgeId(i),
+                    expected_bytes: expected,
+                    observed_bytes: est.ewma_bytes,
+                    ratio,
+                });
+            }
+        }
+        report.operators.sort_by(|a, b| {
+            b.ratio
+                .partial_cmp(&a.ratio)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        report.edges.sort_by(|a, b| {
+            b.ratio
+                .partial_cmp(&a.ratio)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        report
+    }
+}

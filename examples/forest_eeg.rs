@@ -223,15 +223,21 @@ fn main() {
             sim.site_cpu_utilization[i + 1] * 100.0
         );
     }
-    println!("sim: {}", report_sim_stats(&sim.stats()));
+    println!("sim: {}", report_deployment_stats(&sim, &topo));
+    let attr = attribute_tree(&sim, &topo);
+    println!("\nattribution: {attr}");
     let (a, b) = (&sim.leaves[0], &sim.leaves[1]);
     // A hard gate, not an assert: CI smoke runs this example and must
     // fail on a regression even under panic handlers or `panic=abort`
-    // quirks — exit non-zero explicitly.
+    // quirks — exit non-zero explicitly, naming the blamed site/link.
     if !(a.goodput_ratio() < 0.5 * b.goodput_ratio() && b.goodput_ratio() > 0.6) {
+        let blamed = attr
+            .top()
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "no losses attributed".into());
         eprintln!(
             "FAIL: goodput must collapse only on the saturated gateway's subtree \
-             (a {:.2} vs b {:.2})",
+             (a {:.2} vs b {:.2}); dominant blame: {blamed}",
             a.goodput_ratio(),
             b.goodput_ratio()
         );
@@ -271,7 +277,9 @@ fn main() {
             o.elements_dropped, o.elements_delivered, o.window.0, o.window.1
         );
     }
-    println!("sim: {}", report_sim_stats(&failed.stats()));
+    println!("sim: {}", report_deployment_stats(&failed, &topo));
+    let fattr = attribute_tree(&failed, &topo);
+    println!("attribution under failures: {fattr}");
     let fb = &failed.leaves[1];
     println!(
         "ward-b goodput under failures: {:.1}% (was {:.1}%)",
@@ -279,8 +287,13 @@ fn main() {
         b.goodput_ratio() * 100.0
     );
     if fb.goodput_ratio() >= b.goodput_ratio() {
+        let blamed = fattr
+            .top()
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "no losses attributed".into());
         eprintln!(
-            "FAIL: failure windows must cost ward B goodput ({:.3} vs {:.3})",
+            "FAIL: failure windows must cost ward B goodput ({:.3} vs {:.3}); \
+             dominant blame: {blamed}",
             fb.goodput_ratio(),
             b.goodput_ratio()
         );

@@ -116,6 +116,81 @@ fn main() {
         );
     }
 
+    // Replay the winning cut over the real channels with telemetry on:
+    // a LiveProfile sink folds the event stream into online estimates
+    // while the run is attributed loss by loss.
+    let topo = TreeTopology::chain(
+        &chain,
+        &[ChannelParams::mote(), ChannelParams::wifi(400_000.0)],
+        1,
+    );
+    let feeds: Vec<SourceFeed> = app
+        .sources
+        .iter()
+        .zip(&traces)
+        .map(|(&src, t)| SourceFeed {
+            source: src,
+            trace: t.elements.clone(),
+            rate_hz: t.rate_hz,
+        })
+        .collect();
+    let routes = vec![LeafRoute {
+        path: vec![2, 1, 0],
+        site_ops: part
+            .tier_ops
+            .iter()
+            .map(|ops| ops.iter().copied().collect())
+            .collect(),
+        feeds,
+    }];
+    let sim_cfg = SimulationConfig {
+        duration_s: 5.0,
+        rate_multiplier: r.rate,
+        ..SimulationConfig::motes(1, 7)
+    };
+    let mut live = LiveProfile::new(0.2);
+    let sim = simulate_deployment_tree_traced(
+        &app.graph,
+        &topo,
+        &routes,
+        &sim_cfg,
+        &FailurePlan::default(),
+        &mut live,
+    );
+    println!(
+        "\ntraced replay at x{:.3}: {}",
+        r.rate,
+        report_deployment_stats(&sim, &topo)
+    );
+    let attr = attribute_tree(&sim, &topo);
+    println!("attribution: {attr}");
+    // Compare the online estimates against the profile the cut was
+    // solved on. Flags in either direction are real information: hotter
+    // means the cut's CPU rows are optimistic; far cooler means the
+    // deployment's live data exercises a cheaper path than the profiling
+    // trace did (the paper's representative-trace assumption, §1).
+    let detector = DriftDetector::new(&prof, &telos, DriftConfig::default());
+    let drift = detector.detect(&live);
+    if drift.is_clean() {
+        println!("drift: clean (all online estimates inside the ±50% band)");
+    } else {
+        println!("drift: {drift}");
+    }
+    // A loose gate: the chain at its certified max sustainable rate must
+    // keep most of its stream; on failure, name the blamed site/link.
+    let goodput = sim.leaves[0].goodput_ratio();
+    if goodput < 0.4 {
+        let blamed = attr
+            .top()
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "no losses attributed".into());
+        eprintln!(
+            "FAIL: the chain collapsed at its own sustainable rate \
+             (goodput {goodput:.2}); dominant blame: {blamed}"
+        );
+        std::process::exit(1);
+    }
+
     // Tier-coloured DOT with both cut frontiers labelled: mote tier as
     // boxes, every crossing edge annotated with the bandwidth of the hop
     // that first carries it.

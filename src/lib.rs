@@ -24,6 +24,7 @@
 //! | [`core`] | `wishbone-core` | the partitioner itself |
 //! | [`apps`] | `wishbone-apps` | speech-MFCC and EEG applications |
 //! | [`audit`] | `wishbone-audit` | static analyzer for encoded ILPs |
+//! | [`trace`] | `wishbone-trace` | streaming telemetry, drift detection, loss attribution |
 //!
 //! ## Quickstart
 //!
@@ -55,19 +56,20 @@ pub use wishbone_ilp as ilp;
 pub use wishbone_net as net;
 pub use wishbone_profile as profile;
 pub use wishbone_runtime as runtime;
+pub use wishbone_trace as trace;
 
 /// The names most programs need, re-exported flat.
 pub mod prelude {
-    pub use crate::{report_sim_stats, report_stats};
+    pub use crate::{report_deployment_stats, report_sim_stats, report_stats};
     pub use wishbone_apps::{
         build_eeg_app, build_eeg_channel, build_speech_app, heuristic_svm, EegApp, EegParams,
         LinearSvm, SpeechApp, SpeechParams,
     };
     pub use wishbone_audit::{AuditCode, AuditReport, Diagnostic, Severity};
     pub use wishbone_core::{
-        all_node, all_server, build_partition_graph, evaluate, greedy, max_sustainable_rate,
-        max_sustainable_rate_deployment, max_sustainable_rate_multitier, partition,
-        partition_approx, partition_deployment, partition_multitier, pin_analysis,
+        all_node, all_server, build_partition_graph, drift_to_deltas, evaluate, greedy,
+        max_sustainable_rate, max_sustainable_rate_deployment, max_sustainable_rate_multitier,
+        partition, partition_approx, partition_deployment, partition_multitier, pin_analysis,
         pipeline_cutpoints, preprocess, ApproxCut, Deployment, DeploymentConfig, DeploymentDelta,
         DeploymentPartition, DeploymentRateResult, Encoding, LeafPartition, LinkSpec, Mode,
         MultiTierConfig, MultiTierPartition, MultiTierRateResult, ObjectiveConfig, Partition,
@@ -78,15 +80,20 @@ pub mod prelude {
     pub use wishbone_dataflow::{
         Graph, GraphBuilder, Namespace, OperatorId, OperatorKind, OperatorSpec, Value, WorkFn,
     };
-    pub use wishbone_ilp::{IlpOptions, Problem, Sense, SolverBackend};
+    pub use wishbone_ilp::{IlpOptions, PhaseTimes, Problem, Sense, SolverBackend};
     pub use wishbone_net::{profile_network, Channel, ChannelParams, PacketFormat};
     pub use wishbone_profile::{profile, GraphProfile, Platform, SourceTrace};
     pub use wishbone_runtime::{
-        simulate_deployment, simulate_deployment_multi, simulate_deployment_tree,
-        simulate_deployment_tree_with_failures, simulate_tiered_deployment, DeploymentReport,
-        Failure, FailurePlan, LeafFlowReport, LeafRoute, OutageReport, RelayExecutor, SimStats,
-        SimulationConfig, SourceFeed, TaskModel, TieredDeploymentReport, TreeDeploymentReport,
-        TreeTopology,
+        attribute_tree, simulate_deployment, simulate_deployment_multi, simulate_deployment_tree,
+        simulate_deployment_tree_traced, simulate_deployment_tree_with_failures,
+        simulate_tiered_deployment, DeploymentReport, Failure, FailurePlan, LeafFlowReport,
+        LeafRoute, OutageReport, RelayExecutor, SimStats, SimulationConfig, SourceFeed, TaskModel,
+        TieredDeploymentReport, TreeDeploymentReport, TreeTopology,
+    };
+    pub use wishbone_trace::{
+        AttributionReport, Blame, DriftConfig, DriftDetector, DriftReport, EdgeDrift, EdgeEstimate,
+        LiveProfile, LossCause, MemorySink, NullSink, OperatorDrift, OperatorEstimate, TraceEvent,
+        TraceSink,
     };
 }
 
@@ -116,4 +123,34 @@ pub fn report_sim_stats(stats: &runtime::SimStats) -> String {
         stats.outage_dropped,
         stats.sink_arrivals
     )
+}
+
+/// The per-site view [`report_sim_stats`]'s aggregate line cannot show:
+/// every site's busy fraction, saturation drops, and outage-attributed
+/// drops, rendered uniformly (zeros included, so failure-free runs and
+/// failure replays line up column for column), plus each non-root site's
+/// uplink load, delivery ratio, and fade drops. Pinned by
+/// `tests/observability.rs`.
+pub fn report_deployment_stats(
+    report: &runtime::TreeDeploymentReport,
+    topo: &runtime::TreeTopology,
+) -> String {
+    let mut out = report_sim_stats(&report.stats());
+    for s in 0..topo.len() {
+        out.push_str(&format!(
+            "\nsite {s}: busy {:5.1}%, saturation-dropped {}, outage-dropped {}",
+            report.site_cpu_utilization[s] * 100.0,
+            report.site_elements_dropped[s],
+            report.site_outage_dropped[s],
+        ));
+        if let Some(parent) = topo.parent[s] {
+            out.push_str(&format!(
+                "; uplink {s}->{parent}: {:.1} B/s offered, {:5.1}% delivered, fade-dropped {}",
+                report.edge_offered_load_bytes_per_sec[s],
+                report.edge_packet_delivery_ratio[s] * 100.0,
+                report.edge_outage_dropped[s],
+            ));
+        }
+    }
+    out
 }

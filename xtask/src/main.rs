@@ -46,7 +46,7 @@ const LINTED_DIRS: [&str; 2] = ["crates/ilp/src", "crates/core/src"];
 
 /// `(needle, why it must survive)` — each must appear in at least one
 /// test file.
-const ORACLE_ANCHORS: [(&str, &str); 4] = [
+const ORACLE_ANCHORS: [(&str, &str); 5] = [
     (
         "encode_multitier",
         "the k-way chain encoder is the parity oracle for deployments",
@@ -62,6 +62,10 @@ const ORACLE_ANCHORS: [(&str, &str); 4] = [
     (
         "partition_approx",
         "the multilevel heuristic's certificates are pinned against the exact ILP",
+    ),
+    (
+        "NullSink::NULL",
+        "the trace off path must stay pinned by the zero-overhead byte-identical test",
     ),
 ];
 
