@@ -4,8 +4,11 @@
 //! When a [`DriftReport`] says an operator runs `f×` hotter than the
 //! [`GraphProfile`](wishbone_profile::GraphProfile) the cut was priced
 //! on, every site hosting that operator effectively has `1/f` of the CPU
-//! the solver believed in. [`drift_to_deltas`] turns that observation
-//! into [`DeploymentDelta::SetCpuBudget`] rewrites, which
+//! the solver believed in; when it says an edge's elements got `f×`
+//! bigger, every uplink relaying that edge effectively has `1/f` of the
+//! radio budget. [`drift_to_deltas`] turns both observations into
+//! [`DeploymentDelta::SetCpuBudget`] / [`DeploymentDelta::SetNetBudget`]
+//! rewrites, which
 //! [`PreparedDeployment::apply_delta`](crate::PreparedDeployment::apply_delta)
 //! absorbs as index-stable row surgery on the standing ILP — no graph
 //! rebuild, no merge, no re-encode — so the warm re-solve that follows
@@ -27,10 +30,16 @@ use crate::topology::{Deployment, DeploymentDelta, DeploymentPartition, SiteId};
 /// keeps load it cannot carry). A uniform speedup (ratio < 1) relaxes
 /// the budget symmetrically.
 ///
-/// Sites with an infinite CPU budget (the server) are skipped: they have
-/// no budget row to rescale, and more observed CPU there is free by
-/// assumption. Edge drift is reported for visibility but not mapped —
-/// uplink budgets have no in-place delta today (re-prepare for that).
+/// Edge drift maps symmetrically onto the uplinks: every hop relaying a
+/// drifted edge (any leaf class, any path position — relays included,
+/// per `link_cut_edges`) takes the edge's size-inflation ratio, worst
+/// ratio per uplink, and its aggregate radio budget shrinks by it via
+/// [`DeploymentDelta::SetNetBudget`] — the in-place uplink rescale that
+/// used to require a full re-prepare.
+///
+/// Sites with an infinite CPU budget (the server) and uplinks with an
+/// infinite radio budget are skipped: they have no budget row to
+/// rescale, and more observed load there is free by assumption.
 pub fn drift_to_deltas(
     report: &DriftReport,
     dep: &Deployment,
@@ -47,19 +56,44 @@ pub fn drift_to_deltas(
             *w = Some(w.map_or(od.ratio, |r: f64| r.max(od.ratio)));
         }
     }
-    worst_ratio
+    // Uplink of `path[hop]` carries every edge in `link_cut_edges[hop]`.
+    let mut worst_edge_ratio: Vec<Option<f64>> = vec![None; dep.len()];
+    for ed in &report.edges {
+        for leaf in &part.leaves {
+            for (hop, carried) in leaf.link_cut_edges.iter().enumerate() {
+                if !carried.contains(&ed.edge) {
+                    continue;
+                }
+                let site = leaf.path[hop];
+                let w = &mut worst_edge_ratio[site.0];
+                *w = Some(w.map_or(ed.ratio, |r: f64| r.max(ed.ratio)));
+            }
+        }
+    }
+    let cpu = worst_ratio.iter().enumerate().filter_map(|(s, ratio)| {
+        let ratio = (*ratio)?;
+        let old = dep.site(SiteId(s)).cpu_budget;
+        if !old.is_finite() {
+            return None;
+        }
+        Some(DeploymentDelta::SetCpuBudget {
+            site: SiteId(s),
+            cpu_budget: old / ratio,
+        })
+    });
+    let net = worst_edge_ratio
         .iter()
         .enumerate()
         .filter_map(|(s, ratio)| {
             let ratio = (*ratio)?;
-            let old = dep.site(SiteId(s)).cpu_budget;
+            let old = dep.uplink(SiteId(s))?.net_budget;
             if !old.is_finite() {
                 return None;
             }
-            Some(DeploymentDelta::SetCpuBudget {
+            Some(DeploymentDelta::SetNetBudget {
                 site: SiteId(s),
-                cpu_budget: old / ratio,
+                net_budget: old / ratio,
             })
-        })
-        .collect()
+        });
+    cpu.chain(net).collect()
 }

@@ -47,6 +47,7 @@ pub mod multitier;
 pub mod partitioner;
 pub mod preprocess;
 pub mod rate_search;
+pub mod shape;
 pub mod topology;
 
 pub use audit::{
@@ -74,6 +75,7 @@ pub use multitier::{
 pub use partitioner::{partition, Partition, PartitionConfig, PartitionError, PreparedPartition};
 pub use preprocess::{preprocess, PreprocessResult};
 pub use rate_search::{max_sustainable_rate, RateSearchResult, UnprovenRate};
+pub use shape::{deltas_between, differing_sites, shape_key, ShapeKey};
 pub use topology::{
     max_sustainable_rate_deployment, partition_deployment, Deployment, DeploymentConfig,
     DeploymentDelta, DeploymentPartition, DeploymentRateResult, LeafPartition, PlacementEngine,

@@ -216,6 +216,10 @@ pub struct PreparedPartition<'a> {
 /// `tests/proptest_deployment.rs`). The general (edge-variable)
 /// formulation of §4.2.1 eq. 3–5 is not expressible as monotone
 /// indicators, so it keeps the direct [`encode`] path.
+// Both variants are ~2 kB of inline solver state; one lives per prepared
+// partition for its whole session, so boxing would buy nothing but an
+// extra indirection on every solve.
+#[allow(clippy::large_enum_variant)]
 enum PreparedInner<'a> {
     Tree(crate::topology::PreparedDeployment<'a>),
     General(PreparedGeneral<'a>),

@@ -32,6 +32,7 @@
 //! `search_max_rate` skeleton.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 use wishbone_dataflow::{EdgeId, Graph, OperatorId};
@@ -518,6 +519,17 @@ pub enum DeploymentDelta {
         /// New per-device CPU budget.
         cpu_budget: f64,
     },
+    /// Re-budget a site's uplink (aggregate on-air bytes/second toward
+    /// its parent). The new budget must be on the same side of infinity
+    /// as the old one — a budget row cannot be added or dropped in place
+    /// (re-prepare for that) — and the site must not be the root (the
+    /// root has no uplink).
+    SetNetBudget {
+        /// The site whose uplink budget changes.
+        site: SiteId,
+        /// New aggregate uplink budget, bytes/second.
+        net_budget: f64,
+    },
     /// Take a leaf class out of service: its routed traffic is zeroed in
     /// every shared CPU and uplink row while its indicator block idles
     /// in the encoding, ready for revival by
@@ -619,6 +631,25 @@ pub fn partition_deployment(
     prep.solve_at(cfg.rate_multiplier)
 }
 
+/// Borrowed-or-shared input handle: one-shot callers lend their graph
+/// and profile for `'a`; fleet cache entries co-own them through `Arc`
+/// so the prepared instance can be `'static` and live in a cache that
+/// outlives any single request.
+enum InputHandle<'a, T> {
+    Borrowed(&'a T),
+    Shared(Arc<T>),
+}
+
+impl<T> std::ops::Deref for InputHandle<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match self {
+            InputHandle::Borrowed(t) => t,
+            InputHandle::Shared(t) => t,
+        }
+    }
+}
+
 /// Per-leaf prepared state: the merged chain graph and its path.
 struct PreparedLeaf {
     leaf: SiteId,
@@ -636,8 +667,8 @@ struct PreparedLeaf {
 /// right-hand sides ÷ rate) on one reused [`SimplexWorkspace`], seeding
 /// branch-and-bound with the previous incumbent.
 pub struct PreparedDeployment<'a> {
-    graph: &'a Graph,
-    profile: &'a GraphProfile,
+    graph: InputHandle<'a, Graph>,
+    profile: InputHandle<'a, GraphProfile>,
     dep: Deployment,
     cfg: DeploymentConfig,
     leaves: Vec<PreparedLeaf>,
@@ -672,6 +703,38 @@ impl<'a> PreparedDeployment<'a> {
         dep: &Deployment,
         cfg: &DeploymentConfig,
     ) -> Result<Self, PartitionError> {
+        Self::build(
+            InputHandle::Borrowed(graph),
+            InputHandle::Borrowed(profile),
+            dep,
+            cfg,
+        )
+    }
+
+    /// [`new`](Self::new) over co-owned inputs: the prepared instance
+    /// holds `Arc`s instead of borrows, so it is `'static` and can live
+    /// in a long-lived cache (the fleet service's `ShapeCache`) shared
+    /// across worker threads.
+    pub fn new_shared(
+        graph: Arc<Graph>,
+        profile: Arc<GraphProfile>,
+        dep: &Deployment,
+        cfg: &DeploymentConfig,
+    ) -> Result<PreparedDeployment<'static>, PartitionError> {
+        PreparedDeployment::build(
+            InputHandle::Shared(graph),
+            InputHandle::Shared(profile),
+            dep,
+            cfg,
+        )
+    }
+
+    fn build(
+        graph: InputHandle<'a, Graph>,
+        profile: InputHandle<'a, GraphProfile>,
+        dep: &Deployment,
+        cfg: &DeploymentConfig,
+    ) -> Result<Self, PartitionError> {
         dep.validate();
         let encode_t = Instant::now();
         let mut leaves = Vec::new();
@@ -682,7 +745,7 @@ impl<'a> PreparedDeployment<'a> {
             let platforms: Vec<Platform> =
                 path.iter().map(|&s| dep.site(s).platform.clone()).collect();
             let rate_factor = dep.site(leaf).rate_factor;
-            let tg0 = build_tiered_graph(graph, profile, &platforms, cfg.mode, rate_factor)?;
+            let tg0 = build_tiered_graph(&graph, &profile, &platforms, cfg.mode, rate_factor)?;
             vertices_before += tg0.vertices.len();
             let tg = if cfg.preprocess {
                 let r = preprocess_tiered(&tg0, &dep.leaf_objective(leaf))?;
@@ -768,6 +831,18 @@ impl<'a> PreparedDeployment<'a> {
                     );
                     self.dep.sites[site.0].cpu_budget = cpu_budget;
                 }
+                DeploymentDelta::SetNetBudget { site, net_budget } => {
+                    assert!(site.0 < self.dep.len(), "unknown site {site:?}");
+                    let link = self.dep.uplink[site.0]
+                        .as_mut()
+                        .unwrap_or_else(|| panic!("site {site:?} is the root: it has no uplink"));
+                    assert_eq!(
+                        net_budget.is_finite(),
+                        link.net_budget.is_finite(),
+                        "an uplink budget row cannot be added or dropped in place"
+                    );
+                    link.net_budget = net_budget;
+                }
                 DeploymentDelta::RemoveLeaf { leaf } => {
                     let ord = leaf_ordinal(&self.leaves, leaf);
                     self.removed[ord] = true;
@@ -798,6 +873,32 @@ impl<'a> PreparedDeployment<'a> {
     /// How many times the ILP has been encoded (always 1).
     pub fn encodes(&self) -> u32 {
         self.encodes
+    }
+
+    /// The deployment this instance currently encodes: the topology it
+    /// was prepared with plus every applied delta. The fleet service
+    /// diffs an incoming request against this to derive the delta batch
+    /// that morphs the cached encoding in place.
+    pub fn deployment(&self) -> &Deployment {
+        &self.dep
+    }
+
+    /// The configuration this instance was prepared with
+    /// (`rate_multiplier` is ignored; rates are per-solve).
+    pub fn config(&self) -> &DeploymentConfig {
+        &self.cfg
+    }
+
+    /// Drop warm-start state carried over from previous solves (the last
+    /// incumbent). The next [`solve_at`](Self::solve_at) then runs
+    /// exactly like the first solve of a freshly prepared instance —
+    /// branch-and-bound keeps a seeded incumbent on objective ties, so a
+    /// leaked incumbent from an earlier request could steer tie-breaking
+    /// toward a different (equally optimal) placement. The fleet service
+    /// calls this between requests so cache hits stay bit-identical to
+    /// serial one-shot solves.
+    pub fn reset_warm_start(&mut self) {
+        self.last_values = None;
     }
 
     /// Wall-clock cost of the one-time build (graph build, merge,
@@ -968,6 +1069,23 @@ impl<'a> PreparedDeployment<'a> {
     /// profile's reference input rate, composed with each leaf's
     /// `rate_factor`).
     pub fn solve_at(&mut self, rate: f64) -> Result<DeploymentPartition, PartitionError> {
+        let mut ws = std::mem::take(&mut self.workspace);
+        let out = self.solve_at_in(rate, &mut ws);
+        self.workspace = ws;
+        out
+    }
+
+    /// [`solve_at`](Self::solve_at) inside a caller-owned workspace
+    /// arena. The workspace is pure scratch memory — `solve_ilp_in`
+    /// invalidates it on entry, so results are bit-identical whichever
+    /// arena is passed. A fleet worker keeps **one** long-lived arena
+    /// and solves every cached shape's instance in it, instead of every
+    /// cache entry growing its own.
+    pub fn solve_at_in(
+        &mut self,
+        rate: f64,
+        ws: &mut SimplexWorkspace,
+    ) -> Result<DeploymentPartition, PartitionError> {
         assert!(rate > 0.0, "rate multiplier must be positive");
         self.solves += 1;
         self.retarget(rate);
@@ -983,7 +1101,7 @@ impl<'a> PreparedDeployment<'a> {
         if opts.warm_solution.is_none() && self.cfg.seed_incumbent {
             opts.warm_solution = self.approx_values(rate).map(|(values, _)| values);
         }
-        let (result, stats) = solve_ilp_in(&self.ep.problem, &opts, &mut self.workspace);
+        let (result, stats) = solve_ilp_in(&self.ep.problem, &opts, ws);
         let sol = match result {
             Ok(s) => s,
             Err(SolveError::Infeasible) => return Err(PartitionError::Infeasible),
@@ -1025,29 +1143,42 @@ impl<'a> PreparedDeployment<'a> {
                 .graph
                 .op_tiers(&decoded[l], self.graph.operator_count());
 
-            let mut site_ops: Vec<HashSet<OperatorId>> = vec![HashSet::new(); k];
+            // This decode runs on every rate probe — for a fleet cache
+            // hit it is most of the non-LP cost — so everything below is
+            // a single pass over operators (and one over edges), not a
+            // per-tier rescan.
+            let platforms: Vec<&Platform> = prep
+                .path
+                .iter()
+                .map(|&s| &self.dep.site(s).platform)
+                .collect();
+            let mut tier_count = vec![0usize; k];
+            for &t in &op_pos {
+                tier_count[t] += 1;
+            }
+            let mut site_ops: Vec<HashSet<OperatorId>> = tier_count
+                .iter()
+                .map(|&c| HashSet::with_capacity(c))
+                .collect();
+            // Sum predictions in ascending operator order, NOT
+            // `site_ops[t]` hash order: float addition is
+            // order-sensitive in the last bit, and per-instance hash
+            // seeds would make otherwise identical solves report
+            // different bits (the fleet parity suite compares these
+            // vectors bit-for-bit against serial solves).
+            let mut predicted_cpu = vec![0.0f64; k];
             for id in self.graph.operator_ids() {
-                site_ops[op_pos[id.0]].insert(id);
+                let t = op_pos[id.0];
+                site_ops[t].insert(id);
+                predicted_cpu[t] += self.profile.cpu_fraction(id, platforms[t]) * eff_rate;
             }
             let mut link_cut_edges: Vec<Vec<EdgeId>> = vec![Vec::new(); k - 1];
             for eid in self.graph.edge_ids() {
                 let e = self.graph.edge(eid);
-                for (b, cut) in link_cut_edges.iter_mut().enumerate() {
-                    if op_pos[e.src.0] <= b && b < op_pos[e.dst.0] {
-                        cut.push(eid);
-                    }
+                for cut in &mut link_cut_edges[op_pos[e.src.0]..op_pos[e.dst.0]] {
+                    cut.push(eid);
                 }
             }
-            // Report predictions against the original (unmerged) weights.
-            let predicted_cpu: Vec<f64> = (0..k)
-                .map(|t| {
-                    let platform = &self.dep.site(prep.path[t]).platform;
-                    site_ops[t]
-                        .iter()
-                        .map(|&op| self.profile.cpu_fraction(op, platform) * eff_rate)
-                        .sum()
-                })
-                .collect();
             let predicted_net: Vec<f64> = link_cut_edges
                 .iter()
                 .enumerate()
@@ -1179,6 +1310,30 @@ mod tests {
     use super::*;
     use wishbone_dataflow::{ExecCtx, FnWork, GraphBuilder, Value};
     use wishbone_profile::{profile as run_profile, SourceTrace};
+
+    /// Compile-time `Send` audit: the fleet service moves prepared
+    /// instances into worker threads and keeps them in a long-lived
+    /// cache, so everything a `PreparedDeployment` closes over — the
+    /// graph (work functions included), profile, encoded problem, and
+    /// simplex workspace — must cross thread boundaries. A regression
+    /// here (an `Rc`, a `Cell`, a non-`Sync` work function) fails to
+    /// compile rather than failing at runtime.
+    #[test]
+    fn prepared_deployment_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<PreparedDeployment<'static>>();
+        assert_send::<Deployment>();
+        assert_send::<DeploymentConfig>();
+        assert_send::<DeploymentDelta>();
+        assert_send::<DeploymentPartition>();
+        assert_send::<crate::shape::ShapeKey>();
+        // Borrowed instances cross threads too (scoped threads), which
+        // additionally requires `Graph: Sync` — `&'a Graph: Send` at any
+        // lifetime reduces to exactly that bound, so assert it directly.
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<Graph>();
+        assert_sync::<GraphProfile>();
+    }
 
     /// src -> heavy 4x reducer -> light 2x reducer -> sink.
     fn app() -> (Graph, OperatorId) {

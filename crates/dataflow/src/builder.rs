@@ -26,7 +26,7 @@ pub struct FnWork<F>(pub F);
 
 impl<F> WorkFn for FnWork<F>
 where
-    F: FnMut(usize, &Value, &mut ExecCtx) + Clone + Send + 'static,
+    F: FnMut(usize, &Value, &mut ExecCtx) + Clone + Send + Sync + 'static,
 {
     fn process(&mut self, port: usize, input: &Value, cx: &mut ExecCtx) {
         (self.0)(port, input, cx)

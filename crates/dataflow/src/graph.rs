@@ -179,7 +179,11 @@ impl Default for ExecCtx {
 /// `port` identifies which input stream the element arrived on (operators
 /// like `zipN` have several). Implementations meter their computation via
 /// `cx.meter()` and produce outputs via `cx.emit(..)`.
-pub trait WorkFn: Send {
+///
+/// `Send + Sync` so a [`Graph`] can be shared (`Arc<Graph>`) across the
+/// fleet-service worker threads; work functions take `&mut self`, so
+/// `Sync` costs implementors nothing beyond not holding `Rc`/`Cell` state.
+pub trait WorkFn: Send + Sync {
     /// Process one input element.
     fn process(&mut self, port: usize, input: &Value, cx: &mut ExecCtx);
 

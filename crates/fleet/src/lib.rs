@@ -1,0 +1,523 @@
+//! # wishbone-fleet
+//!
+//! A sharded, cache-deduplicated fleet partitioning service: the
+//! ROADMAP's "partitioning as a fleet-scale service" built over the
+//! solver stack — PR 2's warm-started prepared instances, PR 7's
+//! in-place delta rescales, PR 8's seeded incumbents — with the
+//! structure the paper itself predicts (§7, and Wiselib in PAPERS.md):
+//! a fleet runs a *small set of program shapes* at many different
+//! counts, budgets, and rates.
+//!
+//! ## Architecture
+//!
+//! [`FleetServer`] owns N plain `std::thread` workers (no async
+//! runtime; the vendored-deps constraint forbids tokio) connected by
+//! `std::sync::mpsc` channels. The queue is **sharded, not
+//! work-stealing**: every request's [`ShapeKey`] hashes to one worker,
+//! so all requests of one shape land on the same worker's
+//! [`ShapeCache`] — cache hits are maximized, no cache state is ever
+//! shared or locked across threads, and each worker keeps exactly one
+//! long-lived [`SimplexWorkspace`] arena that every cached instance
+//! solves in ([`PreparedDeployment::solve_at_in`]).
+//!
+//! ## Cache semantics
+//!
+//! A [`ShapeCache`] maps [`ShapeKey`]s (quotient-graph structure +
+//! platform signatures + link kinds + solver knobs — everything the
+//! encoding bakes in, *excluding* leaf counts, finite budget values,
+//! and rates) to prepared instances. A hit morphs the cached encoding
+//! to the request's counts and budgets with
+//! [`deltas_between`]-derived [`apply_delta`] row surgery instead of
+//! re-encoding — `encodes()` stays at one per shape, not one per
+//! request.
+//!
+//! Determinism: by default ([`FleetConfig::deterministic`] = true) the
+//! worker resets warm-start state between requests, so every response
+//! is **bit-identical** to a serial one-shot
+//! [`partition_deployment`](wishbone_core::partition_deployment) call —
+//! cache hits cannot leak one request's tie-breaking into another's
+//! placement (pinned by `tests/fleet_parity.rs`). Setting
+//! `deterministic: false` lets same-shape requests inherit the previous
+//! incumbent (PR 2's rate-probe trick fleet-wide): solves get cheaper,
+//! but a tie between equally-optimal placements may then resolve
+//! differently than a cold solve would.
+//!
+//! ## Worker sizing
+//!
+//! Shapes are the parallelism unit: with S distinct shapes, more than S
+//! workers idle (a shape never spans two workers), and the speedup cap
+//! is `min(workers, S, cores)`. Size the pool to physical cores when
+//! shapes are plentiful, to the shape count when they are few.
+//!
+//! [`apply_delta`]: PreparedDeployment::apply_delta
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use wishbone_core::topology::{
+    Deployment, DeploymentConfig, DeploymentPartition, PreparedDeployment,
+};
+use wishbone_core::{deltas_between, shape_key, PartitionError, ShapeKey};
+use wishbone_dataflow::Graph;
+use wishbone_ilp::{PhaseTimes, SimplexWorkspace};
+use wishbone_profile::GraphProfile;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker thread count (≥ 1). See the crate docs on worker sizing.
+    pub workers: usize,
+    /// Keep a [`ShapeCache`] per worker. Disabling it prepares every
+    /// request from scratch — the "cold" arm the `fleet_scaling` bench
+    /// compares against.
+    pub cache: bool,
+    /// Reset warm-start state between requests so every response is
+    /// bit-identical to a serial one-shot solve (the default). See the
+    /// crate docs on cache semantics for what `false` trades away.
+    pub deterministic: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            workers: 1,
+            cache: true,
+            deterministic: true,
+        }
+    }
+}
+
+/// One deployment request: which profiled graph, over which topology,
+/// under which config, at which rate. Graph and profile ride `Arc`s —
+/// shape identity is pointer identity (see
+/// [`shape_key`]), and the cache co-owns them
+/// so prepared instances outlive any single request.
+#[derive(Clone)]
+pub struct FleetRequest {
+    /// Caller-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The profiled operator graph.
+    pub graph: Arc<Graph>,
+    /// The profile the partition is priced on.
+    pub profile: Arc<GraphProfile>,
+    /// The deployment topology to partition.
+    pub deployment: Deployment,
+    /// Solver configuration (`rate_multiplier` is ignored; use `rate`).
+    pub config: DeploymentConfig,
+    /// Input-rate multiplier for this solve, composed with each leaf's
+    /// `rate_factor`.
+    pub rate: f64,
+}
+
+/// One answered request.
+#[derive(Debug)]
+pub struct FleetResponse {
+    /// The request's correlation id.
+    pub id: u64,
+    /// Which worker answered (== the shape's shard).
+    pub worker: usize,
+    /// Whether a cached prepared instance served the request.
+    pub cache_hit: bool,
+    /// Wall-clock latency of the request inside its worker, seconds
+    /// (queueing excluded).
+    pub latency_s: f64,
+    /// The placement, or why there is none.
+    pub result: Result<DeploymentPartition, PartitionError>,
+}
+
+/// Aggregated service statistics, assembled at
+/// [`FleetServer::shutdown`].
+#[derive(Debug, Clone, Default)]
+pub struct FleetStats {
+    /// Requests answered.
+    pub requests: u64,
+    /// Requests served by a cached prepared instance.
+    pub cache_hits: u64,
+    /// Requests that had to prepare (build + merge + encode).
+    pub cache_misses: u64,
+    /// Encodes avoided by the cache: hits, each of which a cacheless
+    /// service would have paid a full prepare for.
+    pub encodes_avoided: u64,
+    /// Distinct shapes seen, summed over workers (shapes never span
+    /// workers, so this is a true fleet-wide count).
+    pub distinct_shapes: u64,
+    /// Requests that returned an error (infeasible, unproven, solver).
+    pub errors: u64,
+    /// Solve count per worker, index = worker id — the shard balance
+    /// view.
+    pub per_worker_solves: Vec<u64>,
+    /// Per-phase wall-clock cost summed over every successful solve in
+    /// the fleet: `encode_s` is stamped by the prepared pipeline
+    /// (misses pay it, hits amortize it), the rest by branch-and-bound.
+    pub phase_times: PhaseTimes,
+    /// Per-request worker-side latencies, seconds, sorted ascending.
+    latencies_s: Vec<f64>,
+}
+
+impl FleetStats {
+    /// Latency percentile in seconds (`p` in 0..=100), by
+    /// nearest-rank over the recorded per-request latencies. Zero when
+    /// nothing was recorded.
+    pub fn latency_percentile_s(&self, p: f64) -> f64 {
+        if self.latencies_s.is_empty() {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * (self.latencies_s.len() - 1) as f64).round() as usize;
+        self.latencies_s[rank.min(self.latencies_s.len() - 1)]
+    }
+
+    /// Median worker-side latency, seconds.
+    pub fn p50_s(&self) -> f64 {
+        self.latency_percentile_s(50.0)
+    }
+
+    /// 99th-percentile worker-side latency, seconds.
+    pub fn p99_s(&self) -> f64 {
+        self.latency_percentile_s(99.0)
+    }
+
+    fn record_latency(&mut self, s: f64) {
+        self.latencies_s.push(s);
+    }
+
+    fn finalize(&mut self) {
+        self.latencies_s
+            .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    }
+}
+
+/// Sum `b` into `a` field-wise (`PhaseTimes` is a foreign plain-data
+/// struct without an `Add` impl).
+fn add_phase_times(a: &mut PhaseTimes, b: &PhaseTimes) {
+    a.encode_s += b.encode_s;
+    a.presolve_s += b.presolve_s;
+    a.warm_start_s += b.warm_start_s;
+    a.nodes_s += b.nodes_s;
+}
+
+/// One worker's shape-keyed cache of prepared instances.
+///
+/// Owned by exactly one worker thread — sharding by shape means no
+/// entry is ever contended, so there are no locks anywhere in the
+/// service.
+#[derive(Default)]
+pub struct ShapeCache {
+    entries: HashMap<ShapeKey, PreparedDeployment<'static>>,
+}
+
+impl ShapeCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Distinct shapes currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serve one request out of the cache, preparing on miss. Returns
+    /// `(hit, solve result)`.
+    ///
+    /// On a hit the cached encoding is morphed to the request's counts
+    /// and budgets via [`deltas_between`] + `apply_delta` — index-stable
+    /// row surgery, no re-encode. `deterministic` resets warm-start
+    /// state first so the solve is bit-identical to a serial one-shot
+    /// (see the crate docs).
+    pub fn serve(
+        &mut self,
+        req: &FleetRequest,
+        key: ShapeKey,
+        ws: &mut SimplexWorkspace,
+        deterministic: bool,
+    ) -> (bool, Result<DeploymentPartition, PartitionError>) {
+        if let Some(prep) = self.entries.get_mut(&key) {
+            let deltas = deltas_between(prep.deployment(), &req.deployment);
+            if !deltas.is_empty() {
+                prep.apply_delta(&deltas);
+            }
+            if deterministic {
+                prep.reset_warm_start();
+            }
+            return (true, prep.solve_at_in(req.rate, ws));
+        }
+        match PreparedDeployment::new_shared(
+            Arc::clone(&req.graph),
+            Arc::clone(&req.profile),
+            &req.deployment,
+            &req.config,
+        ) {
+            Ok(mut prep) => {
+                let result = prep.solve_at_in(req.rate, ws);
+                self.entries.insert(key, prep);
+                (false, result)
+            }
+            Err(e) => (false, Err(e)),
+        }
+    }
+}
+
+/// What one worker thread reports back when the server shuts down.
+struct WorkerReport {
+    solves: u64,
+    hits: u64,
+    misses: u64,
+    errors: u64,
+    distinct_shapes: u64,
+    phase_times: PhaseTimes,
+}
+
+fn worker_loop(
+    worker: usize,
+    cfg: FleetConfig,
+    rx: mpsc::Receiver<FleetRequest>,
+    tx: mpsc::Sender<FleetResponse>,
+) -> WorkerReport {
+    let mut cache = ShapeCache::new();
+    let mut arena = SimplexWorkspace::new();
+    let mut report = WorkerReport {
+        solves: 0,
+        hits: 0,
+        misses: 0,
+        errors: 0,
+        distinct_shapes: 0,
+        phase_times: PhaseTimes::default(),
+    };
+    while let Ok(req) = rx.recv() {
+        let t = Instant::now();
+        let key = shape_key(&req.graph, &req.profile, &req.deployment, &req.config);
+        let (cache_hit, result) = if cfg.cache {
+            cache.serve(&req, key, &mut arena, cfg.deterministic)
+        } else {
+            let result = PreparedDeployment::new_shared(
+                Arc::clone(&req.graph),
+                Arc::clone(&req.profile),
+                &req.deployment,
+                &req.config,
+            )
+            .and_then(|mut prep| prep.solve_at_in(req.rate, &mut arena));
+            (false, result)
+        };
+        report.solves += 1;
+        if cache_hit {
+            report.hits += 1;
+        } else {
+            report.misses += 1;
+        }
+        match &result {
+            Ok(part) => add_phase_times(&mut report.phase_times, &part.ilp_stats.phase_times),
+            Err(_) => report.errors += 1,
+        }
+        let resp = FleetResponse {
+            id: req.id,
+            worker,
+            cache_hit,
+            latency_s: t.elapsed().as_secs_f64(),
+            result,
+        };
+        if tx.send(resp).is_err() {
+            break; // server dropped its receiver: shutting down
+        }
+    }
+    report.distinct_shapes = cache.len() as u64;
+    report
+}
+
+/// The fleet partitioning service: a sharded pool of worker threads,
+/// each owning one [`ShapeCache`] and one [`SimplexWorkspace`] arena.
+///
+/// ```
+/// # use std::sync::Arc;
+/// # use wishbone_apps::{build_speech_app, SpeechParams};
+/// # use wishbone_core::topology::{Deployment, DeploymentConfig, Site};
+/// # use wishbone_core::LinkSpec;
+/// # use wishbone_fleet::{FleetRequest, FleetServer};
+/// # use wishbone_profile::{profile, Platform, SourceTrace};
+/// let mut app = build_speech_app(SpeechParams::default());
+/// let trace = app.trace(10, 1);
+/// let prof = profile(&mut app.graph, &[trace]).unwrap();
+/// let (graph, profile) = (Arc::new(app.graph), Arc::new(prof));
+///
+/// // One shape at three different device counts: one encode, two
+/// // in-place rescales.
+/// let deploy_at = |count: usize| {
+///     let mut dep = Deployment::new(Site::server("srv", &Platform::server()));
+///     let root = dep.root();
+///     dep.attach(
+///         root,
+///         Site::new("motes", &Platform::tmote_sky())
+///             .with_cpu_budget(1.0)
+///             .with_count(count),
+///         LinkSpec { beta: 1.0, net_budget: f64::INFINITY },
+///     );
+///     dep
+/// };
+///
+/// let mut server = FleetServer::new(2);
+/// for (i, count) in [4usize, 8, 16].iter().enumerate() {
+///     server.submit(FleetRequest {
+///         id: i as u64,
+///         graph: Arc::clone(&graph),
+///         profile: Arc::clone(&profile),
+///         deployment: deploy_at(*count),
+///         config: DeploymentConfig::default(),
+///         rate: 0.5,
+///     });
+/// }
+/// let responses = server.drain();
+/// let stats = server.shutdown();
+/// assert_eq!(responses.len(), 3);
+/// assert_eq!(stats.cache_misses, 1, "one shape, one encode");
+/// assert_eq!(stats.encodes_avoided, 2);
+/// ```
+pub struct FleetServer {
+    cfg: FleetConfig,
+    txs: Vec<mpsc::Sender<FleetRequest>>,
+    rx: mpsc::Receiver<FleetResponse>,
+    handles: Vec<JoinHandle<WorkerReport>>,
+    outstanding: u64,
+    stats: FleetStats,
+}
+
+impl FleetServer {
+    /// Spawn a server with `workers` threads and default semantics
+    /// (cache on, deterministic).
+    pub fn new(workers: usize) -> Self {
+        Self::with_config(FleetConfig {
+            workers,
+            ..FleetConfig::default()
+        })
+    }
+
+    /// Spawn a server with explicit [`FleetConfig`] semantics.
+    pub fn with_config(cfg: FleetConfig) -> Self {
+        assert!(cfg.workers >= 1, "a fleet needs at least one worker");
+        let (resp_tx, resp_rx) = mpsc::channel();
+        let mut txs = Vec::with_capacity(cfg.workers);
+        let mut handles = Vec::with_capacity(cfg.workers);
+        for worker in 0..cfg.workers {
+            let (tx, rx) = mpsc::channel::<FleetRequest>();
+            let resp_tx = resp_tx.clone();
+            let wcfg = cfg.clone();
+            handles.push(std::thread::spawn(move || {
+                worker_loop(worker, wcfg, rx, resp_tx)
+            }));
+            txs.push(tx);
+        }
+        FleetServer {
+            cfg,
+            txs,
+            rx: resp_rx,
+            handles,
+            outstanding: 0,
+            stats: FleetStats::default(),
+        }
+    }
+
+    /// Which worker a shape is sharded to.
+    fn shard(&self, key: &ShapeKey) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % self.txs.len() as u64) as usize
+    }
+
+    /// Enqueue one request on its shape's shard. Responses arrive via
+    /// [`recv`](Self::recv) / [`drain`](Self::drain), unordered across
+    /// shards.
+    pub fn submit(&mut self, req: FleetRequest) {
+        let key = shape_key(&req.graph, &req.profile, &req.deployment, &req.config);
+        let shard = self.shard(&key);
+        self.outstanding += 1;
+        self.txs[shard]
+            .send(req)
+            .expect("fleet worker hung up with requests outstanding");
+    }
+
+    /// Block for the next response; `None` when nothing is outstanding.
+    pub fn recv(&mut self) -> Option<FleetResponse> {
+        if self.outstanding == 0 {
+            return None;
+        }
+        let resp = self
+            .rx
+            .recv()
+            .expect("fleet workers hung up with requests outstanding");
+        self.outstanding -= 1;
+        self.stats.record_latency(resp.latency_s);
+        Some(resp)
+    }
+
+    /// Collect every outstanding response (blocking), unordered.
+    pub fn drain(&mut self) -> Vec<FleetResponse> {
+        let mut out = Vec::with_capacity(self.outstanding as usize);
+        while let Some(resp) = self.recv() {
+            out.push(resp);
+        }
+        out
+    }
+
+    /// Shut the pool down: close the request channels, join every
+    /// worker, and aggregate [`FleetStats`]. Call after
+    /// [`drain`](Self::drain); any still-outstanding responses are
+    /// discarded.
+    pub fn shutdown(mut self) -> FleetStats {
+        drop(self.txs); // workers' recv() errors out: clean exit
+        let mut stats = std::mem::take(&mut self.stats);
+        stats.per_worker_solves = Vec::with_capacity(self.handles.len());
+        for handle in self.handles {
+            let report = handle
+                .join()
+                .expect("fleet worker panicked; its shard's requests are lost");
+            stats.requests += report.solves;
+            stats.cache_hits += report.hits;
+            stats.cache_misses += report.misses;
+            stats.encodes_avoided += report.hits;
+            stats.distinct_shapes += report.distinct_shapes;
+            stats.errors += report.errors;
+            stats.per_worker_solves.push(report.solves);
+            add_phase_times(&mut stats.phase_times, &report.phase_times);
+        }
+        stats.finalize();
+        stats
+    }
+
+    /// The configuration the pool was spawned with.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// Requests submitted but not yet collected.
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding
+    }
+}
+
+/// Convenience: spawn a server, run one batch through it, and shut it
+/// down. Responses come back **sorted by request id**, so callers
+/// compare against serial baselines without tracking arrival order.
+pub fn run_batch(
+    cfg: FleetConfig,
+    requests: Vec<FleetRequest>,
+) -> (Vec<FleetResponse>, FleetStats) {
+    let mut server = FleetServer::with_config(cfg);
+    for req in requests {
+        server.submit(req);
+    }
+    let mut responses = server.drain();
+    responses.sort_by_key(|r| r.id);
+    let stats = server.shutdown();
+    (responses, stats)
+}

@@ -381,3 +381,23 @@ impl SimplexWorkspace {
         }
     }
 }
+
+#[cfg(test)]
+mod send_audit {
+    use super::*;
+
+    /// Compile-time `Send` audit: the fleet service gives each worker
+    /// thread a long-lived workspace arena, so the workspace (both
+    /// backends' factorization state included) and everything solver
+    /// calls exchange with it must cross thread boundaries.
+    #[test]
+    fn workspace_and_solver_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<SimplexWorkspace>();
+        assert_send::<SolverBackend>();
+        assert_send::<crate::Problem>();
+        assert_send::<crate::IlpOptions>();
+        assert_send::<crate::IlpStats>();
+        assert_send::<crate::IlpSolution>();
+    }
+}

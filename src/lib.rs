@@ -25,6 +25,7 @@
 //! | [`apps`] | `wishbone-apps` | speech-MFCC and EEG applications |
 //! | [`audit`] | `wishbone-audit` | static analyzer for encoded ILPs |
 //! | [`trace`] | `wishbone-trace` | streaming telemetry, drift detection, loss attribution |
+//! | [`fleet`] | `wishbone-fleet` | sharded, shape-cached fleet partitioning service |
 //!
 //! ## Quickstart
 //!
@@ -52,6 +53,7 @@ pub use wishbone_audit as audit;
 pub use wishbone_core as core;
 pub use wishbone_dataflow as dataflow;
 pub use wishbone_dsp as dsp;
+pub use wishbone_fleet as fleet;
 pub use wishbone_ilp as ilp;
 pub use wishbone_net as net;
 pub use wishbone_profile as profile;
@@ -60,7 +62,7 @@ pub use wishbone_trace as trace;
 
 /// The names most programs need, re-exported flat.
 pub mod prelude {
-    pub use crate::{report_deployment_stats, report_sim_stats, report_stats};
+    pub use crate::{report_deployment_stats, report_fleet_stats, report_sim_stats, report_stats};
     pub use wishbone_apps::{
         build_eeg_app, build_eeg_channel, build_speech_app, heuristic_svm, EegApp, EegParams,
         LinearSvm, SpeechApp, SpeechParams,
@@ -77,8 +79,12 @@ pub mod prelude {
         PreparedMultiTier, PreparedPartition, RateSearchResult, RobustnessMode, Site, SiteId,
         TierSpec, UnprovenRate,
     };
+    pub use wishbone_core::{deltas_between, shape_key, ShapeKey};
     pub use wishbone_dataflow::{
         Graph, GraphBuilder, Namespace, OperatorId, OperatorKind, OperatorSpec, Value, WorkFn,
+    };
+    pub use wishbone_fleet::{
+        run_batch, FleetConfig, FleetRequest, FleetResponse, FleetServer, FleetStats, ShapeCache,
     };
     pub use wishbone_ilp::{IlpOptions, PhaseTimes, Problem, Sense, SolverBackend};
     pub use wishbone_net::{profile_network, Channel, ChannelParams, PacketFormat};
@@ -98,13 +104,51 @@ pub mod prelude {
 }
 
 /// One consistent solver-statistics line for the examples: which simplex
-/// backend ran, how many branch-and-bound nodes it took, and the
-/// warm/cold node-LP split (the numbers a `BENCH_solver.json` regression
-/// should be explainable from).
+/// backend ran, how many branch-and-bound nodes it took, the warm/cold
+/// node-LP split, and where the wall clock went phase by phase (the
+/// numbers a `BENCH_solver.json` regression should be explainable
+/// from). `encode` is stamped only by prepared pipelines — a direct
+/// `solve_ilp` call reports it as zero because the caller encoded
+/// separately.
 pub fn report_stats(stats: &ilp::IlpStats) -> String {
     format!(
-        "{:?} backend, {} B&B nodes ({} warm / {} cold LPs)",
-        stats.backend, stats.nodes, stats.warm_starts, stats.cold_starts
+        "{:?} backend, {} B&B nodes ({} warm / {} cold LPs); \
+         phases: encode {:.1}ms, presolve {:.1}ms, warm-start {:.1}ms, nodes {:.1}ms",
+        stats.backend,
+        stats.nodes,
+        stats.warm_starts,
+        stats.cold_starts,
+        stats.phase_times.encode_s * 1e3,
+        stats.phase_times.presolve_s * 1e3,
+        stats.phase_times.warm_start_s * 1e3,
+        stats.phase_times.nodes_s * 1e3,
+    )
+}
+
+/// One consistent fleet-statistics block: request volume, cache
+/// leverage (hits, misses, encodes avoided), shard balance, latency
+/// percentiles, and the aggregated per-phase wall clock across every
+/// worker — the fleet-scale view of what [`report_stats`] shows for one
+/// solve.
+pub fn report_fleet_stats(stats: &fleet::FleetStats) -> String {
+    format!(
+        "{} requests over {} shapes: {} cache hits / {} misses ({} encodes avoided), {} errors\n\
+         per-worker solves: {:?}\n\
+         latency p50 {:.2}ms, p99 {:.2}ms\n\
+         phases (fleet-wide): encode {:.1}ms, presolve {:.1}ms, warm-start {:.1}ms, nodes {:.1}ms",
+        stats.requests,
+        stats.distinct_shapes,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.encodes_avoided,
+        stats.errors,
+        stats.per_worker_solves,
+        stats.p50_s() * 1e3,
+        stats.p99_s() * 1e3,
+        stats.phase_times.encode_s * 1e3,
+        stats.phase_times.presolve_s * 1e3,
+        stats.phase_times.warm_start_s * 1e3,
+        stats.phase_times.nodes_s * 1e3,
     )
 }
 

@@ -18,10 +18,10 @@ use proptest::prelude::*;
 use std::collections::HashSet;
 
 use wishbone::core::{
-    encode, encode_deployment, encode_multitier, partition_deployment, partition_mixed, Deployment,
-    DeploymentConfig, DeploymentDelta, DeploymentObjective, Encoding, LeafChain, LinkSpec,
-    NodeClass, ObjectiveConfig, PEdge, PVertex, PartitionConfig, PartitionGraph, Pin,
-    PreparedDeployment, Site, SiteId, TierObjective, TieredGraph,
+    deltas_between, encode, encode_deployment, encode_multitier, partition_deployment,
+    partition_mixed, shape_key, Deployment, DeploymentConfig, DeploymentDelta, DeploymentObjective,
+    Encoding, LeafChain, LinkSpec, NodeClass, ObjectiveConfig, PEdge, PVertex, PartitionConfig,
+    PartitionGraph, Pin, PreparedDeployment, Site, SiteId, TierObjective, TieredGraph,
 };
 use wishbone::dataflow::OperatorId;
 use wishbone::ilp::{IlpOptions, Problem, SolverBackend, VarId};
@@ -579,6 +579,200 @@ proptest! {
                     backend, a.is_ok(), b.is_ok()
                 ),
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// PR-10 satellite: `SetNetBudget` — the uplink-row in-place
+    /// rescale — must solve exactly like a cold rebuild with the new
+    /// uplink budget, on both backends, without re-encoding. The scale
+    /// range spans 1, so tightening and relaxing are both exercised,
+    /// and a CPU-budget delta rides in the same batch to pin their
+    /// composition.
+    #[test]
+    fn set_net_budget_parity_with_cold_rebuild(
+        stages in 2usize..5,
+        costs in prop::collection::vec(100u64..4000, 4),
+        keeps in prop::collection::vec(1usize..5, 4),
+        gw_budgets in ((0.01f64..0.5), (0.01f64..0.5), (0.5f64..1.5)),
+        uplink_scale_rate in ((50.0f64..5000.0), (0.3f64..3.0), (0.05f64..0.5)),
+        count_a in 1usize..4,
+    ) {
+        let (gw_budget_a, gw_budget_b, budget_scale) = gw_budgets;
+        let (uplink_a, uplink_scale, rate) = uplink_scale_rate;
+        let (mut g, src) = random_app(stages, &costs, &keeps);
+        let trace = SourceTrace {
+            source: src,
+            elements: (0..10).map(|i| Value::VecI16(vec![i as i16; 128])).collect(),
+            rate_hz: 20.0,
+        };
+        let prof = match profile(&mut g, &[trace]) {
+            Ok(p) => p,
+            Err(_) => return Ok(()),
+        };
+        let mote = Platform::tmote_sky();
+        let phone = Platform::iphone();
+        // Sites: 0 = server, 1 = gw-a, 2 = gw-b, 3 = motes-a, 4 = motes-b.
+        let mk_dep = |uplink_a: f64, budget_a: f64| {
+            let mut dep = Deployment::new(Site::server("server", &Platform::server()));
+            let root = dep.root();
+            let gw_a = dep.attach(
+                root,
+                Site::new("gw-a", &phone).with_cpu_budget(budget_a),
+                LinkSpec { beta: 1.0, net_budget: uplink_a },
+            );
+            let gw_b = dep.attach(
+                root,
+                Site::new("gw-b", &phone).with_cpu_budget(gw_budget_b),
+                LinkSpec { beta: 1.0, net_budget: 1e9 },
+            );
+            dep.attach(
+                gw_a,
+                Site::new("motes-a", &mote).with_count(count_a),
+                LinkSpec { beta: 1.0, net_budget: 1e9 },
+            );
+            dep.attach(
+                gw_b,
+                Site::new("motes-b", &mote),
+                LinkSpec { beta: 1.0, net_budget: 1e9 },
+            );
+            dep
+        };
+        let new_uplink_a = uplink_a * uplink_scale;
+        let new_budget_a = gw_budget_a * budget_scale;
+
+        for backend in [SolverBackend::Dense, SolverBackend::Sparse] {
+            let mut cfg = DeploymentConfig::default();
+            cfg.ilp.backend = backend;
+            let dep = mk_dep(uplink_a, gw_budget_a);
+            let mut warm = match PreparedDeployment::new(&g, &prof, &dep, &cfg) {
+                Ok(p) => p,
+                Err(_) => return Ok(()),
+            };
+            warm.apply_delta(&[
+                DeploymentDelta::SetNetBudget { site: SiteId(1), net_budget: new_uplink_a },
+                DeploymentDelta::SetCpuBudget { site: SiteId(1), cpu_budget: new_budget_a },
+            ]);
+            prop_assert_eq!(warm.encodes(), 1, "deltas must not re-encode");
+
+            let cold_dep = mk_dep(new_uplink_a, new_budget_a);
+            let mut cold = PreparedDeployment::new(&g, &prof, &cold_dep, &cfg)
+                .expect("same graph prepared once already");
+            match (warm.solve_at(rate), cold.solve_at(rate)) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert!(
+                        (a.objective - b.objective).abs() < 1e-6 * (1.0 + b.objective.abs()),
+                        "{:?}: warm {} vs cold {}", backend, a.objective, b.objective
+                    );
+                    for (la, lb) in a.leaves.iter().zip(b.leaves.iter()) {
+                        prop_assert_eq!(
+                            &la.site_ops, &lb.site_ops,
+                            "{:?}: placements diverged after SetNetBudget", backend
+                        );
+                    }
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => prop_assert!(
+                    false,
+                    "{:?}: feasibility flipped: warm {:?} vs cold {:?}",
+                    backend, a.is_ok(), b.is_ok()
+                ),
+            }
+        }
+    }
+
+    /// PR-10: `ShapeKey` equality implies delta-reachability. Two
+    /// deployments differing arbitrarily in leaf counts and finite
+    /// CPU/uplink budget values must (a) produce equal keys, and
+    /// (b) morphing the first's prepared encoding with
+    /// `deltas_between` must leave a problem **bit-identical** to a
+    /// cold prepare of the second at the same rate — the exact
+    /// contract the fleet's `ShapeCache` banks on. Flipping a budget's
+    /// finiteness (a row appearing or vanishing) must change the key.
+    #[test]
+    fn shape_key_equality_implies_delta_reachable(
+        stages in 2usize..5,
+        costs in prop::collection::vec(100u64..4000, 4),
+        keeps in prop::collection::vec(1usize..5, 4),
+        budgets_a in ((0.01f64..0.5), (50.0f64..5000.0)),
+        budgets_b in ((0.01f64..0.5), (50.0f64..5000.0)),
+        counts_rate in (1usize..5, 1usize..5, 0.05f64..0.5),
+    ) {
+        let (cpu_a, net_a) = budgets_a;
+        let (cpu_b, net_b) = budgets_b;
+        let (count_a, count_b, rate) = counts_rate;
+        let (mut g, src) = random_app(stages, &costs, &keeps);
+        let trace = SourceTrace {
+            source: src,
+            elements: (0..10).map(|i| Value::VecI16(vec![i as i16; 128])).collect(),
+            rate_hz: 20.0,
+        };
+        let prof = match profile(&mut g, &[trace]) {
+            Ok(p) => p,
+            Err(_) => return Ok(()),
+        };
+        let mote = Platform::tmote_sky();
+        let phone = Platform::iphone();
+        // Sites: 0 = server, 1 = gateway, 2 = motes.
+        let mk_dep = |count: usize, cpu: f64, net: f64| {
+            let mut dep = Deployment::new(Site::server("server", &Platform::server()));
+            let root = dep.root();
+            let gw = dep.attach(
+                root,
+                Site::new("gw", &phone).with_cpu_budget(cpu),
+                LinkSpec { beta: 1.0, net_budget: net },
+            );
+            dep.attach(
+                gw,
+                Site::new("motes", &mote).with_count(count),
+                LinkSpec { beta: 1.0, net_budget: 1e9 },
+            );
+            dep
+        };
+        let cfg = DeploymentConfig::default();
+        let dep_a = mk_dep(count_a, cpu_a, net_a);
+        let dep_b = mk_dep(count_b, cpu_b, net_b);
+
+        prop_assert_eq!(
+            shape_key(&g, &prof, &dep_a, &cfg),
+            shape_key(&g, &prof, &dep_b, &cfg),
+            "counts and finite budget values must not be shape"
+        );
+        let unbudgeted = mk_dep(count_b, cpu_b, f64::INFINITY);
+        prop_assert!(
+            shape_key(&g, &prof, &dep_a, &cfg) != shape_key(&g, &prof, &unbudgeted, &cfg),
+            "budget finiteness must be shape"
+        );
+
+        let mut morphed = match PreparedDeployment::new(&g, &prof, &dep_a, &cfg) {
+            Ok(p) => p,
+            Err(_) => return Ok(()),
+        };
+        let deltas = deltas_between(morphed.deployment(), &dep_b);
+        if !deltas.is_empty() {
+            morphed.apply_delta(&deltas);
+        }
+        prop_assert_eq!(morphed.encodes(), 1, "reachability must not re-encode");
+        let mut cold = PreparedDeployment::new(&g, &prof, &dep_b, &cfg)
+            .expect("same graph prepared once already");
+        // Retarget both to the same rate (errors allowed — the bit
+        // comparison below is the property under test).
+        let warm_result = morphed.solve_at(rate);
+        let cold_result = cold.solve_at(rate);
+        assert_problems_identical(morphed.problem(), cold.problem())?;
+        prop_assert_eq!(
+            warm_result.is_ok(), cold_result.is_ok(),
+            "bit-identical problems must agree on feasibility"
+        );
+        if let (Ok(a), Ok(b)) = (warm_result, cold_result) {
+            prop_assert_eq!(
+                a.objective.to_bits(), b.objective.to_bits(),
+                "bit-identical problems must solve bit-identically ({} vs {})",
+                a.objective, b.objective
+            );
         }
     }
 }

@@ -31,22 +31,25 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Files where `.unwrap()` would panic inside the simplex /
-/// branch-and-bound inner loops.
-const HOT_PATHS: [&str; 4] = [
+/// branch-and-bound inner loops — or, for the fleet service, take a
+/// whole worker thread (and every shape sharded onto it) down with one
+/// bad request.
+const HOT_PATHS: [&str; 5] = [
     "crates/ilp/src/simplex.rs",
     "crates/ilp/src/revised.rs",
     "crates/ilp/src/lu.rs",
     "crates/ilp/src/branch_bound.rs",
+    "crates/fleet/src/lib.rs",
 ];
 
 /// Directories whose sources are held to the float-eq and pub-docs
 /// rules (the solver and the encoders — where a silent float bug costs
 /// the most).
-const LINTED_DIRS: [&str; 2] = ["crates/ilp/src", "crates/core/src"];
+const LINTED_DIRS: [&str; 3] = ["crates/ilp/src", "crates/core/src", "crates/fleet/src"];
 
 /// `(needle, why it must survive)` — each must appear in at least one
 /// test file.
-const ORACLE_ANCHORS: [(&str, &str); 5] = [
+const ORACLE_ANCHORS: [(&str, &str); 6] = [
     (
         "encode_multitier",
         "the k-way chain encoder is the parity oracle for deployments",
@@ -66,6 +69,10 @@ const ORACLE_ANCHORS: [(&str, &str); 5] = [
     (
         "NullSink::NULL",
         "the trace off path must stay pinned by the zero-overhead byte-identical test",
+    ),
+    (
+        "fleet_batch_matches_serial_one_shot",
+        "fleet cache hits must stay bit-identical to serial one-shot solves",
     ),
 ];
 
